@@ -1,0 +1,58 @@
+//! Micro-benchmarks for the abstract interpreter: sound IBP versus a
+//! concrete forward pass, and the differentiable-bounds forward/backward
+//! used in certified training.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use canopy_absint::diff_ibp::{backward_bounds, forward_bounds};
+use canopy_absint::{propagate_mlp, BoxState, Interval};
+use canopy_nn::{Activation, Mlp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn net() -> Mlp {
+    let mut rng = StdRng::seed_from_u64(0);
+    Mlp::new(&mut rng, &[21, 32, 32, 1], Activation::Tanh)
+}
+
+fn bench_ibp(c: &mut Criterion) {
+    let net = net();
+    let x = vec![0.25; 21];
+    let input = BoxState::from_intervals(
+        &(0..21)
+            .map(|i| {
+                if i % 7 == 2 {
+                    Interval::new(0.0, 0.5)
+                } else {
+                    Interval::point(0.25)
+                }
+            })
+            .collect::<Vec<_>>(),
+    );
+    c.bench_function("concrete_forward", |b| {
+        b.iter(|| black_box(net.forward(black_box(&x))));
+    });
+    c.bench_function("sound_ibp_forward", |b| {
+        b.iter(|| black_box(propagate_mlp(black_box(&net), black_box(&input))));
+    });
+}
+
+fn bench_diff_bounds(c: &mut Criterion) {
+    let mut network = net();
+    let lo = vec![0.0; 21];
+    let hi = vec![0.5; 21];
+    c.bench_function("diff_bounds_forward", |b| {
+        b.iter(|| black_box(forward_bounds(black_box(&network), &lo, &hi)));
+    });
+    c.bench_function("diff_bounds_forward_backward", |b| {
+        b.iter(|| {
+            let trace = forward_bounds(&network, &lo, &hi);
+            backward_bounds(&mut network, &trace, &[-1.0], &[1.0]);
+            network.zero_grads();
+        });
+    });
+}
+
+criterion_group!(benches, bench_ibp, bench_diff_bounds);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Micro-benchmarks for the packet-level simulator: events per second at
+//! typical evaluation operating points, single- and multi-flow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use canopy_cc::Cubic;
+use canopy_netsim::{BandwidthTrace, FlowConfig, LinkConfig, Simulator, Time};
+
+fn one_second_of_cubic(rate_mbps: f64, flows: usize) -> u64 {
+    let trace = BandwidthTrace::constant("bench", rate_mbps * 1e6);
+    let link = LinkConfig::with_bdp_buffer(trace, Time::from_millis(40), 1.0);
+    let mut sim = Simulator::new(link);
+    let ids: Vec<_> = (0..flows)
+        .map(|_| {
+            sim.add_flow(
+                FlowConfig::new(Time::from_millis(40)).without_samples(),
+                Box::new(Cubic::new()),
+            )
+        })
+        .collect();
+    sim.run_until(Time::from_secs(1));
+    ids.iter().map(|&f| sim.flow_stats(f).acked_packets).sum()
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_1s_cubic");
+    group.sample_size(20);
+    for rate in [12.0, 48.0, 96.0] {
+        group.bench_with_input(
+            BenchmarkId::new("single_flow_mbps", rate as u64),
+            &rate,
+            |b, &rate| {
+                b.iter(|| black_box(one_second_of_cubic(rate, 1)));
+            },
+        );
+    }
+    group.bench_function("four_flows_48mbps", |b| {
+        b.iter(|| black_box(one_second_of_cubic(48.0, 4)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks behind Table 4: the per-step cost of
+//! certificate extraction as a function of the component count N, and the
+//! cost of one TD3 learner update — the two ingredients of the epoch-rate
+//! table (`O(Canopy) = 2N·O(Verifier) + O(Orca)`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use canopy_core::obs::StateLayout;
+use canopy_core::property::{Property, PropertyParams};
+use canopy_core::verifier::{StepContext, Verifier};
+use canopy_nn::{Activation, Mlp};
+use canopy_rl::{ReplayBuffer, Td3, Td3Config, Transition};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn actor() -> Mlp {
+    let mut rng = StdRng::seed_from_u64(0);
+    Mlp::new(&mut rng, &[21, 32, 32, 1], Activation::Tanh)
+}
+
+fn ctx() -> StepContext {
+    StepContext {
+        state: vec![0.2; 21],
+        cwnd_tcp: 120.0,
+        cwnd_prev: 110.0,
+    }
+}
+
+fn bench_certificates(c: &mut Criterion) {
+    let layout = StateLayout::new(3);
+    let net = actor();
+    let params = PropertyParams::default();
+    let properties = Property::shallow_set(&params);
+    let context = ctx();
+    let mut group = c.benchmark_group("certify_shallow_pair");
+    for n in [1usize, 5, 10, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let verifier = Verifier::new(n);
+            b.iter(|| {
+                black_box(verifier.certify_all(
+                    black_box(&net),
+                    black_box(&properties),
+                    layout,
+                    black_box(&context),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_td3_update(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut agent = Td3::new(&mut rng, 21, 1, Td3Config::default());
+    let mut replay = ReplayBuffer::new(4096);
+    for i in 0..256 {
+        replay.push(Transition {
+            state: vec![(i % 7) as f64 / 7.0; 21],
+            action: vec![0.1],
+            reward: 0.5,
+            next_state: vec![(i % 5) as f64 / 5.0; 21],
+            done: false,
+        });
+    }
+    c.bench_function("td3_update_batch64", |b| {
+        b.iter(|| black_box(agent.update(&replay, &mut rng)));
+    });
+}
+
+criterion_group!(benches, bench_certificates, bench_td3_update);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Interactive explorer: run any scheme on any trace and print metrics.
+//!
+//! ```text
+//! cargo run -p canopy-bench --release --bin explore -- \
+//!     --scheme cubic --trace syn-step-up --buffer-bdp 1.0 \
+//!     --rtt-ms 40 --duration-s 20 [--noise 0.05] [--loss 0.01] [--seed N]
+//!
+//! Schemes: cubic | newreno | vegas | bbr | orca | canopy-shallow |
+//!          canopy-deep | canopy-robust
+//! Traces:  any name from `canopy-traces` (syn-*, cell-*), or `list`.
+//! ```
+
+use canopy_bench::{model, HarnessOpts, DEFAULT_SEED};
+use canopy_core::env::NoiseConfig;
+use canopy_core::eval::{run_scheme, QcEval, Scheme};
+use canopy_core::models::ModelKind;
+use canopy_core::property::{Property, PropertyParams};
+use canopy_netsim::Time;
+
+fn arg(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let scheme_name = arg("--scheme").unwrap_or_else(|| "cubic".into());
+    let trace_name = arg("--trace").unwrap_or_else(|| "syn-step-up".into());
+    let buffer_bdp: f64 = arg("--buffer-bdp")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let rtt_ms: u64 = arg("--rtt-ms").and_then(|v| v.parse().ok()).unwrap_or(40);
+    let duration_s: u64 = arg("--duration-s")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    let noise: Option<f64> = arg("--noise").and_then(|v| v.parse().ok());
+    let seed: u64 = arg("--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+
+    let traces = canopy_traces::all_eval_traces(seed);
+    if trace_name == "list" {
+        println!("available traces:");
+        for t in &traces {
+            println!("  {}", t.name());
+        }
+        return;
+    }
+    let Some(trace) = traces.into_iter().find(|t| t.name() == trace_name) else {
+        eprintln!("unknown trace `{trace_name}`; try `--trace list`");
+        std::process::exit(1);
+    };
+
+    let opts = HarnessOpts { seed, smoke: false };
+    let params = PropertyParams::default();
+    let (scheme, qc) = match scheme_name.as_str() {
+        "orca" => (
+            Scheme::Learned(model(ModelKind::Orca, &opts).0),
+            Some(QcEval {
+                properties: Property::shallow_set(&params),
+                n_components: 25,
+            }),
+        ),
+        "canopy-shallow" => (
+            Scheme::Learned(model(ModelKind::Shallow, &opts).0),
+            Some(QcEval {
+                properties: Property::shallow_set(&params),
+                n_components: 25,
+            }),
+        ),
+        "canopy-deep" => (
+            Scheme::Learned(model(ModelKind::Deep, &opts).0),
+            Some(QcEval {
+                properties: Property::deep_set(&params),
+                n_components: 25,
+            }),
+        ),
+        "canopy-robust" => (
+            Scheme::Learned(model(ModelKind::Robust, &opts).0),
+            Some(QcEval {
+                properties: Property::robust_set(&params),
+                n_components: 25,
+            }),
+        ),
+        classic => (Scheme::Baseline(classic.to_string()), None),
+    };
+
+    let metrics = run_scheme(
+        &scheme,
+        &trace,
+        Time::from_millis(rtt_ms),
+        buffer_bdp,
+        Time::from_secs(duration_s),
+        noise.map(|mu| NoiseConfig { mu, seed }),
+        qc.as_ref(),
+    );
+    println!("scheme        : {}", metrics.scheme);
+    println!("trace         : {}", metrics.trace);
+    println!("buffer        : {buffer_bdp} BDP, RTT {rtt_ms} ms, {duration_s} s");
+    println!("utilization   : {:.3}", metrics.utilization);
+    println!("throughput    : {:.2} Mbps", metrics.throughput_mbps);
+    println!("avg q-delay   : {:.1} ms", metrics.avg_qdelay_ms);
+    println!("p95 q-delay   : {:.1} ms", metrics.p95_qdelay_ms);
+    println!("avg RTT       : {:.1} ms", metrics.avg_rtt_ms);
+    println!("losses        : {}", metrics.losses);
+    println!("retransmits   : {}", metrics.retransmits);
+    if let Some(q) = metrics.qc_sat {
+        println!(
+            "QC_sat        : {:.3} (±{:.3})",
+            q,
+            metrics.qc_sat_std.unwrap_or(0.0)
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Figure 2: Orca entering critically bad states on a high-BDP path.
+//!
+//! (a) Sending rate of Orca vs Canopy (deep-buffer model) on a deep-buffer
+//!     link with bandwidth dips.
+//! (b) The detail: invRTT, the cwnd the agent enforced, and the cwnd TCP
+//!     suggested — the paper shows Orca forcing cwnd far below TCP's
+//!     suggestion despite high invRTT (low queuing delay).
+//!
+//! ```text
+//! cargo run -p canopy-bench --release --bin fig02_bad_states [--smoke] [--seed N]
+//! ```
+
+use canopy_bench::{f1, f3, header, model, row, HarnessOpts};
+use canopy_core::eval::learned_timeseries;
+use canopy_core::models::ModelKind;
+use canopy_netsim::Time;
+use canopy_traces::synthetic;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let (canopy, _) = model(ModelKind::Deep, &opts);
+    let (orca, _) = model(ModelKind::Orca, &opts);
+    // High BDP: fast link, long RTT, deep buffer.
+    let trace = synthetic::dips();
+    let min_rtt = Time::from_millis(80);
+    let buffer_bdp = 5.0;
+    let duration = opts.eval_duration();
+
+    let orca_pts = learned_timeseries(&orca, &trace, min_rtt, buffer_bdp, duration, None, None);
+    let canopy_pts = learned_timeseries(&canopy, &trace, min_rtt, buffer_bdp, duration, None, None);
+
+    println!(
+        "# Figure 2a: sending rate over time (Mbps), trace `{}`\n",
+        trace.name()
+    );
+    header(&["t (s)", "orca", "canopy"]);
+    let stride = (orca_pts.len() / 40).max(1);
+    for i in (0..orca_pts.len()).step_by(stride) {
+        row(&[
+            f1(orca_pts[i].t_s),
+            f1(orca_pts[i].throughput_mbps),
+            f1(canopy_pts.get(i).map_or(0.0, |p| p.throughput_mbps)),
+        ]);
+    }
+
+    println!("\n# Figure 2b: Orca detail — invRTT vs enforced cwnd vs TCP-suggested cwnd\n");
+    header(&["t (s)", "invRTT", "cwnd (agent)", "cwnd (TCP)", "agent/TCP"]);
+    for i in (0..orca_pts.len()).step_by(stride) {
+        let p = orca_pts[i];
+        row(&[
+            f1(p.t_s),
+            f3(p.inv_rtt),
+            f1(p.cwnd),
+            f1(p.cwnd_tcp),
+            f3(p.cwnd / p.cwnd_tcp.max(1.0)),
+        ]);
+    }
+
+    // Bad states: steps where queuing delay is low (invRTT high) yet the
+    // agent suppressed the window far below TCP's suggestion.
+    let bad = |pts: &[canopy_core::eval::TimePoint]| {
+        let n = pts
+            .iter()
+            .filter(|p| p.inv_rtt > 0.8 && p.cwnd < 0.5 * p.cwnd_tcp)
+            .count();
+        n as f64 / pts.len().max(1) as f64
+    };
+    println!("\n# Summary\n");
+    header(&["controller", "mean rate (Mbps)", "bad-state fraction"]);
+    for (name, pts) in [("orca", &orca_pts), ("canopy", &canopy_pts)] {
+        let mean = pts.iter().map(|p| p.throughput_mbps).sum::<f64>() / pts.len().max(1) as f64;
+        row(&[name.to_string(), f1(mean), f3(bad(pts))]);
+    }
+    println!("\npaper: Orca repeatedly forces cwnd below TCP's suggestion in good conditions;");
+    println!("Canopy (trained with P3/P4) avoids those states and keeps its rate up.");
+}

@@ -1,0 +1,92 @@
+//! Figure 5: QC_sat (mean ± std) of the shallow- and deep-buffer Canopy
+//! models versus Orca, on synthetic and real-world (cellular) traces, with
+//! the trained buffer sizes (0.5 BDP shallow, 5 BDP deep).
+//!
+//! ```text
+//! cargo run -p canopy-bench --release --bin fig05_qcsat_buffers [--smoke] [--seed N]
+//! ```
+
+use canopy_bench::{f3, header, mean_std, model, row, HarnessOpts};
+use canopy_core::eval::{run_scheme, QcEval, Scheme};
+use canopy_core::models::ModelKind;
+use canopy_core::property::{Property, PropertyParams};
+use canopy_netsim::Time;
+use canopy_traces::{cellular, synthetic};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let params = PropertyParams::default();
+    let (canopy_shallow, _) = model(ModelKind::Shallow, &opts);
+    let (canopy_deep, _) = model(ModelKind::Deep, &opts);
+    let (orca, _) = model(ModelKind::Orca, &opts);
+
+    let n_eval = if opts.smoke { 10 } else { 50 };
+    let min_rtt = Time::from_millis(40);
+    let synthetic_traces = if opts.smoke {
+        synthetic::all(opts.seed)[..4].to_vec()
+    } else {
+        synthetic::all(opts.seed)
+    };
+    let cellular_traces = cellular::all(opts.seed);
+
+    println!("# Figure 5: QC_sat by buffer regime (mean ± std over traces)\n");
+    header(&[
+        "model",
+        "properties",
+        "buffer",
+        "trace set",
+        "QC_sat mean",
+        "QC_sat std",
+    ]);
+
+    for (regime, buffer_bdp, properties, canopy_model) in [
+        (
+            "shallow",
+            0.5,
+            Property::shallow_set(&params),
+            &canopy_shallow,
+        ),
+        ("deep", 5.0, Property::deep_set(&params), &canopy_deep),
+    ] {
+        let qc = QcEval {
+            properties: properties.clone(),
+            n_components: n_eval,
+        };
+        for (set_name, traces) in [
+            ("synthetic", &synthetic_traces),
+            ("real-world", &cellular_traces),
+        ] {
+            for (label, m) in [("canopy", canopy_model), ("orca", &orca)] {
+                let sats: Vec<f64> = traces
+                    .iter()
+                    .map(|trace| {
+                        run_scheme(
+                            &Scheme::Learned(m.clone()),
+                            trace,
+                            min_rtt,
+                            buffer_bdp,
+                            opts.eval_duration(),
+                            None,
+                            Some(&qc),
+                        )
+                        .qc_sat
+                        .expect("qc requested")
+                    })
+                    .collect();
+                let (mean, std) = mean_std(&sats);
+                row(&[
+                    label.to_string(),
+                    format!(
+                        "{regime} (P{})",
+                        if regime == "shallow" { "1-2" } else { "3-4" }
+                    ),
+                    format!("{buffer_bdp} BDP"),
+                    set_name.to_string(),
+                    f3(mean),
+                    f3(std),
+                ]);
+            }
+        }
+    }
+    println!("\npaper: Canopy 0.72-0.77 (shallow) / 0.42-0.76 (deep); Orca 0.25-0.67 / 0.15-0.66");
+}

@@ -1,0 +1,112 @@
+//! Figure 12: real-world deployment — normalized throughput and delay on
+//! the nine-region global-testbed path model, aggregated by
+//! intra-/inter-continental class.
+//!
+//! Per path, each scheme's throughput is normalized by the best throughput
+//! any scheme achieved on that path, and its delay by the smallest delay,
+//! exactly as Section 6.4 normalizes.
+//!
+//! ```text
+//! cargo run -p canopy-bench --release --bin fig12_realworld [--smoke] [--seed N]
+//! ```
+
+use std::collections::BTreeMap;
+
+use canopy_bench::{f3, header, mean_std, model, row, HarnessOpts};
+use canopy_core::eval::{run_scheme, RunMetrics, Scheme};
+use canopy_core::models::ModelKind;
+use canopy_traces::realworld::{paths, PathClass};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let (canopy_shallow, _) = model(ModelKind::Shallow, &opts);
+    let (canopy_deep, _) = model(ModelKind::Deep, &opts);
+    let (orca, _) = model(ModelKind::Orca, &opts);
+    let schemes = vec![
+        Scheme::Learned(canopy_shallow),
+        Scheme::Learned(canopy_deep),
+        Scheme::Learned(orca),
+        Scheme::Baseline("cubic".into()),
+        Scheme::Baseline("bbr".into()),
+        Scheme::Baseline("vegas".into()),
+    ];
+
+    let all_paths = paths();
+    let eval_paths: Vec<_> = if opts.smoke {
+        vec![all_paths[0].clone(), all_paths[4].clone()]
+    } else {
+        all_paths
+    };
+    // Cloud paths in the paper behave like ~1-2 BDP buffered links.
+    let buffer_bdp = 1.0;
+
+    // normalized[(class, scheme)] = (thr_norm values, delay_norm values)
+    let mut normalized: BTreeMap<(String, String), (Vec<f64>, Vec<f64>)> = BTreeMap::new();
+    println!("# Figure 12: per-path raw results\n");
+    header(&["path", "class", "scheme", "thr (Mbps)", "avg RTT (ms)"]);
+    for path in &eval_paths {
+        let trace = path.trace(opts.seed);
+        let runs: Vec<(String, RunMetrics)> = schemes
+            .iter()
+            .map(|s| {
+                let m = run_scheme(
+                    s,
+                    &trace,
+                    path.min_rtt,
+                    buffer_bdp,
+                    opts.eval_duration(),
+                    None,
+                    None,
+                );
+                (s.name(), m)
+            })
+            .collect();
+        let best_thr = runs
+            .iter()
+            .map(|(_, m)| m.throughput_mbps)
+            .fold(0.0, f64::max)
+            .max(1e-9);
+        let best_delay = runs
+            .iter()
+            .map(|(_, m)| m.avg_rtt_ms)
+            .fold(f64::INFINITY, f64::min)
+            .max(1e-9);
+        let class = match path.class {
+            PathClass::IntraContinental => "intra",
+            PathClass::InterContinental => "inter",
+        };
+        for (name, m) in &runs {
+            row(&[
+                path.region.to_string(),
+                class.to_string(),
+                name.clone(),
+                f3(m.throughput_mbps),
+                f3(m.avg_rtt_ms),
+            ]);
+            let entry = normalized
+                .entry((class.to_string(), name.clone()))
+                .or_default();
+            entry.0.push(m.throughput_mbps / best_thr);
+            entry.1.push(best_delay / m.avg_rtt_ms.max(1e-9));
+        }
+    }
+
+    println!(
+        "\n# Figure 12 aggregate: normalized throughput / normalized delay (higher = better)\n"
+    );
+    header(&[
+        "class",
+        "scheme",
+        "norm. throughput",
+        "norm. delay (min/actual)",
+    ]);
+    for ((class, scheme), (thr, delay)) in &normalized {
+        row(&[
+            class.clone(),
+            scheme.clone(),
+            f3(mean_std(thr).0),
+            f3(mean_std(delay).0),
+        ]);
+    }
+    println!("\npaper: Canopy-shallow beats Orca on bandwidth; Canopy-deep beats Orca on delay.");
+}

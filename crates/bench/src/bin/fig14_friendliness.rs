@@ -1,0 +1,90 @@
+//! Figure 14: deployment friendliness — throughput ratio of the scheme
+//! under test to the average of competing Cubic flows, for an increasing
+//! number of competitors, plus an RTT-friendliness sweep with one
+//! competitor. A ratio near 1.0 means the scheme takes a fair share.
+//!
+//! ```text
+//! cargo run -p canopy-bench --release --bin fig14_friendliness [--smoke] [--seed N]
+//! ```
+
+use canopy_bench::{f3, header, model, row, HarnessOpts};
+use canopy_core::eval::{friendliness_ratio, FlowScheme};
+use canopy_core::models::ModelKind;
+use canopy_netsim::{BandwidthTrace, Time};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let (canopy_shallow, _) = model(ModelKind::Shallow, &opts);
+    let (canopy_deep, _) = model(ModelKind::Deep, &opts);
+    let (orca, _) = model(ModelKind::Orca, &opts);
+    let duration = if opts.smoke {
+        Time::from_secs(10)
+    } else {
+        Time::from_secs(30)
+    };
+    let trace = BandwidthTrace::constant("friendly", 48e6);
+    let competitor_counts: &[usize] = if opts.smoke { &[1, 2] } else { &[1, 2, 3, 4] };
+
+    for (regime, buffer_bdp, canopy) in [
+        ("shallow", 1.0, &canopy_shallow),
+        ("deep", 5.0, &canopy_deep),
+    ] {
+        println!("\n# Figure 14 ({regime} buffers, {buffer_bdp} BDP): throughput ratio vs #competing Cubic flows\n");
+        header(&["scheme", "1 flow", "2 flows", "3 flows", "4 flows"]);
+        for (name, scheme) in [
+            (
+                format!("canopy-{regime}"),
+                FlowScheme::Agent(canopy.clone()),
+            ),
+            ("orca".to_string(), FlowScheme::Agent(orca.clone())),
+            ("cubic".to_string(), FlowScheme::Classic("cubic".into())),
+        ] {
+            let mut cells = vec![name];
+            for &n in competitor_counts {
+                let ratio = friendliness_ratio(
+                    &scheme,
+                    n,
+                    &trace,
+                    Time::from_millis(20),
+                    buffer_bdp,
+                    duration,
+                );
+                cells.push(f3(ratio));
+            }
+            while cells.len() < 5 {
+                cells.push("-".into());
+            }
+            row(&cells);
+        }
+    }
+
+    // RTT friendliness: one competing Cubic flow, sweep the shared path RTT.
+    let rtts: &[u64] = if opts.smoke {
+        &[20, 80]
+    } else {
+        &[20, 40, 80, 120]
+    };
+    println!("\n# Figure 14 (RTT sweep, 1 competing Cubic flow, 1 BDP)\n");
+    header(&["scheme", "20ms", "40ms", "80ms", "120ms"]);
+    for (name, scheme) in [
+        (
+            "canopy-shallow".to_string(),
+            FlowScheme::Agent(canopy_shallow.clone()),
+        ),
+        ("orca".to_string(), FlowScheme::Agent(orca.clone())),
+        ("cubic".to_string(), FlowScheme::Classic("cubic".into())),
+    ] {
+        let mut cells = vec![name];
+        for &rtt in rtts {
+            let ratio =
+                friendliness_ratio(&scheme, 1, &trace, Time::from_millis(rtt), 1.0, duration);
+            cells.push(f3(ratio));
+        }
+        while cells.len() < 5 {
+            cells.push("-".into());
+        }
+        row(&cells);
+    }
+    println!("\npaper: Canopy's ratios track Orca's, which in turn track Cubic's (all rely on");
+    println!("Cubic for fine-grained control), so property training does not hurt friendliness.");
+}

@@ -1,0 +1,74 @@
+//! Figure 16: sensitivity of the shallow-buffer Canopy model to the number
+//! of certificate components N ∈ {1, 5, 10} and the verifier weight
+//! λ ∈ {0.25, 0.5, 0.75} — utilization and p95 delay per configuration,
+//! with N5/λ0.25 as the reference configuration used everywhere else.
+//!
+//! ```text
+//! cargo run -p canopy-bench --release --bin fig16_sensitivity [--smoke] [--seed N]
+//! ```
+
+use canopy_bench::{f1, f3, header, mean_std, row, HarnessOpts};
+use canopy_core::eval::{run_scheme, Scheme};
+use canopy_core::models::{trainer_config, ModelKind};
+use canopy_core::trainer::Trainer;
+use canopy_netsim::Time;
+use canopy_traces::synthetic;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let configs: &[(usize, f64)] = if opts.smoke {
+        &[(1, 0.25), (5, 0.25)]
+    } else {
+        &[(1, 0.25), (5, 0.25), (10, 0.25), (5, 0.5), (5, 0.75)]
+    };
+    let traces = if opts.smoke {
+        synthetic::all(opts.seed)[..2].to_vec()
+    } else {
+        synthetic::all(opts.seed)[..8].to_vec()
+    };
+
+    println!("# Figure 16: sensitivity to N and λ (shallow model, 1 BDP eval)\n");
+    header(&[
+        "config",
+        "QC_sat (train-final)",
+        "utilization",
+        "avg qdelay (ms)",
+        "p95 qdelay (ms)",
+    ]);
+    for &(n, lambda) in configs {
+        let mut cfg = trainer_config(ModelKind::Shallow, opts.seed, opts.budget());
+        cfg.n_components = n;
+        cfg.lambda = lambda;
+        cfg.name = format!("canopy-N{n}-l{lambda}");
+        let result = Trainer::new(cfg).train();
+        let final_qc = result.history.last().map_or(0.0, |e| e.verifier_reward);
+
+        let mut utils = Vec::new();
+        let mut avgs = Vec::new();
+        let mut p95s = Vec::new();
+        for trace in &traces {
+            let m = run_scheme(
+                &Scheme::Learned(result.model.clone()),
+                trace,
+                Time::from_millis(40),
+                1.0,
+                opts.eval_duration(),
+                None,
+                None,
+            );
+            utils.push(m.utilization);
+            avgs.push(m.avg_qdelay_ms);
+            p95s.push(m.p95_qdelay_ms);
+        }
+        row(&[
+            format!("N{n} λ{lambda}"),
+            f3(final_qc),
+            f3(mean_std(&utils).0),
+            f1(mean_std(&avgs).0),
+            f1(mean_std(&p95s).0),
+        ]);
+    }
+    println!("\npaper: N=1 gives loose certificates (1.88× higher p95 delay); N=10 tightens");
+    println!("delays another 27% but costs utilization and compute; larger λ trades");
+    println!("utilization (−8 to −10%) for smaller delays (−32 to −42%). N5/λ0.25 balances.");
+}

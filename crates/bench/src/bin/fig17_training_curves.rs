@@ -1,0 +1,65 @@
+//! Figure 17 (appendix A.1): training curves — raw reward, verifier
+//! reward, and overall (λ-mixed) reward per epoch, for Orca and for Canopy
+//! with the shallow-buffer properties (N = 5, λ = 0.25).
+//!
+//! The paper's observation: Orca's raw reward climbs while its verifier
+//! reward *drops* — optimizing the raw reward alone actively erodes
+//! property satisfaction. Canopy's verifier reward climbs without
+//! sacrificing much raw reward.
+//!
+//! ```text
+//! cargo run -p canopy-bench --release --bin fig17_training_curves [--smoke] [--seed N]
+//! ```
+
+use canopy_bench::{f3, header, model, row, HarnessOpts};
+use canopy_core::models::ModelKind;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let (_, canopy_history) = model(ModelKind::Shallow, &opts);
+    let (_, orca_history) = model(ModelKind::Orca, &opts);
+
+    println!("# Figure 17: training curves (per epoch)\n");
+    header(&[
+        "epoch",
+        "orca raw",
+        "orca verifier",
+        "canopy raw",
+        "canopy verifier",
+        "canopy total",
+    ]);
+    let epochs = canopy_history.len().min(orca_history.len());
+    let stride = (epochs / 20).max(1);
+    for e in (0..epochs).step_by(stride) {
+        row(&[
+            format!("{e}"),
+            f3(orca_history[e].raw_reward),
+            f3(orca_history[e].verifier_reward),
+            f3(canopy_history[e].raw_reward),
+            f3(canopy_history[e].verifier_reward),
+            f3(canopy_history[e].total_reward),
+        ]);
+    }
+
+    let half = epochs / 2;
+    let mean = |h: &[canopy_core::trainer::EpochStats],
+                f: fn(&canopy_core::trainer::EpochStats) -> f64,
+                from: usize| {
+        let v: Vec<f64> = h[from..].iter().map(f).collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    println!("\n# Summary (second half of training)\n");
+    header(&["model", "raw reward", "verifier reward"]);
+    row(&[
+        "orca".into(),
+        f3(mean(&orca_history, |e| e.raw_reward, half)),
+        f3(mean(&orca_history, |e| e.verifier_reward, half)),
+    ]);
+    row(&[
+        "canopy".into(),
+        f3(mean(&canopy_history, |e| e.raw_reward, half)),
+        f3(mean(&canopy_history, |e| e.verifier_reward, half)),
+    ]);
+    println!("\npaper: Canopy gains verifier reward without significantly sacrificing raw reward;");
+    println!("Orca's verifier reward decays as it optimizes raw reward alone.");
+}

@@ -1,0 +1,67 @@
+//! Developer probe: dump a learned model's decision trajectory on one
+//! link (not part of the paper harness; used to debug policy behaviour).
+//!
+//! ```text
+//! cargo run -p canopy-bench --release --bin probe -- [--kind deep] [--rate 24] [--bdp 5]
+//! ```
+
+use canopy_bench::{model, HarnessOpts};
+use canopy_core::env::{CcEnv, EnvConfig};
+use canopy_core::models::ModelKind;
+use canopy_core::obs::DELAY_IDX;
+use canopy_netsim::{BandwidthTrace, Time};
+
+fn arg(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let kind = match arg("--kind").as_deref() {
+        Some("shallow") => ModelKind::Shallow,
+        Some("robust") => ModelKind::Robust,
+        Some("orca") => ModelKind::Orca,
+        _ => ModelKind::Deep,
+    };
+    let rate: f64 = arg("--rate").and_then(|v| v.parse().ok()).unwrap_or(24.0);
+    let bdp: f64 = arg("--bdp").and_then(|v| v.parse().ok()).unwrap_or(5.0);
+    let (m, _) = model(kind, &opts);
+    let trace = match arg("--trace") {
+        Some(name) => canopy_traces::all_eval_traces(opts.seed)
+            .into_iter()
+            .find(|t| t.name() == name)
+            .expect("known trace name"),
+        None => BandwidthTrace::constant("probe", rate * 1e6),
+    };
+    let mut env = CcEnv::new(
+        EnvConfig::new(trace, Time::from_millis(40), bdp).with_episode(Time::from_secs(15)),
+    );
+    let layout = env.layout();
+    println!("t_s  action  cwnd  cwnd_tcp  delay_norm  loss  thr_mbps  inflight");
+    loop {
+        let state = env.state();
+        let a = m.actor.forward(&state)[0];
+        let r = env.step(a);
+        println!(
+            "{:5.2} {:+.3} {:8.1} {:8.1} {:.3} {:.3} {:8.2} {:6}",
+            env.now().as_secs_f64(),
+            a,
+            r.cwnd_applied,
+            r.cwnd_tcp,
+            state[layout.idx(0, DELAY_IDX)],
+            state[layout.idx(0, crate_loss_idx())],
+            r.sample.throughput_bps / 1e6,
+            r.sample.inflight,
+        );
+        if r.done {
+            break;
+        }
+    }
+}
+
+fn crate_loss_idx() -> usize {
+    canopy_core::obs::LOSS_IDX
+}

@@ -1,0 +1,147 @@
+//! Shared plumbing for the benchmark harness.
+//!
+//! Every `fig*`/`table*` binary regenerates one table or figure from the
+//! paper's evaluation. They share: a fixed default seed, the cached model
+//! store (so all figures see identical trained controllers), simple table
+//! printers, and a `--smoke` mode that shrinks runs enough for CI.
+
+use std::path::PathBuf;
+
+use canopy_core::models::{self, ModelKind, TrainBudget, TrainedModel};
+use canopy_core::trainer::TrainingHistory;
+use canopy_netsim::Time;
+
+/// The seed every figure uses unless overridden with `--seed N`.
+pub const DEFAULT_SEED: u64 = 20260427;
+
+/// Command-line options shared by all harness binaries.
+#[derive(Clone, Copy, Debug)]
+pub struct HarnessOpts {
+    /// Master seed.
+    pub seed: u64,
+    /// Shrink durations/budgets for smoke testing.
+    pub smoke: bool,
+}
+
+impl HarnessOpts {
+    /// Parses `--seed N` and `--smoke` from `std::env::args`.
+    pub fn from_args() -> HarnessOpts {
+        let mut opts = HarnessOpts {
+            seed: DEFAULT_SEED,
+            smoke: false,
+        };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--smoke" => opts.smoke = true,
+                "--seed" => {
+                    if let Some(v) = args.get(i + 1) {
+                        opts.seed = v.parse().unwrap_or(DEFAULT_SEED);
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// The training budget for learned models under these options.
+    pub fn budget(&self) -> TrainBudget {
+        if self.smoke {
+            TrainBudget::smoke()
+        } else {
+            TrainBudget::standard()
+        }
+    }
+
+    /// The evaluation duration for single-flow runs.
+    pub fn eval_duration(&self) -> Time {
+        if self.smoke {
+            Time::from_secs(4)
+        } else {
+            Time::from_secs(20)
+        }
+    }
+
+    /// Repetitions per (scheme, trace) pair (the paper uses 5).
+    pub fn repeats(&self) -> usize {
+        if self.smoke {
+            1
+        } else {
+            3
+        }
+    }
+}
+
+/// The shared on-disk model cache used by all figures.
+pub fn model_dir() -> PathBuf {
+    std::env::var("CANOPY_MODEL_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| models::default_cache_dir())
+}
+
+/// Loads (or trains and caches) one of the paper's models.
+pub fn model(kind: ModelKind, opts: &HarnessOpts) -> (TrainedModel, TrainingHistory) {
+    models::load_or_train(&model_dir(), kind, opts.seed, opts.budget())
+}
+
+/// Prints a Markdown-style table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a Markdown-style table header with separator.
+pub fn header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+}
+
+/// Formats a float with 3 decimal places.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 1 decimal place.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Mean and population standard deviation.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn default_opts() {
+        let o = HarnessOpts {
+            seed: DEFAULT_SEED,
+            smoke: true,
+        };
+        assert_eq!(o.budget(), TrainBudget::smoke());
+        assert_eq!(o.repeats(), 1);
+    }
+}

@@ -1,0 +1,404 @@
+//! The congestion-control RL environment.
+//!
+//! One environment wraps one simulated bottleneck link with a single
+//! Cubic-backed flow. The agent interacts exactly as Orca does: every
+//! monitor interval it reads the `k`-step observation state, emits an
+//! action `a ∈ [−1, 1]`, and the environment enforces
+//! `cwnd = 2^(2a) · cwnd_TCP` (Eq. 1) before letting the simulation run to
+//! the next interval. Cubic keeps doing fine-grained per-ACK control in
+//! between, evolving from the enforced window.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use canopy_cc::Cubic;
+use canopy_netsim::link::Impairments;
+use canopy_netsim::{
+    BandwidthTrace, FlowConfig, FlowId, LinkConfig, MonitorSample, Simulator, Time,
+};
+
+use crate::obs::{Normalizer, Observation, StateBuilder, StateLayout};
+use crate::orca::{f_cwnd, RewardConfig};
+use crate::verifier::StepContext;
+
+/// Observation-noise configuration: at each step the observed queuing
+/// delay is multiplied by `1 + η`, `η ~ U(−μ, μ)` (the perturbation used
+/// in Section 2 and Figure 11 of the paper).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Maximum relative perturbation μ.
+    pub mu: f64,
+    /// RNG seed for the noise stream.
+    pub seed: u64,
+}
+
+/// Static environment configuration.
+#[derive(Clone, Debug)]
+pub struct EnvConfig {
+    /// Bottleneck bandwidth process.
+    pub trace: BandwidthTrace,
+    /// Propagation RTT.
+    pub min_rtt: Time,
+    /// Droptail buffer in BDP multiples (0.5 shallow, 5 deep, 2 robust).
+    pub buffer_bdp: f64,
+    /// Monitor interval; [`Time::ZERO`] selects `max(min_rtt, 20 ms)`.
+    pub monitor_interval: Time,
+    /// Episode length in simulated time.
+    pub episode: Time,
+    /// History depth `k`.
+    pub k: usize,
+    /// Reward hyperparameters.
+    pub reward: RewardConfig,
+    /// Optional observation noise.
+    pub noise: Option<NoiseConfig>,
+    /// Record per-ACK delay samples (needed for evaluation percentiles;
+    /// off during training to save memory).
+    pub record_samples: bool,
+    /// Stochastic link impairments (random loss, jitter); off by default.
+    pub impairments: Impairments,
+}
+
+impl EnvConfig {
+    /// A configuration with the defaults used across the evaluation
+    /// (k = 3, 10 s episodes, paper reward constants).
+    pub fn new(trace: BandwidthTrace, min_rtt: Time, buffer_bdp: f64) -> EnvConfig {
+        EnvConfig {
+            trace,
+            min_rtt,
+            buffer_bdp,
+            monitor_interval: Time::ZERO,
+            episode: Time::from_secs(10),
+            k: 3,
+            reward: RewardConfig::default(),
+            noise: None,
+            record_samples: false,
+            impairments: Impairments::none(),
+        }
+    }
+
+    /// The effective monitor interval.
+    pub fn effective_mi(&self) -> Time {
+        if self.monitor_interval > Time::ZERO {
+            self.monitor_interval
+        } else {
+            self.min_rtt.max(Time::from_millis(20))
+        }
+    }
+
+    /// The link configuration implied by this environment.
+    pub fn link(&self) -> LinkConfig {
+        LinkConfig::with_bdp_buffer(self.trace.clone(), self.min_rtt, self.buffer_bdp)
+            .with_impairments(self.impairments)
+    }
+
+    /// Sets the episode length.
+    pub fn with_episode(mut self, episode: Time) -> EnvConfig {
+        self.episode = episode;
+        self
+    }
+
+    /// Enables observation noise.
+    pub fn with_noise(mut self, noise: NoiseConfig) -> EnvConfig {
+        self.noise = Some(noise);
+        self
+    }
+
+    /// Enables per-ACK delay-sample recording.
+    pub fn with_samples(mut self) -> EnvConfig {
+        self.record_samples = true;
+        self
+    }
+}
+
+/// The outcome of one environment step.
+#[derive(Clone, Debug)]
+pub struct StepResult {
+    /// The state after the step (the next decision's input).
+    pub state: Vec<f64>,
+    /// The raw (Orca) reward for the interval.
+    pub reward: f64,
+    /// The interval's monitor sample (physical units, noise-free).
+    pub sample: MonitorSample,
+    /// What Cubic proposed at decision time (`cwnd_TCP`).
+    pub cwnd_tcp: f64,
+    /// The window actually enforced.
+    pub cwnd_applied: f64,
+    /// Whether the episode ended with this step.
+    pub done: bool,
+}
+
+/// A single-flow congestion-control environment.
+pub struct CcEnv {
+    config: EnvConfig,
+    sim: Simulator,
+    flow: FlowId,
+    builder: StateBuilder,
+    layout: StateLayout,
+    prev_cwnd: f64,
+    steps: u64,
+    noise_rng: Option<StdRng>,
+}
+
+impl CcEnv {
+    /// Builds the environment and its simulator.
+    pub fn new(config: EnvConfig) -> CcEnv {
+        let link = config.link();
+        let normalizer = Normalizer::for_link(&link, config.min_rtt, config.effective_mi());
+        let layout = StateLayout::new(config.k);
+        let mut sim = Simulator::new(link);
+        let flow_config = if config.record_samples {
+            FlowConfig::new(config.min_rtt)
+        } else {
+            FlowConfig::new(config.min_rtt).without_samples()
+        };
+        let flow = sim.add_flow(flow_config, Box::new(Cubic::new()));
+        let noise_rng = config.noise.map(|n| StdRng::seed_from_u64(n.seed));
+        CcEnv {
+            builder: StateBuilder::new(layout, normalizer),
+            config,
+            sim,
+            flow,
+            layout,
+            prev_cwnd: canopy_cc::cubic::INITIAL_CWND,
+            steps: 0,
+            noise_rng,
+        }
+    }
+
+    /// The environment's state layout.
+    pub fn layout(&self) -> StateLayout {
+        self.layout
+    }
+
+    /// The normalizer derived from the link.
+    pub fn normalizer(&self) -> &Normalizer {
+        self.builder.normalizer()
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EnvConfig {
+        &self.config
+    }
+
+    /// The current flat state vector.
+    pub fn state(&self) -> Vec<f64> {
+        self.builder.state()
+    }
+
+    /// Steps taken since the last reset.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.sim.now()
+    }
+
+    /// The verifier's view of the current decision point.
+    pub fn step_context(&self) -> StepContext {
+        StepContext {
+            state: self.state(),
+            cwnd_tcp: self.sim.cwnd(self.flow),
+            cwnd_prev: self.prev_cwnd,
+        }
+    }
+
+    /// Restarts the episode with a fresh simulator (deterministic: the
+    /// noise stream continues, everything else rebuilds identically).
+    pub fn reset(&mut self) {
+        let link = self.config.link();
+        let mut sim = Simulator::new(link);
+        let flow_config = if self.config.record_samples {
+            FlowConfig::new(self.config.min_rtt)
+        } else {
+            FlowConfig::new(self.config.min_rtt).without_samples()
+        };
+        self.flow = sim.add_flow(flow_config, Box::new(Cubic::new()));
+        self.sim = sim;
+        self.builder.reset();
+        self.prev_cwnd = canopy_cc::cubic::INITIAL_CWND;
+        self.steps = 0;
+    }
+
+    /// Applies an agent action and advances one monitor interval.
+    pub fn step(&mut self, action: f64) -> StepResult {
+        let cwnd_tcp = self.sim.cwnd(self.flow);
+        let cwnd = f_cwnd(action, cwnd_tcp);
+        self.sim.set_cwnd(self.flow, cwnd);
+        self.advance(action, cwnd)
+    }
+
+    /// Advances one monitor interval *without* overriding the window —
+    /// Cubic rules alone (used by the runtime fallback and by baseline
+    /// evaluation through the same code path).
+    pub fn step_without_agent(&mut self) -> StepResult {
+        let cwnd = self.sim.cwnd(self.flow);
+        self.advance(0.0, cwnd)
+    }
+
+    fn advance(&mut self, action: f64, cwnd_applied: f64) -> StepResult {
+        let cwnd_tcp_at_decision = self.sim.cwnd(self.flow);
+        let mi = self.config.effective_mi();
+        let target = self.sim.now() + mi;
+        self.sim.run_until(target);
+        let sample = self.sim.monitor_sample(self.flow);
+        let mut obs = Observation::from_sample(&sample);
+        if let (Some(noise), Some(rng)) = (self.config.noise, self.noise_rng.as_mut()) {
+            let eta = rng.random_range(-noise.mu..=noise.mu);
+            obs.queue_delay_ms *= 1.0 + eta;
+        }
+        self.builder.push(&obs, action);
+
+        // The reward uses the true (noise-free) environment feedback.
+        let thr_norm =
+            (sample.throughput_bps / self.normalizer().max_throughput_bps).clamp(0.0, 1.0);
+        let min_rtt_ms = if sample.min_rtt == Time::MAX {
+            self.config.min_rtt.as_millis_f64()
+        } else {
+            sample.min_rtt.as_millis_f64()
+        };
+        let srtt_ms = sample.srtt.as_millis_f64();
+        let reward = self
+            .config
+            .reward
+            .reward(thr_norm, sample.loss_rate, srtt_ms, min_rtt_ms);
+
+        self.prev_cwnd = cwnd_applied;
+        self.steps += 1;
+        let done = self.sim.now() >= self.config.episode;
+        StepResult {
+            state: self.builder.state(),
+            reward,
+            sample,
+            cwnd_tcp: cwnd_tcp_at_decision,
+            cwnd_applied,
+            done,
+        }
+    }
+
+    /// Read access to the underlying simulator (metrics, queue state).
+    pub fn sim(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// The flow under control.
+    pub fn flow(&self) -> FlowId {
+        self.flow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> CcEnv {
+        let trace = BandwidthTrace::constant("c", 24e6);
+        CcEnv::new(EnvConfig::new(trace, Time::from_millis(40), 1.0))
+    }
+
+    #[test]
+    fn state_dimensions_match_layout() {
+        let e = env();
+        assert_eq!(e.state().len(), e.layout().dim());
+        assert_eq!(e.layout().dim(), 21);
+    }
+
+    #[test]
+    fn neutral_actions_track_cubic() {
+        // a = 0 means cwnd = cwnd_TCP: the flow behaves exactly like Cubic.
+        let mut e = env();
+        let mut acked = 0;
+        for _ in 0..50 {
+            let r = e.step(0.0);
+            assert!((r.cwnd_applied - r.cwnd_tcp).abs() < 1e-9);
+            acked += r.sample.acked_packets;
+        }
+        assert!(acked > 100, "flow made progress: {acked}");
+    }
+
+    #[test]
+    fn positive_action_multiplies_window() {
+        let mut e = env();
+        e.step(0.0);
+        let ctx = e.step_context();
+        let r = e.step(1.0);
+        assert!((r.cwnd_applied - 4.0 * ctx.cwnd_tcp).abs() < 1e-6);
+    }
+
+    #[test]
+    fn episode_terminates() {
+        let trace = BandwidthTrace::constant("c", 24e6);
+        let cfg =
+            EnvConfig::new(trace, Time::from_millis(40), 1.0).with_episode(Time::from_millis(200));
+        let mut e = CcEnv::new(cfg);
+        let mut done = false;
+        for _ in 0..10 {
+            done = e.step(0.0).done;
+            if done {
+                break;
+            }
+        }
+        assert!(done);
+        e.reset();
+        assert_eq!(e.steps(), 0);
+        assert!(e.state().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn reward_improves_with_utilization() {
+        // Starving the link (a = −1 constantly) must earn less raw reward
+        // than tracking Cubic.
+        let run = |action: f64| {
+            let mut e = env();
+            let mut total = 0.0;
+            for _ in 0..100 {
+                total += e.step(action).reward;
+            }
+            total
+        };
+        assert!(run(0.0) > run(-1.0));
+    }
+
+    #[test]
+    fn noise_perturbs_observation_not_reward() {
+        let trace = BandwidthTrace::constant("c", 24e6);
+        let mk = |noise| {
+            let mut cfg = EnvConfig::new(trace.clone(), Time::from_millis(40), 1.0);
+            cfg.noise = noise;
+            CcEnv::new(cfg)
+        };
+        let mut clean = mk(None);
+        let mut noisy = mk(Some(NoiseConfig { mu: 0.05, seed: 9 }));
+        let mut saw_state_difference = false;
+        for _ in 0..30 {
+            let a = clean.step(0.0);
+            let b = noisy.step(0.0);
+            // Same actions, same deterministic link: physical rewards match.
+            assert!((a.reward - b.reward).abs() < 1e-12);
+            if a.state
+                .iter()
+                .zip(&b.state)
+                .any(|(x, y)| (x - y).abs() > 1e-12)
+            {
+                saw_state_difference = true;
+            }
+        }
+        assert!(saw_state_difference, "noise must perturb the state");
+    }
+
+    #[test]
+    fn determinism_across_instances() {
+        let run = || {
+            let mut e = env();
+            let mut acc = 0.0;
+            for i in 0..60 {
+                let a = ((i % 7) as f64 - 3.0) / 3.0;
+                acc += e.step(a).reward;
+            }
+            acc
+        };
+        assert_eq!(run(), run());
+    }
+}

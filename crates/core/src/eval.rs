@@ -1,0 +1,660 @@
+//! Experiment drivers: single-flow metric runs, decision time series, and
+//! multi-flow competition/fairness runs — the measurement layer behind
+//! every evaluation figure.
+
+use serde::{Deserialize, Serialize};
+
+use canopy_netsim::{BandwidthTrace, FlowConfig, FlowId, LinkConfig, Simulator, Time};
+use canopy_nn::Mlp;
+
+use crate::env::{CcEnv, EnvConfig, NoiseConfig};
+use crate::models::TrainedModel;
+use crate::obs::{Normalizer, Observation, StateBuilder, StateLayout};
+use crate::orca::f_cwnd;
+use crate::property::Property;
+use crate::runtime::FallbackController;
+use crate::verifier::Verifier;
+
+/// A congestion-control scheme under evaluation.
+#[derive(Clone, Debug)]
+pub enum Scheme {
+    /// A classic kernel from `canopy-cc` ("cubic", "newreno", "vegas",
+    /// "bbr").
+    Baseline(String),
+    /// A learned controller driven Orca-style.
+    Learned(TrainedModel),
+    /// A learned controller behind the QC-guided fallback monitor.
+    LearnedFallback {
+        /// The controller.
+        model: TrainedModel,
+        /// Properties monitored at runtime.
+        properties: Vec<Property>,
+        /// `QC_sat` threshold below which the flow falls back to Cubic.
+        threshold: f64,
+        /// Verifier components for the runtime certificate.
+        n_components: usize,
+    },
+}
+
+impl Scheme {
+    /// Display name for tables.
+    pub fn name(&self) -> String {
+        match self {
+            Scheme::Baseline(n) => n.clone(),
+            Scheme::Learned(m) => m.name.clone(),
+            Scheme::LearnedFallback {
+                model, threshold, ..
+            } => {
+                format!("{}+fb{:.2}", model.name, threshold)
+            }
+        }
+    }
+}
+
+/// Optional per-step certificate evaluation attached to a run.
+#[derive(Clone, Debug)]
+pub struct QcEval {
+    /// Properties to certify at every decision step.
+    pub properties: Vec<Property>,
+    /// Components per certificate (the paper evaluates with 50).
+    pub n_components: usize,
+}
+
+/// Metrics from one single-flow run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Scheme name.
+    pub scheme: String,
+    /// Trace name.
+    pub trace: String,
+    /// Delivered bytes over link capacity in `[0, ~1]`.
+    pub utilization: f64,
+    /// Mean queuing delay over per-ACK samples, milliseconds.
+    pub avg_qdelay_ms: f64,
+    /// 95th-percentile queuing delay, milliseconds.
+    pub p95_qdelay_ms: f64,
+    /// Mean RTT, milliseconds.
+    pub avg_rtt_ms: f64,
+    /// 95th-percentile RTT, milliseconds.
+    pub p95_rtt_ms: f64,
+    /// Average goodput, Mbps.
+    pub throughput_mbps: f64,
+    /// Packets actually lost on the wire (droptail + random impairment);
+    /// sender-side declared losses can overcount after timeouts.
+    pub losses: u64,
+    /// Retransmitted packets.
+    pub retransmits: u64,
+    /// Mean per-step `QC_sat`, when certificate evaluation was requested
+    /// and the scheme has a network to certify.
+    pub qc_sat: Option<f64>,
+    /// Std-dev of per-step `QC_sat` (same availability).
+    pub qc_sat_std: Option<f64>,
+    /// Fraction of decisions that fell back to Cubic (fallback runs only).
+    pub fallback_rate: Option<f64>,
+}
+
+/// One decision-step record for time-series figures (Figs. 1, 2).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TimePoint {
+    /// Simulated time, seconds.
+    pub t_s: f64,
+    /// Interval throughput (sending rate proxy), Mbps.
+    pub throughput_mbps: f64,
+    /// Window enforced by the scheme, packets.
+    pub cwnd: f64,
+    /// Window the TCP kernel proposed, packets.
+    pub cwnd_tcp: f64,
+    /// Inverse normalized RTT (`minRTT / RTT`), as plotted in Fig. 1b/2b;
+    /// computed from the (possibly noisy) observation the agent saw.
+    pub inv_rtt: f64,
+    /// Agent action (0 for baselines).
+    pub action: f64,
+    /// Per-step certificate feedback, when requested.
+    pub qc_sat: Option<f64>,
+}
+
+/// Runs one scheme over one trace and collects [`RunMetrics`].
+pub fn run_scheme(
+    scheme: &Scheme,
+    trace: &BandwidthTrace,
+    min_rtt: Time,
+    buffer_bdp: f64,
+    duration: Time,
+    noise: Option<NoiseConfig>,
+    qc_eval: Option<&QcEval>,
+) -> RunMetrics {
+    match scheme {
+        Scheme::Baseline(name) => run_baseline(name, trace, min_rtt, buffer_bdp, duration),
+        Scheme::Learned(model) => run_learned(
+            scheme, model, None, trace, min_rtt, buffer_bdp, duration, noise, qc_eval,
+        ),
+        Scheme::LearnedFallback {
+            model,
+            properties,
+            threshold,
+            n_components,
+        } => {
+            let fallback = FallbackController::new(properties.clone(), *threshold, *n_components);
+            run_learned(
+                scheme,
+                model,
+                Some(fallback),
+                trace,
+                min_rtt,
+                buffer_bdp,
+                duration,
+                noise,
+                qc_eval,
+            )
+        }
+    }
+}
+
+fn run_baseline(
+    name: &str,
+    trace: &BandwidthTrace,
+    min_rtt: Time,
+    buffer_bdp: f64,
+    duration: Time,
+) -> RunMetrics {
+    let cc = canopy_cc::by_name(name).unwrap_or_else(|| panic!("unknown baseline scheme `{name}`"));
+    let link = LinkConfig::with_bdp_buffer(trace.clone(), min_rtt, buffer_bdp);
+    let mut sim = Simulator::new(link);
+    let flow = sim.add_flow(FlowConfig::new(min_rtt), cc);
+    sim.run_until(duration);
+    metrics_from_sim(&sim, flow, name, trace, duration, None, None, None)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_learned(
+    scheme: &Scheme,
+    model: &TrainedModel,
+    mut fallback: Option<FallbackController>,
+    trace: &BandwidthTrace,
+    min_rtt: Time,
+    buffer_bdp: f64,
+    duration: Time,
+    noise: Option<NoiseConfig>,
+    qc_eval: Option<&QcEval>,
+) -> RunMetrics {
+    let mut cfg = EnvConfig::new(trace.clone(), min_rtt, buffer_bdp)
+        .with_episode(duration)
+        .with_samples();
+    cfg.k = model.k;
+    cfg.noise = noise;
+    let mut env = CcEnv::new(cfg);
+    let layout = env.layout();
+    let qc_verifier = qc_eval.map(|q| (Verifier::new(q.n_components), &q.properties));
+    let mut qc_values = Vec::new();
+
+    loop {
+        let ctx = env.step_context();
+        if let Some((verifier, properties)) = &qc_verifier {
+            let (_, agg) = verifier.certify_all(&model.actor, properties, layout, &ctx);
+            qc_values.push(agg);
+        }
+        let action = model.actor.forward(&ctx.state)[0];
+        let result = match fallback.as_mut() {
+            Some(fb) => {
+                if fb.decide(&model.actor, layout, &ctx).use_agent {
+                    env.step(action)
+                } else {
+                    env.step_without_agent()
+                }
+            }
+            None => env.step(action),
+        };
+        if result.done {
+            break;
+        }
+    }
+
+    let (qc_sat, qc_sat_std) = mean_std(&qc_values);
+    metrics_from_sim(
+        env.sim(),
+        env.flow(),
+        &scheme.name(),
+        trace,
+        duration,
+        qc_sat,
+        qc_sat_std,
+        fallback.map(|f| f.fallback_rate()),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn metrics_from_sim(
+    sim: &Simulator,
+    flow: FlowId,
+    scheme: &str,
+    trace: &BandwidthTrace,
+    duration: Time,
+    qc_sat: Option<f64>,
+    qc_sat_std: Option<f64>,
+    fallback_rate: Option<f64>,
+) -> RunMetrics {
+    let stats = sim.flow_stats(flow);
+    let capacity = trace.capacity_bytes(Time::ZERO, duration).max(1.0);
+    RunMetrics {
+        scheme: scheme.to_string(),
+        trace: trace.name().to_string(),
+        utilization: stats.acked_bytes as f64 / capacity,
+        avg_qdelay_ms: stats.mean_queue_delay_ms(),
+        p95_qdelay_ms: stats.queue_delay_quantile_ms(0.95),
+        avg_rtt_ms: stats.mean_rtt_ms(),
+        p95_rtt_ms: stats.rtt_quantile_ms(0.95),
+        throughput_mbps: stats.acked_bytes as f64 * 8.0 / duration.as_secs_f64() / 1e6,
+        losses: stats.dropped_packets + stats.random_losses,
+        retransmits: stats.retransmits,
+        qc_sat,
+        qc_sat_std,
+        fallback_rate,
+    }
+}
+
+fn mean_std(values: &[f64]) -> (Option<f64>, Option<f64>) {
+    if values.is_empty() {
+        return (None, None);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    (Some(mean), Some(var.sqrt()))
+}
+
+/// Runs a learned controller and records one [`TimePoint`] per decision.
+pub fn learned_timeseries(
+    model: &TrainedModel,
+    trace: &BandwidthTrace,
+    min_rtt: Time,
+    buffer_bdp: f64,
+    duration: Time,
+    noise: Option<NoiseConfig>,
+    qc_eval: Option<&QcEval>,
+) -> Vec<TimePoint> {
+    let mut cfg = EnvConfig::new(trace.clone(), min_rtt, buffer_bdp).with_episode(duration);
+    cfg.k = model.k;
+    cfg.noise = noise;
+    let mut env = CcEnv::new(cfg);
+    let layout = env.layout();
+    let qc_verifier = qc_eval.map(|q| (Verifier::new(q.n_components), &q.properties));
+    let mut points = Vec::new();
+    loop {
+        let ctx = env.step_context();
+        let qc = qc_verifier
+            .as_ref()
+            .map(|(v, props)| v.certify_all(&model.actor, props, layout, &ctx).1);
+        let action = model.actor.forward(&ctx.state)[0];
+        let result = env.step(action);
+        points.push(TimePoint {
+            t_s: env.now().as_secs_f64(),
+            throughput_mbps: result.sample.throughput_bps / 1e6,
+            cwnd: result.cwnd_applied,
+            cwnd_tcp: result.cwnd_tcp,
+            inv_rtt: result.sample.inv_rtt(),
+            action,
+            qc_sat: qc,
+        });
+        if result.done {
+            break;
+        }
+    }
+    points
+}
+
+/// Runs a classic kernel and records one [`TimePoint`] per monitor
+/// interval (for side-by-side plots with learned controllers).
+pub fn baseline_timeseries(
+    name: &str,
+    trace: &BandwidthTrace,
+    min_rtt: Time,
+    buffer_bdp: f64,
+    duration: Time,
+) -> Vec<TimePoint> {
+    let cc = canopy_cc::by_name(name).unwrap_or_else(|| panic!("unknown baseline scheme `{name}`"));
+    let link = LinkConfig::with_bdp_buffer(trace.clone(), min_rtt, buffer_bdp);
+    let mut sim = Simulator::new(link);
+    let flow = sim.add_flow(FlowConfig::new(min_rtt).without_samples(), cc);
+    let mi = min_rtt.max(Time::from_millis(20));
+    let mut points = Vec::new();
+    while sim.now() < duration {
+        let target = (sim.now() + mi).min(duration);
+        sim.run_until(target);
+        let sample = sim.monitor_sample(flow);
+        points.push(TimePoint {
+            t_s: sim.now().as_secs_f64(),
+            throughput_mbps: sample.throughput_bps / 1e6,
+            cwnd: sample.cwnd,
+            cwnd_tcp: sample.cwnd,
+            inv_rtt: sample.inv_rtt(),
+            action: 0.0,
+            qc_sat: None,
+        });
+    }
+    points
+}
+
+/// One flow of a multi-flow experiment.
+#[derive(Clone, Debug)]
+pub enum FlowScheme {
+    /// A classic kernel by name.
+    Classic(String),
+    /// A learned controller (its own agent loop on its own monitor clock).
+    Agent(TrainedModel),
+}
+
+/// Specification of one flow in a shared-bottleneck run.
+#[derive(Clone, Debug)]
+pub struct FlowSpec {
+    /// The controller.
+    pub scheme: FlowScheme,
+    /// When the flow starts.
+    pub start: Time,
+    /// Propagation RTT of this flow's path.
+    pub min_rtt: Time,
+}
+
+struct AgentDriver {
+    flow: FlowId,
+    actor: Mlp,
+    builder: StateBuilder,
+    layout: StateLayout,
+    mi: Time,
+    next_decision: Time,
+    prev_action: f64,
+}
+
+/// Per-flow, per-bin throughput (Mbps) from a shared-bottleneck run — the
+/// raw material for the friendliness (Fig. 14) and fairness (Fig. 15)
+/// experiments.
+pub fn run_multiflow(
+    link: LinkConfig,
+    flows: &[FlowSpec],
+    duration: Time,
+    bin: Time,
+) -> Vec<Vec<f64>> {
+    let mut sim = Simulator::new(link.clone());
+    let mut drivers: Vec<Option<AgentDriver>> = Vec::new();
+    let mut ids = Vec::new();
+    for spec in flows {
+        let cc: Box<dyn canopy_netsim::CongestionControl> = match &spec.scheme {
+            FlowScheme::Classic(name) => canopy_cc::by_name(name)
+                .unwrap_or_else(|| panic!("unknown baseline scheme `{name}`")),
+            FlowScheme::Agent(_) => Box::new(canopy_cc::Cubic::new()),
+        };
+        let id = sim.add_flow(
+            FlowConfig::new(spec.min_rtt)
+                .starting_at(spec.start)
+                .without_samples(),
+            cc,
+        );
+        ids.push(id);
+        drivers.push(match &spec.scheme {
+            FlowScheme::Agent(model) => {
+                let mi = spec.min_rtt.max(Time::from_millis(20));
+                let layout = StateLayout::new(model.k);
+                let normalizer = Normalizer::for_link(&link, spec.min_rtt, mi);
+                Some(AgentDriver {
+                    flow: id,
+                    actor: model.actor.clone(),
+                    builder: StateBuilder::new(layout, normalizer),
+                    layout,
+                    mi,
+                    next_decision: spec.start + mi,
+                    prev_action: 0.0,
+                })
+            }
+            FlowScheme::Classic(_) => None,
+        });
+    }
+
+    let bins = (duration.as_nanos() / bin.as_nanos().max(1)) as usize;
+    let mut series = vec![Vec::with_capacity(bins); flows.len()];
+    let mut last_bytes = vec![0u64; flows.len()];
+    let mut next_bin = bin;
+
+    loop {
+        // The next interesting instant: an agent decision or a bin edge.
+        let mut next = next_bin.min(duration);
+        for d in drivers.iter().flatten() {
+            next = next.min(d.next_decision);
+        }
+        sim.run_until(next);
+
+        for d in drivers.iter_mut().flatten() {
+            if d.next_decision <= sim.now() {
+                let sample = sim.monitor_sample(d.flow);
+                let obs = Observation::from_sample(&sample);
+                d.builder.push(&obs, d.prev_action);
+                let state = d.builder.state();
+                let action = d.actor.forward(&state)[0];
+                let cwnd_tcp = sim.cwnd(d.flow);
+                sim.set_cwnd(d.flow, f_cwnd(action, cwnd_tcp));
+                d.prev_action = action;
+                d.next_decision += d.mi;
+                let _ = d.layout;
+            }
+        }
+
+        if sim.now() >= next_bin {
+            for (i, &id) in ids.iter().enumerate() {
+                let bytes = sim.flow_stats(id).acked_bytes;
+                let mbps = (bytes - last_bytes[i]) as f64 * 8.0 / bin.as_secs_f64() / 1e6;
+                series[i].push(mbps);
+                last_bytes[i] = bytes;
+            }
+            next_bin += bin;
+        }
+        if sim.now() >= duration {
+            break;
+        }
+    }
+    series
+}
+
+/// Friendliness ratio (Fig. 14): the scheme-under-test's throughput over
+/// the mean throughput of `n_competitors` Cubic flows sharing the link.
+pub fn friendliness_ratio(
+    scheme: &FlowScheme,
+    n_competitors: usize,
+    trace: &BandwidthTrace,
+    min_rtt: Time,
+    buffer_bdp: f64,
+    duration: Time,
+) -> f64 {
+    let link = LinkConfig::with_bdp_buffer(trace.clone(), min_rtt, buffer_bdp);
+    let mut flows = vec![FlowSpec {
+        scheme: scheme.clone(),
+        start: Time::ZERO,
+        min_rtt,
+    }];
+    for _ in 0..n_competitors {
+        flows.push(FlowSpec {
+            scheme: FlowScheme::Classic("cubic".into()),
+            start: Time::ZERO,
+            min_rtt,
+        });
+    }
+    let series = run_multiflow(link, &flows, duration, Time::from_secs(1));
+    // Skip the first quarter as warm-up.
+    let steady = series[0].len() / 4;
+    let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len().max(1) as f64;
+    let tested = mean(&series[0][steady..]);
+    let competitors: f64 =
+        series[1..].iter().map(|s| mean(&s[steady..])).sum::<f64>() / n_competitors.max(1) as f64;
+    if competitors <= 0.0 {
+        f64::INFINITY
+    } else {
+        tested / competitors
+    }
+}
+
+/// Jain's fairness index over per-flow throughputs.
+pub fn jain_index(throughputs: &[f64]) -> f64 {
+    let n = throughputs.len() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let sum: f64 = throughputs.iter().sum();
+    let sum_sq: f64 = throughputs.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (n * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{train_model, ModelKind, TrainBudget};
+
+    fn quick_model() -> TrainedModel {
+        train_model(ModelKind::Shallow, 3, TrainBudget::smoke()).model
+    }
+
+    #[test]
+    fn baseline_metrics_are_sane() {
+        let trace = BandwidthTrace::constant("eval", 24e6);
+        let m = run_scheme(
+            &Scheme::Baseline("cubic".into()),
+            &trace,
+            Time::from_millis(40),
+            1.0,
+            Time::from_secs(8),
+            None,
+            None,
+        );
+        assert!(m.utilization > 0.5 && m.utilization <= 1.05, "{m:?}");
+        assert!(m.p95_rtt_ms >= m.avg_rtt_ms * 0.5);
+        assert!(m.throughput_mbps > 10.0);
+        assert!(m.qc_sat.is_none());
+    }
+
+    #[test]
+    fn cubic_bufferbloats_deep_buffers_more_than_vegas() {
+        let trace = BandwidthTrace::constant("eval", 24e6);
+        let run = |name: &str| {
+            run_scheme(
+                &Scheme::Baseline(name.into()),
+                &trace,
+                Time::from_millis(40),
+                5.0,
+                Time::from_secs(10),
+                None,
+                None,
+            )
+        };
+        let cubic = run("cubic");
+        let vegas = run("vegas");
+        assert!(
+            cubic.p95_qdelay_ms > vegas.p95_qdelay_ms,
+            "cubic {} vs vegas {}",
+            cubic.p95_qdelay_ms,
+            vegas.p95_qdelay_ms
+        );
+    }
+
+    #[test]
+    fn learned_scheme_runs_and_reports_qc() {
+        let model = quick_model();
+        let trace = BandwidthTrace::constant("eval", 12e6);
+        let qc = QcEval {
+            properties: Property::shallow_set(&crate::property::PropertyParams::default()),
+            n_components: 10,
+        };
+        let m = run_scheme(
+            &Scheme::Learned(model),
+            &trace,
+            Time::from_millis(40),
+            0.5,
+            Time::from_secs(5),
+            None,
+            Some(&qc),
+        );
+        let qc_sat = m.qc_sat.expect("qc requested");
+        assert!((0.0..=1.0).contains(&qc_sat), "{qc_sat}");
+        assert!(m.throughput_mbps > 0.0);
+    }
+
+    #[test]
+    fn fallback_scheme_reports_rate() {
+        let model = quick_model();
+        let trace = BandwidthTrace::constant("eval", 12e6);
+        let m = run_scheme(
+            &Scheme::LearnedFallback {
+                model,
+                properties: Property::shallow_set(&crate::property::PropertyParams::default()),
+                threshold: 0.5,
+                n_components: 5,
+            },
+            &trace,
+            Time::from_millis(40),
+            0.5,
+            Time::from_secs(5),
+            None,
+            None,
+        );
+        let rate = m.fallback_rate.expect("fallback run");
+        assert!((0.0..=1.0).contains(&rate));
+    }
+
+    #[test]
+    fn timeseries_cover_duration() {
+        let trace = BandwidthTrace::constant("eval", 12e6);
+        let pts = baseline_timeseries(
+            "cubic",
+            &trace,
+            Time::from_millis(40),
+            1.0,
+            Time::from_secs(4),
+        );
+        assert!(!pts.is_empty());
+        assert!((pts.last().unwrap().t_s - 4.0).abs() < 0.2);
+        for w in pts.windows(2) {
+            assert!(w[1].t_s > w[0].t_s);
+        }
+    }
+
+    #[test]
+    fn multiflow_cubic_flows_converge_to_fair_share() {
+        let trace = BandwidthTrace::constant("fair", 48e6);
+        let link = LinkConfig::with_bdp_buffer(trace, Time::from_millis(20), 1.0);
+        let flows: Vec<FlowSpec> = (0..2)
+            .map(|_| FlowSpec {
+                scheme: FlowScheme::Classic("cubic".into()),
+                start: Time::ZERO,
+                min_rtt: Time::from_millis(20),
+            })
+            .collect();
+        let series = run_multiflow(link, &flows, Time::from_secs(20), Time::from_secs(1));
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].len(), 20);
+        // Steady-state: the two identical Cubic flows share fairly.
+        let tail = 10;
+        let t1: f64 = series[0][tail..].iter().sum();
+        let t2: f64 = series[1][tail..].iter().sum();
+        let jain = jain_index(&[t1, t2]);
+        assert!(jain > 0.85, "jain {jain}, t1 {t1}, t2 {t2}");
+    }
+
+    #[test]
+    fn jain_index_properties() {
+        assert!((jain_index(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[1.0, 0.0]) - 0.5).abs() < 1e-12);
+        assert_eq!(jain_index(&[]), 0.0);
+    }
+
+    #[test]
+    fn friendliness_of_cubic_vs_cubic_is_near_one() {
+        let trace = BandwidthTrace::constant("friendly", 48e6);
+        let ratio = friendliness_ratio(
+            &FlowScheme::Classic("cubic".into()),
+            1,
+            &trace,
+            Time::from_millis(20),
+            1.0,
+            Time::from_secs(20),
+        );
+        assert!(ratio > 0.5 && ratio < 2.0, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,156 @@
+//! QC-guided runtime monitoring and fallback (Section 4.4).
+//!
+//! Before each decision is applied, the extracted `QC_sat` for the deployed
+//! properties is compared against a threshold; the learned controller's
+//! window is enforced only when the certificate is strong enough, otherwise
+//! the flow falls back to unmodified TCP Cubic for that interval.
+
+use canopy_nn::Mlp;
+use serde::{Deserialize, Serialize};
+
+use crate::obs::StateLayout;
+use crate::property::Property;
+use crate::verifier::{StepContext, Verifier};
+
+/// One fallback decision.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct FallbackDecision {
+    /// The certificate feedback at this step.
+    pub qc_sat: f64,
+    /// Whether the learned controller's action may be applied.
+    pub use_agent: bool,
+}
+
+/// The runtime monitor: certificate extraction plus thresholded fallback.
+#[derive(Clone, Debug)]
+pub struct FallbackController {
+    verifier: Verifier,
+    properties: Vec<Property>,
+    threshold: f64,
+    decisions: u64,
+    fallbacks: u64,
+}
+
+impl FallbackController {
+    /// Creates a monitor for the given properties and `QC_sat` threshold.
+    pub fn new(properties: Vec<Property>, threshold: f64, n_components: usize) -> Self {
+        FallbackController {
+            verifier: Verifier::new(n_components),
+            properties,
+            threshold,
+            decisions: 0,
+            fallbacks: 0,
+        }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Evaluates the certificate at the current decision point and decides
+    /// whether the agent's action may be applied.
+    pub fn decide(
+        &mut self,
+        actor: &Mlp,
+        layout: StateLayout,
+        ctx: &StepContext,
+    ) -> FallbackDecision {
+        let (_certs, qc_sat) = self
+            .verifier
+            .certify_all(actor, &self.properties, layout, ctx);
+        let use_agent = qc_sat >= self.threshold;
+        self.decisions += 1;
+        if !use_agent {
+            self.fallbacks += 1;
+        }
+        FallbackDecision { qc_sat, use_agent }
+    }
+
+    /// Fraction of decisions that fell back to Cubic.
+    pub fn fallback_rate(&self) -> f64 {
+        if self.decisions == 0 {
+            0.0
+        } else {
+            self.fallbacks as f64 / self.decisions as f64
+        }
+    }
+
+    /// Total decisions made.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::StateLayout;
+    use crate::property::PropertyParams;
+    use canopy_nn::Activation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layout() -> StateLayout {
+        StateLayout::new(3)
+    }
+
+    fn constant_actor(value: f64) -> Mlp {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = Mlp::new(&mut rng, &[layout().dim(), 4, 1], Activation::Tanh);
+        for layer in net.layers_mut() {
+            layer.weights.fill_zero();
+            layer.bias.fill(0.0);
+        }
+        net.layers_mut()[1].bias[0] = value.clamp(-0.999, 0.999).atanh();
+        net
+    }
+
+    fn ctx() -> StepContext {
+        StepContext {
+            state: vec![0.1; layout().dim()],
+            cwnd_tcp: 100.0,
+            cwnd_prev: 100.0,
+        }
+    }
+
+    #[test]
+    fn satisfied_controller_keeps_agent() {
+        let p = PropertyParams::default();
+        let mut fb = FallbackController::new(vec![Property::p1(&p)], 0.9, 5);
+        // A controller that always increases satisfies P1 with QC_sat = 1.
+        let d = fb.decide(&constant_actor(0.5), layout(), &ctx());
+        assert!(d.use_agent);
+        assert_eq!(d.qc_sat, 1.0);
+        assert_eq!(fb.fallback_rate(), 0.0);
+    }
+
+    #[test]
+    fn violating_controller_falls_back() {
+        let p = PropertyParams::default();
+        let mut fb = FallbackController::new(vec![Property::p1(&p)], 0.9, 5);
+        // A controller that always decreases violates P1 everywhere.
+        let d = fb.decide(&constant_actor(-0.5), layout(), &ctx());
+        assert!(!d.use_agent);
+        assert_eq!(d.qc_sat, 0.0);
+        assert_eq!(fb.fallback_rate(), 1.0);
+        assert_eq!(fb.decisions(), 1);
+    }
+
+    #[test]
+    fn threshold_zero_never_falls_back() {
+        let p = PropertyParams::default();
+        let mut fb = FallbackController::new(vec![Property::p1(&p)], 0.0, 5);
+        let d = fb.decide(&constant_actor(-0.5), layout(), &ctx());
+        assert!(d.use_agent);
+    }
+
+    #[test]
+    fn rate_averages_over_decisions() {
+        let p = PropertyParams::default();
+        let mut fb = FallbackController::new(vec![Property::p1(&p)], 0.9, 5);
+        fb.decide(&constant_actor(0.5), layout(), &ctx());
+        fb.decide(&constant_actor(-0.5), layout(), &ctx());
+        assert!((fb.fallback_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,509 @@
+//! The verifier: abstract interpretation of actor + `f_cwnd` over
+//! partitioned input regions (Section 4.3.1 of the paper).
+
+use canopy_absint::{propagate_mlp, propagate_mlp_zonotope, BoxState, Interval};
+use canopy_nn::Mlp;
+use serde::{Deserialize, Serialize};
+
+use crate::obs::StateLayout;
+use crate::orca::{f_cwnd, f_cwnd_abstract};
+use crate::property::{Postcondition, Property};
+use crate::qc::{Certificate, ComponentResult};
+
+/// Everything the verifier needs about the current decision step.
+#[derive(Clone, Debug)]
+pub struct StepContext {
+    /// The concrete normalized state the agent is about to act on.
+    pub state: Vec<f64>,
+    /// The kernel-proposed window `cwnd_TCP` at this step, packets.
+    pub cwnd_tcp: f64,
+    /// The window enforced at the previous step, packets (`cwnd_{i−1}`).
+    pub cwnd_prev: f64,
+}
+
+/// Which abstract domain backs the certificates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AbstractDomain {
+    /// The paper's hyper-interval (box) domain with IBP (§3.2).
+    #[default]
+    Box,
+    /// Zonotopes: tighter (relational) bounds at higher cost; provided for
+    /// the precision ablation.
+    Zonotope,
+}
+
+/// Configuration of the certification procedure.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Verifier {
+    /// Number of input components `N` (the paper trains with 5 and
+    /// evaluates certificates with 50).
+    pub n_components: usize,
+    /// The abstract domain used for propagation.
+    pub domain: AbstractDomain,
+}
+
+impl Verifier {
+    /// A verifier with `n_components` partitions over the paper's box
+    /// domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_components` is zero.
+    pub fn new(n_components: usize) -> Verifier {
+        assert!(n_components > 0, "need at least one component");
+        Verifier {
+            n_components,
+            domain: AbstractDomain::Box,
+        }
+    }
+
+    /// A verifier using an explicit abstract domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_components` is zero.
+    pub fn with_domain(n_components: usize, domain: AbstractDomain) -> Verifier {
+        assert!(n_components > 0, "need at least one component");
+        Verifier {
+            n_components,
+            domain,
+        }
+    }
+
+    /// Propagates one input component to a sound action interval.
+    fn propagate_action(&self, actor: &Mlp, part: &BoxState) -> Interval {
+        match self.domain {
+            AbstractDomain::Box => propagate_mlp(actor, part).dim_interval(0),
+            AbstractDomain::Zonotope => propagate_mlp_zonotope(actor, part)[0],
+        }
+    }
+
+    /// Computes the quantitative certificate for `property` under the
+    /// current step context.
+    ///
+    /// The input region is `property.input_region(state)`, sliced into `N`
+    /// equal components along the most recent delay dimension. Each
+    /// component is pushed through the actor (IBP) and the abstract
+    /// `f_cwnd` (Eq. 5); the output quantity is compared against the
+    /// allowed region to produce the component proof and Eq. (6) feedback.
+    pub fn certify(
+        &self,
+        actor: &Mlp,
+        property: &Property,
+        layout: StateLayout,
+        ctx: &StepContext,
+    ) -> Certificate {
+        let region = property.input_region(&ctx.state, layout);
+        let axis = property.split_axis(layout);
+        let parts = region.split_dim(axis, self.n_components);
+        let allowed = property.allowed_output();
+
+        // Robustness compares against the *unperturbed* concrete output.
+        let concrete_cwnd = match property.post {
+            Postcondition::BoundedChange { .. } => {
+                let a = actor.forward(&ctx.state)[0];
+                f_cwnd(a, ctx.cwnd_tcp)
+            }
+            _ => 0.0,
+        };
+
+        let components = parts
+            .into_iter()
+            .map(|part| {
+                self.check_component(actor, property, &part, axis, ctx, allowed, concrete_cwnd)
+            })
+            .collect();
+
+        Certificate::from_components(&property.name, components)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn check_component(
+        &self,
+        actor: &Mlp,
+        property: &Property,
+        part: &BoxState,
+        axis: usize,
+        ctx: &StepContext,
+        allowed: Interval,
+        concrete_cwnd: f64,
+    ) -> ComponentResult {
+        let input_slice = part.dim_interval(axis);
+        let action = self.propagate_action(actor, part);
+        let cwnd = f_cwnd_abstract(action, ctx.cwnd_tcp);
+        let output = match property.post {
+            Postcondition::NoDecrease | Postcondition::NoIncrease => {
+                // Δcwnd# = cwnd# − cwnd_{i−1}.
+                cwnd.sub(Interval::point(ctx.cwnd_prev))
+            }
+            Postcondition::BoundedChange { .. } => {
+                // (cwnd# − cwnd_i) / cwnd_i.
+                cwnd.sub(Interval::point(concrete_cwnd))
+                    .scale(1.0 / concrete_cwnd.max(f64::MIN_POSITIVE))
+            }
+        };
+        ComponentResult {
+            input_slice,
+            output,
+            satisfied: output.is_subset_of(allowed),
+            feedback: output.fraction_within(allowed),
+        }
+    }
+
+    /// Branch-and-bound certification: starts from one component and
+    /// recursively bisects unproven components along the partition axis,
+    /// stopping early on components whose *centre point* concretely
+    /// violates the property (a genuine counterexample that no refinement
+    /// can remove) or at `max_depth`. The resulting leaves partition the
+    /// region, so the certificate's feedback weights them by axis width.
+    ///
+    /// This subsumes the fixed-N scheme: a fixed partition refines
+    /// everywhere including where it is pointless, while refinement spends
+    /// splits only where the bound is still undecided (the trade the paper
+    /// discusses around its N sensitivity in §6.8).
+    pub fn certify_adaptive(
+        &self,
+        actor: &Mlp,
+        property: &Property,
+        layout: StateLayout,
+        ctx: &StepContext,
+        max_depth: usize,
+    ) -> Certificate {
+        let region = property.input_region(&ctx.state, layout);
+        let axis = property.split_axis(layout);
+        let allowed = property.allowed_output();
+        let concrete_cwnd = match property.post {
+            Postcondition::BoundedChange { .. } => {
+                f_cwnd(actor.forward(&ctx.state)[0], ctx.cwnd_tcp)
+            }
+            _ => 0.0,
+        };
+        let total_width = region.dim_interval(axis).width();
+
+        let mut leaves: Vec<(ComponentResult, f64)> = Vec::new();
+        let mut stack = vec![(region, 0usize)];
+        while let Some((part, depth)) = stack.pop() {
+            let result =
+                self.check_component(actor, property, &part, axis, ctx, allowed, concrete_cwnd);
+            let width = part.dim_interval(axis).width();
+            let weight = if total_width > 0.0 {
+                width / total_width
+            } else {
+                1.0
+            };
+            if result.satisfied || depth >= max_depth || width <= 0.0 {
+                leaves.push((result, weight));
+                continue;
+            }
+            // A concrete counterexample at the centre kills refinement:
+            // probe the box centre as a representative concrete input.
+            let action = actor.forward(&part.center)[0];
+            let violated = match property.post {
+                Postcondition::NoDecrease => f_cwnd(action, ctx.cwnd_tcp) - ctx.cwnd_prev < 0.0,
+                Postcondition::NoIncrease => f_cwnd(action, ctx.cwnd_tcp) - ctx.cwnd_prev > 0.0,
+                Postcondition::BoundedChange { eps } => {
+                    let c = f_cwnd(action, ctx.cwnd_tcp);
+                    (c - concrete_cwnd).abs() / concrete_cwnd.max(f64::MIN_POSITIVE) > eps
+                }
+            };
+            if violated {
+                leaves.push((result, weight));
+                continue;
+            }
+            for half in part.split_dim(axis, 2) {
+                stack.push((half, depth + 1));
+            }
+        }
+
+        let feedback = leaves.iter().map(|(c, w)| c.feedback * w).sum::<f64>();
+        let proven = leaves.iter().all(|(c, _)| c.satisfied);
+        let components = leaves.into_iter().map(|(c, _)| c).collect();
+        Certificate {
+            property: property.name.clone(),
+            components,
+            feedback: feedback.clamp(0.0, 1.0),
+            proven,
+        }
+    }
+
+    /// Certifies a set of properties and returns the Eq. (7) aggregate
+    /// alongside the individual certificates.
+    pub fn certify_all(
+        &self,
+        actor: &Mlp,
+        properties: &[Property],
+        layout: StateLayout,
+        ctx: &StepContext,
+    ) -> (Vec<Certificate>, f64) {
+        let certs: Vec<Certificate> = properties
+            .iter()
+            .map(|p| self.certify(actor, p, layout, ctx))
+            .collect();
+        let agg = crate::qc::aggregate_feedback(&certs);
+        (certs, agg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::{StateLayout, ACTION_IDX, DELAY_IDX};
+    use crate::property::PropertyParams;
+    use canopy_nn::{Activation, Matrix};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layout() -> StateLayout {
+        StateLayout::new(3)
+    }
+
+    /// An actor that always outputs exactly `value` regardless of input:
+    /// zero weights, constant bias before tanh.
+    fn constant_actor(value: f64) -> Mlp {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = Mlp::new(&mut rng, &[layout().dim(), 4, 1], Activation::Tanh);
+        for layer in net.layers_mut() {
+            layer.weights.fill_zero();
+            layer.bias.fill(0.0);
+        }
+        // tanh(atanh(v)) = v for |v| < 1.
+        let pre = value.clamp(-0.999, 0.999).atanh();
+        net.layers_mut()[1].bias[0] = pre;
+        net
+    }
+
+    fn ctx() -> StepContext {
+        StepContext {
+            state: vec![0.1; layout().dim()],
+            cwnd_tcp: 100.0,
+            cwnd_prev: 100.0,
+        }
+    }
+
+    #[test]
+    fn always_increase_actor_proves_p1() {
+        // Action +0.5 → cwnd = 2^1·100 = 200 > cwnd_prev: Δcwnd > 0 always.
+        let actor = constant_actor(0.5);
+        let p = PropertyParams::default();
+        let cert = Verifier::new(5).certify(&actor, &Property::p1(&p), layout(), &ctx());
+        assert!(cert.proven, "{cert:?}");
+        assert_eq!(cert.feedback, 1.0);
+        assert_eq!(cert.components.len(), 5);
+    }
+
+    #[test]
+    fn always_increase_actor_fails_p2() {
+        let actor = constant_actor(0.5);
+        let p = PropertyParams::default();
+        let cert = Verifier::new(5).certify(&actor, &Property::p2(&p), layout(), &ctx());
+        assert!(!cert.proven);
+        assert_eq!(cert.feedback, 0.0);
+    }
+
+    #[test]
+    fn always_decrease_actor_proves_p2_fails_p1() {
+        let actor = constant_actor(-0.5);
+        let p = PropertyParams::default();
+        let v = Verifier::new(5);
+        assert!(
+            v.certify(&actor, &Property::p2(&p), layout(), &ctx())
+                .proven
+        );
+        assert!(
+            !v.certify(&actor, &Property::p1(&p), layout(), &ctx())
+                .proven
+        );
+    }
+
+    #[test]
+    fn constant_actor_is_perfectly_robust() {
+        // A constant policy cannot react to noise: P5 holds with certainty.
+        let actor = constant_actor(0.3);
+        let p = PropertyParams::default();
+        let mut c = ctx();
+        c.state[layout().idx(0, DELAY_IDX)] = 0.5; // non-trivial noise box
+        let cert = Verifier::new(5).certify(&actor, &Property::p5(&p), layout(), &c);
+        assert!(cert.proven, "{cert:?}");
+    }
+
+    #[test]
+    fn sensitive_actor_fails_p5() {
+        // An actor whose output swings hard with the newest delay feature.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = Mlp::new(&mut rng, &[layout().dim(), 1], Activation::Tanh);
+        net.layers_mut()[0].weights.fill_zero();
+        // Steep but unsaturated at delay = 0.5: pre-activation 4·d − 2 = 0,
+        // so ±5% input noise swings the action by ≈ ±0.1 and the window by
+        // ≈ ±15%, far outside the ε = 1% band.
+        *net.layers_mut()[0]
+            .weights
+            .get_mut(0, layout().idx(0, DELAY_IDX)) = 4.0;
+        net.layers_mut()[0].bias[0] = -2.0;
+        let p = PropertyParams::default();
+        let mut c = ctx();
+        c.state[layout().idx(0, DELAY_IDX)] = 0.5;
+        let cert = Verifier::new(5).certify(&net, &Property::p5(&p), layout(), &c);
+        assert!(!cert.proven, "{cert:?}");
+        assert!(cert.feedback < 0.5);
+    }
+
+    #[test]
+    fn feedback_is_smooth_between_extremes() {
+        // An actor straddling zero on P1 gives partial feedback.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = Mlp::new(&mut rng, &[layout().dim(), 1], Activation::Tanh);
+        net.layers_mut()[0].weights.fill_zero();
+        // Output depends on the past-action features, which P1 abstracts
+        // to [−1, 0]: action ranges over [tanh(−2), 0] ⇒ cwnd over
+        // [2^(2·tanh(−2))·100, 100] and Δcwnd straddles 0 … wait, the hull
+        // top is exactly 0, so instead couple to delay which spans [0,q].
+        *net.layers_mut()[0]
+            .weights
+            .get_mut(0, layout().idx(0, ACTION_IDX)) = 2.0;
+        net.layers_mut()[0].bias[0] = 1.0;
+        let p = PropertyParams::default();
+        let cert = Verifier::new(5).certify(&net, &Property::p1(&p), layout(), &ctx());
+        assert!(
+            cert.feedback > 0.0 && cert.feedback < 1.0,
+            "feedback {} should be fractional",
+            cert.feedback
+        );
+    }
+
+    #[test]
+    fn finer_partitions_give_contained_bounds() {
+        // IBP is monotone, so every component's output bound at N = 10 must
+        // be contained in the single-component bound at N = 1 — finer
+        // partitions can only tighten the certificate (the paper's
+        // sensitivity argument for larger N in Section 6.8).
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = Mlp::new(&mut rng, &[layout().dim(), 16, 16, 1], Activation::Tanh);
+        let p = PropertyParams {
+            q_min_delay: 0.5,
+            ..PropertyParams::default()
+        };
+        let prop = Property::p1(&p);
+        let coarse = Verifier::new(1).certify(&net, &prop, layout(), &ctx());
+        let fine = Verifier::new(10).certify(&net, &prop, layout(), &ctx());
+        let coarse_out = coarse.components[0].output;
+        for c in &fine.components {
+            assert!(
+                c.output.is_subset_of(coarse_out),
+                "{:?} escapes {:?}",
+                c.output,
+                coarse_out
+            );
+        }
+    }
+
+    #[test]
+    fn certify_all_aggregates() {
+        let actor = constant_actor(0.5);
+        let p = PropertyParams::default();
+        let props = Property::shallow_set(&p);
+        let (certs, agg) = Verifier::new(5).certify_all(&actor, &props, layout(), &ctx());
+        assert_eq!(certs.len(), 2);
+        // P1 fully satisfied (1.0), P2 fully violated (0.0) → mean 0.5.
+        assert!((agg - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zonotope_domain_never_looser_than_box() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let net = Mlp::new(&mut rng, &[layout().dim(), 16, 16, 1], Activation::Tanh);
+        let p = PropertyParams {
+            q_min_delay: 0.4,
+            ..PropertyParams::default()
+        };
+        let prop = Property::p1(&p);
+        let boxed = Verifier::new(5).certify(&net, &prop, layout(), &ctx());
+        let zono = Verifier::with_domain(5, AbstractDomain::Zonotope).certify(
+            &net,
+            &prop,
+            layout(),
+            &ctx(),
+        );
+        for (b, z) in boxed.components.iter().zip(&zono.components) {
+            assert!(
+                z.output.width() <= b.output.width() + 1e-9,
+                "zonotope {:?} wider than box {:?}",
+                z.output,
+                b.output
+            );
+            // Tightness refines the *bound*; the zonotope interval must be
+            // contained in the box interval, so a box proof transfers.
+            assert!(z.output.is_subset_of(b.output));
+            assert!(z.satisfied || !b.satisfied);
+        }
+    }
+
+    #[test]
+    fn adaptive_certification_refines_where_needed() {
+        // An actor whose sign flips with delay: a fixed N=1 certificate
+        // straddles zero, but refinement separates the proven high-delay
+        // region from the violated low-delay region.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut net = Mlp::new(&mut rng, &[layout().dim(), 1], Activation::Tanh);
+        net.layers_mut()[0].weights.fill_zero();
+        *net.layers_mut()[0]
+            .weights
+            .get_mut(0, layout().idx(0, DELAY_IDX)) = 6.0;
+        net.layers_mut()[0].bias[0] = -1.5;
+        let p = PropertyParams {
+            q_min_delay: 0.5,
+            ..PropertyParams::default()
+        };
+        let prop = Property::p1(&p);
+        let v = Verifier::new(1);
+        let flat = v.certify(&net, &prop, layout(), &ctx());
+        let adaptive = v.certify_adaptive(&net, &prop, layout(), &ctx(), 6);
+        assert!(!flat.proven);
+        // Ground truth: the action's sign flips exactly at the midpoint of
+        // the delay range (6·0.25 − 1.5 = 0), so the true satisfied volume
+        // is 0.5. Coarse smoothed feedback overestimates it; refinement
+        // converges onto the true measure.
+        assert!(
+            (adaptive.feedback - 0.5).abs() < 0.1,
+            "adaptive {} should approach 0.5",
+            adaptive.feedback
+        );
+        assert!(
+            (flat.feedback - 0.5).abs() > (adaptive.feedback - 0.5).abs(),
+            "refinement must be at least as accurate: flat {} adaptive {}",
+            flat.feedback,
+            adaptive.feedback
+        );
+        // Refinement produced both proven and refuted leaves.
+        assert!(adaptive.components.iter().any(|c| c.satisfied));
+        assert!(adaptive.components.iter().any(|c| !c.satisfied));
+        // Leaves still partition the axis: widths sum to the full range.
+        let total: f64 = adaptive
+            .components
+            .iter()
+            .map(|c| c.input_slice.width())
+            .sum();
+        assert!((total - 0.5).abs() < 1e-9, "leaf widths sum to {total}");
+    }
+
+    #[test]
+    fn adaptive_matches_fixed_on_uniform_actors() {
+        // For a constant actor the certificate is decided at depth 0; the
+        // adaptive scheme must return a single component.
+        let actor = constant_actor(0.5);
+        let p = PropertyParams::default();
+        let cert =
+            Verifier::new(1).certify_adaptive(&actor, &Property::p1(&p), layout(), &ctx(), 8);
+        assert!(cert.proven);
+        assert_eq!(cert.components.len(), 1);
+        // And a fully violating actor refutes immediately without splits.
+        let bad = constant_actor(-0.5);
+        let cert = Verifier::new(1).certify_adaptive(&bad, &Property::p1(&p), layout(), &ctx(), 8);
+        assert!(!cert.proven);
+        assert_eq!(
+            cert.components.len(),
+            1,
+            "centre counterexample stops splitting"
+        );
+        assert_eq!(cert.feedback, 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! The discrete-event calendar.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::flow::FlowId;
+use crate::packet::Ack;
+use crate::time::Time;
+
+/// Events processed by the simulator's main loop.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// The bottleneck link finished serializing its head-of-line packet.
+    LinkDeparture,
+    /// An ACK reaches the sender of `flow`.
+    AckArrival(Ack),
+    /// The retransmission timer for `flow` fires. The generation counter
+    /// invalidates stale timers: the event is ignored unless it matches the
+    /// flow's current `rto_generation`.
+    RtoTimer { flow: FlowId, generation: u64 },
+    /// The application on `flow` starts sending.
+    FlowStart(FlowId),
+}
+
+/// An event with its activation time and a monotone tie-break id.
+#[derive(Clone, Debug)]
+pub struct ScheduledEvent {
+    /// Activation time.
+    pub at: Time,
+    /// Insertion order, used to break ties deterministically (FIFO).
+    pub id: u64,
+    /// Payload.
+    pub event: Event,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.id == other.id
+    }
+}
+
+impl Eq for ScheduledEvent {}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the earliest event
+        // (then the lowest id) on top.
+        other.at.cmp(&self.at).then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// A deterministic event calendar (min-heap keyed by time, FIFO on ties).
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<ScheduledEvent>,
+    next_id: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty calendar.
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at time `at`.
+    pub fn schedule(&mut self, at: Time, event: Event) {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.heap.push(ScheduledEvent { at, id, event });
+    }
+
+    /// The activation time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<ScheduledEvent> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the calendar is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_millis(5), Event::LinkDeparture);
+        q.schedule(Time::from_millis(1), Event::LinkDeparture);
+        q.schedule(Time::from_millis(3), Event::LinkDeparture);
+        let order: Vec<Time> = std::iter::from_fn(|| q.pop().map(|e| e.at)).collect();
+        assert_eq!(
+            order,
+            vec![
+                Time::from_millis(1),
+                Time::from_millis(3),
+                Time::from_millis(5)
+            ]
+        );
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = Time::from_millis(7);
+        q.schedule(t, Event::FlowStart(FlowId(0)));
+        q.schedule(t, Event::FlowStart(FlowId(1)));
+        q.schedule(t, Event::FlowStart(FlowId(2)));
+        let mut flows = Vec::new();
+        while let Some(e) = q.pop() {
+            if let Event::FlowStart(f) = e.event {
+                flows.push(f.0);
+            }
+        }
+        assert_eq!(flows, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn len_tracks_contents() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Time::ZERO, Event::LinkDeparture);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

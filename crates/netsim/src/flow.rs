@@ -1,0 +1,358 @@
+//! Per-flow sender and receiver state.
+//!
+//! The sender implements a compact but faithful TCP-style reliability layer:
+//! cumulative + selective acknowledgements, duplicate-ACK fast retransmit,
+//! NewReno-style partial-ACK handling during recovery, Karn's rule for RTT
+//! sampling, and an RFC 6298 retransmission timer with exponential backoff.
+//! Congestion control is delegated to a [`CongestionControl`] kernel.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::cc::CongestionControl;
+use crate::stats::{FlowStats, MonitorAccum};
+use crate::time::Time;
+
+/// Identifies a flow within one simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FlowId(pub usize);
+
+/// Static configuration of a flow.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FlowConfig {
+    /// Two-way propagation delay (the RTT floor when queues are empty).
+    pub min_rtt: Time,
+    /// When the application starts sending.
+    pub start_time: Time,
+    /// Whether to record per-ACK delay samples in [`FlowStats::samples`].
+    pub record_samples: bool,
+}
+
+impl FlowConfig {
+    /// A flow starting at time zero with sample recording enabled.
+    pub fn new(min_rtt: Time) -> FlowConfig {
+        FlowConfig {
+            min_rtt,
+            start_time: Time::ZERO,
+            record_samples: true,
+        }
+    }
+
+    /// Sets the start time.
+    pub fn starting_at(mut self, t: Time) -> FlowConfig {
+        self.start_time = t;
+        self
+    }
+
+    /// Disables per-ACK sample recording (saves memory on long runs).
+    pub fn without_samples(mut self) -> FlowConfig {
+        self.record_samples = false;
+        self
+    }
+}
+
+/// Minimum retransmission timeout, matching Linux's 200 ms floor.
+pub const MIN_RTO: Time = Time::from_millis(200);
+/// Maximum retransmission timeout.
+pub const MAX_RTO: Time = Time::from_secs(60);
+/// Duplicate-ACK threshold for fast retransmit.
+pub const DUPACK_THRESHOLD: u32 = 3;
+/// The sender never lets the effective window drop below this many packets;
+/// Linux enforces the same floor.
+pub const MIN_CWND: f64 = 2.0;
+
+/// Metadata retained for each outstanding (unacknowledged) packet.
+#[derive(Clone, Copy, Debug)]
+pub struct SentMeta {
+    /// When this copy was sent.
+    pub sent_at: Time,
+    /// Whether this copy was a retransmission.
+    pub retransmit: bool,
+    /// Cumulative delivered bytes at send time (delivery-rate estimation).
+    pub delivered_at_send: u64,
+}
+
+/// Receiver-side reassembly state.
+#[derive(Debug, Default)]
+pub struct Receiver {
+    /// Next expected sequence number; everything below has been received.
+    pub cum_recv: u64,
+    /// Out-of-order packets received above `cum_recv`.
+    pub out_of_order: BTreeSet<u64>,
+}
+
+impl Receiver {
+    /// Processes an arriving data packet and returns the new cumulative ACK.
+    pub fn on_data(&mut self, seq: u64) -> u64 {
+        if seq == self.cum_recv {
+            self.cum_recv += 1;
+            while self.out_of_order.remove(&self.cum_recv) {
+                self.cum_recv += 1;
+            }
+        } else if seq > self.cum_recv {
+            self.out_of_order.insert(seq);
+        }
+        // Below cum_recv: spurious duplicate, ACK still confirms cum_recv.
+        self.cum_recv
+    }
+}
+
+/// Full per-flow state owned by the simulator.
+pub struct FlowState {
+    /// Static configuration.
+    pub config: FlowConfig,
+    /// The congestion-control kernel.
+    pub cc: Box<dyn CongestionControl>,
+    /// Whether the application has started.
+    pub started: bool,
+
+    // --- Sender reliability state ---
+    /// Next fresh sequence number to send.
+    pub next_seq: u64,
+    /// Cumulative ACK received: all `seq < cum_acked` are delivered.
+    pub cum_acked: u64,
+    /// Outstanding packets (sent, neither acknowledged nor declared lost).
+    pub outstanding: BTreeMap<u64, SentMeta>,
+    /// Packets declared lost and awaiting retransmission.
+    pub lost_pending: BTreeSet<u64>,
+    /// Duplicate-ACK counter.
+    pub dup_acks: u32,
+    /// While in fast recovery: recovery completes once `cum_acked` reaches
+    /// this sequence number.
+    pub recovery_end: Option<u64>,
+    /// Total bytes delivered (cumulative + selective), for rate estimation.
+    pub delivered_bytes: u64,
+
+    // --- RTT estimation and the retransmission timer (RFC 6298) ---
+    /// Smoothed RTT; zero until the first sample.
+    pub srtt: Time,
+    /// RTT variance estimate.
+    pub rttvar: Time,
+    /// Current retransmission timeout.
+    pub rto: Time,
+    /// Consecutive backoffs applied to `rto` since the last new ACK.
+    pub rto_backoff: u32,
+    /// Generation counter invalidating stale timer events.
+    pub rto_generation: u64,
+    /// Whether a timer event is currently scheduled.
+    pub rto_armed: bool,
+
+    // --- Statistics ---
+    /// Lifetime statistics.
+    pub stats: FlowStats,
+    /// Per-monitor-interval accumulators.
+    pub monitor: MonitorAccum,
+
+    /// Receiver-side state.
+    pub receiver: Receiver,
+}
+
+impl FlowState {
+    /// Creates a fresh flow.
+    pub fn new(config: FlowConfig, cc: Box<dyn CongestionControl>) -> FlowState {
+        FlowState {
+            config,
+            cc,
+            started: false,
+            next_seq: 0,
+            cum_acked: 0,
+            outstanding: BTreeMap::new(),
+            lost_pending: BTreeSet::new(),
+            dup_acks: 0,
+            recovery_end: None,
+            delivered_bytes: 0,
+            srtt: Time::ZERO,
+            rttvar: Time::ZERO,
+            rto: Time::from_secs(1),
+            rto_backoff: 0,
+            rto_generation: 0,
+            rto_armed: false,
+            stats: FlowStats::new(),
+            monitor: MonitorAccum::default(),
+            receiver: Receiver::default(),
+        }
+    }
+
+    /// Packets in flight: sent and neither acknowledged nor declared lost.
+    pub fn inflight(&self) -> u64 {
+        self.outstanding.len() as u64
+    }
+
+    /// The effective window in whole packets, never below [`MIN_CWND`].
+    pub fn effective_cwnd(&self) -> u64 {
+        self.cc.cwnd().max(MIN_CWND).floor() as u64
+    }
+
+    /// Whether the window permits sending another packet.
+    pub fn can_send(&self) -> bool {
+        self.started && self.inflight() < self.effective_cwnd()
+    }
+
+    /// Whether there is anything to (re)transmit.
+    pub fn has_backlog(&self) -> bool {
+        // The application has unlimited data, so there is always new data;
+        // this exists for symmetry and future finite-flow support.
+        true
+    }
+
+    /// Feeds an RTT sample through the RFC 6298 estimator and updates `rto`.
+    pub fn record_rtt_sample(&mut self, rtt: Time) {
+        if self.stats.min_rtt == Time::MAX || rtt < self.stats.min_rtt {
+            self.stats.min_rtt = rtt;
+        }
+        if self.srtt == Time::ZERO {
+            self.srtt = rtt;
+            self.rttvar = rtt / 2;
+        } else {
+            // rttvar = 3/4 rttvar + 1/4 |srtt - rtt|
+            let err = if self.srtt > rtt {
+                self.srtt - rtt
+            } else {
+                rtt - self.srtt
+            };
+            self.rttvar = Time::from_nanos((self.rttvar.as_nanos() / 4) * 3 + err.as_nanos() / 4);
+            // srtt = 7/8 srtt + 1/8 rtt
+            self.srtt = Time::from_nanos((self.srtt.as_nanos() / 8) * 7 + rtt.as_nanos() / 8);
+        }
+        let raw = self.srtt + (self.rttvar * 4).max(Time::from_millis(1));
+        self.rto = raw.max(MIN_RTO).min(MAX_RTO);
+        self.rto_backoff = 0;
+    }
+
+    /// The RTO with the current exponential backoff applied.
+    pub fn backed_off_rto(&self) -> Time {
+        let mut rto = self.rto;
+        for _ in 0..self.rto_backoff.min(16) {
+            rto = (rto * 2).min(MAX_RTO);
+        }
+        rto
+    }
+
+    /// Whether the flow is currently in fast recovery.
+    pub fn in_recovery(&self) -> bool {
+        self.recovery_end.is_some()
+    }
+}
+
+impl std::fmt::Debug for FlowState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlowState")
+            .field("cc", &self.cc.name())
+            .field("next_seq", &self.next_seq)
+            .field("cum_acked", &self.cum_acked)
+            .field("inflight", &self.inflight())
+            .field("cwnd", &self.cc.cwnd())
+            .field("in_recovery", &self.in_recovery())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::FixedWindow;
+
+    fn flow() -> FlowState {
+        FlowState::new(
+            FlowConfig::new(Time::from_millis(40)),
+            Box::new(FixedWindow::new(10.0)),
+        )
+    }
+
+    #[test]
+    fn receiver_in_order() {
+        let mut r = Receiver::default();
+        assert_eq!(r.on_data(0), 1);
+        assert_eq!(r.on_data(1), 2);
+        assert_eq!(r.on_data(2), 3);
+    }
+
+    #[test]
+    fn receiver_reorders_and_fills_gap() {
+        let mut r = Receiver::default();
+        assert_eq!(r.on_data(0), 1);
+        assert_eq!(r.on_data(2), 1); // gap at 1
+        assert_eq!(r.on_data(3), 1);
+        assert_eq!(r.on_data(1), 4); // gap filled, jumps past buffered 2,3
+        assert!(r.out_of_order.is_empty());
+    }
+
+    #[test]
+    fn receiver_ignores_stale_duplicates() {
+        let mut r = Receiver::default();
+        r.on_data(0);
+        r.on_data(1);
+        assert_eq!(r.on_data(0), 2);
+    }
+
+    #[test]
+    fn rtt_estimator_first_sample() {
+        let mut f = flow();
+        f.record_rtt_sample(Time::from_millis(100));
+        assert_eq!(f.srtt, Time::from_millis(100));
+        assert_eq!(f.rttvar, Time::from_millis(50));
+        // RTO = srtt + 4*rttvar = 300ms.
+        assert_eq!(f.rto, Time::from_millis(300));
+        assert_eq!(f.stats.min_rtt, Time::from_millis(100));
+    }
+
+    #[test]
+    fn rtt_estimator_smooths() {
+        let mut f = flow();
+        f.record_rtt_sample(Time::from_millis(100));
+        f.record_rtt_sample(Time::from_millis(100));
+        assert_eq!(f.srtt, Time::from_millis(100));
+        // Variance decays toward zero on stable RTTs.
+        assert!(f.rttvar < Time::from_millis(50));
+        f.record_rtt_sample(Time::from_millis(200));
+        assert!(f.srtt > Time::from_millis(100));
+        assert!(f.srtt < Time::from_millis(200));
+        assert_eq!(f.stats.min_rtt, Time::from_millis(100));
+    }
+
+    #[test]
+    fn rto_floors_at_min() {
+        let mut f = flow();
+        f.record_rtt_sample(Time::from_millis(1));
+        assert_eq!(f.rto, MIN_RTO);
+    }
+
+    #[test]
+    fn rto_backoff_doubles_and_caps() {
+        let mut f = flow();
+        f.record_rtt_sample(Time::from_millis(100));
+        let base = f.rto;
+        f.rto_backoff = 1;
+        assert_eq!(f.backed_off_rto(), base * 2);
+        f.rto_backoff = 2;
+        assert_eq!(f.backed_off_rto(), base * 4);
+        f.rto_backoff = 30;
+        assert_eq!(f.backed_off_rto(), MAX_RTO);
+    }
+
+    #[test]
+    fn effective_cwnd_floors_at_min_cwnd() {
+        let mut f = flow();
+        f.cc.set_cwnd(0.5);
+        assert_eq!(f.effective_cwnd(), MIN_CWND as u64);
+    }
+
+    #[test]
+    fn can_send_respects_window() {
+        let mut f = flow();
+        f.started = true;
+        assert!(f.can_send());
+        for s in 0..10 {
+            f.outstanding.insert(
+                s,
+                SentMeta {
+                    sent_at: Time::ZERO,
+                    retransmit: false,
+                    delivered_at_send: 0,
+                },
+            );
+        }
+        assert!(!f.can_send());
+    }
+}

@@ -1,0 +1,158 @@
+//! The bottleneck link: a trace-driven serializer behind a droptail queue.
+
+use serde::{Deserialize, Serialize};
+
+use crate::packet::MSS_BYTES;
+use crate::queue::DropTailQueue;
+use crate::time::Time;
+use crate::trace::BandwidthTrace;
+
+/// Stochastic path impairments applied at the bottleneck, all seeded for
+/// determinism. These model non-congestive effects real paths exhibit —
+/// random (wireless) loss and delay jitter — and default to off.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct Impairments {
+    /// Probability that a packet is corrupted/lost *after* transmission
+    /// (independent of queue state); `0.0` disables.
+    pub random_loss: f64,
+    /// Maximum extra one-way delay added uniformly at random to each
+    /// delivered packet; [`Time::ZERO`] disables.
+    pub max_jitter: Time,
+    /// Seed for the impairment RNG.
+    pub seed: u64,
+}
+
+impl Impairments {
+    /// No impairments (the default).
+    pub fn none() -> Impairments {
+        Impairments::default()
+    }
+
+    /// Whether any impairment is active.
+    pub fn is_active(&self) -> bool {
+        self.random_loss > 0.0 || self.max_jitter > Time::ZERO
+    }
+}
+
+/// Static configuration of the bottleneck.
+#[derive(Clone, Debug)]
+pub struct LinkConfig {
+    /// The bandwidth process.
+    pub trace: BandwidthTrace,
+    /// Droptail buffer size in bytes.
+    pub buffer_bytes: u64,
+    /// Stochastic impairments (off by default).
+    pub impairments: Impairments,
+}
+
+impl LinkConfig {
+    /// Creates a link with an explicit byte buffer.
+    pub fn new(trace: BandwidthTrace, buffer_bytes: u64) -> LinkConfig {
+        LinkConfig {
+            trace,
+            buffer_bytes,
+            impairments: Impairments::none(),
+        }
+    }
+
+    /// Attaches stochastic impairments to the link.
+    pub fn with_impairments(mut self, impairments: Impairments) -> LinkConfig {
+        self.impairments = impairments;
+        self
+    }
+
+    /// Creates a link whose buffer is `bdp_multiple` bandwidth-delay
+    /// products, the convention used throughout the paper (0.5 BDP shallow,
+    /// 5 BDP deep, 2 BDP for robustness training).
+    ///
+    /// The BDP is computed from the trace's long-run average rate over one
+    /// cycle and the given propagation RTT, and floored at two packets so
+    /// shallow configurations remain usable.
+    pub fn with_bdp_buffer(trace: BandwidthTrace, min_rtt: Time, bdp_multiple: f64) -> LinkConfig {
+        let cycle = trace.cycle_duration().max(Time::from_millis(1));
+        let avg_rate_bps = trace.avg_rate(Time::ZERO, cycle);
+        let bdp_bytes = avg_rate_bps * min_rtt.as_secs_f64() / 8.0;
+        let buffer = (bdp_bytes * bdp_multiple).max(2.0 * MSS_BYTES as f64) as u64;
+        LinkConfig {
+            trace,
+            buffer_bytes: buffer,
+            impairments: Impairments::none(),
+        }
+    }
+
+    /// The bandwidth-delay product in packets for a given RTT, based on the
+    /// trace's long-run average rate.
+    pub fn bdp_packets(&self, min_rtt: Time) -> f64 {
+        let cycle = self.trace.cycle_duration().max(Time::from_millis(1));
+        let avg_rate_bps = self.trace.avg_rate(Time::ZERO, cycle);
+        avg_rate_bps * min_rtt.as_secs_f64() / 8.0 / MSS_BYTES as f64
+    }
+}
+
+/// Runtime state of the bottleneck link.
+#[derive(Debug)]
+pub struct Link {
+    /// The bandwidth process.
+    pub trace: BandwidthTrace,
+    /// The droptail buffer.
+    pub queue: DropTailQueue,
+    /// Whether a packet is currently being serialized (a departure event is
+    /// outstanding).
+    pub busy: bool,
+    /// Set when a transmission could never complete (an infinite outage);
+    /// diagnostics only.
+    pub stalled: bool,
+}
+
+impl Link {
+    /// Creates the link from its configuration.
+    pub fn new(config: LinkConfig) -> Link {
+        Link {
+            trace: config.trace,
+            queue: DropTailQueue::new(config.buffer_bytes),
+            busy: false,
+            stalled: false,
+        }
+    }
+
+    /// When the head-of-line packet would finish serializing if started now.
+    pub fn head_transmit_end(&self, now: Time) -> Option<Time> {
+        let head = self.queue.peek()?;
+        self.trace.transmit_end(now, head.packet.size as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bdp_buffer_sizing() {
+        // 12 Mbps, 40 ms RTT: BDP = 12e6 * 0.04 / 8 = 60 kB.
+        let trace = BandwidthTrace::constant("c", 12e6);
+        let cfg = LinkConfig::with_bdp_buffer(trace, Time::from_millis(40), 1.0);
+        assert!((cfg.buffer_bytes as f64 - 60_000.0).abs() < 1.0);
+        // 0.5 BDP.
+        let cfg = LinkConfig::with_bdp_buffer(
+            BandwidthTrace::constant("c", 12e6),
+            Time::from_millis(40),
+            0.5,
+        );
+        assert!((cfg.buffer_bytes as f64 - 30_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn tiny_bdp_floors_at_two_packets() {
+        let trace = BandwidthTrace::constant("slow", 1e5);
+        let cfg = LinkConfig::with_bdp_buffer(trace, Time::from_millis(1), 0.5);
+        assert_eq!(cfg.buffer_bytes, 2 * MSS_BYTES as u64);
+    }
+
+    #[test]
+    fn bdp_packets() {
+        let trace = BandwidthTrace::constant("c", 11.584e6); // 1000 pkt/s of MSS
+        let cfg = LinkConfig::new(trace, 100_000);
+        let bdp = cfg.bdp_packets(Time::from_millis(100));
+        assert!((bdp - 100.0).abs() < 0.5, "{bdp}");
+    }
+}

@@ -1,0 +1,841 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine owns the bottleneck [`Link`] and all [`FlowState`]s, and
+//! dispatches calendar events until a caller-specified horizon. External
+//! code (a learned controller, an experiment driver) interleaves with the
+//! simulation by calling [`Simulator::run_until`] and then inspecting or
+//! mutating flow state — exactly the way Orca's agent wakes up once per
+//! monitor interval.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cc::{AckInfo, CongestionControl, LossInfo};
+use crate::event::{Event, EventQueue};
+use crate::flow::{FlowConfig, FlowId, FlowState, SentMeta, DUPACK_THRESHOLD};
+use crate::link::{Impairments, Link, LinkConfig};
+use crate::packet::{Ack, Packet, MSS_BYTES};
+use crate::stats::{DelaySample, FlowStats, MonitorSample};
+use crate::time::Time;
+
+/// A deterministic single-bottleneck network simulator.
+///
+/// # Examples
+///
+/// ```
+/// use canopy_netsim::{
+///     BandwidthTrace, FixedWindow, FlowConfig, LinkConfig, Simulator, Time,
+/// };
+///
+/// let trace = BandwidthTrace::constant("link", 12e6);
+/// let link = LinkConfig::with_bdp_buffer(trace, Time::from_millis(40), 1.0);
+/// let mut sim = Simulator::new(link);
+/// let f = sim.add_flow(
+///     FlowConfig::new(Time::from_millis(40)),
+///     Box::new(FixedWindow::new(10.0)),
+/// );
+/// sim.run_until(Time::from_secs(2));
+/// assert!(sim.flow_stats(f).acked_packets > 0);
+/// ```
+pub struct Simulator {
+    now: Time,
+    events: EventQueue,
+    link: Link,
+    flows: Vec<FlowState>,
+    /// Impairment model and its RNG; present only when active so that
+    /// unimpaired runs are seed-independent.
+    impair: Option<(Impairments, StdRng)>,
+}
+
+impl Simulator {
+    /// Creates a simulator around one bottleneck link.
+    pub fn new(link: LinkConfig) -> Simulator {
+        let impair = link.impairments.is_active().then(|| {
+            (
+                link.impairments,
+                StdRng::seed_from_u64(link.impairments.seed),
+            )
+        });
+        Simulator {
+            now: Time::ZERO,
+            events: EventQueue::new(),
+            link: Link::new(link),
+            flows: Vec::new(),
+            impair,
+        }
+    }
+
+    /// Adds a flow; it begins sending at `config.start_time`.
+    pub fn add_flow(&mut self, config: FlowConfig, cc: Box<dyn CongestionControl>) -> FlowId {
+        let id = FlowId(self.flows.len());
+        let start = config.start_time;
+        self.flows.push(FlowState::new(config, cc));
+        self.events
+            .schedule(start.max(self.now), Event::FlowStart(id));
+        id
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of flows.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Read access to the bottleneck link (queue occupancy, drop counters).
+    pub fn link(&self) -> &Link {
+        &self.link
+    }
+
+    /// Read access to a flow's congestion controller.
+    pub fn cc(&self, f: FlowId) -> &dyn CongestionControl {
+        self.flows[f.0].cc.as_ref()
+    }
+
+    /// Lifetime statistics for a flow.
+    pub fn flow_stats(&self, f: FlowId) -> &FlowStats {
+        &self.flows[f.0].stats
+    }
+
+    /// Packets currently in flight for a flow.
+    pub fn inflight(&self, f: FlowId) -> u64 {
+        self.flows[f.0].inflight()
+    }
+
+    /// The flow's smoothed RTT.
+    pub fn srtt(&self, f: FlowId) -> Time {
+        self.flows[f.0].srtt
+    }
+
+    /// Overrides the flow's congestion window (coarse-grained control), then
+    /// immediately transmits anything the new window allows.
+    ///
+    /// Deliberately does **not** restart a pending retransmission timer: a
+    /// learned agent writes the window every monitor interval, and
+    /// unconditional re-arming would postpone the RTO indefinitely during
+    /// ACK silence, deadlocking loss recovery.
+    pub fn set_cwnd(&mut self, f: FlowId, cwnd: f64) {
+        self.flows[f.0].cc.set_cwnd(cwnd);
+        self.try_send(f);
+        self.ensure_rto_armed(f);
+    }
+
+    /// The congestion window currently proposed by the flow's kernel
+    /// (Orca's `cwnd_TCP`).
+    pub fn cwnd(&self, f: FlowId) -> f64 {
+        self.flows[f.0].cc.cwnd()
+    }
+
+    /// Drains the flow's monitor-interval accumulators into a sample.
+    pub fn monitor_sample(&mut self, f: FlowId) -> MonitorSample {
+        let now = self.now;
+        let flow = &mut self.flows[f.0];
+        let srtt = flow.srtt;
+        let min_rtt = flow.stats.min_rtt;
+        let cwnd = flow.cc.cwnd();
+        let inflight = flow.inflight();
+        flow.monitor.drain(now, srtt, min_rtt, cwnd, inflight)
+    }
+
+    /// Runs the event loop until simulated time `t` (inclusive of events at
+    /// exactly `t`), then sets the clock to `t`.
+    ///
+    /// Calling with `t` in the past is a no-op.
+    pub fn run_until(&mut self, t: Time) {
+        if t < self.now {
+            return;
+        }
+        while let Some(at) = self.events.peek_time() {
+            if at > t {
+                break;
+            }
+            let scheduled = self.events.pop().expect("peeked event exists");
+            debug_assert!(scheduled.at >= self.now, "time went backwards");
+            self.now = scheduled.at;
+            self.dispatch(scheduled.event);
+        }
+        self.now = t;
+    }
+
+    /// Runs the event loop for a span of simulated time.
+    pub fn run_for(&mut self, dt: Time) {
+        let t = self.now + dt;
+        self.run_until(t);
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::FlowStart(f) => {
+                self.flows[f.0].started = true;
+                self.try_send(f);
+                self.ensure_rto_armed(f);
+            }
+            Event::LinkDeparture => self.on_departure(),
+            Event::AckArrival(ack) => self.on_ack(ack),
+            Event::RtoTimer { flow, generation } => self.on_rto(flow, generation),
+        }
+    }
+
+    /// Transmits as many packets as the flow's window allows, retransmitting
+    /// declared losses before new data.
+    fn try_send(&mut self, f: FlowId) {
+        loop {
+            let now = self.now;
+            let flow = &mut self.flows[f.0];
+            if !flow.can_send() {
+                break;
+            }
+            let (seq, retransmit) = match flow.lost_pending.pop_first() {
+                Some(s) => (s, true),
+                None => {
+                    let s = flow.next_seq;
+                    flow.next_seq += 1;
+                    (s, false)
+                }
+            };
+            let meta = SentMeta {
+                sent_at: now,
+                retransmit,
+                delivered_at_send: flow.delivered_bytes,
+            };
+            flow.outstanding.insert(seq, meta);
+            flow.stats.sent_packets += 1;
+            if retransmit {
+                flow.stats.retransmits += 1;
+            }
+            let packet = Packet {
+                flow: f,
+                seq,
+                size: MSS_BYTES,
+                sent_at: now,
+                retransmit,
+                delivered_at_send: meta.delivered_at_send,
+            };
+            if self.link.queue.enqueue(packet, now) {
+                self.maybe_start_transmission();
+            } else {
+                // Tail drop: the sender does not learn about this until
+                // duplicate ACKs or the retransmission timer reveal it.
+                self.flows[f.0].stats.dropped_packets += 1;
+            }
+        }
+    }
+
+    /// Starts serializing the head-of-line packet if the link is idle.
+    fn maybe_start_transmission(&mut self) {
+        if self.link.busy || self.link.queue.is_empty() {
+            return;
+        }
+        match self.link.head_transmit_end(self.now) {
+            Some(end) => {
+                self.link.busy = true;
+                self.link.stalled = false;
+                self.events.schedule(end, Event::LinkDeparture);
+            }
+            None => {
+                // Permanent outage: packets sit in the queue; flows recover
+                // through their retransmission timers if the trace resumes
+                // via an external reconfiguration.
+                self.link.stalled = true;
+            }
+        }
+    }
+
+    fn on_departure(&mut self) {
+        self.link.busy = false;
+        let qp = self
+            .link
+            .queue
+            .dequeue()
+            .expect("departure event implies a packet in service");
+        let f = qp.packet.flow;
+        // Non-congestive impairments after transmission.
+        let mut jitter = Time::ZERO;
+        if let Some((cfg, rng)) = self.impair.as_mut() {
+            if cfg.random_loss > 0.0 && rng.random::<f64>() < cfg.random_loss {
+                // Corrupted on the wire: no delivery, no ACK; the sender
+                // discovers this like any other loss.
+                self.flows[f.0].stats.random_losses += 1;
+                self.maybe_start_transmission();
+                return;
+            }
+            if cfg.max_jitter > Time::ZERO {
+                jitter = Time::from_nanos(rng.random_range(0..=cfg.max_jitter.as_nanos()));
+            }
+        }
+        let queue_delay = self.now - qp.enqueued_at;
+        let cum = self.flows[f.0].receiver.on_data(qp.packet.seq);
+        let ack = Ack {
+            flow: f,
+            cum_ack: cum,
+            echo_seq: qp.packet.seq,
+            echo_sent_at: qp.packet.sent_at,
+            echo_retransmit: qp.packet.retransmit,
+            queue_delay,
+            delivered_at_send: qp.packet.delivered_at_send,
+        };
+        let arrival = self.now + self.flows[f.0].config.min_rtt + jitter;
+        self.events.schedule(arrival, Event::AckArrival(ack));
+        self.maybe_start_transmission();
+    }
+
+    fn on_ack(&mut self, ack: Ack) {
+        let f = ack.flow;
+        let now = self.now;
+        let flow = &mut self.flows[f.0];
+        let old_cum = flow.cum_acked;
+
+        // RTT sampling (Karn's rule: never sample a retransmitted packet).
+        let mut rtt_sample = None;
+        if !ack.echo_retransmit {
+            let rtt = now - ack.echo_sent_at;
+            flow.record_rtt_sample(rtt);
+            rtt_sample = Some(rtt);
+            flow.monitor.rtt_sum_ns += rtt.as_nanos() as u128;
+            flow.monitor.rtt_count += 1;
+            flow.monitor.qdelay_sum_ns += ack.queue_delay.as_nanos() as u128;
+            flow.monitor.qdelay_count += 1;
+            if flow.config.record_samples {
+                flow.stats.samples.push(DelaySample {
+                    at: now,
+                    rtt,
+                    queue_delay: ack.queue_delay,
+                });
+            }
+        }
+
+        // Delivery-rate sample for bandwidth estimators.
+        let elapsed = now.saturating_sub(ack.echo_sent_at);
+        let delivery_rate = if elapsed > Time::ZERO && flow.delivered_bytes >= ack.delivered_at_send
+        {
+            Some((flow.delivered_bytes - ack.delivered_at_send) as f64 / elapsed.as_secs_f64())
+        } else {
+            None
+        };
+
+        let mut newly_acked = 0u64;
+        let credit_delivery = |flow: &mut FlowState, count: u64| {
+            flow.delivered_bytes += count * MSS_BYTES as u64;
+            flow.stats.acked_packets += count;
+            flow.stats.acked_bytes += count * MSS_BYTES as u64;
+            flow.monitor.acked_packets += count;
+            flow.monitor.acked_bytes += count * MSS_BYTES as u64;
+        };
+
+        // Selective acknowledgement of the packet that triggered this ACK.
+        if ack.echo_seq >= old_cum {
+            if flow.outstanding.remove(&ack.echo_seq).is_some() {
+                newly_acked += 1;
+                credit_delivery(flow, 1);
+            }
+            // A packet we had written off arrived after all.
+            flow.lost_pending.remove(&ack.echo_seq);
+        }
+
+        let advanced = ack.cum_ack > old_cum;
+        if advanced {
+            flow.cum_acked = ack.cum_ack;
+            let below: Vec<u64> = flow
+                .outstanding
+                .range(..ack.cum_ack)
+                .map(|(&s, _)| s)
+                .collect();
+            for s in below {
+                flow.outstanding.remove(&s);
+                newly_acked += 1;
+                credit_delivery(flow, 1);
+            }
+            flow.lost_pending = flow.lost_pending.split_off(&ack.cum_ack);
+            flow.dup_acks = 0;
+            flow.rto_backoff = 0;
+
+            if let Some(end) = flow.recovery_end {
+                if ack.cum_ack >= end {
+                    // Recovery complete.
+                    flow.recovery_end = None;
+                } else {
+                    // NewReno partial ACK: the new first hole is also lost;
+                    // retransmit it without a fresh congestion signal.
+                    let hole = ack.cum_ack;
+                    if flow.outstanding.remove(&hole).is_some() {
+                        flow.lost_pending.insert(hole);
+                        flow.stats.declared_losses += 1;
+                        flow.monitor.lost_packets += 1;
+                    }
+                }
+            }
+        } else if ack.cum_ack == old_cum && ack.echo_seq > old_cum {
+            // Duplicate ACK caused by an out-of-order arrival past the hole.
+            flow.dup_acks += 1;
+            if flow.dup_acks == DUPACK_THRESHOLD && !flow.in_recovery() {
+                let hole = old_cum;
+                if flow.outstanding.remove(&hole).is_some() {
+                    flow.lost_pending.insert(hole);
+                    flow.stats.declared_losses += 1;
+                    flow.monitor.lost_packets += 1;
+                }
+                flow.recovery_end = Some(flow.next_seq);
+                let info = LossInfo {
+                    seq: hole,
+                    inflight: flow.inflight(),
+                };
+                flow.cc.on_loss(now, &info);
+            }
+        }
+
+        let info = AckInfo {
+            newly_acked,
+            rtt: rtt_sample,
+            min_rtt: flow.stats.min_rtt,
+            inflight: flow.inflight(),
+            delivery_rate,
+            is_duplicate: !advanced,
+        };
+        flow.cc.on_ack(now, &info);
+
+        self.arm_rto(f);
+        self.try_send(f);
+    }
+
+    fn on_rto(&mut self, f: FlowId, generation: u64) {
+        let now = self.now;
+        let flow = &mut self.flows[f.0];
+        if generation != flow.rto_generation || !flow.rto_armed {
+            return; // Stale timer.
+        }
+        flow.rto_armed = false;
+        if flow.outstanding.is_empty() && flow.lost_pending.is_empty() {
+            return;
+        }
+        // Everything in flight is presumed lost.
+        let lost: Vec<u64> = flow.outstanding.keys().copied().collect();
+        let count = lost.len() as u64;
+        for s in lost {
+            flow.outstanding.remove(&s);
+            flow.lost_pending.insert(s);
+        }
+        flow.stats.declared_losses += count;
+        flow.monitor.lost_packets += count;
+        flow.stats.timeouts += 1;
+        flow.dup_acks = 0;
+        flow.recovery_end = None;
+        flow.rto_backoff += 1;
+        flow.cc.on_timeout(now);
+        self.arm_rto(f);
+        self.try_send(f);
+    }
+
+    /// Arms the retransmission timer only if it is not already pending
+    /// (used by paths that must not restart a running timer).
+    fn ensure_rto_armed(&mut self, f: FlowId) {
+        let flow = &self.flows[f.0];
+        let has_work = !flow.outstanding.is_empty() || !flow.lost_pending.is_empty();
+        if !flow.rto_armed && has_work {
+            self.arm_rto(f);
+        }
+    }
+
+    /// (Re)arms the retransmission timer; disarms when nothing is in flight.
+    fn arm_rto(&mut self, f: FlowId) {
+        let now = self.now;
+        let flow = &mut self.flows[f.0];
+        flow.rto_generation += 1;
+        if flow.outstanding.is_empty() && flow.lost_pending.is_empty() {
+            flow.rto_armed = false;
+            return;
+        }
+        flow.rto_armed = true;
+        let deadline = now + flow.backed_off_rto();
+        self.events.schedule(
+            deadline,
+            Event::RtoTimer {
+                flow: f,
+                generation: flow.rto_generation,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::FixedWindow;
+    use crate::trace::BandwidthTrace;
+
+    fn basic_sim(rate_bps: f64, rtt_ms: u64, bdp_mult: f64) -> Simulator {
+        let trace = BandwidthTrace::constant("test", rate_bps);
+        let link = LinkConfig::with_bdp_buffer(trace, Time::from_millis(rtt_ms), bdp_mult);
+        Simulator::new(link)
+    }
+
+    #[test]
+    fn window_limited_throughput() {
+        // 12 Mbps, 40 ms, window of 10 packets: throughput should be close
+        // to 10 * MSS * 8 / RTT ≈ 2.9 Mbps, well under capacity.
+        let mut sim = basic_sim(12e6, 40, 4.0);
+        let f = sim.add_flow(
+            FlowConfig::new(Time::from_millis(40)),
+            Box::new(FixedWindow::new(10.0)),
+        );
+        sim.run_until(Time::from_secs(5));
+        let stats = sim.flow_stats(f);
+        let thr = stats.acked_bytes as f64 * 8.0 / 5.0;
+        let expect = 10.0 * MSS_BYTES as f64 * 8.0 / 0.041;
+        assert!(
+            (thr - expect).abs() / expect < 0.10,
+            "thr {thr:.0} vs expected {expect:.0}"
+        );
+        assert_eq!(stats.dropped_packets, 0);
+        assert_eq!(stats.declared_losses, 0);
+    }
+
+    #[test]
+    fn capacity_limited_throughput_with_losses() {
+        // Window far above BDP + buffer: the link saturates and drops.
+        let mut sim = basic_sim(12e6, 40, 1.0);
+        let f = sim.add_flow(
+            FlowConfig::new(Time::from_millis(40)),
+            Box::new(FixedWindow::new(500.0)),
+        );
+        sim.run_until(Time::from_secs(5));
+        let stats = sim.flow_stats(f);
+        let thr = stats.acked_bytes as f64 * 8.0 / 5.0;
+        assert!(
+            thr > 0.85 * 12e6 && thr < 1.05 * 12e6,
+            "thr {:.2} Mbps",
+            thr / 1e6
+        );
+        assert!(stats.dropped_packets > 0, "droptail must engage");
+        assert!(stats.declared_losses > 0, "sender must detect losses");
+        assert!(stats.retransmits > 0, "sender must retransmit");
+    }
+
+    #[test]
+    fn min_rtt_close_to_propagation() {
+        let mut sim = basic_sim(48e6, 20, 2.0);
+        let f = sim.add_flow(
+            FlowConfig::new(Time::from_millis(20)),
+            Box::new(FixedWindow::new(4.0)),
+        );
+        sim.run_until(Time::from_secs(2));
+        let min_rtt = sim.flow_stats(f).min_rtt;
+        let serialization = MSS_BYTES as f64 * 8.0 / 48e6;
+        let floor = 0.020 + serialization;
+        assert!(
+            (min_rtt.as_secs_f64() - floor).abs() < 0.002,
+            "min_rtt {min_rtt:?} vs floor {floor}"
+        );
+    }
+
+    #[test]
+    fn bufferbloat_grows_rtt_on_deep_buffer() {
+        let mut sim = basic_sim(12e6, 40, 8.0);
+        let f = sim.add_flow(
+            FlowConfig::new(Time::from_millis(40)),
+            Box::new(FixedWindow::new(300.0)),
+        );
+        sim.run_until(Time::from_secs(5));
+        let stats = sim.flow_stats(f);
+        // With a standing queue, p95 RTT must sit far above the floor.
+        assert!(stats.rtt_quantile_ms(0.95) > 3.0 * 40.0);
+    }
+
+    #[test]
+    fn conservation_of_packets() {
+        let mut sim = basic_sim(12e6, 40, 0.5);
+        let f = sim.add_flow(
+            FlowConfig::new(Time::from_millis(40)),
+            Box::new(FixedWindow::new(100.0)),
+        );
+        sim.run_until(Time::from_secs(3));
+        let flow = &sim.flows[f.0];
+        let stats = &flow.stats;
+        // Every distinct sequence number sent is acked, outstanding,
+        // pending retransmission, or vanished in the queue (dropped).
+        assert!(stats.acked_packets + flow.inflight() <= stats.sent_packets);
+        // Receiver never runs ahead of the sender.
+        assert!(flow.receiver.cum_recv <= flow.next_seq);
+        // Declared losses at least cover real drops discovered so far,
+        // modulo packets still undetected; sanity: drops happened.
+        assert!(stats.dropped_packets > 0);
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            let mut sim = basic_sim(24e6, 30, 1.0);
+            let f = sim.add_flow(
+                FlowConfig::new(Time::from_millis(30)),
+                Box::new(FixedWindow::new(150.0)),
+            );
+            sim.run_until(Time::from_secs(4));
+            let s = sim.flow_stats(f);
+            (
+                s.sent_packets,
+                s.acked_packets,
+                s.dropped_packets,
+                s.declared_losses,
+                s.retransmits,
+                s.min_rtt,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn two_flows_share_capacity() {
+        let mut sim = basic_sim(24e6, 40, 2.0);
+        let f1 = sim.add_flow(
+            FlowConfig::new(Time::from_millis(40)),
+            Box::new(FixedWindow::new(400.0)),
+        );
+        let f2 = sim.add_flow(
+            FlowConfig::new(Time::from_millis(40)),
+            Box::new(FixedWindow::new(400.0)),
+        );
+        sim.run_until(Time::from_secs(5));
+        let t1 = sim.flow_stats(f1).acked_bytes as f64;
+        let t2 = sim.flow_stats(f2).acked_bytes as f64;
+        let total = (t1 + t2) * 8.0 / 5.0;
+        assert!(total > 0.85 * 24e6, "total {total}");
+        // Fixed (non-adaptive) windows at a full droptail queue exhibit
+        // phase lockout, so an even split is not expected — but both flows
+        // must make real progress. Adaptive fairness is exercised by the
+        // Fig. 15 experiment with Cubic/Orca/Canopy controllers.
+        let min_share = t1.min(t2) / (t1 + t2);
+        assert!(min_share > 0.05, "min share {min_share}");
+    }
+
+    #[test]
+    fn staggered_start() {
+        let mut sim = basic_sim(12e6, 20, 2.0);
+        let late = sim.add_flow(
+            FlowConfig::new(Time::from_millis(20)).starting_at(Time::from_secs(2)),
+            Box::new(FixedWindow::new(50.0)),
+        );
+        sim.run_until(Time::from_secs(1));
+        assert_eq!(sim.flow_stats(late).sent_packets, 0);
+        sim.run_until(Time::from_secs(3));
+        assert!(sim.flow_stats(late).sent_packets > 0);
+    }
+
+    #[test]
+    fn monitor_sample_drains() {
+        let mut sim = basic_sim(12e6, 40, 2.0);
+        let f = sim.add_flow(
+            FlowConfig::new(Time::from_millis(40)),
+            Box::new(FixedWindow::new(20.0)),
+        );
+        sim.run_until(Time::from_secs(1));
+        let s1 = sim.monitor_sample(f);
+        assert!(s1.acked_packets > 0);
+        assert!(s1.throughput_bps > 0.0);
+        // Immediately draining again yields an empty interval.
+        let s2 = sim.monitor_sample(f);
+        assert_eq!(s2.acked_packets, 0);
+        assert_eq!(s2.duration, Time::ZERO);
+        // After more time, the accumulators fill again.
+        sim.run_until(Time::from_secs(2));
+        let s3 = sim.monitor_sample(f);
+        assert!(s3.acked_packets > 0);
+        assert_eq!(s3.duration, Time::from_secs(1));
+    }
+
+    #[test]
+    fn set_cwnd_opens_window_immediately() {
+        let mut sim = basic_sim(12e6, 40, 4.0);
+        let f = sim.add_flow(
+            FlowConfig::new(Time::from_millis(40)),
+            Box::new(FixedWindow::new(2.0)),
+        );
+        sim.run_until(Time::from_secs(1));
+        let sent_before = sim.flow_stats(f).sent_packets;
+        sim.set_cwnd(f, 40.0);
+        // New packets were enqueued synchronously.
+        assert!(sim.flow_stats(f).sent_packets > sent_before);
+        assert!((sim.cwnd(f) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outage_then_recovery_via_rto() {
+        // 1 s of service, then a 1.5 s outage, looping. RTO must carry the
+        // flow across the outage without deadlock.
+        let trace = BandwidthTrace::from_segments(
+            "outage",
+            vec![
+                crate::trace::Segment {
+                    duration: Time::from_secs(1),
+                    rate_bps: 8e6,
+                },
+                crate::trace::Segment {
+                    duration: Time::from_millis(1500),
+                    rate_bps: 0.0,
+                },
+            ],
+            true,
+        );
+        let link = LinkConfig::with_bdp_buffer(trace, Time::from_millis(20), 2.0);
+        let mut sim = Simulator::new(link);
+        let f = sim.add_flow(
+            FlowConfig::new(Time::from_millis(20)),
+            Box::new(FixedWindow::new(30.0)),
+        );
+        sim.run_until(Time::from_secs(10));
+        let stats = sim.flow_stats(f);
+        assert!(stats.acked_packets > 100, "flow survives outages");
+        assert!(stats.timeouts > 0, "RTO fired during outage");
+    }
+
+    #[test]
+    fn run_until_is_monotone() {
+        let mut sim = basic_sim(12e6, 40, 1.0);
+        sim.run_until(Time::from_secs(1));
+        sim.run_until(Time::from_millis(500)); // no-op, must not panic
+        assert_eq!(sim.now(), Time::from_secs(1));
+    }
+
+    #[test]
+    fn random_loss_impairment_drops_and_recovers() {
+        use crate::link::Impairments;
+        let trace = BandwidthTrace::constant("lossy", 12e6);
+        let link = LinkConfig::with_bdp_buffer(trace, Time::from_millis(40), 4.0).with_impairments(
+            Impairments {
+                random_loss: 0.02,
+                max_jitter: Time::ZERO,
+                seed: 7,
+            },
+        );
+        let mut sim = Simulator::new(link);
+        let f = sim.add_flow(
+            FlowConfig::new(Time::from_millis(40)),
+            Box::new(FixedWindow::new(30.0)),
+        );
+        sim.run_until(Time::from_secs(10));
+        let stats = sim.flow_stats(f);
+        assert!(stats.random_losses > 0, "random loss must fire");
+        // The reliability layer recovers: most packets still delivered.
+        assert!(stats.acked_packets > 10 * stats.random_losses);
+        // Loss rate roughly matches the configured probability.
+        let rate = stats.random_losses as f64 / stats.sent_packets as f64;
+        assert!(rate > 0.005 && rate < 0.06, "observed loss rate {rate}");
+    }
+
+    #[test]
+    fn jitter_widens_rtt_distribution_without_loss() {
+        use crate::link::Impairments;
+        let run = |jitter_ms: u64| {
+            let trace = BandwidthTrace::constant("jitter", 12e6);
+            let link = LinkConfig::with_bdp_buffer(trace, Time::from_millis(40), 4.0)
+                .with_impairments(Impairments {
+                    random_loss: 0.0,
+                    max_jitter: Time::from_millis(jitter_ms),
+                    seed: 5,
+                });
+            let mut sim = Simulator::new(link);
+            let f = sim.add_flow(
+                FlowConfig::new(Time::from_millis(40)),
+                Box::new(FixedWindow::new(10.0)),
+            );
+            sim.run_until(Time::from_secs(5));
+            let stats = sim.flow_stats(f);
+            (
+                stats.rtt_quantile_ms(0.95) - stats.rtt_quantile_ms(0.05),
+                stats.dropped_packets,
+            )
+        };
+        let (spread_clean, _) = run(0);
+        let (spread_jittered, drops) = run(20);
+        assert!(
+            spread_jittered > spread_clean + 5.0,
+            "jitter {spread_jittered} vs clean {spread_clean}"
+        );
+        assert_eq!(drops, 0, "jitter alone must not drop packets");
+    }
+
+    /// Regression: an agent writing the window every monitor interval must
+    /// not postpone the retransmission timer. Before the fix, per-interval
+    /// `set_cwnd` re-armed the RTO, so a flow whose entire window was
+    /// tail-dropped during a bandwidth lull (no ACKs in flight) never timed
+    /// out and starved forever.
+    #[test]
+    fn external_set_cwnd_does_not_starve_rto() {
+        // 96 Mbps burst then a long 6 Mbps lull, looping.
+        let trace = BandwidthTrace::from_segments(
+            "burst-lull",
+            vec![
+                crate::trace::Segment {
+                    duration: Time::from_secs(1),
+                    rate_bps: 96e6,
+                },
+                crate::trace::Segment {
+                    duration: Time::from_secs(2),
+                    rate_bps: 6e6,
+                },
+            ],
+            true,
+        );
+        let link = LinkConfig::with_bdp_buffer(trace, Time::from_millis(40), 5.0);
+        let mut sim = Simulator::new(link);
+        let f = sim.add_flow(
+            FlowConfig::new(Time::from_millis(40)).without_samples(),
+            Box::new(FixedWindow::new(2.0)),
+        );
+        // Blow the window up far beyond what the lull can carry, writing
+        // it every 20 ms exactly like a learned controller does.
+        let mut t = Time::ZERO;
+        while t < Time::from_secs(12) {
+            t += Time::from_millis(20);
+            sim.set_cwnd(f, 40_000.0);
+            sim.run_until(t);
+        }
+        let stats = sim.flow_stats(f);
+        assert!(stats.dropped_packets > 1000, "lull must drop heavily");
+        // Recovery stays live (dup-ACK driven here; RTO as backstop): the
+        // deadlocked pre-fix behaviour delivered nothing after the first
+        // lull.
+        assert!(
+            stats.acked_packets > 10_000,
+            "recovery must keep delivering: {stats:?}"
+        );
+        // The flow keeps making progress across lulls: during the final
+        // cycle it must still deliver something.
+        let acked_before = stats.acked_packets;
+        let mut t2 = t;
+        while t2 < t + Time::from_secs(3) {
+            t2 += Time::from_millis(20);
+            sim.set_cwnd(f, 40_000.0);
+            sim.run_until(t2);
+        }
+        assert!(
+            sim.flow_stats(f).acked_packets > acked_before,
+            "flow starved after the lull"
+        );
+    }
+
+    #[test]
+    fn impairments_deterministic_per_seed() {
+        use crate::link::Impairments;
+        let run = |seed: u64| {
+            let trace = BandwidthTrace::constant("det", 12e6);
+            let link = LinkConfig::with_bdp_buffer(trace, Time::from_millis(40), 2.0)
+                .with_impairments(Impairments {
+                    random_loss: 0.01,
+                    max_jitter: Time::from_millis(5),
+                    seed,
+                });
+            let mut sim = Simulator::new(link);
+            let f = sim.add_flow(
+                FlowConfig::new(Time::from_millis(40)).without_samples(),
+                Box::new(FixedWindow::new(20.0)),
+            );
+            sim.run_until(Time::from_secs(5));
+            let s = sim.flow_stats(f);
+            (s.acked_packets, s.random_losses, s.retransmits)
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+}

@@ -1,0 +1,215 @@
+//! Simulation time as integer nanoseconds.
+//!
+//! Using an integer representation keeps event ordering exact: two events
+//! scheduled for the same instant compare equal and fall back to insertion
+//! order, so runs are reproducible bit-for-bit.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time (or a span between two points), in nanoseconds.
+///
+/// The same type is used for instants and durations; the simulator never
+/// needs negative spans, and a single type keeps arithmetic frictionless.
+///
+/// # Examples
+///
+/// ```
+/// use canopy_netsim::Time;
+///
+/// let t = Time::from_millis(20) + Time::from_micros(500);
+/// assert_eq!(t.as_nanos(), 20_500_000);
+/// assert!((t.as_secs_f64() - 0.0205).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Time(u64);
+
+impl Time {
+    /// The origin of simulated time.
+    pub const ZERO: Time = Time(0);
+
+    /// The largest representable time; used as an "infinitely far" sentinel.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Time {
+        Time(ns)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_micros(us: u64) -> Time {
+        Time(us * 1_000)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_millis(ms: u64) -> Time {
+        Time(ms * 1_000_000)
+    }
+
+    /// Creates a time from whole seconds.
+    pub const fn from_secs(s: u64) -> Time {
+        Time(s * 1_000_000_000)
+    }
+
+    /// Creates a time from fractional seconds, rounding to the nearest
+    /// nanosecond. Negative and non-finite inputs clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Time {
+        if !s.is_finite() || s <= 0.0 {
+            return Time::ZERO;
+        }
+        Time((s * 1e9).round() as u64)
+    }
+
+    /// Returns the raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns the time as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction; returns [`Time::ZERO`] instead of underflowing.
+    pub fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition; saturates at [`Time::MAX`].
+    pub fn saturating_add(self, rhs: Time) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+
+    /// Returns the smaller of two times.
+    pub fn min(self, rhs: Time) -> Time {
+        if self <= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Returns the larger of two times.
+    pub fn max(self, rhs: Time) -> Time {
+        if self >= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Multiplies a span by a non-negative factor, rounding to nanoseconds.
+    pub fn mul_f64(self, k: f64) -> Time {
+        Time::from_secs_f64(self.as_secs_f64() * k)
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    /// # Panics
+    ///
+    /// Panics in debug builds on underflow; subtracting a later time from an
+    /// earlier one is always a simulator bug.
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Time {
+    type Output = Time;
+    fn div(self, rhs: u64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Time::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(Time::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(Time::from_micros(5).as_nanos(), 5_000);
+        assert!((Time::from_secs_f64(1.5).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_and_nan_clamp_to_zero() {
+        assert_eq!(Time::from_secs_f64(-1.0), Time::ZERO);
+        assert_eq!(Time::from_secs_f64(f64::NAN), Time::ZERO);
+        assert_eq!(Time::from_secs_f64(f64::NEG_INFINITY), Time::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::from_millis(10);
+        let b = Time::from_millis(4);
+        assert_eq!((a + b).as_nanos(), 14_000_000);
+        assert_eq!((a - b).as_nanos(), 6_000_000);
+        assert_eq!(b.saturating_sub(a), Time::ZERO);
+        assert_eq!(a * 3, Time::from_millis(30));
+        assert_eq!(a / 2, Time::from_millis(5));
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![Time::from_millis(5), Time::ZERO, Time::from_secs(1)];
+        v.sort();
+        assert_eq!(v[0], Time::ZERO);
+        assert_eq!(v[2], Time::from_secs(1));
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        let t = Time::from_millis(10).mul_f64(1.5);
+        assert_eq!(t, Time::from_millis(15));
+    }
+}

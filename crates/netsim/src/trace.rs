@@ -1,0 +1,421 @@
+//! Trace-driven bottleneck bandwidth.
+//!
+//! A [`BandwidthTrace`] is a piecewise-constant rate process: an ordered list
+//! of `(duration, rate)` segments, optionally looping. This is the moral
+//! equivalent of a Mahimahi packet-delivery trace, expressed as rates so that
+//! synthetic generators (steps, square waves, LTE-like processes) are easy to
+//! write, while transmission times remain exact because each packet's
+//! service time is obtained by integrating the rate over the segments it
+//! spans.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Time;
+
+/// One constant-rate piece of a trace.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// How long this rate holds.
+    pub duration: Time,
+    /// Link rate in bits per second; may be zero (an outage).
+    pub rate_bps: f64,
+}
+
+/// A piecewise-constant bandwidth process for the bottleneck link.
+///
+/// Traces always conceptually extend to infinite time: a looping trace wraps
+/// around modulo its total duration, and a non-looping trace holds its final
+/// segment's rate forever.
+///
+/// # Examples
+///
+/// ```
+/// use canopy_netsim::{BandwidthTrace, Time};
+///
+/// let tr = BandwidthTrace::constant("c", 12e6);
+/// assert_eq!(tr.rate_at(Time::from_secs(5)), 12e6);
+///
+/// let sq = BandwidthTrace::square_wave("sq", 10e6, 20e6, Time::from_secs(1));
+/// assert_eq!(sq.rate_at(Time::from_millis(500)), 10e6);
+/// assert_eq!(sq.rate_at(Time::from_millis(1500)), 20e6);
+/// assert_eq!(sq.rate_at(Time::from_millis(2500)), 10e6); // loops
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BandwidthTrace {
+    name: String,
+    segments: Vec<Segment>,
+    /// Cumulative start offset of each segment (same length as `segments`).
+    starts: Vec<Time>,
+    total: Time,
+    loops: bool,
+}
+
+impl BandwidthTrace {
+    /// Builds a trace from explicit segments.
+    ///
+    /// Zero-duration segments are dropped. If the remaining list is empty the
+    /// trace is a constant zero-rate outage.
+    pub fn from_segments(name: &str, segments: Vec<Segment>, loops: bool) -> BandwidthTrace {
+        let segments: Vec<Segment> = segments
+            .into_iter()
+            .filter(|s| s.duration > Time::ZERO)
+            .map(|s| Segment {
+                duration: s.duration,
+                rate_bps: s.rate_bps.max(0.0),
+            })
+            .collect();
+        let mut starts = Vec::with_capacity(segments.len());
+        let mut t = Time::ZERO;
+        for s in &segments {
+            starts.push(t);
+            t += s.duration;
+        }
+        BandwidthTrace {
+            name: name.to_string(),
+            segments,
+            starts,
+            total: t,
+            loops,
+        }
+    }
+
+    /// A constant-rate trace.
+    pub fn constant(name: &str, rate_bps: f64) -> BandwidthTrace {
+        BandwidthTrace::from_segments(
+            name,
+            vec![Segment {
+                duration: Time::from_secs(1),
+                rate_bps,
+            }],
+            true,
+        )
+    }
+
+    /// A square wave alternating between `low_bps` and `high_bps` with the
+    /// given half-period, starting low.
+    pub fn square_wave(
+        name: &str,
+        low_bps: f64,
+        high_bps: f64,
+        half_period: Time,
+    ) -> BandwidthTrace {
+        BandwidthTrace::from_segments(
+            name,
+            vec![
+                Segment {
+                    duration: half_period,
+                    rate_bps: low_bps,
+                },
+                Segment {
+                    duration: half_period,
+                    rate_bps: high_bps,
+                },
+            ],
+            true,
+        )
+    }
+
+    /// The trace's human-readable name (used in experiment output).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total duration of one pass over the segments.
+    pub fn cycle_duration(&self) -> Time {
+        self.total
+    }
+
+    /// Whether the trace wraps around after [`cycle_duration`](Self::cycle_duration).
+    pub fn loops(&self) -> bool {
+        self.loops
+    }
+
+    /// The segments of one cycle.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Maps an absolute time to `(segment index, offset within segment)`.
+    ///
+    /// Times past the end of a non-looping trace land in the final segment.
+    fn locate(&self, t: Time) -> (usize, Time) {
+        if self.segments.is_empty() {
+            return (usize::MAX, Time::ZERO);
+        }
+        let t = if self.loops {
+            Time::from_nanos(t.as_nanos() % self.total.as_nanos().max(1))
+        } else if t >= self.total {
+            // Hold the last segment forever.
+            return (self.segments.len() - 1, Time::ZERO);
+        } else {
+            t
+        };
+        // Binary search over cumulative starts.
+        let idx = match self.starts.binary_search(&t) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (idx, t - self.starts[idx])
+    }
+
+    /// The instantaneous rate at time `t`, in bits per second.
+    pub fn rate_at(&self, t: Time) -> f64 {
+        let (idx, _) = self.locate(t);
+        if idx == usize::MAX {
+            0.0
+        } else {
+            self.segments[idx].rate_bps
+        }
+    }
+
+    /// The time at which a transmission of `bytes` bytes starting at `start`
+    /// completes, integrating the rate across segment boundaries.
+    ///
+    /// Returns `None` if the trace can never deliver the bytes (for example a
+    /// non-looping trace whose final segment has zero rate, or an all-zero
+    /// looping trace).
+    pub fn transmit_end(&self, start: Time, bytes: f64) -> Option<Time> {
+        if bytes <= 0.0 {
+            return Some(start);
+        }
+        if self.segments.is_empty() {
+            return None;
+        }
+        let mut remaining_bits = bytes * 8.0;
+        let (mut idx, offset) = self.locate(start);
+        let mut now = start;
+        // Remaining time inside the current segment.
+        let mut seg_left = if self.loops || start < self.total {
+            self.segments[idx].duration - offset
+        } else {
+            Time::MAX // Final segment held forever.
+        };
+        // One full zero-rate cycle on a looping trace means no progress ever.
+        let mut zero_run = Time::ZERO;
+        loop {
+            let rate = self.segments[idx].rate_bps;
+            if rate > 0.0 {
+                zero_run = Time::ZERO;
+                let bits_in_seg = rate * seg_left.as_secs_f64();
+                if bits_in_seg >= remaining_bits || seg_left == Time::MAX {
+                    let dt = Time::from_secs_f64(remaining_bits / rate);
+                    return Some(now + dt);
+                }
+                remaining_bits -= bits_in_seg;
+            } else {
+                zero_run += seg_left.min(self.total);
+                if seg_left == Time::MAX || (self.loops && zero_run >= self.total) {
+                    return None;
+                }
+            }
+            now += seg_left;
+            // Advance to the next segment.
+            idx += 1;
+            if idx == self.segments.len() {
+                if self.loops {
+                    idx = 0;
+                } else {
+                    idx = self.segments.len() - 1;
+                    seg_left = Time::MAX;
+                    continue;
+                }
+            }
+            seg_left = self.segments[idx].duration;
+        }
+    }
+
+    /// Total deliverable bytes between `from` and `to` (the integral of the
+    /// rate), used to compute link utilization.
+    pub fn capacity_bytes(&self, from: Time, to: Time) -> f64 {
+        if to <= from || self.segments.is_empty() {
+            return 0.0;
+        }
+        let mut bits = 0.0;
+        let (mut idx, offset) = self.locate(from);
+        let mut now = from;
+        let mut seg_left = if self.loops || from < self.total {
+            self.segments[idx].duration - offset
+        } else {
+            Time::MAX
+        };
+        while now < to {
+            let span = seg_left.min(to - now);
+            bits += self.segments[idx].rate_bps * span.as_secs_f64();
+            now += span;
+            if now >= to {
+                break;
+            }
+            idx += 1;
+            if idx == self.segments.len() {
+                if self.loops {
+                    idx = 0;
+                } else {
+                    idx = self.segments.len() - 1;
+                    seg_left = Time::MAX;
+                    continue;
+                }
+            }
+            seg_left = self.segments[idx].duration;
+        }
+        bits / 8.0
+    }
+
+    /// Average rate over `[from, to)` in bits per second.
+    pub fn avg_rate(&self, from: Time, to: Time) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        self.capacity_bytes(from, to) * 8.0 / (to - from).as_secs_f64()
+    }
+
+    /// The maximum segment rate of one cycle, in bits per second.
+    pub fn peak_rate(&self) -> f64 {
+        self.segments.iter().map(|s| s.rate_bps).fold(0.0, f64::max)
+    }
+
+    /// The minimum segment rate of one cycle, in bits per second.
+    pub fn min_rate(&self) -> f64 {
+        self.segments
+            .iter()
+            .map(|s| s.rate_bps)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_step() -> BandwidthTrace {
+        BandwidthTrace::from_segments(
+            "two",
+            vec![
+                Segment {
+                    duration: Time::from_secs(1),
+                    rate_bps: 8e6, // 1 MB/s
+                },
+                Segment {
+                    duration: Time::from_secs(1),
+                    rate_bps: 16e6, // 2 MB/s
+                },
+            ],
+            true,
+        )
+    }
+
+    #[test]
+    fn rate_lookup_and_loop() {
+        let tr = two_step();
+        assert_eq!(tr.rate_at(Time::from_millis(0)), 8e6);
+        assert_eq!(tr.rate_at(Time::from_millis(999)), 8e6);
+        assert_eq!(tr.rate_at(Time::from_millis(1000)), 16e6);
+        assert_eq!(tr.rate_at(Time::from_millis(2000)), 8e6);
+        assert_eq!(tr.rate_at(Time::from_millis(3500)), 16e6);
+    }
+
+    #[test]
+    fn non_looping_holds_last_rate() {
+        let mut tr = two_step();
+        tr = BandwidthTrace::from_segments("nl", tr.segments().to_vec(), false);
+        assert_eq!(tr.rate_at(Time::from_secs(10)), 16e6);
+        // Transmission far past the end uses the held rate.
+        let end = tr.transmit_end(Time::from_secs(10), 2_000_000.0).unwrap();
+        assert!((end.as_secs_f64() - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transmit_within_one_segment() {
+        let tr = two_step();
+        // 1 MB/s: 500 kB takes 0.5 s.
+        let end = tr.transmit_end(Time::ZERO, 500_000.0).unwrap();
+        assert!((end.as_secs_f64() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transmit_across_boundary() {
+        let tr = two_step();
+        // From t=0.5s: 0.5 s of 1 MB/s (500 kB) then 250 kB at 2 MB/s = 0.125 s.
+        let end = tr.transmit_end(Time::from_millis(500), 750_000.0).unwrap();
+        assert!((end.as_secs_f64() - 1.125).abs() < 1e-9, "{end:?}");
+    }
+
+    #[test]
+    fn transmit_across_loop_wrap() {
+        let tr = two_step();
+        // From t=1.9s: 0.1 s of 2 MB/s (200 kB) then wrap to 1 MB/s.
+        let end = tr.transmit_end(Time::from_millis(1900), 300_000.0).unwrap();
+        assert!((end.as_secs_f64() - 2.1).abs() < 1e-9, "{end:?}");
+    }
+
+    #[test]
+    fn outage_skipped() {
+        let tr = BandwidthTrace::from_segments(
+            "outage",
+            vec![
+                Segment {
+                    duration: Time::from_secs(1),
+                    rate_bps: 0.0,
+                },
+                Segment {
+                    duration: Time::from_secs(1),
+                    rate_bps: 8e6,
+                },
+            ],
+            true,
+        );
+        let end = tr.transmit_end(Time::ZERO, 1_000_000.0).unwrap();
+        assert!((end.as_secs_f64() - 2.0).abs() < 1e-9, "{end:?}");
+    }
+
+    #[test]
+    fn all_zero_trace_never_completes() {
+        let tr = BandwidthTrace::constant("dead", 0.0);
+        assert_eq!(tr.transmit_end(Time::ZERO, 1.0), None);
+        let tr2 = BandwidthTrace::from_segments(
+            "dead2",
+            vec![Segment {
+                duration: Time::from_secs(1),
+                rate_bps: 0.0,
+            }],
+            false,
+        );
+        assert_eq!(tr2.transmit_end(Time::from_secs(3), 1.0), None);
+    }
+
+    #[test]
+    fn capacity_integral() {
+        let tr = two_step();
+        // One full cycle: 1 MB + 2 MB = 3 MB.
+        let cap = tr.capacity_bytes(Time::ZERO, Time::from_secs(2));
+        assert!((cap - 3_000_000.0).abs() < 1.0);
+        // Half of each segment: 0.5 + 1.0 = 1.5 MB.
+        let cap = tr.capacity_bytes(Time::from_millis(500), Time::from_millis(1500));
+        assert!((cap - 1_500_000.0).abs() < 1.0);
+        // Average rate over a full cycle is 12 Mbps.
+        assert!((tr.avg_rate(Time::ZERO, Time::from_secs(2)) - 12e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn peak_and_min() {
+        let tr = two_step();
+        assert_eq!(tr.peak_rate(), 16e6);
+        assert_eq!(tr.min_rate(), 8e6);
+    }
+
+    #[test]
+    fn zero_bytes_is_instant() {
+        let tr = two_step();
+        assert_eq!(
+            tr.transmit_end(Time::from_secs(1), 0.0),
+            Some(Time::from_secs(1))
+        );
+    }
+
+    #[test]
+    fn square_wave_constructor() {
+        let sq = BandwidthTrace::square_wave("sq", 1e6, 2e6, Time::from_millis(250));
+        assert_eq!(sq.cycle_duration(), Time::from_millis(500));
+        assert_eq!(sq.rate_at(Time::from_millis(100)), 1e6);
+        assert_eq!(sq.rate_at(Time::from_millis(300)), 2e6);
+    }
+}

@@ -1,0 +1,156 @@
+//! The Adam optimizer (Kingma & Ba, 2015).
+
+use serde::{Deserialize, Serialize};
+
+use crate::mlp::Mlp;
+
+/// Adam with bias-corrected first and second moment estimates.
+///
+/// One optimizer instance is bound to one network's flat parameter layout;
+/// see [`Adam::step`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Adam {
+    /// Creates an optimizer for `param_count` parameters with the standard
+    /// β₁ = 0.9, β₂ = 0.999, ε = 1e-8.
+    pub fn new(param_count: usize, lr: f64) -> Adam {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: vec![0.0; param_count],
+            v: vec![0.0; param_count],
+        }
+    }
+
+    /// The configured learning rate.
+    pub fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    /// Sets the learning rate (e.g., for decay schedules).
+    pub fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+    /// Applies one descent step to `net` using its accumulated gradients
+    /// scaled by `grad_scale` (e.g. `1.0 / batch_size`), then zeroes them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network's parameter count differs from the one this
+    /// optimizer was created with.
+    pub fn step(&mut self, net: &mut Mlp, grad_scale: f64) {
+        assert_eq!(
+            net.param_count(),
+            self.m.len(),
+            "optimizer bound to a different network shape"
+        );
+        self.t += 1;
+        let mut params = net.params_flat();
+        let grads = net.grads_flat();
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i] * grad_scale;
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / bc1;
+            let v_hat = self.v[i] / bc2;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+        net.set_params_flat(&params);
+        net.zero_grads();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Activation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Adam must fit a small regression problem: y = 2x₀ − x₁ + 0.5.
+    #[test]
+    fn fits_linear_regression() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut net = Mlp::new(&mut rng, &[2, 16, 1], Activation::Identity);
+        let mut opt = Adam::new(net.param_count(), 1e-2);
+        let data: Vec<([f64; 2], f64)> = (0..64)
+            .map(|i| {
+                let x0 = (i % 8) as f64 / 8.0 - 0.5;
+                let x1 = (i / 8) as f64 / 8.0 - 0.5;
+                ([x0, x1], 2.0 * x0 - x1 + 0.5)
+            })
+            .collect();
+        let mse = |net: &Mlp| -> f64 {
+            data.iter()
+                .map(|(x, t)| {
+                    let y = net.forward(x)[0];
+                    (y - t) * (y - t)
+                })
+                .sum::<f64>()
+                / data.len() as f64
+        };
+        let before = mse(&net);
+        for _ in 0..300 {
+            for (x, t) in &data {
+                let (y, trace) = net.forward_trace(x);
+                net.backward(&trace, &[y[0] - t]);
+            }
+            opt.step(&mut net, 1.0 / data.len() as f64);
+        }
+        let after = mse(&net);
+        assert!(
+            after < 1e-3 && after < before / 100.0,
+            "MSE before {before}, after {after}"
+        );
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = Mlp::new(&mut rng, &[2, 4, 1], Activation::Identity);
+        let mut opt = Adam::new(net.param_count(), 1e-3);
+        let (y, trace) = net.forward_trace(&[1.0, -1.0]);
+        net.backward(&trace, &vec![1.0; y.len()]);
+        opt.step(&mut net, 1.0);
+        assert!(net.grads_flat().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn zero_gradient_is_fixed_point_direction() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = Mlp::new(&mut rng, &[2, 4, 1], Activation::Identity);
+        let before = net.params_flat();
+        let mut opt = Adam::new(net.param_count(), 1e-2);
+        net.zero_grads();
+        opt.step(&mut net, 1.0);
+        let after = net.params_flat();
+        // With zero gradients the update is exactly zero.
+        for (b, a) in before.iter().zip(&after) {
+            assert!((b - a).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different network shape")]
+    fn rejects_mismatched_network() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = Mlp::new(&mut rng, &[2, 4, 1], Activation::Identity);
+        let mut opt = Adam::new(3, 1e-3);
+        opt.step(&mut net, 1.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! A uniform experience replay buffer.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One environment transition `(s, a, r, s', done)`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Transition {
+    /// State observed before acting.
+    pub state: Vec<f64>,
+    /// Action taken.
+    pub action: Vec<f64>,
+    /// Immediate reward.
+    pub reward: f64,
+    /// Resulting state.
+    pub next_state: Vec<f64>,
+    /// Whether the episode terminated at `next_state`.
+    pub done: bool,
+}
+
+/// A fixed-capacity ring buffer of transitions with uniform sampling.
+///
+/// # Examples
+///
+/// ```
+/// use canopy_rl::{ReplayBuffer, Transition};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut buf = ReplayBuffer::new(100);
+/// for i in 0..10 {
+///     buf.push(Transition {
+///         state: vec![i as f64],
+///         action: vec![0.0],
+///         reward: 1.0,
+///         next_state: vec![i as f64 + 1.0],
+///         done: false,
+///     });
+/// }
+/// let mut rng = StdRng::seed_from_u64(0);
+/// assert_eq!(buf.sample(&mut rng, 4).len(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    data: Vec<Transition>,
+    write: usize,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer holding at most `capacity` transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> ReplayBuffer {
+        assert!(capacity > 0, "replay capacity must be positive");
+        ReplayBuffer {
+            capacity,
+            data: Vec::with_capacity(capacity.min(1 << 20)),
+            write: 0,
+        }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer holds nothing yet.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends a transition, evicting the oldest once at capacity.
+    pub fn push(&mut self, t: Transition) {
+        if self.data.len() < self.capacity {
+            self.data.push(t);
+        } else {
+            self.data[self.write] = t;
+        }
+        self.write = (self.write + 1) % self.capacity;
+    }
+
+    /// Samples `batch` transitions uniformly with replacement.
+    ///
+    /// Returns fewer only when the buffer itself holds fewer than one
+    /// transition (empty buffer yields an empty batch).
+    pub fn sample<'a, R: Rng>(&'a self, rng: &mut R, batch: usize) -> Vec<&'a Transition> {
+        if self.data.is_empty() {
+            return Vec::new();
+        }
+        (0..batch)
+            .map(|_| &self.data[rng.random_range(0..self.data.len())])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(i: usize) -> Transition {
+        Transition {
+            state: vec![i as f64],
+            action: vec![0.0],
+            reward: i as f64,
+            next_state: vec![0.0],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..5 {
+            buf.push(t(i));
+        }
+        assert_eq!(buf.len(), 3);
+        // Oldest entries (0, 1) were evicted; 2, 3, 4 remain.
+        let rewards: Vec<f64> = buf.data.iter().map(|x| x.reward).collect();
+        let mut sorted = rewards.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(sorted, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_given_seed() {
+        let mut buf = ReplayBuffer::new(10);
+        for i in 0..10 {
+            buf.push(t(i));
+        }
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            buf.sample(&mut rng, 5)
+                .iter()
+                .map(|t| t.reward)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(1), draw(1));
+    }
+
+    #[test]
+    fn empty_buffer_samples_nothing() {
+        let buf = ReplayBuffer::new(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(buf.sample(&mut rng, 8).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        ReplayBuffer::new(0);
+    }
+}

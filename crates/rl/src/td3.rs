@@ -1,0 +1,428 @@
+//! The TD3 agent.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use canopy_nn::{Activation, Adam, Mlp};
+
+use crate::noise::GaussianNoise;
+use crate::replay::{ReplayBuffer, Transition};
+
+/// TD3 hyperparameters; defaults follow Fujimoto et al. and Orca.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Td3Config {
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// Polyak averaging coefficient τ for target networks.
+    pub tau: f64,
+    /// The actor (and targets) update once per this many critic updates.
+    pub policy_delay: u64,
+    /// Std-dev of the smoothing noise added to target actions.
+    pub target_noise_std: f64,
+    /// Clip bound for the smoothing noise.
+    pub target_noise_clip: f64,
+    /// Actor learning rate.
+    pub actor_lr: f64,
+    /// Critic learning rate.
+    pub critic_lr: f64,
+    /// Mini-batch size per update.
+    pub batch_size: usize,
+    /// Hidden-layer widths shared by actor and critics.
+    pub hidden: Vec<usize>,
+}
+
+impl Default for Td3Config {
+    fn default() -> Td3Config {
+        Td3Config {
+            gamma: 0.99,
+            tau: 0.005,
+            policy_delay: 2,
+            target_noise_std: 0.2,
+            target_noise_clip: 0.5,
+            actor_lr: 1e-3,
+            critic_lr: 1e-3,
+            batch_size: 64,
+            hidden: vec![32, 32],
+        }
+    }
+}
+
+/// Losses from one [`Td3::update`] call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UpdateStats {
+    /// Mean squared TD error across both critics.
+    pub critic_loss: f64,
+    /// `−mean Q₁(s, π(s))` when the actor updated this step.
+    pub actor_loss: Option<f64>,
+}
+
+/// A TD3 agent with deterministic tanh-bounded actions in `[-1, 1]ᵈ`.
+pub struct Td3 {
+    /// Configuration (immutable after construction).
+    pub config: Td3Config,
+    actor: Mlp,
+    actor_target: Mlp,
+    critic1: Mlp,
+    critic2: Mlp,
+    critic1_target: Mlp,
+    critic2_target: Mlp,
+    actor_opt: Adam,
+    critic1_opt: Adam,
+    critic2_opt: Adam,
+    updates: u64,
+}
+
+impl Td3 {
+    /// Creates an agent for `state_dim`-dimensional states and
+    /// `action_dim`-dimensional actions.
+    pub fn new<R: Rng>(rng: &mut R, state_dim: usize, action_dim: usize, config: Td3Config) -> Td3 {
+        let mut actor_widths = vec![state_dim];
+        actor_widths.extend_from_slice(&config.hidden);
+        actor_widths.push(action_dim);
+        let mut critic_widths = vec![state_dim + action_dim];
+        critic_widths.extend_from_slice(&config.hidden);
+        critic_widths.push(1);
+
+        let actor = Mlp::new(rng, &actor_widths, Activation::Tanh);
+        let critic1 = Mlp::new(rng, &critic_widths, Activation::Identity);
+        let critic2 = Mlp::new(rng, &critic_widths, Activation::Identity);
+        let actor_opt = Adam::new(actor.param_count(), config.actor_lr);
+        let critic1_opt = Adam::new(critic1.param_count(), config.critic_lr);
+        let critic2_opt = Adam::new(critic2.param_count(), config.critic_lr);
+        Td3 {
+            config,
+            actor_target: actor.clone(),
+            critic1_target: critic1.clone(),
+            critic2_target: critic2.clone(),
+            actor,
+            critic1,
+            critic2,
+            actor_opt,
+            critic1_opt,
+            critic2_opt,
+            updates: 0,
+        }
+    }
+
+    /// The current deterministic policy network.
+    pub fn actor(&self) -> &Mlp {
+        &self.actor
+    }
+
+    /// Replaces the actor (used to restore snapshots); targets are reset to
+    /// the restored network.
+    pub fn set_actor(&mut self, actor: Mlp) {
+        self.actor_target = actor.clone();
+        self.actor = actor;
+    }
+
+    /// The greedy action `π(s)`.
+    pub fn act(&self, state: &[f64]) -> Vec<f64> {
+        self.actor.forward(state)
+    }
+
+    /// The exploratory action `clip(π(s) + ε)`, ε ~ N(0, σ²).
+    pub fn act_explore<R: Rng>(&self, state: &[f64], noise_std: f64, rng: &mut R) -> Vec<f64> {
+        let noise = GaussianNoise::new(noise_std);
+        self.actor
+            .forward(state)
+            .into_iter()
+            .map(|a| (a + noise.sample(rng)).clamp(-1.0, 1.0))
+            .collect()
+    }
+
+    /// Q₁ estimate for a state–action pair (diagnostics).
+    pub fn q1(&self, state: &[f64], action: &[f64]) -> f64 {
+        self.critic1.forward(&concat(state, action))[0]
+    }
+
+    /// Number of gradient updates performed so far.
+    pub fn update_count(&self) -> u64 {
+        self.updates
+    }
+
+    /// One TD3 update from uniformly sampled replay data.
+    ///
+    /// Returns `None` when the buffer holds fewer than one batch.
+    pub fn update<R: Rng>(&mut self, replay: &ReplayBuffer, rng: &mut R) -> Option<UpdateStats> {
+        self.update_with_actor_reg(replay, rng, |_, _| {})
+    }
+
+    /// Like [`update`](Self::update), but invokes `actor_reg` during the
+    /// delayed actor step, between the policy-gradient backward pass and
+    /// the optimizer step.
+    ///
+    /// The closure may accumulate additional gradients into the actor
+    /// (e.g. a differentiable certified-bound loss); whatever it adds is
+    /// scaled by `1 / batch_size` together with the policy gradient, so it
+    /// should *sum* per-sample contributions over the provided batch.
+    pub fn update_with_actor_reg<R: Rng>(
+        &mut self,
+        replay: &ReplayBuffer,
+        rng: &mut R,
+        mut actor_reg: impl FnMut(&mut Mlp, &[&Transition]),
+    ) -> Option<UpdateStats> {
+        if replay.len() < self.config.batch_size {
+            return None;
+        }
+        let batch = replay.sample(rng, self.config.batch_size);
+        let n = batch.len() as f64;
+        let smoothing = GaussianNoise::new(self.config.target_noise_std);
+
+        // --- Critic update -------------------------------------------------
+        // y = r + γ·(1−done)·min(Q₁'(s', ã), Q₂'(s', ã)),
+        // ã = clip(π'(s') + clip(ε, ±c)).
+        let mut targets = Vec::with_capacity(batch.len());
+        for t in &batch {
+            let mut a_next = self.actor_target.forward(&t.next_state);
+            for a in &mut a_next {
+                *a = (*a + smoothing.sample_clipped(rng, self.config.target_noise_clip))
+                    .clamp(-1.0, 1.0);
+            }
+            let xa = concat(&t.next_state, &a_next);
+            let q1 = self.critic1_target.forward(&xa)[0];
+            let q2 = self.critic2_target.forward(&xa)[0];
+            let not_done = if t.done { 0.0 } else { 1.0 };
+            targets.push(t.reward + self.config.gamma * not_done * q1.min(q2));
+        }
+
+        let mut critic_loss = 0.0;
+        self.critic1.zero_grads();
+        self.critic2.zero_grads();
+        for (t, &y) in batch.iter().zip(&targets) {
+            let xa = concat(&t.state, &t.action);
+            let (q1, trace1) = self.critic1.forward_trace(&xa);
+            let err1 = q1[0] - y;
+            critic_loss += err1 * err1;
+            self.critic1.backward(&trace1, &[err1]);
+            let (q2, trace2) = self.critic2.forward_trace(&xa);
+            let err2 = q2[0] - y;
+            critic_loss += err2 * err2;
+            self.critic2.backward(&trace2, &[err2]);
+        }
+        critic_loss /= 2.0 * n;
+        self.critic1_opt.step(&mut self.critic1, 1.0 / n);
+        self.critic2_opt.step(&mut self.critic2, 1.0 / n);
+
+        self.updates += 1;
+
+        // --- Delayed actor + target updates --------------------------------
+        let mut actor_loss = None;
+        if self.updates % self.config.policy_delay == 0 {
+            self.actor.zero_grads();
+            let mut loss = 0.0;
+            for t in &batch {
+                let (a, actor_trace) = self.actor.forward_trace(&t.state);
+                let xa = concat(&t.state, &a);
+                let (q, critic_trace) = self.critic1.forward_trace(&xa);
+                loss -= q[0];
+                // ∂(−Q)/∂input, sliced to the action coordinates, chained
+                // through the actor.
+                let grad_in = self.critic1.backward(&critic_trace, &[-1.0]);
+                let grad_action = &grad_in[t.state.len()..];
+                self.actor.backward(&actor_trace, grad_action);
+            }
+            // The critic gradients accumulated above belong to the actor's
+            // objective, not the critic's; discard them.
+            self.critic1.zero_grads();
+            actor_reg(&mut self.actor, &batch);
+            self.actor_opt.step(&mut self.actor, 1.0 / n);
+            actor_loss = Some(loss / n);
+
+            let tau = self.config.tau;
+            self.actor_target.soft_update_from(&self.actor, tau);
+            self.critic1_target.soft_update_from(&self.critic1, tau);
+            self.critic2_target.soft_update_from(&self.critic2, tau);
+        }
+
+        Some(UpdateStats {
+            critic_loss,
+            actor_loss,
+        })
+    }
+}
+
+fn concat(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut v = Vec::with_capacity(a.len() + b.len());
+    v.extend_from_slice(a);
+    v.extend_from_slice(b);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::Transition;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn agent(seed: u64) -> Td3 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Td3::new(
+            &mut rng,
+            1,
+            1,
+            Td3Config {
+                hidden: vec![16, 16],
+                batch_size: 32,
+                actor_lr: 3e-3,
+                critic_lr: 3e-3,
+                ..Td3Config::default()
+            },
+        )
+    }
+
+    #[test]
+    fn actions_are_bounded() {
+        let agent = agent(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..50 {
+            let s = [i as f64 / 10.0 - 2.5];
+            let a = agent.act_explore(&s, 0.5, &mut rng);
+            assert!(a[0] >= -1.0 && a[0] <= 1.0);
+        }
+    }
+
+    #[test]
+    fn update_requires_full_batch() {
+        let mut agent = agent(0);
+        let replay = ReplayBuffer::new(100);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(agent.update(&replay, &mut rng).is_none());
+    }
+
+    #[test]
+    fn actor_updates_are_delayed() {
+        let mut agent = agent(0);
+        let mut replay = ReplayBuffer::new(1000);
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..64 {
+            replay.push(Transition {
+                state: vec![i as f64 / 64.0],
+                action: vec![0.0],
+                reward: 0.0,
+                next_state: vec![(i + 1) as f64 / 64.0],
+                done: false,
+            });
+        }
+        let s1 = agent.update(&replay, &mut rng).unwrap();
+        let s2 = agent.update(&replay, &mut rng).unwrap();
+        // With policy_delay = 2: first update critic-only, second also actor.
+        assert!(s1.actor_loss.is_none());
+        assert!(s2.actor_loss.is_some());
+    }
+
+    /// A one-step bandit: state s ∈ [-1,1], reward = −(a − s)². The optimal
+    /// policy is the identity map; TD3 must substantially reduce the
+    /// actor's regret.
+    #[test]
+    fn solves_identity_bandit() {
+        let mut agent = agent(42);
+        let mut replay = ReplayBuffer::new(4096);
+        let mut rng = StdRng::seed_from_u64(7);
+
+        let regret = |agent: &Td3| -> f64 {
+            let mut total = 0.0;
+            let mut count = 0;
+            for i in -10..=10 {
+                let s = i as f64 / 10.0;
+                let a = agent.act(&[s])[0];
+                total += (a - s) * (a - s);
+                count += 1;
+            }
+            total / count as f64
+        };
+
+        let before = regret(&agent);
+        for step in 0..1500 {
+            let s = ((step * 37) % 201) as f64 / 100.0 - 1.0;
+            let a = agent.act_explore(&[s], 0.3, &mut rng);
+            let r = -(a[0] - s) * (a[0] - s);
+            replay.push(Transition {
+                state: vec![s],
+                action: a,
+                reward: r,
+                next_state: vec![s],
+                done: true,
+            });
+            agent.update(&replay, &mut rng);
+        }
+        let after = regret(&agent);
+        assert!(
+            after < before * 0.5 && after < 0.1,
+            "regret before {before:.4}, after {after:.4}"
+        );
+    }
+
+    #[test]
+    fn actor_regularizer_shapes_the_policy() {
+        // The same run with and without an actor regularizer must diverge,
+        // and a strong "push outputs down" regularizer must lower the mean
+        // action.
+        let run = |use_reg: bool| {
+            let mut agent = agent(21);
+            let mut replay = ReplayBuffer::new(1024);
+            let mut rng = StdRng::seed_from_u64(13);
+            for i in 0..128 {
+                let s = (i % 32) as f64 / 32.0 - 0.5;
+                replay.push(Transition {
+                    state: vec![s],
+                    action: vec![0.0],
+                    reward: 0.0,
+                    next_state: vec![s],
+                    done: true,
+                });
+            }
+            for _ in 0..200 {
+                if use_reg {
+                    agent.update_with_actor_reg(&replay, &mut rng, |actor, batch| {
+                        // Descend on the mean output: accumulate +1 grads.
+                        for t in batch {
+                            let (y, trace) = actor.forward_trace(&t.state);
+                            let _ = y;
+                            actor.backward(&trace, &[1.0]);
+                        }
+                    });
+                } else {
+                    agent.update(&replay, &mut rng);
+                }
+            }
+            let mut mean = 0.0;
+            for i in -5..=5 {
+                mean += agent.act(&[i as f64 / 5.0])[0];
+            }
+            mean / 11.0
+        };
+        let plain = run(false);
+        let regularized = run(true);
+        assert!(
+            regularized < plain - 0.1,
+            "regularizer should push actions down: plain {plain:.3}, reg {regularized:.3}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let run = || {
+            let mut agent = agent(5);
+            let mut replay = ReplayBuffer::new(512);
+            let mut rng = StdRng::seed_from_u64(11);
+            for i in 0..64 {
+                let s = i as f64 / 64.0;
+                let a = agent.act_explore(&[s], 0.2, &mut rng);
+                replay.push(Transition {
+                    state: vec![s],
+                    action: a.clone(),
+                    reward: -a[0].abs(),
+                    next_state: vec![s],
+                    done: true,
+                });
+            }
+            for _ in 0..10 {
+                agent.update(&replay, &mut rng);
+            }
+            agent.act(&[0.5])[0]
+        };
+        assert_eq!(run(), run());
+    }
+}

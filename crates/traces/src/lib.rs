@@ -1,0 +1,48 @@
+//! Workload traces for the Canopy evaluation.
+//!
+//! Three families, mirroring Section 6.1 of the paper:
+//!
+//! * [`synthetic`] — 18 hand-constructed bandwidth programs with frequent,
+//!   controlled variation (steps, square waves, spikes, ramps, seeded
+//!   random processes), richer than SAGE-style traces.
+//! * [`cellular`] — three Markov-modulated rate processes calibrated to the
+//!   qualitative character of the AT&T / Verizon / T-Mobile LTE traces of
+//!   Winstein et al. (highly variable, operator-specific mean and burst
+//!   structure). The originals are measurement data we cannot ship; these
+//!   generators exercise the same code paths with the same variability
+//!   class, seeded for determinism.
+//! * [`realworld`] — the nine-region global-testbed path model used for the
+//!   paper's in-the-wild deployment (Fig. 12): per-region propagation RTTs
+//!   in the 20–237 ms range and mildly jittered path bandwidth.
+
+pub mod cellular;
+pub mod realworld;
+pub mod synthetic;
+
+pub use realworld::{PathClass, PathConfig};
+
+use canopy_netsim::BandwidthTrace;
+
+/// Every evaluation trace: 18 synthetic plus 3 cellular (21 total, the
+/// count used throughout Section 6).
+pub fn all_eval_traces(seed: u64) -> Vec<BandwidthTrace> {
+    let mut v = synthetic::all(seed);
+    v.extend(cellular::all(seed));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_one_eval_traces() {
+        let traces = all_eval_traces(1);
+        assert_eq!(traces.len(), 21);
+        // Names are unique.
+        let mut names: Vec<&str> = traces.iter().map(|t| t.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 21);
+    }
+}

@@ -1,0 +1,95 @@
+//! Reproducibility guarantees across the full stack: identical seeds and
+//! configurations must yield bit-identical experiments — the foundation
+//! for every figure in the harness.
+
+use canopy_repro::core::eval::{
+    learned_timeseries, run_multiflow, run_scheme, FlowScheme, FlowSpec, Scheme,
+};
+use canopy_repro::core::models::{train_model, ModelKind, TrainBudget};
+use canopy_repro::netsim::{BandwidthTrace, LinkConfig, Time};
+use canopy_repro::traces::synthetic;
+
+#[test]
+fn training_is_bit_deterministic() {
+    let a = train_model(ModelKind::Shallow, 123, TrainBudget::smoke());
+    let b = train_model(ModelKind::Shallow, 123, TrainBudget::smoke());
+    assert_eq!(a.model.actor.params_flat(), b.model.actor.params_flat());
+    for (x, y) in a.history.iter().zip(&b.history) {
+        assert_eq!(x.raw_reward, y.raw_reward);
+        assert_eq!(x.verifier_reward, y.verifier_reward);
+    }
+    // A different seed gives a different model.
+    let c = train_model(ModelKind::Shallow, 124, TrainBudget::smoke());
+    assert_ne!(a.model.actor.params_flat(), c.model.actor.params_flat());
+}
+
+#[test]
+fn evaluation_is_bit_deterministic() {
+    let model = train_model(ModelKind::Shallow, 5, TrainBudget::smoke()).model;
+    let trace = synthetic::square_fast();
+    let run = || {
+        run_scheme(
+            &Scheme::Learned(model.clone()),
+            &trace,
+            Time::from_millis(40),
+            1.0,
+            Time::from_secs(5),
+            None,
+            None,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.utilization, b.utilization);
+    assert_eq!(a.p95_qdelay_ms, b.p95_qdelay_ms);
+    assert_eq!(a.losses, b.losses);
+}
+
+#[test]
+fn timeseries_are_bit_deterministic() {
+    let model = train_model(ModelKind::Robust, 5, TrainBudget::smoke()).model;
+    let trace = synthetic::spikes();
+    let run = || {
+        learned_timeseries(
+            &model,
+            &trace,
+            Time::from_millis(40),
+            2.0,
+            Time::from_secs(4),
+            None,
+            None,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.cwnd, y.cwnd);
+        assert_eq!(x.throughput_mbps, y.throughput_mbps);
+    }
+}
+
+#[test]
+fn multiflow_is_bit_deterministic() {
+    let trace = BandwidthTrace::constant("det", 48e6);
+    let link = LinkConfig::with_bdp_buffer(trace, Time::from_millis(20), 1.0);
+    let flows: Vec<FlowSpec> = (0..3)
+        .map(|i| FlowSpec {
+            scheme: FlowScheme::Classic("cubic".into()),
+            start: Time::from_secs(i),
+            min_rtt: Time::from_millis(20),
+        })
+        .collect();
+    let a = run_multiflow(link.clone(), &flows, Time::from_secs(8), Time::from_secs(1));
+    let b = run_multiflow(link, &flows, Time::from_secs(8), Time::from_secs(1));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn trace_generators_are_deterministic() {
+    let a = canopy_repro::traces::all_eval_traces(7);
+    let b = canopy_repro::traces::all_eval_traces(7);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.segments(), y.segments(), "{}", x.name());
+    }
+}

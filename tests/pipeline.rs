@@ -1,0 +1,157 @@
+//! End-to-end pipeline tests: training → certification → evaluation.
+
+use canopy_repro::core::eval::{run_scheme, QcEval, Scheme};
+use canopy_repro::core::models::{
+    load_or_train, train_model, trainer_config, ModelKind, TrainBudget,
+};
+use canopy_repro::core::property::{Property, PropertyParams};
+use canopy_repro::core::trainer::Trainer;
+use canopy_repro::netsim::Time;
+use canopy_repro::traces::synthetic;
+
+fn smoke() -> TrainBudget {
+    TrainBudget::smoke()
+}
+
+/// The headline claim at miniature scale: certification-in-the-loop
+/// training yields higher QC_sat than Orca's property-free training.
+#[test]
+fn canopy_beats_orca_on_qc_sat() {
+    let canopy = train_model(ModelKind::Shallow, 5, smoke()).model;
+    let orca = train_model(ModelKind::Orca, 5, smoke()).model;
+    let qc = QcEval {
+        properties: Property::shallow_set(&PropertyParams::default()),
+        n_components: 10,
+    };
+    let trace = synthetic::square_fast();
+    let eval = |m| {
+        run_scheme(
+            &Scheme::Learned(m),
+            &trace,
+            Time::from_millis(40),
+            0.5,
+            Time::from_secs(5),
+            None,
+            Some(&qc),
+        )
+        .qc_sat
+        .expect("qc requested")
+    };
+    let canopy_sat = eval(canopy);
+    let orca_sat = eval(orca);
+    assert!(
+        canopy_sat > orca_sat + 0.05,
+        "canopy {canopy_sat:.3} must clearly beat orca {orca_sat:.3}"
+    );
+}
+
+/// Training with λ > 0 must improve the verifier reward over the course
+/// of training (first epoch vs last). Uses a budget just above smoke so
+/// the certified loss has enough actor updates to act.
+#[test]
+fn verifier_reward_improves_during_training() {
+    let budget = TrainBudget {
+        epochs: 10,
+        steps_per_epoch: 60,
+        n_envs: 2,
+    };
+    let result = train_model(ModelKind::Shallow, 9, budget);
+    let first = result.history.first().unwrap().verifier_reward;
+    let last = result.history.last().unwrap().verifier_reward;
+    assert!(
+        last > first + 0.05,
+        "verifier reward should climb: first {first:.3}, last {last:.3}"
+    );
+}
+
+/// The robustness-trained model must out-certify Orca on P5.
+#[test]
+fn robust_model_certifies_p5_better() {
+    let robust = train_model(ModelKind::Robust, 5, smoke()).model;
+    let orca = train_model(ModelKind::Orca, 5, smoke()).model;
+    let qc = QcEval {
+        properties: Property::robust_set(&PropertyParams::default()),
+        n_components: 10,
+    };
+    let trace = synthetic::spikes();
+    let eval = |m| {
+        run_scheme(
+            &Scheme::Learned(m),
+            &trace,
+            Time::from_millis(40),
+            2.0,
+            Time::from_secs(5),
+            None,
+            Some(&qc),
+        )
+        .qc_sat
+        .unwrap()
+    };
+    let r = eval(robust);
+    let o = eval(orca);
+    assert!(r > o, "robust {r:.3} vs orca {o:.3}");
+}
+
+/// Fallback must engage more for a property-free model than a Canopy one.
+#[test]
+fn fallback_engages_more_for_orca() {
+    let canopy = train_model(ModelKind::Shallow, 5, smoke()).model;
+    let orca = train_model(ModelKind::Orca, 5, smoke()).model;
+    let properties = Property::shallow_set(&PropertyParams::default());
+    let trace = synthetic::step_up();
+    let run = |m| {
+        run_scheme(
+            &Scheme::LearnedFallback {
+                model: m,
+                properties: properties.clone(),
+                threshold: 0.6,
+                n_components: 5,
+            },
+            &trace,
+            Time::from_millis(40),
+            0.5,
+            Time::from_secs(5),
+            None,
+            None,
+        )
+        .fallback_rate
+        .unwrap()
+    };
+    let canopy_rate = run(canopy);
+    let orca_rate = run(orca);
+    assert!(
+        orca_rate >= canopy_rate,
+        "orca fallback {orca_rate:.3} >= canopy {canopy_rate:.3}"
+    );
+}
+
+/// Model caching: a second load returns bit-identical parameters.
+#[test]
+fn model_cache_round_trip() {
+    let dir = std::env::temp_dir().join("canopy-it-cache");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (a, ha) = load_or_train(&dir, ModelKind::Shallow, 77, smoke());
+    let (b, hb) = load_or_train(&dir, ModelKind::Shallow, 77, smoke());
+    assert_eq!(a.actor.params_flat(), b.actor.params_flat());
+    assert_eq!(ha.len(), hb.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// λ = 1 (pure verifier reward) must not crash and should achieve at
+/// least as much verifier reward as λ = 0.
+#[test]
+fn lambda_extremes() {
+    let mut pure = trainer_config(ModelKind::Shallow, 13, smoke());
+    pure.lambda = 1.0;
+    let pure_result = Trainer::new(pure).train();
+    let mut zero = trainer_config(ModelKind::Shallow, 13, smoke());
+    zero.lambda = 0.0;
+    zero.qc_grad_weight = 0.0;
+    let zero_result = Trainer::new(zero).train();
+    let v_pure = pure_result.history.last().unwrap().verifier_reward;
+    let v_zero = zero_result.history.last().unwrap().verifier_reward;
+    assert!(
+        v_pure + 1e-9 >= v_zero,
+        "pure verifier training {v_pure:.3} vs none {v_zero:.3}"
+    );
+}

@@ -1,0 +1,120 @@
+//! Cross-crate behavioural tests: classic congestion control over the
+//! packet simulator must reproduce the qualitative behaviours the paper's
+//! evaluation leans on.
+
+use canopy_repro::core::eval::{run_scheme, Scheme};
+use canopy_repro::netsim::Time;
+use canopy_repro::traces::synthetic;
+
+fn baseline(name: &str, buffer_bdp: f64, rate_mbps: f64) -> canopy_repro::core::eval::RunMetrics {
+    let trace = canopy_repro::netsim::BandwidthTrace::constant("itest", rate_mbps * 1e6);
+    run_scheme(
+        &Scheme::Baseline(name.into()),
+        &trace,
+        Time::from_millis(40),
+        buffer_bdp,
+        Time::from_secs(12),
+        None,
+        None,
+    )
+}
+
+/// Cubic fills a constant link.
+#[test]
+fn cubic_achieves_high_utilization() {
+    let m = baseline("cubic", 1.0, 24.0);
+    assert!(m.utilization > 0.8, "{m:?}");
+}
+
+/// Cubic bufferbloats deep buffers: p95 queuing delay scales with the
+/// buffer depth.
+#[test]
+fn cubic_bufferbloat_scales_with_buffer() {
+    let shallow = baseline("cubic", 0.5, 24.0);
+    let deep = baseline("cubic", 5.0, 24.0);
+    assert!(
+        deep.p95_qdelay_ms > 2.0 * shallow.p95_qdelay_ms,
+        "deep {:.1} vs shallow {:.1}",
+        deep.p95_qdelay_ms,
+        shallow.p95_qdelay_ms
+    );
+}
+
+/// Vegas keeps delays low (it backs off on queueing, not loss).
+#[test]
+fn vegas_keeps_delay_low_on_deep_buffers() {
+    let cubic = baseline("cubic", 5.0, 24.0);
+    let vegas = baseline("vegas", 5.0, 24.0);
+    assert!(
+        vegas.avg_qdelay_ms < cubic.avg_qdelay_ms,
+        "vegas {:.1} vs cubic {:.1}",
+        vegas.avg_qdelay_ms,
+        cubic.avg_qdelay_ms
+    );
+}
+
+/// BBR utilizes the link without Cubic-scale bufferbloat on deep buffers.
+#[test]
+fn bbr_bounds_queue_on_deep_buffers() {
+    let cubic = baseline("cubic", 5.0, 24.0);
+    let bbr = baseline("bbr", 5.0, 24.0);
+    assert!(bbr.utilization > 0.6, "{bbr:?}");
+    assert!(
+        bbr.p95_qdelay_ms < cubic.p95_qdelay_ms,
+        "bbr {:.1} vs cubic {:.1}",
+        bbr.p95_qdelay_ms,
+        cubic.p95_qdelay_ms
+    );
+}
+
+/// NewReno survives a variable trace and keeps positive goodput.
+#[test]
+fn newreno_survives_variable_bandwidth() {
+    let trace = synthetic::square_fast();
+    let m = run_scheme(
+        &Scheme::Baseline("newreno".into()),
+        &trace,
+        Time::from_millis(40),
+        1.0,
+        Time::from_secs(12),
+        None,
+        None,
+    );
+    assert!(m.utilization > 0.4, "{m:?}");
+    assert!(m.losses > 0, "droptail must bite on the square wave");
+}
+
+/// All 21 evaluation traces are runnable end to end with Cubic.
+#[test]
+fn all_eval_traces_run() {
+    for trace in canopy_repro::traces::all_eval_traces(1) {
+        let m = run_scheme(
+            &Scheme::Baseline("cubic".into()),
+            &trace,
+            Time::from_millis(40),
+            1.0,
+            Time::from_secs(3),
+            None,
+            None,
+        );
+        assert!(
+            m.throughput_mbps > 0.5,
+            "trace {} starved: {m:?}",
+            trace.name()
+        );
+    }
+}
+
+/// Loss-based vs delay-based ordering: on a shallow buffer, Vegas sees
+/// fewer losses than Cubic.
+#[test]
+fn vegas_loses_less_than_cubic_on_shallow() {
+    let cubic = baseline("cubic", 0.5, 24.0);
+    let vegas = baseline("vegas", 0.5, 24.0);
+    assert!(
+        vegas.losses <= cubic.losses,
+        "vegas {} vs cubic {}",
+        vegas.losses,
+        cubic.losses
+    );
+}
