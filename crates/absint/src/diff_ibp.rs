@@ -260,9 +260,9 @@ mod tests {
         let x = [0.1, -0.3, 0.7, 0.0];
         let trace = forward_bounds(&net, &x, &x);
         let y = net.forward(&x);
-        for k in 0..2 {
-            assert!((trace.out_lo()[k] - y[k]).abs() < 1e-12);
-            assert!((trace.out_hi()[k] - y[k]).abs() < 1e-12);
+        for (k, &yk) in y.iter().enumerate() {
+            assert!((trace.out_lo()[k] - yk).abs() < 1e-12);
+            assert!((trace.out_hi()[k] - yk).abs() < 1e-12);
         }
     }
 

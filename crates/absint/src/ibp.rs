@@ -26,6 +26,14 @@ fn gamma(n: usize) -> f64 {
 /// Panics if the box dimensionality does not match the layer's fan-in.
 pub fn propagate_dense(layer: &Dense, input: &BoxState) -> BoxState {
     assert_eq!(input.dim(), layer.fan_in(), "abstract state shape mismatch");
+    // `dim()` only measures `center`; the fields are public, so a
+    // mismatched `dev` must stay a loud panic — the zip below would
+    // otherwise truncate silently and emit unsoundly tight bounds.
+    assert_eq!(
+        input.dev.len(),
+        input.center.len(),
+        "abstract state dev/center mismatch"
+    );
     let n = layer.fan_in();
     let out = layer.fan_out();
     let g = gamma(n);
@@ -36,11 +44,10 @@ pub fn propagate_dense(layer: &Dense, input: &BoxState) -> BoxState {
         let mut c = layer.bias[r];
         let mut d = 0.0;
         let mut abs_acc = layer.bias[r].abs();
-        for j in 0..n {
-            let w = row[j];
-            c += w * input.center[j];
-            d += w.abs() * input.dev[j];
-            abs_acc += (w * input.center[j]).abs() + w.abs() * input.dev[j];
+        for ((&w, &ci), &di) in row.iter().zip(&input.center).zip(&input.dev) {
+            c += w * ci;
+            d += w.abs() * di;
+            abs_acc += (w * ci).abs() + w.abs() * di;
         }
         // Absorb rounding of both accumulations into the deviation.
         let err = g * abs_acc;
@@ -164,11 +171,9 @@ mod tests {
         // The paper's ReLU# formula —
         //   ((ReLU(c+e)+ReLU(c−e))/2, (ReLU(c+e)−ReLU(c−e))/2)
         // — equals the interval form [ReLU(lo), ReLU(hi)] used here.
-        for (c, e) in [(1.0, 0.5), (-1.0, 0.5), (0.2, 0.7), (0.0, 0.0)] {
-            let paper_center = ((c + e) as f64).max(0.0) / 2.0 + (c - e) as f64 / 2.0;
-            let _ = paper_center; // Computed below properly.
-            let hi = (c + e) as f64;
-            let lo = (c - e) as f64;
+        for (c, e) in [(1.0f64, 0.5f64), (-1.0, 0.5), (0.2, 0.7), (0.0, 0.0)] {
+            let hi = c + e;
+            let lo = c - e;
             let paper = (
                 (hi.max(0.0) + lo.max(0.0)) / 2.0,
                 (hi.max(0.0) - lo.max(0.0)) / 2.0,

@@ -46,6 +46,12 @@ pub struct Interval {
     pub hi: f64,
 }
 
+// The arithmetic methods intentionally shadow the std operator names
+// without implementing the traits: these are *outward-rounded* interval
+// transformers whose signatures differ from the operators (`div` returns
+// `Option`, all take `self` by value), and spelling them as method calls
+// keeps the soundness-critical rounding explicit at every call site.
+#[allow(clippy::should_implement_trait)]
 impl Interval {
     /// Creates `[lo, hi]`.
     ///

@@ -89,13 +89,13 @@ impl Zonotope {
     pub fn affine(&self, layer: &Dense) -> Zonotope {
         let out = layer.fan_out();
         let mut center = vec![0.0; out];
-        for r in 0..out {
+        for (r, slot) in center.iter_mut().enumerate() {
             let row = layer.weights.row(r);
             let mut acc = layer.bias[r];
             for (w, c) in row.iter().zip(&self.center) {
                 acc += w * c;
             }
-            center[r] = acc;
+            *slot = acc;
         }
         let mut generators = Vec::with_capacity(self.generators.len() + 1);
         // Rounding slack for the centre/generator matmuls, as one fresh

@@ -16,6 +16,10 @@ use canopy_core::verifier::{AbstractDomain, Verifier};
 use canopy_netsim::Time;
 use canopy_traces::synthetic;
 
+/// A named certification strategy applied to one decision context.
+type CertFn<'a> =
+    Box<dyn Fn(&canopy_core::verifier::StepContext) -> Vec<canopy_core::qc::Certificate> + 'a>;
+
 fn main() {
     let opts = HarnessOpts::from_args();
     let (canopy, _) = model(ModelKind::Shallow, &opts);
@@ -47,10 +51,7 @@ fn main() {
         "proofs/ctx",
         "µs/certificate",
     ]);
-    let configs: Vec<(
-        String,
-        Box<dyn Fn(&canopy_core::verifier::StepContext) -> Vec<canopy_core::qc::Certificate>>,
-    )> = vec![
+    let configs: Vec<(String, CertFn<'_>)> = vec![
         (
             "box, N=1".into(),
             Box::new(|ctx| {

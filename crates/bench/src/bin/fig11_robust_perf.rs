@@ -14,6 +14,9 @@ use canopy_core::models::{ModelKind, TrainedModel};
 use canopy_netsim::{BandwidthTrace, Time};
 use canopy_traces::{cellular, synthetic};
 
+/// Per-scheme accumulator: (name, Δutil %, Δ avg delay %, Δ p95 delay %).
+type SchemeSummary = (String, Vec<f64>, Vec<f64>, Vec<f64>);
+
 fn pct(clean: f64, noisy: f64) -> f64 {
     if clean.abs() < 1e-9 {
         0.0
@@ -45,7 +48,7 @@ fn main() {
         "Δ p95 delay %",
     ]);
 
-    let mut summary: Vec<(String, Vec<f64>, Vec<f64>, Vec<f64>)> = vec![
+    let mut summary: Vec<SchemeSummary> = vec![
         ("orca".into(), vec![], vec![], vec![]),
         ("canopy".into(), vec![], vec![], vec![]),
     ];

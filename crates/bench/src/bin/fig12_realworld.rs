@@ -22,7 +22,7 @@ fn main() {
     let (canopy_shallow, _) = model(ModelKind::Shallow, &opts);
     let (canopy_deep, _) = model(ModelKind::Deep, &opts);
     let (orca, _) = model(ModelKind::Orca, &opts);
-    let schemes = vec![
+    let schemes = [
         Scheme::Learned(canopy_shallow),
         Scheme::Learned(canopy_deep),
         Scheme::Learned(orca),

@@ -249,7 +249,7 @@ mod tests {
     use super::*;
     use crate::obs::{StateLayout, ACTION_IDX, DELAY_IDX};
     use crate::property::PropertyParams;
-    use canopy_nn::{Activation, Matrix};
+    use canopy_nn::Activation;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

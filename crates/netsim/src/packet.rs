@@ -61,6 +61,6 @@ mod tests {
 
     #[test]
     fn mss_is_mahimahi_like() {
-        assert!(MSS_BYTES > 1000 && MSS_BYTES <= 1500);
+        const { assert!(MSS_BYTES > 1000 && MSS_BYTES <= 1500) }
     }
 }

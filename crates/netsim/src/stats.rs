@@ -248,12 +248,14 @@ mod tests {
 
     #[test]
     fn accumulator_drain_computes_rates() {
-        let mut acc = MonitorAccum::default();
-        acc.acked_packets = 10;
-        acc.acked_bytes = 10_000;
-        acc.lost_packets = 10;
-        acc.rtt_sum_ns = 10 * 20_000_000;
-        acc.rtt_count = 10;
+        let mut acc = MonitorAccum {
+            acked_packets: 10,
+            acked_bytes: 10_000,
+            lost_packets: 10,
+            rtt_sum_ns: 10 * 20_000_000,
+            rtt_count: 10,
+            ..MonitorAccum::default()
+        };
         let s = acc.drain(
             Time::from_millis(100),
             Time::from_millis(21),

@@ -201,7 +201,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![Time::from_millis(5), Time::ZERO, Time::from_secs(1)];
+        let mut v = [Time::from_millis(5), Time::ZERO, Time::from_secs(1)];
         v.sort();
         assert_eq!(v[0], Time::ZERO);
         assert_eq!(v[2], Time::from_secs(1));

@@ -119,7 +119,7 @@ proptest! {
     }
 }
 
-/// Bandwidth trace capacity integrates consistently with rate lookups.
+// Bandwidth trace capacity integrates consistently with rate lookups.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

@@ -106,13 +106,13 @@ impl Matrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec shape mismatch");
         let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, slot) in out.iter_mut().enumerate() {
             let row = self.row(r);
             let mut acc = 0.0;
             for (w, xi) in row.iter().zip(x) {
                 acc += w * xi;
             }
-            out[r] = acc;
+            *slot = acc;
         }
         out
     }
@@ -125,9 +125,8 @@ impl Matrix {
     pub fn t_matvec(&self, y: &[f64]) -> Vec<f64> {
         assert_eq!(y.len(), self.rows, "t_matvec shape mismatch");
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
+        for (r, &yr) in y.iter().enumerate() {
             let row = self.row(r);
-            let yr = y[r];
             for (o, w) in out.iter_mut().zip(row) {
                 *o += w * yr;
             }
@@ -144,8 +143,7 @@ impl Matrix {
     pub fn add_outer(&mut self, y: &[f64], x: &[f64]) {
         assert_eq!(y.len(), self.rows, "outer rows mismatch");
         assert_eq!(x.len(), self.cols, "outer cols mismatch");
-        for r in 0..self.rows {
-            let yr = y[r];
+        for (r, &yr) in y.iter().enumerate() {
             let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
             for (w, xi) in row.iter_mut().zip(x) {
                 *w += yr * xi;

@@ -1,0 +1,70 @@
+//! Workspace-wiring smoke test: one call through each crate re-exported by
+//! the `canopy_repro` umbrella, so a broken re-export or a crate dropped
+//! from the workspace fails tier-1 here rather than downstream.
+
+use canopy_repro::{absint, cc, core, netsim, nn, rl, traces};
+
+#[test]
+fn every_reexported_crate_is_reachable() {
+    // netsim: build a link and run one simulated second.
+    let trace = netsim::BandwidthTrace::constant("smoke", 12e6);
+    let link = netsim::LinkConfig::with_bdp_buffer(trace, netsim::Time::from_millis(40), 1.0);
+    let mut sim = netsim::Simulator::new(link);
+    let f = sim.add_flow(
+        netsim::FlowConfig::new(netsim::Time::from_millis(40)),
+        Box::new(netsim::FixedWindow::new(10.0)),
+    );
+    sim.run_until(netsim::Time::from_secs(1));
+    assert!(
+        sim.flow_stats(f).acked_packets > 0,
+        "netsim moved no packets"
+    );
+
+    // cc: a Cubic kernel exposes a sane initial window.
+    let cubic = cc::Cubic::new();
+    assert!(netsim::CongestionControl::cwnd(&cubic) >= 1.0);
+
+    // nn: forward an MLP.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let net = nn::Mlp::new(&mut rng, &[4, 8, 2], nn::Activation::Tanh);
+    assert_eq!(net.forward(&[0.1, 0.2, 0.3, 0.4]).len(), 2);
+
+    // absint: IBP through the same network contains a concrete point.
+    let input = absint::BoxState::from_intervals(&[
+        absint::Interval::new(-0.1, 0.1),
+        absint::Interval::point(0.2),
+        absint::Interval::point(0.3),
+        absint::Interval::point(0.4),
+    ]);
+    let out = absint::propagate_mlp(&net, &input);
+    let y = net.forward(&[0.0, 0.2, 0.3, 0.4]);
+    for (yi, iv) in y.iter().zip(&out.to_intervals()) {
+        assert!(
+            iv.contains(*yi),
+            "IBP output box must contain the concrete output"
+        );
+    }
+
+    // rl: a replay buffer accepts and samples a transition.
+    let mut replay = rl::ReplayBuffer::new(8);
+    replay.push(rl::Transition {
+        state: vec![0.0],
+        action: vec![0.0],
+        reward: 0.0,
+        next_state: vec![0.0],
+        done: true,
+    });
+    assert_eq!(replay.len(), 1);
+
+    // traces: the evaluation trace set has the paper's 21 entries.
+    assert_eq!(traces::all_eval_traces(1).len(), 21);
+
+    // core: property sets and the state layout agree on dimensions.
+    let params = core::property::PropertyParams::default();
+    assert_eq!(core::property::Property::shallow_set(&params).len(), 2);
+    let layout = core::obs::StateLayout::new(3);
+    assert!(layout.dim() > 0);
+}
+
+// SeedableRng must be in scope for StdRng::seed_from_u64 above.
+use rand::SeedableRng;

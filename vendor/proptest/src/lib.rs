@@ -1,0 +1,194 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro with `arg in strategy` bindings, numeric-range
+//! strategies, `ProptestConfig::with_cases`, and the `prop_assert*` macros.
+//!
+//! Differences from proptest proper, by design:
+//!
+//! * inputs are sampled from a **deterministic** RNG seeded from the test
+//!   name and case index — every run explores the same inputs, which suits
+//!   this repo's reproducibility-first test discipline;
+//! * there is no shrinking: a failing case panics with the sampled inputs
+//!   available in the assertion message.
+
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::{Rng, SeedableRng};
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude::*`.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Test-runner configuration (only the case count is honoured).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of randomized cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` randomized cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A source of random test inputs.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Samples one input.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Clone, const N: usize> Strategy for [T; N] {
+    type Value = T;
+
+    /// Uniform choice among explicit alternatives.
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self[rng.random_range(0..N)].clone()
+    }
+}
+
+/// Seeds one test case's RNG from the test name and case index, so cases
+/// are independent and runs are reproducible.
+pub fn case_seed(test_name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Creates the deterministic RNG for one test case.
+pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+    TestRng::seed_from_u64(case_seed(test_name, case))
+}
+
+/// Declares property tests: zero-argument `#[test]` functions that run the
+/// body `config.cases` times with inputs drawn from the given strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($params:tt)* ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::case_rng(stringify!($name), __case);
+                    $crate::__proptest_bind!(__rng; $($params)*);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $arg:ident in $strat:expr) => {
+        let $arg = $crate::Strategy::sample(&($strat), &mut $rng);
+    };
+    ($rng:ident; $arg:ident in $strat:expr, $($rest:tt)*) => {
+        let $arg = $crate::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+/// `prop_assert!` — plain assert (no shrinking machinery to feed).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `prop_assert_eq!` — plain assert_eq.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `prop_assert_ne!` — plain assert_ne.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies stay inside their bounds.
+        #[test]
+        fn ranges_in_bounds(
+            x in -3.0f64..7.0,
+            n in 1u64..100,
+            k in 0usize..5,
+        ) {
+            prop_assert!((-3.0..7.0).contains(&x));
+            prop_assert!((1..100).contains(&n));
+            prop_assert!(k < 5);
+        }
+
+        /// Trailing comma and single binding both parse.
+        #[test]
+        fn single_binding(v in 0.0f64..=1.0) {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a: Vec<u64> = (0..4).map(|c| super::case_seed("t", c)).collect();
+        let b: Vec<u64> = (0..4).map(|c| super::case_seed("t", c)).collect();
+        assert_eq!(a, b);
+        assert_ne!(super::case_seed("t", 0), super::case_seed("u", 0));
+    }
+}

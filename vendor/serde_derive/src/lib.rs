@@ -1,0 +1,526 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros built
+//! directly on `proc_macro` (the build environment cannot fetch `syn`/`quote`).
+//! They target the value-tree traits of the vendored `serde` shim and support
+//! the subset of shapes this workspace uses:
+//!
+//! * structs with named fields, including `#[serde(skip)]`,
+//!   `#[serde(skip, default = "path")]`, and `#[serde(default = "path")]`;
+//! * tuple structs (newtypes serialize transparently, wider ones as arrays);
+//! * enums with unit, named-field, and tuple variants (externally tagged:
+//!   unit variants become strings, data variants single-key objects).
+//!
+//! Generics and lifetimes are unsupported and fail with a clear panic at
+//! expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed shape
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+    /// Path (from `default = "path"`) to a zero-arg function producing the
+    /// field's fallback value.
+    default: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Attribute flags gathered from `#[serde(...)]` on a field.
+#[derive(Default)]
+struct SerdeAttrs {
+    skip: bool,
+    default: Option<String>,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic type `{name}`");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                Item {
+                    name,
+                    kind: Kind::NamedStruct(fields),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                Item {
+                    name,
+                    kind: Kind::TupleStruct(n),
+                }
+            }
+            other => panic!("serde shim derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream());
+                Item {
+                    name,
+                    kind: Kind::Enum(variants),
+                }
+            }
+            other => panic!("serde shim derive: unsupported enum body for `{name}`: {other:?}"),
+        },
+        kw => panic!("serde shim derive: expected struct or enum, found `{kw}`"),
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde shim derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Skips (and discards) any leading `#[...]` attributes.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1; // '#'
+        match tokens.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *i += 1,
+            other => panic!("serde shim derive: malformed attribute: {other:?}"),
+        }
+    }
+}
+
+/// Collects `#[serde(...)]` flags while skipping all other attributes.
+fn collect_attrs(tokens: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1; // '#'
+        let group = match tokens.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde shim derive: malformed attribute: {other:?}"),
+        };
+        *i += 1;
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        let is_serde =
+            matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let args = match inner.get(1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+            other => panic!("serde shim derive: malformed #[serde] attribute: {other:?}"),
+        };
+        parse_serde_args(args, &mut attrs);
+    }
+    attrs
+}
+
+fn parse_serde_args(args: TokenStream, attrs: &mut SerdeAttrs) {
+    let toks: Vec<TokenTree> = args.into_iter().collect();
+    let mut j = 0;
+    while j < toks.len() {
+        match &toks[j] {
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                j += 1;
+                match word.as_str() {
+                    "skip" => attrs.skip = true,
+                    "default" => {
+                        // `default` alone (use Default::default) or `default = "path"`.
+                        if matches!(toks.get(j), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                            j += 1;
+                            match toks.get(j) {
+                                Some(TokenTree::Literal(lit)) => {
+                                    let raw = lit.to_string();
+                                    let path = raw
+                                        .strip_prefix('"')
+                                        .and_then(|s| s.strip_suffix('"'))
+                                        .unwrap_or_else(|| {
+                                            panic!(
+                                                "serde shim derive: default expects a string \
+                                                 literal, found {raw}"
+                                            )
+                                        })
+                                        .to_string();
+                                    attrs.default = Some(path);
+                                    j += 1;
+                                }
+                                other => panic!(
+                                    "serde shim derive: malformed default attribute: {other:?}"
+                                ),
+                            }
+                        } else {
+                            attrs.default = Some(String::new());
+                        }
+                    }
+                    other => {
+                        panic!("serde shim derive: unsupported #[serde({other})] attribute")
+                    }
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => j += 1,
+            other => panic!("serde shim derive: unexpected token in #[serde(...)]: {other:?}"),
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Consumes a type (everything up to a top-level `,`), tracking `<...>` depth.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = collect_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected `:` after field `{name}`: {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        // Skip the trailing comma, if any.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            skip: attrs.skip,
+            default: attrs.default,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut n = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        let _ = collect_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        n += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let _ = collect_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde shim derive: explicit enum discriminants are unsupported");
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let mut s = String::from("let mut __m = ::serde::Map::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "__m.insert(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f}));\n",
+                    f = f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(__m)");
+            s
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => \
+                         ::serde::Value::String(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantFields::Named(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from("let mut __f = ::serde::Map::new();\n");
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner.push_str(&format!(
+                                "__f.insert(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f}));\n",
+                                f = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n{inner}\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert(::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Object(__f));\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                    VariantFields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__b{k}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert(::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Array(vec![{items}]));\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            binds = binders.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Expression producing a named field's value out of object map `__obj`.
+fn field_expr(f: &Field, owner: &str) -> String {
+    let missing = match &f.default {
+        Some(path) if path.is_empty() => "::std::default::Default::default()".to_string(),
+        Some(path) => format!("{path}()"),
+        None if f.skip => "::std::default::Default::default()".to_string(),
+        None => format!(
+            "return ::std::result::Result::Err(::serde::Error::custom(\
+             \"missing field `{f}` in {owner}\"))",
+            f = f.name
+        ),
+    };
+    if f.skip {
+        return missing;
+    }
+    format!(
+        "match __obj.get(\"{f}\") {{\n\
+         ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+         ::std::option::Option::None => {missing},\n}}",
+        f = f.name
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let mut s = format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: {expr},\n",
+                    f = f.name,
+                    expr = field_expr(f, name)
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let mut s = format!(
+                "let __arr = __v.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"wrong arity for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}("
+            );
+            for k in 0..*n {
+                s.push_str(&format!("::serde::Deserialize::from_value(&__arr[{k}])?, "));
+            }
+            s.push_str("))");
+            s
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantFields::Named(fields) => {
+                        let mut inner = format!(
+                            "let __obj = __inner.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for {name}::{vn}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n"
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "{f}: {expr},\n",
+                                f = f.name,
+                                expr = field_expr(f, &format!("{name}::{vn}"))
+                            ));
+                        }
+                        inner.push_str("})");
+                        data_arms.push_str(&format!("\"{vn}\" => {{\n{inner}\n}}\n"));
+                    }
+                    VariantFields::Tuple(n) => {
+                        let mut inner = format!(
+                            "let __arr = __inner.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array for {name}::{vn}\"))?;\n\
+                             if __arr.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::Error::custom(\"wrong arity for {name}::{vn}\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vn}("
+                        );
+                        for k in 0..*n {
+                            inner.push_str(&format!(
+                                "::serde::Deserialize::from_value(&__arr[{k}])?, "
+                            ));
+                        }
+                        inner.push_str("))");
+                        data_arms.push_str(&format!("\"{vn}\" => {{\n{inner}\n}}\n"));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown {name} variant `{{__other}}`\"))),\n}},\n\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __inner) = __m.iter().next().expect(\"len checked\");\n\
+                 match __k.as_str() {{\n{data_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown {name} variant `{{__other}}`\"))),\n}}\n}}\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected string or single-key object for {name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<{name}, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
