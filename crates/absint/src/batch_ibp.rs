@@ -1,0 +1,372 @@
+//! Batched interval bound propagation: many boxes through one network as
+//! cache-blocked GEMMs.
+//!
+//! The scalar [`propagate_mlp`](crate::ibp::propagate_mlp) walks one box
+//! at a time with per-layer allocations and latency-bound dot products.
+//! Certification workloads, however, push *thousands* of boxes through
+//! the *same fixed network* (the partition components of a quantitative
+//! certificate, the open boxes of branch-and-bound refinement). This
+//! module amortizes that shape: [`PreparedMlp`] transposes the weight
+//! matrices once (plus their elementwise absolute values, which the
+//! centre/deviation transformer needs), and
+//! [`propagate_batch`](PreparedMlp::propagate_batch) then propagates `N`
+//! boxes per layer with three GEMMs —
+//!
+//! * `C' = C · Wᵀ + b` (centres),
+//! * `D' = D · |W|ᵀ` (deviations),
+//! * `A = (|C| + D) · |W|ᵀ + |b|` (the `Σ|wᵢ·cᵢ| + |wᵢ|·dᵢ` magnitude
+//!   accumulator feeding the `γ_n` rounding bound — exact because
+//!   `|w·c| = |w|·|c|` in IEEE arithmetic) —
+//!
+//! followed by the same outward-rounded activation transformers as the
+//! scalar path. All intermediates live in a caller-owned scratch, so
+//! steady-state certification allocates nothing per box.
+//!
+//! Soundness is inherited: the `γ_n` error bound holds for any summation
+//! order, so reordering the reductions into GEMM form cannot lose
+//! coverage. Bounds may differ from the scalar path in the last few ULPs
+//! (they are differently-rounded enclosures of the same set), which is
+//! why the certification layer uses one path consistently.
+
+use canopy_nn::{Activation, Matrix, Mlp};
+
+use crate::boxdom::BoxState;
+use crate::ibp::gamma;
+use crate::interval::Interval;
+
+/// Branchless outward widening of a non-negative deviation: at least one
+/// ULP up (like `next_up`) but vectorizable — a relative bump of 4ε plus
+/// the smallest *normal* positive float (so a zero deviation floors at a
+/// normal number, never a denormal). Strictly ≥ `x.next_up()` for every
+/// finite non-negative `x`, hence sound wherever the scalar path rounds
+/// up by one ULP.
+#[inline(always)]
+fn widen(x: f64) -> f64 {
+    x * (1.0 + 4.0 * f64::EPSILON) + f64::MIN_POSITIVE
+}
+
+/// One dense layer pre-arranged for batched propagation.
+#[derive(Clone, Debug)]
+struct PreparedLayer {
+    /// Transposed weights, `in × out`.
+    wt: Matrix,
+    /// Elementwise `|W|`, transposed, `in × out`.
+    abs_wt: Matrix,
+    /// Bias, length `out`.
+    bias: Vec<f64>,
+    /// The layer activation.
+    activation: Activation,
+    /// `γ` rounding coefficient for this layer's fan-in.
+    gamma: f64,
+}
+
+/// A network pre-arranged (transposed + absolute weights) for repeated
+/// batched IBP. Build once per certification call, reuse across every
+/// box; the preparation cost is `O(params)`.
+#[derive(Clone, Debug)]
+pub struct PreparedMlp {
+    layers: Vec<PreparedLayer>,
+    input_dim: usize,
+    output_dim: usize,
+}
+
+/// Caller-owned intermediates for [`PreparedMlp::propagate_batch`]:
+/// ping-pong centre/deviation matrices plus the magnitude accumulator.
+#[derive(Clone, Debug, Default)]
+pub struct IbpBatchScratch {
+    c: Matrix,
+    d: Matrix,
+    c_next: Matrix,
+    d_next: Matrix,
+    abs_in: Matrix,
+    abs_acc: Matrix,
+    in_c: Matrix,
+    in_d: Matrix,
+}
+
+impl IbpBatchScratch {
+    /// An empty scratch; buffers are sized on first use.
+    pub fn new() -> IbpBatchScratch {
+        IbpBatchScratch::default()
+    }
+}
+
+impl PreparedMlp {
+    /// Prepares `net` for batched propagation.
+    pub fn new(net: &Mlp) -> PreparedMlp {
+        let layers = net
+            .layers()
+            .iter()
+            .map(|layer| {
+                let mut wt = Matrix::zeros(0, 0);
+                layer.weights.transpose_into(&mut wt);
+                let mut abs_wt = wt.clone();
+                for v in abs_wt.as_mut_slice() {
+                    *v = v.abs();
+                }
+                PreparedLayer {
+                    wt,
+                    abs_wt,
+                    bias: layer.bias.clone(),
+                    activation: layer.activation,
+                    gamma: gamma(layer.fan_in()),
+                }
+            })
+            .collect();
+        PreparedMlp {
+            layers,
+            input_dim: net.input_dim(),
+            output_dim: net.output_dim(),
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    /// Propagates `N` boxes — row `i` of `centers`/`devs` is box `i` —
+    /// through the network. Returns the output `(centers, devs)`
+    /// matrices, which live in `scratch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shapes disagree with each other or the
+    /// network.
+    pub fn propagate_batch<'s>(
+        &self,
+        centers: &Matrix,
+        devs: &Matrix,
+        scratch: &'s mut IbpBatchScratch,
+    ) -> (&'s Matrix, &'s Matrix) {
+        assert_eq!(centers.cols(), self.input_dim, "bad box dimensionality");
+        assert_eq!(centers.rows(), devs.rows(), "centers/devs row mismatch");
+        assert_eq!(centers.cols(), devs.cols(), "centers/devs col mismatch");
+        scratch.c.copy_from(centers);
+        scratch.d.copy_from(devs);
+        let n = centers.rows();
+        for layer in &self.layers {
+            // A = (|C| + D) — the per-input magnitude hull |x| over the box.
+            scratch.abs_in.reshape(n, scratch.c.cols());
+            for ((a, &c), &d) in scratch
+                .abs_in
+                .as_mut_slice()
+                .iter_mut()
+                .zip(scratch.c.as_slice())
+                .zip(scratch.d.as_slice())
+            {
+                *a = c.abs() + d;
+            }
+            scratch.c.matmul_into(&layer.wt, &mut scratch.c_next);
+            scratch.d.matmul_into(&layer.abs_wt, &mut scratch.d_next);
+            scratch
+                .abs_in
+                .matmul_into(&layer.abs_wt, &mut scratch.abs_acc);
+
+            // Elementwise epilogue: bias, rounding slack, activation
+            // transformer — the same *mathematical* enclosure as the
+            // scalar `propagate_dense`, with the outward widening done by
+            // the branchless [`widen`] (≥ one ULP, vectorizable) instead
+            // of `next_up`, so the per-element loop stays SIMD-friendly.
+            // The activation dispatch is hoisted out of the loop.
+            for r in 0..n {
+                let abs_row = scratch.abs_acc.row(r);
+                let it = scratch
+                    .c_next
+                    .row_mut(r)
+                    .iter_mut()
+                    .zip(scratch.d_next.row_mut(r))
+                    .zip(abs_row)
+                    .zip(&layer.bias);
+                match layer.activation {
+                    Activation::Identity => {
+                        for (((c_slot, d_slot), abs_v), b) in it {
+                            *c_slot += b;
+                            let err = layer.gamma * (abs_v + b.abs());
+                            *d_slot = widen(*d_slot + err);
+                        }
+                    }
+                    Activation::Relu => {
+                        for (((c_slot, d_slot), abs_v), b) in it {
+                            let c = *c_slot + b;
+                            let err = layer.gamma * (abs_v + b.abs());
+                            let d = widen(*d_slot + err);
+                            // ReLU is exact on interval endpoints.
+                            let lo = (c - d).max(0.0);
+                            let hi = (c + d).max(0.0);
+                            let slack = lo.abs().max(hi.abs()) * 4.0 * f64::EPSILON;
+                            *c_slot = lo / 2.0 + hi / 2.0;
+                            *d_slot = widen((hi - lo) / 2.0 + slack);
+                        }
+                    }
+                    Activation::Tanh => {
+                        for (((c_slot, d_slot), abs_v), b) in it {
+                            let c = *c_slot + b;
+                            let err = layer.gamma * (abs_v + b.abs());
+                            let d = widen(*d_slot + err);
+                            let out = Interval::centered(c, d).tanh();
+                            let slack = out.lo.abs().max(out.hi.abs()) * 4.0 * f64::EPSILON;
+                            *c_slot = out.center();
+                            *d_slot = widen(out.deviation() + slack);
+                        }
+                    }
+                }
+            }
+            std::mem::swap(&mut scratch.c, &mut scratch.c_next);
+            std::mem::swap(&mut scratch.d, &mut scratch.d_next);
+        }
+        (&scratch.c, &scratch.d)
+    }
+
+    /// Convenience wrapper: propagates a sequence of [`BoxState`]s and
+    /// returns the output interval of dimension `out_dim` for each — the
+    /// shape certification needs (the action interval per component). The
+    /// input matrices are staged in `scratch`, so steady-state reuse
+    /// allocates only the returned `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn propagate_boxes_dim<'a, I>(
+        &self,
+        parts: I,
+        out_dim: usize,
+        scratch: &mut IbpBatchScratch,
+    ) -> Vec<Interval>
+    where
+        I: IntoIterator<Item = &'a BoxState>,
+        I::IntoIter: ExactSizeIterator,
+    {
+        assert!(out_dim < self.output_dim, "output dimension out of range");
+        let parts = parts.into_iter();
+        let n = parts.len();
+        // Stage the inputs in scratch-owned matrices. `reshape` reuses the
+        // buffers, and `propagate_batch` reads them before reusing the
+        // ping-pong buffers, so the two staging matrices are distinct from
+        // the working set.
+        let (in_c, in_d) = {
+            scratch.in_c.reshape(n, self.input_dim);
+            scratch.in_d.reshape(n, self.input_dim);
+            for (r, part) in parts.enumerate() {
+                scratch.in_c.set_row(r, &part.center);
+                scratch.in_d.set_row(r, &part.dev);
+            }
+            (
+                std::mem::take(&mut scratch.in_c),
+                std::mem::take(&mut scratch.in_d),
+            )
+        };
+        let out = {
+            let (c, d) = self.propagate_batch(&in_c, &in_d, scratch);
+            (0..n)
+                .map(|r| Interval::centered(c.get(r, out_dim), d.get(r, out_dim)))
+                .collect()
+        };
+        // Hand the staging buffers back for the next call.
+        scratch.in_c = in_c;
+        scratch.in_d = in_d;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ibp::propagate_mlp;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn net(seed: u64, widths: &[usize]) -> Mlp {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Mlp::new(&mut rng, widths, Activation::Tanh)
+    }
+
+    fn random_box(rng: &mut StdRng, dim: usize) -> BoxState {
+        let center: Vec<f64> = (0..dim).map(|_| rng.random_range(-0.8..0.8)).collect();
+        let dev: Vec<f64> = (0..dim).map(|_| rng.random_range(0.0..0.4)).collect();
+        BoxState::new(center, dev)
+    }
+
+    /// Soundness: concrete outputs of points inside each box stay inside
+    /// the batched bound.
+    #[test]
+    fn batch_propagation_is_sound() {
+        let network = net(3, &[4, 24, 24, 2]);
+        let prepared = PreparedMlp::new(&network);
+        let mut scratch = IbpBatchScratch::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let parts: Vec<BoxState> = (0..16).map(|_| random_box(&mut rng, 4)).collect();
+        let outs = prepared.propagate_boxes_dim(&parts, 0, &mut scratch);
+        for (part, out) in parts.iter().zip(&outs) {
+            for _ in 0..64 {
+                let x: Vec<f64> = part
+                    .to_intervals()
+                    .iter()
+                    .map(|iv| {
+                        if iv.width() > 0.0 {
+                            rng.random_range(iv.lo..=iv.hi)
+                        } else {
+                            iv.lo
+                        }
+                    })
+                    .collect();
+                let y = network.forward(&x)[0];
+                assert!(out.contains(y), "{y} outside {out:?}");
+            }
+        }
+    }
+
+    /// The batched bound coincides with the scalar bound up to a few ULPs
+    /// of reordering slack — same enclosure, different rounding.
+    #[test]
+    fn batch_propagation_tracks_scalar_path() {
+        let network = net(7, &[3, 16, 16, 1]);
+        let prepared = PreparedMlp::new(&network);
+        let mut scratch = IbpBatchScratch::new();
+        let mut rng = StdRng::seed_from_u64(13);
+        let parts: Vec<BoxState> = (0..24).map(|_| random_box(&mut rng, 3)).collect();
+        let batch = prepared.propagate_boxes_dim(&parts, 0, &mut scratch);
+        for (part, b) in parts.iter().zip(&batch) {
+            let s = propagate_mlp(&network, part).dim_interval(0);
+            let tol = 1e-10 * (1.0 + s.width());
+            assert!((b.lo - s.lo).abs() <= tol, "lo {} vs {}", b.lo, s.lo);
+            assert!((b.hi - s.hi).abs() <= tol, "hi {} vs {}", b.hi, s.hi);
+        }
+    }
+
+    /// Point boxes propagate to near-exact outputs, like the scalar path.
+    #[test]
+    fn point_boxes_are_near_exact() {
+        let network = net(9, &[4, 16, 1]);
+        let prepared = PreparedMlp::new(&network);
+        let mut scratch = IbpBatchScratch::new();
+        let x = [0.3, -0.1, 0.8, 0.05];
+        let outs = prepared.propagate_boxes_dim(&[BoxState::point(&x)], 0, &mut scratch);
+        let y = network.forward(&x)[0];
+        assert!(outs[0].contains(y));
+        assert!(outs[0].width() < 1e-9);
+    }
+
+    /// Scratch reuse across differing batch sizes stays clean.
+    #[test]
+    fn scratch_reuse_is_clean() {
+        let network = net(5, &[3, 12, 1]);
+        let prepared = PreparedMlp::new(&network);
+        let mut scratch = IbpBatchScratch::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let big: Vec<BoxState> = (0..10).map(|_| random_box(&mut rng, 3)).collect();
+        let first = prepared.propagate_boxes_dim(&big, 0, &mut scratch);
+        let again = prepared.propagate_boxes_dim(&big[..3], 0, &mut scratch);
+        for (a, b) in big[..3].iter().zip(&again) {
+            let solo = prepared.propagate_boxes_dim(std::slice::from_ref(a), 0, &mut scratch);
+            assert_eq!(solo[0].lo, b.lo);
+            assert_eq!(solo[0].hi, b.hi);
+        }
+        assert_eq!(first.len(), 10);
+    }
+}

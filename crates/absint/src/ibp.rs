@@ -14,8 +14,10 @@ use crate::boxdom::BoxState;
 use crate::interval::Interval;
 
 /// Upper bound on the relative rounding error of summing `n` products,
-/// with a 2× safety factor over the textbook `γ_n = n·u/(1−n·u)`.
-fn gamma(n: usize) -> f64 {
+/// with a 2× safety factor over the textbook `γ_n = n·u/(1−n·u)`. The
+/// bound holds for *any* summation order, which is what lets the batched
+/// GEMM propagation in [`batch_ibp`](crate::batch_ibp) reuse it.
+pub(crate) fn gamma(n: usize) -> f64 {
     2.0 * (n as f64 + 2.0) * f64::EPSILON
 }
 

@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 const ULP_SLACK: u32 = 4;
 
 /// Moves `x` down by `n` ULPs (toward −∞).
+#[inline]
 fn down(mut x: f64, n: u32) -> f64 {
     for _ in 0..n {
         x = x.next_down();
@@ -15,6 +16,7 @@ fn down(mut x: f64, n: u32) -> f64 {
 }
 
 /// Moves `x` up by `n` ULPs (toward +∞).
+#[inline]
 fn up(mut x: f64, n: u32) -> f64 {
     for _ in 0..n {
         x = x.next_up();
@@ -58,6 +60,7 @@ impl Interval {
     /// # Panics
     ///
     /// Panics if `lo > hi` or either bound is NaN.
+    #[inline]
     pub fn new(lo: f64, hi: f64) -> Interval {
         assert!(!lo.is_nan() && !hi.is_nan(), "NaN interval bound");
         assert!(lo <= hi, "inverted interval [{lo}, {hi}]");
@@ -65,47 +68,56 @@ impl Interval {
     }
 
     /// The degenerate interval `[x, x]`.
+    #[inline]
     pub fn point(x: f64) -> Interval {
         Interval::new(x, x)
     }
 
     /// An interval from a centre and a non-negative deviation.
+    #[inline]
     pub fn centered(center: f64, dev: f64) -> Interval {
         let dev = dev.abs();
         Interval::new(center - dev, center + dev)
     }
 
     /// The centre `(lo + hi) / 2`.
+    #[inline]
     pub fn center(self) -> f64 {
         self.lo / 2.0 + self.hi / 2.0
     }
 
     /// The deviation `(hi − lo) / 2`.
+    #[inline]
     pub fn deviation(self) -> f64 {
         (self.hi - self.lo) / 2.0
     }
 
     /// The width `hi − lo` (the 1-D volume used by QC feedback).
+    #[inline]
     pub fn width(self) -> f64 {
         self.hi - self.lo
     }
 
     /// Whether `x` lies in the interval.
+    #[inline]
     pub fn contains(self, x: f64) -> bool {
         self.lo <= x && x <= self.hi
     }
 
     /// Whether `self ⊆ other`.
+    #[inline]
     pub fn is_subset_of(self, other: Interval) -> bool {
         other.lo <= self.lo && self.hi <= other.hi
     }
 
     /// Whether the intervals share at least one point.
+    #[inline]
     pub fn intersects(self, other: Interval) -> bool {
         self.lo <= other.hi && other.lo <= self.hi
     }
 
     /// The intersection, if non-empty.
+    #[inline]
     pub fn intersect(self, other: Interval) -> Option<Interval> {
         let lo = self.lo.max(other.lo);
         let hi = self.hi.min(other.hi);
@@ -117,6 +129,7 @@ impl Interval {
     }
 
     /// The convex hull of both intervals.
+    #[inline]
     pub fn hull(self, other: Interval) -> Interval {
         Interval {
             lo: self.lo.min(other.lo),
@@ -125,6 +138,7 @@ impl Interval {
     }
 
     /// Sound addition (outward-rounded).
+    #[inline]
     pub fn add(self, other: Interval) -> Interval {
         Interval {
             lo: (self.lo + other.lo).next_down(),
@@ -133,6 +147,7 @@ impl Interval {
     }
 
     /// Sound subtraction (outward-rounded).
+    #[inline]
     pub fn sub(self, other: Interval) -> Interval {
         Interval {
             lo: (self.lo - other.hi).next_down(),
@@ -141,6 +156,7 @@ impl Interval {
     }
 
     /// Negation (exact).
+    #[inline]
     pub fn neg(self) -> Interval {
         Interval {
             lo: -self.hi,
@@ -149,6 +165,7 @@ impl Interval {
     }
 
     /// Sound addition of a scalar.
+    #[inline]
     pub fn add_scalar(self, k: f64) -> Interval {
         Interval {
             lo: (self.lo + k).next_down(),
@@ -157,6 +174,7 @@ impl Interval {
     }
 
     /// Sound multiplication by a scalar.
+    #[inline]
     pub fn scale(self, k: f64) -> Interval {
         let (a, b) = (self.lo * k, self.hi * k);
         Interval {
@@ -166,6 +184,7 @@ impl Interval {
     }
 
     /// Sound interval multiplication.
+    #[inline]
     pub fn mul(self, other: Interval) -> Interval {
         let products = [
             self.lo * other.lo,
@@ -184,6 +203,7 @@ impl Interval {
     /// Sound division by an interval not containing zero.
     ///
     /// Returns `None` if `other` contains zero.
+    #[inline]
     pub fn div(self, other: Interval) -> Option<Interval> {
         if other.contains(0.0) {
             return None;
@@ -203,6 +223,7 @@ impl Interval {
     }
 
     /// The image under `max(x, 0)` (exact: endpoints map to endpoints).
+    #[inline]
     pub fn relu(self) -> Interval {
         Interval {
             lo: self.lo.max(0.0),
@@ -211,6 +232,7 @@ impl Interval {
     }
 
     /// Sound image under `tanh` (monotone, widened by a few ULPs).
+    #[inline]
     pub fn tanh(self) -> Interval {
         Interval {
             lo: down(self.lo.tanh(), ULP_SLACK).max(-1.0),
@@ -219,6 +241,7 @@ impl Interval {
     }
 
     /// Sound image under `2^x` (monotone, widened by a few ULPs).
+    #[inline]
     pub fn exp2(self) -> Interval {
         Interval {
             lo: down(self.lo.exp2(), ULP_SLACK).max(0.0),
@@ -227,6 +250,7 @@ impl Interval {
     }
 
     /// The image under `|x|` (exact).
+    #[inline]
     pub fn abs(self) -> Interval {
         if self.lo >= 0.0 {
             self

@@ -14,12 +14,14 @@
 //! every concretely reachable value, which is what makes a
 //! quantitative-certificate proof a proof.
 
+pub mod batch_ibp;
 pub mod boxdom;
 pub mod diff_ibp;
 pub mod ibp;
 pub mod interval;
 pub mod zonotope;
 
+pub use batch_ibp::{IbpBatchScratch, PreparedMlp};
 pub use boxdom::BoxState;
 pub use diff_ibp::{backward_bounds, forward_bounds, BoundsTrace};
 pub use ibp::{propagate_dense, propagate_mlp};

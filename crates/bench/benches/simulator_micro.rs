@@ -1,7 +1,7 @@
 //! Micro-benchmarks for the packet-level simulator: events per second at
 //! typical evaluation operating points, single- and multi-flow.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 use canopy_cc::Cubic;
@@ -26,6 +26,8 @@ fn one_second_of_cubic(rate_mbps: f64, flows: usize) -> u64 {
 fn bench_simulator(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_1s_cubic");
     group.sample_size(20);
+    // Each iteration simulates one second of traffic.
+    group.throughput(Throughput::Elements(1));
     for rate in [12.0, 48.0, 96.0] {
         group.bench_with_input(
             BenchmarkId::new("single_flow_mbps", rate as u64),

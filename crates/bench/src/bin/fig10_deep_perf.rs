@@ -6,7 +6,7 @@
 //! ```
 
 use canopy_bench::{f1, f3, header, mean_std, model, row, HarnessOpts};
-use canopy_core::eval::{run_scheme, RunMetrics, Scheme};
+use canopy_core::eval::{run_sweep, RunMetrics, Scheme, SweepJob};
 use canopy_core::models::ModelKind;
 use canopy_netsim::{BandwidthTrace, Time};
 use canopy_traces::{cellular, synthetic};
@@ -21,21 +21,24 @@ fn report(set_name: &str, traces: &[BandwidthTrace], schemes: &[Scheme], opts: &
         "p95 qdelay (ms)",
         "loss/run",
     ]);
-    for scheme in schemes {
-        let runs: Vec<RunMetrics> = traces
-            .iter()
-            .map(|t| {
-                run_scheme(
-                    scheme,
-                    t,
-                    Time::from_millis(40),
-                    5.0,
-                    opts.eval_duration(),
-                    None,
-                    None,
-                )
+    // One job per (scheme, trace) cell, fanned out over the worker pool.
+    let jobs: Vec<SweepJob> = schemes
+        .iter()
+        .flat_map(|scheme| {
+            traces.iter().map(move |t| SweepJob {
+                scheme: scheme.clone(),
+                trace: t.clone(),
+                min_rtt: Time::from_millis(40),
+                buffer_bdp: 5.0,
+                duration: opts.eval_duration(),
+                noise: None,
+                qc: None,
             })
-            .collect();
+        })
+        .collect();
+    let mut results = run_sweep(&jobs).into_iter();
+    for scheme in schemes {
+        let runs: Vec<RunMetrics> = results.by_ref().take(traces.len()).collect();
         let (util, util_std) = mean_std(&runs.iter().map(|r| r.utilization).collect::<Vec<_>>());
         let (avg_d, _) = mean_std(&runs.iter().map(|r| r.avg_qdelay_ms).collect::<Vec<_>>());
         let (p95, _) = mean_std(&runs.iter().map(|r| r.p95_qdelay_ms).collect::<Vec<_>>());

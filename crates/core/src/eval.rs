@@ -113,6 +113,51 @@ pub struct TimePoint {
     pub qc_sat: Option<f64>,
 }
 
+/// One (scheme, trace) cell of an evaluation sweep, for
+/// [`run_sweep`].
+#[derive(Clone, Debug)]
+pub struct SweepJob {
+    /// The congestion-control scheme under test.
+    pub scheme: Scheme,
+    /// The bandwidth trace to run it over.
+    pub trace: BandwidthTrace,
+    /// Propagation RTT.
+    pub min_rtt: Time,
+    /// Bottleneck buffer, in BDP multiples.
+    pub buffer_bdp: f64,
+    /// Run duration.
+    pub duration: Time,
+    /// Optional observation noise.
+    pub noise: Option<NoiseConfig>,
+    /// Optional per-step certificate evaluation.
+    pub qc: Option<QcEval>,
+}
+
+/// Runs a full evaluation sweep — every (scheme, trace) job — fanned out
+/// over the `CANOPY_THREADS` worker pool, returning metrics in job order.
+///
+/// Each job is an independent deterministic simulation, so the results
+/// are identical to calling [`run_scheme`] in a loop; only the wall-clock
+/// time changes. This is the batched entry point the figure harnesses use
+/// to keep every core busy during scenario sweeps.
+pub fn run_sweep(jobs: &[SweepJob]) -> Vec<RunMetrics> {
+    crate::pool::parallel_map(
+        jobs,
+        crate::pool::thread_count().min(jobs.len().max(1)),
+        |j| {
+            run_scheme(
+                &j.scheme,
+                &j.trace,
+                j.min_rtt,
+                j.buffer_bdp,
+                j.duration,
+                j.noise,
+                j.qc.as_ref(),
+            )
+        },
+    )
+}
+
 /// Runs one scheme over one trace and collects [`RunMetrics`].
 pub fn run_scheme(
     scheme: &Scheme,
@@ -635,6 +680,39 @@ mod tests {
         let t2: f64 = series[1][tail..].iter().sum();
         let jain = jain_index(&[t1, t2]);
         assert!(jain > 0.85, "jain {jain}, t1 {t1}, t2 {t2}");
+    }
+
+    #[test]
+    fn sweep_matches_sequential_runs() {
+        let trace = BandwidthTrace::constant("eval", 24e6);
+        let jobs: Vec<SweepJob> = ["cubic", "vegas", "newreno"]
+            .iter()
+            .map(|name| SweepJob {
+                scheme: Scheme::Baseline((*name).into()),
+                trace: trace.clone(),
+                min_rtt: Time::from_millis(40),
+                buffer_bdp: 1.0,
+                duration: Time::from_secs(4),
+                noise: None,
+                qc: None,
+            })
+            .collect();
+        let swept = run_sweep(&jobs);
+        assert_eq!(swept.len(), 3);
+        for (job, m) in jobs.iter().zip(&swept) {
+            let solo = run_scheme(
+                &job.scheme,
+                &job.trace,
+                job.min_rtt,
+                job.buffer_bdp,
+                job.duration,
+                None,
+                None,
+            );
+            assert_eq!(m.scheme, solo.scheme);
+            assert_eq!(m.utilization, solo.utilization, "{}", m.scheme);
+            assert_eq!(m.losses, solo.losses, "{}", m.scheme);
+        }
     }
 
     #[test]

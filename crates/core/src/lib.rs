@@ -21,6 +21,8 @@
 //!   fallback (Section 4.4).
 //! * [`eval`] — experiment drivers computing the utilization/delay/QC_sat
 //!   metrics reported in the paper's figures.
+//! * [`pool`] — the std-only scoped worker pool behind parallel
+//!   certification and evaluation sweeps (`CANOPY_THREADS`).
 //! * [`models`] — deterministic scaled-down training recipes for the
 //!   shallow / deep / robust Canopy models and the Orca baseline, with
 //!   on-disk caching for the benchmark harness.
@@ -30,6 +32,7 @@ pub mod eval;
 pub mod models;
 pub mod obs;
 pub mod orca;
+pub mod pool;
 pub mod property;
 pub mod qc;
 pub mod runtime;

@@ -1,14 +1,51 @@
 //! The verifier: abstract interpretation of actor + `f_cwnd` over
 //! partitioned input regions (Section 4.3.1 of the paper).
 
-use canopy_absint::{propagate_mlp, propagate_mlp_zonotope, BoxState, Interval};
+use canopy_absint::{
+    propagate_mlp, propagate_mlp_zonotope, BoxState, IbpBatchScratch, Interval, PreparedMlp,
+};
 use canopy_nn::Mlp;
 use serde::{Deserialize, Serialize};
 
 use crate::obs::StateLayout;
 use crate::orca::{f_cwnd, f_cwnd_abstract};
+use crate::pool::{self, WorkQueue};
 use crate::property::{Postcondition, Property};
 use crate::qc::{Certificate, ComponentResult};
+
+/// Sequential branch-and-bound expansions performed before handing the
+/// remaining boxes to the worker pool: most certificates decide within a
+/// few expansions, and spawning threads for those would cost more than the
+/// certification itself. Hard certificates blow past the budget with a
+/// queue already deep enough to feed every worker.
+const ADAPTIVE_WARMUP_EXPANSIONS: usize = 64;
+
+/// Boxes propagated per batched-IBP call (and per work-queue item): large
+/// enough to amortize the GEMM setup and any queue locking, small enough
+/// to keep the refinement frontier responsive and stealable.
+const CERT_CHUNK: usize = 32;
+
+/// Minimum component count before a fixed-partition certification fans
+/// out; below this, thread spawn overhead dominates.
+const PARALLEL_MIN_JOBS: usize = 8;
+
+/// Minimum total work — components × network parameters — before fanning
+/// out. Keeps the tiny per-step certificates of the training loop on the
+/// fast sequential path.
+const PARALLEL_MIN_WORK: usize = 64_000;
+
+/// One chunk's processing outcome: finished leaves (verdict + feedback
+/// weight) and the child boxes needing further refinement.
+type ChunkOutcome = (Vec<(ComponentResult, f64)>, Vec<(BoxState, usize)>);
+
+/// Per-worker scratch for adaptive certification: the batched-IBP
+/// buffers plus the batched centre-probe buffers.
+#[derive(Default)]
+struct AdaptiveScratch {
+    ibp: IbpBatchScratch,
+    centers: canopy_nn::Matrix,
+    fwd: canopy_nn::BatchScratch,
+}
 
 /// Everything the verifier needs about the current decision step.
 #[derive(Clone, Debug)]
@@ -40,6 +77,12 @@ pub struct Verifier {
     pub n_components: usize,
     /// The abstract domain used for propagation.
     pub domain: AbstractDomain,
+    /// Worker-count override for parallel certification. `None` (the
+    /// default) consults `CANOPY_THREADS` / available parallelism;
+    /// `Some(1)` forces sequential execution. Results are identical at
+    /// every thread count.
+    #[serde(default)]
+    pub threads: Option<usize>,
 }
 
 impl Verifier {
@@ -54,6 +97,7 @@ impl Verifier {
         Verifier {
             n_components,
             domain: AbstractDomain::Box,
+            threads: None,
         }
     }
 
@@ -67,14 +111,80 @@ impl Verifier {
         Verifier {
             n_components,
             domain,
+            threads: None,
         }
     }
 
-    /// Propagates one input component to a sound action interval.
+    /// Pins the worker count (e.g. `1` to force sequential execution),
+    /// overriding the `CANOPY_THREADS` environment default.
+    pub fn with_threads(mut self, threads: usize) -> Verifier {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Whether a fixed-partition workload of `jobs` components over
+    /// `actor` is big enough to amortize spawning `threads` workers.
+    fn worth_parallel(&self, threads: usize, jobs: usize, actor: &Mlp) -> bool {
+        threads > 1 && jobs >= PARALLEL_MIN_JOBS && jobs * actor.param_count() >= PARALLEL_MIN_WORK
+    }
+
+    /// Propagates one input component to a sound action interval (the
+    /// scalar path, used by the zonotope domain).
     fn propagate_action(&self, actor: &Mlp, part: &BoxState) -> Interval {
         match self.domain {
             AbstractDomain::Box => propagate_mlp(actor, part).dim_interval(0),
             AbstractDomain::Zonotope => propagate_mlp_zonotope(actor, part)[0],
+        }
+    }
+
+    /// Prepares the fast batched-IBP propagator when the domain supports
+    /// it (the box domain; zonotopes stay on the scalar path).
+    fn prepare(&self, actor: &Mlp) -> Option<PreparedMlp> {
+        match self.domain {
+            AbstractDomain::Box => Some(PreparedMlp::new(actor)),
+            AbstractDomain::Zonotope => None,
+        }
+    }
+
+    /// Action intervals for one chunk of components, through whichever
+    /// propagator applies.
+    fn chunk_actions<'a, I>(
+        &self,
+        actor: &Mlp,
+        prepared: Option<&PreparedMlp>,
+        parts: I,
+        scratch: &mut IbpBatchScratch,
+    ) -> Vec<Interval>
+    where
+        I: IntoIterator<Item = &'a BoxState>,
+        I::IntoIter: ExactSizeIterator,
+    {
+        match prepared {
+            Some(p) => p.propagate_boxes_dim(parts, 0, scratch),
+            None => parts
+                .into_iter()
+                .map(|part| self.propagate_action(actor, part))
+                .collect(),
+        }
+    }
+
+    /// Action intervals for a full fixed partition: batched through the
+    /// prepared propagator, fanned out over the pool in
+    /// [`CERT_CHUNK`]-sized chunks when the workload is large enough.
+    fn action_intervals(&self, actor: &Mlp, parts: &[BoxState], threads: usize) -> Vec<Interval> {
+        let prepared = self.prepare(actor);
+        if self.worth_parallel(threads, parts.len(), actor) {
+            let chunks: Vec<&[BoxState]> = parts.chunks(CERT_CHUNK).collect();
+            pool::parallel_map(&chunks, threads, |chunk| {
+                let mut scratch = IbpBatchScratch::new();
+                self.chunk_actions(actor, prepared.as_ref(), chunk.iter(), &mut scratch)
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        } else {
+            let mut scratch = IbpBatchScratch::new();
+            self.chunk_actions(actor, prepared.as_ref(), parts.iter(), &mut scratch)
         }
     }
 
@@ -107,29 +217,41 @@ impl Verifier {
             _ => 0.0,
         };
 
+        let threads = pool::resolve_threads(self.threads);
+        let actions = self.action_intervals(actor, &parts, threads);
         let components = parts
-            .into_iter()
-            .map(|part| {
-                self.check_component(actor, property, &part, axis, ctx, allowed, concrete_cwnd)
+            .iter()
+            .zip(actions)
+            .map(|(part, action)| {
+                self.component_from_action(
+                    property,
+                    part,
+                    axis,
+                    ctx,
+                    allowed,
+                    concrete_cwnd,
+                    action,
+                )
             })
             .collect();
 
         Certificate::from_components(&property.name, components)
     }
 
+    /// Builds one component verdict from its already-propagated action
+    /// interval.
     #[allow(clippy::too_many_arguments)]
-    fn check_component(
+    fn component_from_action(
         &self,
-        actor: &Mlp,
         property: &Property,
         part: &BoxState,
         axis: usize,
         ctx: &StepContext,
         allowed: Interval,
         concrete_cwnd: f64,
+        action: Interval,
     ) -> ComponentResult {
         let input_slice = part.dim_interval(axis);
-        let action = self.propagate_action(actor, part);
         let cwnd = f_cwnd_abstract(action, ctx.cwnd_tcp);
         let output = match property.post {
             Postcondition::NoDecrease | Postcondition::NoIncrease => {
@@ -161,6 +283,14 @@ impl Verifier {
     /// everywhere including where it is pointless, while refinement spends
     /// splits only where the bound is still undecided (the trade the paper
     /// discusses around its N sensitivity in §6.8).
+    ///
+    /// Refinement runs on the worker pool: a short sequential warmup
+    /// decides easy certificates without spawning anything, and hard ones
+    /// hand their open boxes to a work-stealing queue shared by
+    /// `CANOPY_THREADS` scoped workers (see [`Verifier::threads`]). The
+    /// leaf set is canonically ordered by input slice before assembling
+    /// the certificate, so verdicts, bound widths, *and* the f64 feedback
+    /// sum are identical at every thread count.
     pub fn certify_adaptive(
         &self,
         actor: &Mlp,
@@ -179,41 +309,138 @@ impl Verifier {
             _ => 0.0,
         };
         let total_width = region.dim_interval(axis).width();
+        let threads = pool::resolve_threads(self.threads);
+        let prepared = self.prepare(actor);
 
-        let mut leaves: Vec<(ComponentResult, f64)> = Vec::new();
-        let mut stack = vec![(region, 0usize)];
-        while let Some((part, depth)) = stack.pop() {
-            let result =
-                self.check_component(actor, property, &part, axis, ctx, allowed, concrete_cwnd);
-            let width = part.dim_interval(axis).width();
-            let weight = if total_width > 0.0 {
-                width / total_width
-            } else {
-                1.0
-            };
-            if result.satisfied || depth >= max_depth || width <= 0.0 {
-                leaves.push((result, weight));
-                continue;
-            }
-            // A concrete counterexample at the centre kills refinement:
-            // probe the box centre as a representative concrete input.
-            let action = actor.forward(&part.center)[0];
-            let violated = match property.post {
-                Postcondition::NoDecrease => f_cwnd(action, ctx.cwnd_tcp) - ctx.cwnd_prev < 0.0,
-                Postcondition::NoIncrease => f_cwnd(action, ctx.cwnd_tcp) - ctx.cwnd_prev > 0.0,
-                Postcondition::BoundedChange { eps } => {
-                    let c = f_cwnd(action, ctx.cwnd_tcp);
-                    (c - concrete_cwnd).abs() / concrete_cwnd.max(f64::MIN_POSITIVE) > eps
+        // Processes one chunk of open boxes: one batched IBP pass for the
+        // whole chunk, then per-box leaf/split classification, then one
+        // batched forward pass for the centre probes of every candidate
+        // split (`forward_batch` is bitwise identical to `forward`, so
+        // batching the probes cannot change a decision). Each box's fate
+        // is independent of processing order, so chunking (and any worker
+        // interleaving) cannot change the leaf set.
+        let process = |chunk: &[(BoxState, usize)],
+                       scratch: &mut AdaptiveScratch|
+         -> ChunkOutcome {
+            let actions = self.chunk_actions(
+                actor,
+                prepared.as_ref(),
+                chunk.iter().map(|(part, _)| part),
+                &mut scratch.ibp,
+            );
+            let mut leaves = Vec::with_capacity(chunk.len());
+            // Boxes whose bound is undecided: candidates for splitting,
+            // pending the concrete centre probe.
+            let mut candidates: Vec<(usize, ComponentResult, f64)> = Vec::new();
+            for (i, ((part, depth), action)) in chunk.iter().zip(actions).enumerate() {
+                let result = self.component_from_action(
+                    property,
+                    part,
+                    axis,
+                    ctx,
+                    allowed,
+                    concrete_cwnd,
+                    action,
+                );
+                let width = part.dim_interval(axis).width();
+                let weight = if total_width > 0.0 {
+                    width / total_width
+                } else {
+                    1.0
+                };
+                if result.satisfied || *depth >= max_depth || width <= 0.0 {
+                    leaves.push((result, weight));
+                } else {
+                    candidates.push((i, result, weight));
                 }
-            };
-            if violated {
-                leaves.push((result, weight));
-                continue;
             }
-            for half in part.split_dim(axis, 2) {
-                stack.push((half, depth + 1));
+            let mut children = Vec::new();
+            if !candidates.is_empty() {
+                // A concrete counterexample at the centre kills refinement:
+                // probe each candidate's centre as a representative
+                // concrete input, all in one batched forward pass.
+                scratch.centers.reshape(candidates.len(), actor.input_dim());
+                for (r, (i, _, _)) in candidates.iter().enumerate() {
+                    scratch.centers.set_row(r, &chunk[*i].0.center);
+                }
+                let probes = actor.forward_batch(&scratch.centers, &mut scratch.fwd);
+                for (r, (i, result, weight)) in candidates.into_iter().enumerate() {
+                    let action = probes.get(r, 0);
+                    let violated = match property.post {
+                        Postcondition::NoDecrease => {
+                            f_cwnd(action, ctx.cwnd_tcp) - ctx.cwnd_prev < 0.0
+                        }
+                        Postcondition::NoIncrease => {
+                            f_cwnd(action, ctx.cwnd_tcp) - ctx.cwnd_prev > 0.0
+                        }
+                        Postcondition::BoundedChange { eps } => {
+                            let c = f_cwnd(action, ctx.cwnd_tcp);
+                            (c - concrete_cwnd).abs() / concrete_cwnd.max(f64::MIN_POSITIVE) > eps
+                        }
+                    };
+                    let (part, depth) = &chunk[i];
+                    if violated {
+                        leaves.push((result, weight));
+                        continue;
+                    }
+                    for half in part.split_dim(axis, 2) {
+                        children.push((half, *depth + 1));
+                    }
+                }
+            }
+            (leaves, children)
+        };
+
+        // Sequential warmup: decides easy certificates without touching
+        // the pool, and seeds hard ones with a frontier deep enough to
+        // feed every worker.
+        let mut leaves: Vec<(ComponentResult, f64)> = Vec::new();
+        let mut open = vec![(region, 0usize)];
+        let mut scratch = AdaptiveScratch::default();
+        let mut processed = 0usize;
+        while !open.is_empty() {
+            let take = open.len().min(CERT_CHUNK);
+            let chunk: Vec<(BoxState, usize)> = open.split_off(open.len() - take);
+            let (l, children) = process(&chunk, &mut scratch);
+            leaves.extend(l);
+            open.extend(children);
+            processed += take;
+            if threads > 1
+                && processed >= ADAPTIVE_WARMUP_EXPANSIONS
+                && open.len() >= 2 * CERT_CHUNK
+            {
+                break;
             }
         }
+        // Parallel drain of whatever frontier remains: a work-stealing
+        // queue of box chunks shared by the scoped workers.
+        if !open.is_empty() {
+            let mut seed_chunks: Vec<Vec<(BoxState, usize)>> = Vec::new();
+            while !open.is_empty() {
+                let take = open.len().min(CERT_CHUNK);
+                seed_chunks.push(open.split_off(open.len() - take));
+            }
+            let queue = WorkQueue::new(seed_chunks);
+            leaves.extend(queue.drain(threads, |q, chunk| {
+                let mut scratch = AdaptiveScratch::default();
+                let (l, mut children) = process(&chunk, &mut scratch);
+                while !children.is_empty() {
+                    let take = children.len().min(CERT_CHUNK);
+                    q.push_children([children.split_off(children.len() - take)]);
+                }
+                l
+            }));
+        }
+
+        // Canonical leaf order: ascending slice along the partition axis.
+        // The leaves partition the axis, so this is a total order; it makes
+        // the certificate independent of worker interleaving.
+        leaves.sort_by(|a, b| {
+            a.0.input_slice
+                .lo
+                .total_cmp(&b.0.input_slice.lo)
+                .then(a.0.input_slice.hi.total_cmp(&b.0.input_slice.hi))
+        });
 
         let feedback = leaves.iter().map(|(c, w)| c.feedback * w).sum::<f64>();
         let proven = leaves.iter().all(|(c, _)| c.satisfied);
@@ -228,6 +455,12 @@ impl Verifier {
 
     /// Certifies a set of properties and returns the Eq. (7) aggregate
     /// alongside the individual certificates.
+    ///
+    /// All (property × component) jobs are flattened into one list and
+    /// fanned out over the worker pool together, so a multi-property
+    /// evaluation keeps every core busy even when the per-property
+    /// component count is modest. Small workloads stay sequential; results
+    /// are identical either way.
     pub fn certify_all(
         &self,
         actor: &Mlp,
@@ -235,9 +468,62 @@ impl Verifier {
         layout: StateLayout,
         ctx: &StepContext,
     ) -> (Vec<Certificate>, f64) {
+        struct Prep {
+            parts: Vec<BoxState>,
+            axis: usize,
+            allowed: Interval,
+            concrete_cwnd: f64,
+        }
+        let preps: Vec<Prep> = properties
+            .iter()
+            .map(|property| {
+                let region = property.input_region(&ctx.state, layout);
+                let axis = property.split_axis(layout);
+                let concrete_cwnd = match property.post {
+                    Postcondition::BoundedChange { .. } => {
+                        f_cwnd(actor.forward(&ctx.state)[0], ctx.cwnd_tcp)
+                    }
+                    _ => 0.0,
+                };
+                Prep {
+                    parts: region.split_dim(axis, self.n_components),
+                    axis,
+                    allowed: property.allowed_output(),
+                    concrete_cwnd,
+                }
+            })
+            .collect();
+
+        // The action interval depends only on the input box, not the
+        // property, so every property's components batch through the
+        // propagator (and the pool) together.
+        let flat_parts: Vec<BoxState> =
+            preps.iter().flat_map(|p| p.parts.iter().cloned()).collect();
+        let threads = pool::resolve_threads(self.threads);
+        let actions = self.action_intervals(actor, &flat_parts, threads);
+
+        let mut remaining = flat_parts.iter().zip(actions);
         let certs: Vec<Certificate> = properties
             .iter()
-            .map(|p| self.certify(actor, p, layout, ctx))
+            .zip(&preps)
+            .map(|(property, p)| {
+                let comps: Vec<ComponentResult> = remaining
+                    .by_ref()
+                    .take(p.parts.len())
+                    .map(|(part, action)| {
+                        self.component_from_action(
+                            property,
+                            part,
+                            p.axis,
+                            ctx,
+                            p.allowed,
+                            p.concrete_cwnd,
+                            action,
+                        )
+                    })
+                    .collect();
+                Certificate::from_components(&property.name, comps)
+            })
             .collect();
         let agg = crate::qc::aggregate_feedback(&certs);
         (certs, agg)

@@ -1,0 +1,106 @@
+//! Property-based equivalence: parallel certification must return exactly
+//! the same certificates as single-threaded certification — same
+//! verdicts, same bound widths (bitwise), same feedback — for random
+//! actors and thread counts. Thread counts are pinned per verifier with
+//! `Verifier::with_threads`, not the `CANOPY_THREADS` environment
+//! variable, so the suite is safe under the multi-threaded test harness.
+
+use canopy_core::property::PropertyParams;
+use canopy_core::{Property, StateLayout, StepContext, Verifier};
+use canopy_nn::{Activation, Mlp};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn layout() -> StateLayout {
+    StateLayout::new(3)
+}
+
+fn random_actor(seed: u64) -> Mlp {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Mlp::new(&mut rng, &[layout().dim(), 24, 24, 1], Activation::Tanh)
+}
+
+fn ctx(delay: f64) -> StepContext {
+    let mut state = vec![0.1; layout().dim()];
+    state[layout().idx(0, canopy_core::obs::DELAY_IDX)] = delay;
+    StepContext {
+        state,
+        cwnd_tcp: 100.0,
+        cwnd_prev: 100.0,
+    }
+}
+
+fn assert_certs_equal(a: &canopy_core::Certificate, b: &canopy_core::Certificate) {
+    assert_eq!(a.proven, b.proven);
+    assert_eq!(a.feedback, b.feedback);
+    assert_eq!(a.components.len(), b.components.len());
+    for (ca, cb) in a.components.iter().zip(&b.components) {
+        assert_eq!(ca.satisfied, cb.satisfied);
+        assert_eq!(ca.input_slice.lo, cb.input_slice.lo);
+        assert_eq!(ca.input_slice.hi, cb.input_slice.hi);
+        assert_eq!(ca.output.lo, cb.output.lo);
+        assert_eq!(ca.output.hi, cb.output.hi);
+        assert_eq!(ca.feedback, cb.feedback);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Adaptive branch-and-bound: 1 thread vs 2 and 4 threads give the
+    /// same leaves, verdicts, bound widths, and feedback.
+    #[test]
+    fn adaptive_certification_is_thread_count_invariant(
+        net_seed in 0u64..300,
+        delay in 0.05f64..0.95,
+        max_depth in 4usize..9,
+        prop_idx in 0usize..2,
+    ) {
+        let actor = random_actor(net_seed);
+        let params = PropertyParams { q_min_delay: 0.5, ..PropertyParams::default() };
+        let props = Property::shallow_set(&params);
+        let property = &props[prop_idx % props.len()];
+        let c = ctx(delay);
+        let sequential = Verifier::new(1)
+            .with_threads(1)
+            .certify_adaptive(&actor, property, layout(), &c, max_depth);
+        for threads in [2usize, 4] {
+            let parallel = Verifier::new(1)
+                .with_threads(threads)
+                .certify_adaptive(&actor, property, layout(), &c, max_depth);
+            assert_certs_equal(&sequential, &parallel);
+        }
+    }
+
+    /// Fixed-partition certify / certify_all: the fan-out path returns
+    /// exactly what the sequential path returns, including the Eq. (7)
+    /// aggregate.
+    #[test]
+    fn certify_all_is_thread_count_invariant(
+        net_seed in 0u64..300,
+        delay in 0.05f64..0.95,
+        n_components in 1usize..60,
+    ) {
+        let actor = random_actor(net_seed);
+        let params = PropertyParams { q_min_delay: 0.4, ..PropertyParams::default() };
+        let props = Property::shallow_set(&params);
+        let c = ctx(delay);
+        let (seq_certs, seq_agg) = Verifier::new(n_components)
+            .with_threads(1)
+            .certify_all(&actor, &props, layout(), &c);
+        let (par_certs, par_agg) = Verifier::new(n_components)
+            .with_threads(4)
+            .certify_all(&actor, &props, layout(), &c);
+        prop_assert_eq!(seq_agg, par_agg);
+        prop_assert_eq!(seq_certs.len(), par_certs.len());
+        for (a, b) in seq_certs.iter().zip(&par_certs) {
+            assert_certs_equal(a, b);
+        }
+        // And single-property certify agrees with its certify_all row.
+        let single = Verifier::new(n_components)
+            .with_threads(4)
+            .certify(&actor, &props[0], layout(), &c);
+        assert_certs_equal(&seq_certs[0], &single);
+    }
+}

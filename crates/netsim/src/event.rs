@@ -1,6 +1,6 @@
 //! The discrete-event calendar.
 
-use std::cmp::Ordering;
+use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
 use crate::flow::FlowId;
@@ -49,16 +49,22 @@ impl PartialOrd for ScheduledEvent {
 
 impl Ord for ScheduledEvent {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap and we want the earliest event
-        // (then the lowest id) on top.
-        other.at.cmp(&self.at).then_with(|| other.id.cmp(&self.id))
+        // Natural order: by time, then insertion id. The queue wraps
+        // entries in `Reverse` to turn the std max-heap into the min-heap
+        // a calendar needs.
+        self.at.cmp(&other.at).then_with(|| self.id.cmp(&other.id))
     }
 }
+
+/// Pending events pre-reserved per flow: enough for a window of in-flight
+/// departures/ACKs plus timers without rehashing the heap's backing
+/// buffer mid-run.
+const EVENTS_PER_FLOW: usize = 64;
 
 /// A deterministic event calendar (min-heap keyed by time, FIFO on ties).
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<ScheduledEvent>,
+    heap: BinaryHeap<Reverse<ScheduledEvent>>,
     next_id: u64,
 }
 
@@ -68,21 +74,35 @@ impl EventQueue {
         EventQueue::default()
     }
 
+    /// Creates an empty calendar pre-sized for `flows` concurrent flows.
+    pub fn with_flow_capacity(flows: usize) -> EventQueue {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(flows.max(1) * EVENTS_PER_FLOW),
+            next_id: 0,
+        }
+    }
+
+    /// Grows the backing buffer to cover one more flow's worth of events
+    /// (called as flows are added, so capacity tracks the flow count).
+    pub fn reserve_for_flow(&mut self) {
+        self.heap.reserve(EVENTS_PER_FLOW);
+    }
+
     /// Schedules `event` at time `at`.
     pub fn schedule(&mut self, at: Time, event: Event) {
         let id = self.next_id;
         self.next_id += 1;
-        self.heap.push(ScheduledEvent { at, id, event });
+        self.heap.push(Reverse(ScheduledEvent { at, id, event }));
     }
 
     /// The activation time of the earliest pending event.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.at)
+        self.heap.peek().map(|e| e.0.at)
     }
 
     /// Removes and returns the earliest pending event.
     pub fn pop(&mut self) -> Option<ScheduledEvent> {
-        self.heap.pop()
+        self.heap.pop().map(|e| e.0)
     }
 
     /// Number of pending events.
@@ -142,5 +162,16 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn presized_queue_behaves_identically() {
+        let mut q = EventQueue::with_flow_capacity(4);
+        q.reserve_for_flow();
+        q.schedule(Time::from_millis(2), Event::LinkDeparture);
+        q.schedule(Time::from_millis(1), Event::LinkDeparture);
+        assert_eq!(q.peek_time(), Some(Time::from_millis(1)));
+        assert_eq!(q.pop().unwrap().at, Time::from_millis(1));
+        assert_eq!(q.pop().unwrap().at, Time::from_millis(2));
     }
 }

@@ -70,6 +70,9 @@ impl Simulator {
         let id = FlowId(self.flows.len());
         let start = config.start_time;
         self.flows.push(FlowState::new(config, cc));
+        // Keep the calendar's capacity tracking the flow count so the
+        // heap's backing buffer never grows mid-run.
+        self.events.reserve_for_flow();
         self.events
             .schedule(start.max(self.now), Event::FlowStart(id));
         id

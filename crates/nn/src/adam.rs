@@ -58,20 +58,52 @@ impl Adam {
             "optimizer bound to a different network shape"
         );
         self.t += 1;
-        let mut params = net.params_flat();
-        let grads = net.grads_flat();
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for i in 0..params.len() {
-            let g = grads[i] * grad_scale;
-            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
-            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
-            let m_hat = self.m[i] / bc1;
-            let v_hat = self.v[i] / bc2;
-            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        // Walk the layers in the canonical flat order (per layer: weights
+        // row-major, then bias) directly, instead of round-tripping
+        // through `params_flat`/`set_params_flat`: the update itself is
+        // identical, without three full-parameter copies per step.
+        let mut offset = 0;
+        for layer in net.layers_mut() {
+            layer.ensure_grads();
+            offset = self.update_slice(
+                layer.weights.as_mut_slice(),
+                layer.grad_weights.as_slice(),
+                offset,
+                grad_scale,
+                bc1,
+                bc2,
+            );
+            let (bias, grad_bias) = (&mut layer.bias, &layer.grad_bias);
+            offset = self.update_slice(bias, grad_bias, offset, grad_scale, bc1, bc2);
         }
-        net.set_params_flat(&params);
+        debug_assert_eq!(offset, self.m.len());
         net.zero_grads();
+    }
+
+    /// Applies the Adam update to one contiguous parameter slice whose
+    /// moments start at `offset`; returns the offset past the slice.
+    fn update_slice(
+        &mut self,
+        params: &mut [f64],
+        grads: &[f64],
+        offset: usize,
+        grad_scale: f64,
+        bc1: f64,
+        bc2: f64,
+    ) -> usize {
+        let m = &mut self.m[offset..offset + params.len()];
+        let v = &mut self.v[offset..offset + params.len()];
+        for (((p, &g0), mi), vi) in params.iter_mut().zip(grads).zip(m).zip(v) {
+            let g = g0 * grad_scale;
+            *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+            *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+            let m_hat = *mi / bc1;
+            let v_hat = *vi / bc2;
+            *p -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+        offset + params.len()
     }
 }
 

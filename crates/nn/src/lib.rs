@@ -9,15 +9,19 @@
 //!
 //! Everything is `f64` and deterministic: initialization draws from a
 //! caller-supplied seeded RNG, and no operation depends on iteration order
-//! of hash maps or on threading.
+//! of hash maps or on threading. The batched paths in [`batch`] are
+//! bitwise identical to the per-sample paths, so switching between them
+//! never changes a result.
 
 pub mod adam;
+pub mod batch;
 pub mod init;
 pub mod layer;
 pub mod mlp;
 pub mod tensor;
 
 pub use adam::Adam;
+pub use batch::{Batch, BatchScratch};
 pub use layer::{Activation, Dense};
 pub use mlp::{ForwardTrace, Mlp};
 pub use tensor::Matrix;

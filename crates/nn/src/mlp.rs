@@ -95,23 +95,47 @@ impl Mlp {
     /// Forward pass that records the activations needed for [`backward`](Self::backward).
     pub fn forward_trace(&self, x: &[f64]) -> (Vec<f64>, ForwardTrace) {
         let mut pre = Vec::with_capacity(self.layers.len());
-        let mut post = Vec::with_capacity(self.layers.len());
-        let mut h = x.to_vec();
-        for layer in &self.layers {
-            let z = layer.affine(&h);
+        let mut post: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len());
+        for (i, layer) in self.layers.iter().enumerate() {
+            // The trace owns each activation vector; reading the previous
+            // layer's output straight out of `post` avoids the per-layer
+            // copy a separate running buffer would need.
+            let h: &[f64] = if i == 0 { x } else { &post[i - 1] };
+            let z = layer.affine(h);
             let y: Vec<f64> = z.iter().map(|&zi| layer.activation.apply(zi)).collect();
             pre.push(z);
-            post.push(y.clone());
-            h = y;
+            post.push(y);
         }
         (
-            h,
+            post.last().expect("network has at least one layer").clone(),
             ForwardTrace {
                 input: x.to_vec(),
                 pre,
                 post,
             },
         )
+    }
+
+    /// Forward pass over the logical concatenation `[a ‖ b]` without
+    /// materializing it — the allocation-free replacement for
+    /// `forward(&concat(a, b))` used by critics that score state–action
+    /// pairs. Bitwise identical to the concatenated call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() + b.len()` does not match the input
+    /// dimensionality.
+    pub fn forward_concat(&self, a: &[f64], b: &[f64]) -> Vec<f64> {
+        let first = self.layers.first().expect("network has at least one layer");
+        let mut h: Vec<f64> = first
+            .affine2(a, b)
+            .into_iter()
+            .map(|z| first.activation.apply(z))
+            .collect();
+        for layer in &self.layers[1..] {
+            h = layer.forward(&h);
+        }
+        h
     }
 
     /// Reverse-mode pass: accumulates parameter gradients for the loss whose
@@ -208,12 +232,22 @@ impl Mlp {
     /// Panics if the two networks have different shapes.
     pub fn soft_update_from(&mut self, other: &Mlp, tau: f64) {
         assert_eq!(self.param_count(), other.param_count(), "shape mismatch");
-        let theirs = other.params_flat();
-        let mut ours = self.params_flat();
-        for (o, t) in ours.iter_mut().zip(&theirs) {
-            *o = (1.0 - tau) * *o + tau * t;
+        // In place, walking the canonical parameter order — the same
+        // arithmetic as the flatten/interpolate/restore round trip,
+        // without the three full-parameter copies.
+        for (ours, theirs) in self.layers.iter_mut().zip(&other.layers) {
+            for (o, t) in ours
+                .weights
+                .as_mut_slice()
+                .iter_mut()
+                .zip(theirs.weights.as_slice())
+            {
+                *o = (1.0 - tau) * *o + tau * t;
+            }
+            for (o, t) in ours.bias.iter_mut().zip(&theirs.bias) {
+                *o = (1.0 - tau) * *o + tau * t;
+            }
         }
-        self.set_params_flat(&ours);
     }
 
     /// Serializes the network to JSON (a model snapshot).
@@ -258,6 +292,18 @@ mod tests {
         let (y, trace) = net.forward_trace(&x);
         assert_eq!(y, net.forward(&x));
         assert_eq!(trace.post.last().unwrap(), &y);
+    }
+
+    #[test]
+    fn forward_concat_matches_forward() {
+        let net = toy_net(8);
+        let a = [0.5];
+        let b = [-0.25, 0.125];
+        let cat = [0.5, -0.25, 0.125];
+        assert_eq!(net.forward_concat(&a, &b), net.forward(&cat));
+        // Degenerate splits work too.
+        assert_eq!(net.forward_concat(&cat, &[]), net.forward(&cat));
+        assert_eq!(net.forward_concat(&[], &cat), net.forward(&cat));
     }
 
     /// The load-bearing test of the whole crate: analytic gradients must

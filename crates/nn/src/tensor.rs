@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
 /// assert_eq!(m.get(1, 0), 3.0);
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -110,7 +110,7 @@ impl Matrix {
             let row = self.row(r);
             let mut acc = 0.0;
             for (w, xi) in row.iter().zip(x) {
-                acc += w * xi;
+                acc = w.mul_add(*xi, acc);
             }
             *slot = acc;
         }
@@ -128,7 +128,7 @@ impl Matrix {
         for (r, &yr) in y.iter().enumerate() {
             let row = self.row(r);
             for (o, w) in out.iter_mut().zip(row) {
-                *o += w * yr;
+                *o = w.mul_add(yr, *o);
             }
         }
         out
@@ -146,7 +146,7 @@ impl Matrix {
         for (r, &yr) in y.iter().enumerate() {
             let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
             for (w, xi) in row.iter_mut().zip(x) {
-                *w += yr * xi;
+                *w = yr.mul_add(*xi, *w);
             }
         }
     }
@@ -155,6 +155,352 @@ impl Matrix {
     pub fn fill_zero(&mut self) {
         self.data.fill(0.0);
     }
+
+    /// Reshapes the matrix to `rows × cols`, reusing the existing
+    /// allocation when possible (the buffer only grows, never shrinks, so
+    /// steady-state reuse performs no heap allocation). The contents are
+    /// unspecified afterwards; callers are expected to overwrite them.
+    pub fn reshape(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Overwrites this matrix with `other`'s shape and contents, reusing
+    /// the existing allocation when large enough.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.reshape(other.rows, other.cols);
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Overwrites row `r` with `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != cols` or `r` is out of range.
+    pub fn set_row(&mut self, r: usize, values: &[f64]) {
+        assert_eq!(values.len(), self.cols, "row length mismatch");
+        self.data[r * self.cols..(r + 1) * self.cols].copy_from_slice(values);
+    }
+
+    /// One row as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self · rhs` (cache-blocked GEMM).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Matrix product `self · rhs` written into `out` (resized as needed;
+    /// no allocation once `out`'s buffer is large enough).
+    ///
+    /// The kernel visits the reduction index `k` in strictly ascending
+    /// order for every output element, with one fused `mul_add` per step,
+    /// so each element is bitwise identical to a sequential fused dot
+    /// product — and therefore to the scalar
+    /// [`matvec`](Self::matvec)/[`t_matvec`](Self::t_matvec) paths, which
+    /// use the same fused step. That invariant is what lets batched
+    /// training reproduce the per-sample code path exactly; do not
+    /// reorder the reduction or unfuse the step on one side only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.matmul_impl(rhs, None, out);
+    }
+
+    fn matmul_impl(&self, rhs: &Matrix, bias: Option<&[f64]>, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.rows, "matmul shape mismatch");
+        out.reshape(self.rows, rhs.cols);
+        let n = rhs.cols;
+        let kk = self.cols;
+        for i in 0..self.rows {
+            let a_row = &self.data[i * kk..(i + 1) * kk];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            // Register-blocked kernel: a GEMM_JB-wide accumulator block
+            // stays in vector registers across the entire reduction, so
+            // each k step costs one broadcast and GEMM_JB/lane-width
+            // load+mul+add — no accumulator traffic. The block is several
+            // vectors wide, giving the out-of-order core independent add
+            // chains to hide FP latency. Each element still accumulates
+            // in strictly ascending `k` order (the bitwise contract).
+            let mut j = 0;
+            while j + GEMM_JB <= n {
+                gemm_block::<GEMM_JB>(a_row, &rhs.data, n, j, bias, &mut out_row[j..j + GEMM_JB]);
+                j += GEMM_JB;
+            }
+            // Narrow-column tail (e.g. observation-width or scalar-output
+            // layers): an 8-wide block, then a 4-wide one.
+            while j + 8 <= n {
+                gemm_block::<8>(a_row, &rhs.data, n, j, bias, &mut out_row[j..j + 8]);
+                j += 8;
+            }
+            while j + 4 <= n {
+                gemm_block::<4>(a_row, &rhs.data, n, j, bias, &mut out_row[j..j + 4]);
+                j += 4;
+            }
+        }
+        // Columns past the widest 4-aligned block: a single-element
+        // reduction is one latency-bound chain, so process four *rows* at
+        // a time instead — four independent chains per column, same
+        // ascending-`k` order per element.
+        let tail_start = (n / 4) * 4;
+        for jt in tail_start..n {
+            let mut i = 0;
+            while i + 4 <= self.rows {
+                let mut acc = [0.0f64; 4];
+                for k in 0..kk {
+                    let b = rhs.data[k * n + jt];
+                    for (slot, row) in acc.iter_mut().zip(0..4) {
+                        *slot = self.data[(i + row) * kk + k].mul_add(b, *slot);
+                    }
+                }
+                let b = bias.map_or(0.0, |b| b[jt]);
+                for (row, &v) in acc.iter().enumerate() {
+                    out.data[(i + row) * n + jt] = v + b;
+                }
+                i += 4;
+            }
+            while i < self.rows {
+                let a_row = &self.data[i * kk..(i + 1) * kk];
+                let mut acc = 0.0;
+                for (k, &a) in a_row.iter().enumerate() {
+                    acc = a.mul_add(rhs.data[k * n + jt], acc);
+                }
+                out.data[i * n + jt] = acc + bias.map_or(0.0, |b| b[jt]);
+                i += 1;
+            }
+        }
+    }
+
+    /// Like [`matmul_into`](Self::matmul_into), then adds `bias[j]` to
+    /// every element of column `j` — fused into the store phase, so the
+    /// bias costs no extra pass over `out`. Each element is the full
+    /// ascending-`k` reduction *then* `+ bias`, bitwise identical to
+    /// `matmul_into` followed by a row-broadcast add.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or `bias.len() != rhs.cols`.
+    pub fn matmul_bias_into(&self, rhs: &Matrix, bias: &[f64], out: &mut Matrix) {
+        assert_eq!(bias.len(), rhs.cols, "bias length mismatch");
+        self.matmul_impl(rhs, Some(bias), out);
+    }
+
+    /// Matrix product with a transposed right-hand side, `self · rhsᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.cols`.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_nt_into(rhs, &mut out);
+        out
+    }
+
+    /// `self · rhsᵀ` written into `out` (resized as needed).
+    ///
+    /// Both operands are walked along contiguous rows, so this is the
+    /// cache-friendly kernel for the dense-layer forward pass
+    /// `Z = X · Wᵀ`: every output element is one dot product of two
+    /// contiguous rows, bitwise identical to [`matvec`](Self::matvec).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.cols`.
+    pub fn matmul_nt_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.cols, "matmul_nt shape mismatch");
+        out.reshape(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
+            for (j, slot) in out_row.iter_mut().enumerate() {
+                let b_row = rhs.row(j);
+                let mut acc = 0.0;
+                for (a, b) in a_row.iter().zip(b_row) {
+                    acc = a.mul_add(*b, acc);
+                }
+                *slot = acc;
+            }
+        }
+    }
+
+    /// Accumulates the whole-batch weight gradient
+    /// `self[r][j] += Σ_n gt[r][n] · x[n][j]` — the batched form of
+    /// [`add_outer`](Self::add_outer) with the gradient supplied already
+    /// transposed (`gt` is `rows × N`) so the reduction reads both
+    /// operands along contiguous rows. Samples are visited in ascending
+    /// order per element, so the result is bitwise identical to `N`
+    /// sequential `add_outer` calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_tn_matmul_pret(&mut self, gt: &Matrix, x: &Matrix) {
+        assert_eq!(gt.rows, self.rows, "gradient width mismatch");
+        assert_eq!(gt.cols, x.rows, "batch size mismatch");
+        assert_eq!(x.cols, self.cols, "input width mismatch");
+        let cols = self.cols;
+        let batch = x.rows;
+        for r in 0..self.rows {
+            let g_row = &gt.data[r * batch..(r + 1) * batch];
+            let w_row = &mut self.data[r * cols..(r + 1) * cols];
+            let mut j = 0;
+            while j + GEMM_JB <= cols {
+                outer_block_pret::<GEMM_JB>(g_row, &x.data, x.cols, j, &mut w_row[j..j + GEMM_JB]);
+                j += GEMM_JB;
+            }
+            while j + 8 <= cols {
+                outer_block_pret::<8>(g_row, &x.data, x.cols, j, &mut w_row[j..j + 8]);
+                j += 8;
+            }
+            while j + 4 <= cols {
+                outer_block_pret::<4>(g_row, &x.data, x.cols, j, &mut w_row[j..j + 4]);
+                j += 4;
+            }
+        }
+        let tail_start = (cols / 4) * 4;
+        for jt in tail_start..cols {
+            let mut r = 0;
+            while r + 4 <= self.rows {
+                let mut acc = [0.0f64; 4];
+                for (slot, row) in acc.iter_mut().zip(0..4) {
+                    *slot = self.data[(r + row) * cols + jt];
+                }
+                for n in 0..batch {
+                    let xv = x.data[n * x.cols + jt];
+                    for (slot, row) in acc.iter_mut().zip(0..4) {
+                        *slot = gt.data[(r + row) * batch + n].mul_add(xv, *slot);
+                    }
+                }
+                for (row, &v) in acc.iter().enumerate() {
+                    self.data[(r + row) * cols + jt] = v;
+                }
+                r += 4;
+            }
+            while r < self.rows {
+                let mut acc = self.data[r * cols + jt];
+                for n in 0..batch {
+                    acc = gt.data[r * batch + n].mul_add(x.data[n * x.cols + jt], acc);
+                }
+                self.data[r * cols + jt] = acc;
+                r += 1;
+            }
+        }
+    }
+
+    /// Writes the transpose of `self` into `out` (resized to
+    /// `cols × rows`).
+    ///
+    /// Pre-transposing a weight matrix turns the batched forward pass
+    /// `X · Wᵀ` into [`matmul`](Self::matmul) with unit-stride inner
+    /// loops over independent accumulators — which the compiler can
+    /// vectorize, unlike the latency-bound dot products of
+    /// [`matmul_nt`](Self::matmul_nt) — while leaving the per-element
+    /// reduction order (and therefore the bits) unchanged.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.reshape(self.cols, self.rows);
+        // 8×8 tiles keep the strided writes within a handful of resident
+        // cache lines per tile instead of sweeping the full column stride
+        // once per element.
+        const TB: usize = 8;
+        for rb in (0..self.rows).step_by(TB) {
+            let r_end = (rb + TB).min(self.rows);
+            for cb in (0..self.cols).step_by(TB) {
+                let c_end = (cb + TB).min(self.cols);
+                for r in rb..r_end {
+                    for c in cb..c_end {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Copies columns `lo..hi` of `self` into `out` (resized to
+    /// `rows × (hi − lo)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column range is out of bounds or inverted.
+    pub fn copy_cols_into(&self, lo: usize, hi: usize, out: &mut Matrix) {
+        assert!(lo <= hi && hi <= self.cols, "column range out of bounds");
+        out.reshape(self.rows, hi - lo);
+        for r in 0..self.rows {
+            let src = &self.data[r * self.cols + lo..r * self.cols + hi];
+            out.data[r * (hi - lo)..(r + 1) * (hi - lo)].copy_from_slice(src);
+        }
+    }
+}
+
+/// Accumulator-block width (in `f64` elements) for the register-blocked
+/// GEMM kernel: four 512-bit vectors' worth, giving four independent
+/// floating-point add chains without spilling.
+const GEMM_JB: usize = 32;
+
+/// One register-blocked GEMM panel: `out[j..j+JB] (+)= Σ_k a[k] · b[k][j..]`,
+/// with the accumulator block held in registers across the whole
+/// reduction and `k` visited in ascending order (the bitwise contract of
+/// [`Matrix::matmul_into`]). `out_blk` carries the initial values (zeros
+/// for a fresh product).
+#[inline(always)]
+fn gemm_block<const JB: usize>(
+    a_row: &[f64],
+    b: &[f64],
+    n: usize,
+    j: usize,
+    bias: Option<&[f64]>,
+    out_blk: &mut [f64],
+) {
+    let mut acc = [0.0f64; JB];
+    for (k, &a) in a_row.iter().enumerate() {
+        let b_blk = &b[k * n + j..k * n + j + JB];
+        for (slot, &bv) in acc.iter_mut().zip(b_blk) {
+            *slot = a.mul_add(bv, *slot);
+        }
+    }
+    match bias {
+        // The bias lands after the completed reduction, during the store
+        // — bitwise identical to a separate broadcast pass, one pass
+        // cheaper.
+        Some(bias) => {
+            for ((o, &v), bv) in out_blk.iter_mut().zip(&acc).zip(&bias[j..j + JB]) {
+                *o = v + bv;
+            }
+        }
+        None => out_blk.copy_from_slice(&acc),
+    }
+}
+
+/// Panel for [`Matrix::add_tn_matmul_pret`]: like [`outer_block`] but
+/// reading the gradient from a contiguous row.
+#[inline(always)]
+fn outer_block_pret<const JB: usize>(
+    g_row: &[f64],
+    x: &[f64],
+    x_cols: usize,
+    j: usize,
+    w_blk: &mut [f64],
+) {
+    let mut acc = [0.0f64; JB];
+    acc.copy_from_slice(w_blk);
+    for (n, &gr) in g_row.iter().enumerate() {
+        let x_blk = &x[n * x_cols + j..n * x_cols + j + JB];
+        for (slot, &xv) in acc.iter_mut().zip(x_blk) {
+            *slot = gr.mul_add(xv, *slot);
+        }
+    }
+    w_blk.copy_from_slice(&acc);
 }
 
 #[cfg(test)]
@@ -196,5 +542,99 @@ mod tests {
         let json = serde_json::to_string(&m).unwrap();
         let back: Matrix = serde_json::from_str(&json).unwrap();
         assert_eq!(m, back);
+    }
+
+    /// A deliberately naive triple loop used as the GEMM oracle.
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc = a.get(i, k).mul_add(b.get(k, j), acc);
+                }
+                *out.get_mut(i, j) = acc;
+            }
+        }
+        out
+    }
+
+    fn pseudo_random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        // A tiny deterministic LCG keeps this test free of the rand dep.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            data.push((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5);
+        }
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_bitwise() {
+        // Sizes straddle the 64-wide tile boundary to exercise blocking.
+        for &(m, k, n) in &[(3, 5, 4), (65, 70, 66), (1, 130, 1), (64, 64, 64)] {
+            let a = pseudo_random_matrix(m, k, 7);
+            let b = pseudo_random_matrix(k, n, 13);
+            assert_eq!(a.matmul(&b), naive_matmul(&a, &b), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_nt_matches_matvec_bitwise() {
+        let x = pseudo_random_matrix(9, 33, 3);
+        let w = pseudo_random_matrix(17, 33, 4);
+        let z = x.matmul_nt(&w);
+        for r in 0..x.rows() {
+            assert_eq!(z.row(r), w.matvec(x.row(r)).as_slice(), "row {r}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_t_matvec_bitwise() {
+        // G(N×out) · W(out×in) row r equals Wᵀ · g_r.
+        let g = pseudo_random_matrix(6, 11, 5);
+        let w = pseudo_random_matrix(11, 19, 6);
+        let gx = g.matmul(&w);
+        for r in 0..g.rows() {
+            assert_eq!(gx.row(r), w.t_matvec(g.row(r)).as_slice(), "row {r}");
+        }
+    }
+
+    #[test]
+    fn add_tn_matmul_pret_matches_sequential_outer_products() {
+        let g = pseudo_random_matrix(8, 5, 9);
+        let x = pseudo_random_matrix(8, 7, 10);
+        let mut gt = Matrix::zeros(0, 0);
+        g.transpose_into(&mut gt);
+        let mut batched = Matrix::zeros(5, 7);
+        batched.add_tn_matmul_pret(&gt, &x);
+        let mut sequential = Matrix::zeros(5, 7);
+        for n in 0..g.rows() {
+            sequential.add_outer(g.row(n), x.row(n));
+        }
+        assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    fn reshape_reuses_and_copy_cols_slices() {
+        let mut m = Matrix::zeros(4, 4);
+        let cap = {
+            m.reshape(2, 3);
+            m.as_slice().len()
+        };
+        assert_eq!(cap, 6);
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        let src = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let mut cols = Matrix::zeros(0, 0);
+        src.copy_cols_into(1, 3, &mut cols);
+        assert_eq!(cols, Matrix::from_rows(&[&[2.0, 3.0], &[5.0, 6.0]]));
+        let mut dst = Matrix::zeros(0, 0);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        dst.set_row(0, &[9.0, 8.0, 7.0]);
+        assert_eq!(dst.row(0), &[9.0, 8.0, 7.0]);
     }
 }

@@ -1,0 +1,119 @@
+//! Property-based equivalence: the batched GEMM paths must reproduce the
+//! per-sample paths **bitwise** — outputs, parameter gradients, and input
+//! gradients — for random networks, batch sizes, and inputs. This is the
+//! contract that lets `canopy_rl` swap its per-transition training loop
+//! for whole-batch passes without changing a single result.
+
+use canopy_nn::{Activation, Batch, BatchScratch, Matrix, Mlp};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_net(seed: u64, widths: &[usize], act: Activation) -> Mlp {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Mlp::new(&mut rng, widths, act)
+}
+
+fn random_batch(seed: u64, n: usize, d: usize) -> Batch {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<f64> = (0..n * d).map(|_| rng.random_range(-2.0..2.0)).collect();
+    Batch::from_vec(n, d, data)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `forward_batch` row `n` equals `forward(row n)` bit for bit, for
+    /// tanh and identity output heads and batch sizes spanning 1..40.
+    #[test]
+    fn forward_batch_equals_per_sample(
+        net_seed in 0u64..500,
+        x_seed in 0u64..500,
+        n in 1usize..40,
+        tanh_head in 0u8..2,
+    ) {
+        let act = if tanh_head == 1 { Activation::Tanh } else { Activation::Identity };
+        let net = random_net(net_seed, &[5, 24, 24, 3], act);
+        let x = random_batch(x_seed, n, 5);
+        let mut scratch = BatchScratch::new();
+        let y = net.forward_batch(&x, &mut scratch);
+        for r in 0..n {
+            prop_assert_eq!(y.row(r), net.forward(x.row(r)).as_slice(), "row {}", r);
+        }
+    }
+
+    /// `backward_batch` accumulates exactly the gradients of the
+    /// per-sample `forward_trace` + `backward` loop, and returns the same
+    /// per-row input gradients.
+    #[test]
+    fn backward_batch_equals_per_sample(
+        net_seed in 0u64..500,
+        x_seed in 0u64..500,
+        g_seed in 0u64..500,
+        n in 1usize..24,
+    ) {
+        let mut batched = random_net(net_seed, &[4, 16, 16, 2], Activation::Tanh);
+        let mut scalar = batched.clone();
+        let x = random_batch(x_seed, n, 4);
+        let g = random_batch(g_seed, n, 2);
+
+        batched.zero_grads();
+        let mut scratch = BatchScratch::new();
+        batched.forward_trace_batch(&x, &mut scratch);
+        let grad_in = batched.backward_batch(&x, &mut scratch, &g).clone();
+
+        scalar.zero_grads();
+        for r in 0..n {
+            let (_, trace) = scalar.forward_trace(x.row(r));
+            let gi = scalar.backward(&trace, g.row(r));
+            prop_assert_eq!(grad_in.row(r), gi.as_slice(), "input grad row {}", r);
+        }
+        prop_assert_eq!(batched.grads_flat(), scalar.grads_flat());
+    }
+
+    /// The blocked GEMM equals a naive triple loop bitwise for shapes
+    /// around the tile boundary.
+    #[test]
+    fn blocked_gemm_equals_naive(
+        a_seed in 0u64..500,
+        b_seed in 0u64..500,
+        m in 1usize..80,
+        k in 1usize..80,
+        n in 1usize..40,
+    ) {
+        let a = random_batch(a_seed, m, k);
+        let b = random_batch(b_seed, k, n);
+        let fast = a.matmul(&b);
+        let mut slow = Matrix::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc = a.get(i, kk).mul_add(b.get(kk, j), acc);
+                }
+                *slow.get_mut(i, j) = acc;
+            }
+        }
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Scratch buffers can be reused across differing batch sizes without
+    /// contaminating results.
+    #[test]
+    fn scratch_reuse_is_clean(
+        net_seed in 0u64..200,
+        x_seed in 0u64..200,
+        n1 in 1usize..16,
+        n2 in 1usize..16,
+    ) {
+        let net = random_net(net_seed, &[3, 12, 2], Activation::Tanh);
+        let mut scratch = BatchScratch::new();
+        let x1 = random_batch(x_seed, n1, 3);
+        net.forward_batch(&x1, &mut scratch);
+        let x2 = random_batch(x_seed.wrapping_add(1), n2, 3);
+        let y2 = net.forward_batch(&x2, &mut scratch);
+        for r in 0..n2 {
+            prop_assert_eq!(y2.row(r), net.forward(x2.row(r)).as_slice());
+        }
+    }
+}

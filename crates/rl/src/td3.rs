@@ -3,7 +3,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use canopy_nn::{Activation, Adam, Mlp};
+use canopy_nn::{Activation, Adam, BatchScratch, Matrix, Mlp};
 
 use crate::noise::GaussianNoise;
 use crate::replay::{ReplayBuffer, Transition};
@@ -70,6 +70,51 @@ pub struct Td3 {
     critic1_opt: Adam,
     critic2_opt: Adam,
     updates: u64,
+    scratch: UpdateScratch,
+}
+
+/// Reusable buffers for the batched [`Td3::update`]: batch matrices, the
+/// propagated-gradient buffers, and one [`BatchScratch`] per network that
+/// runs a forward pass. Everything grows on the first update and is reused
+/// afterwards, so a steady-state update step allocates nothing.
+#[derive(Default)]
+struct UpdateScratch {
+    /// Replay states, `N × s`.
+    states: Matrix,
+    /// Replay actions, `N × a`.
+    actions: Matrix,
+    /// Replay next states, `N × s`.
+    next_states: Matrix,
+    /// Smoothed target actions `ã`, `N × a`.
+    next_actions: Matrix,
+    /// State–action pairs `[s ‖ a]`, `N × (s + a)` (reused for the target
+    /// pair, the critic pair, and the actor pair in turn).
+    xa: Matrix,
+    /// TD targets `y`.
+    targets: Vec<f64>,
+    /// Critic-1 output gradient / TD error, `N × 1`.
+    grad_q1: Matrix,
+    /// Critic-2 TD error, `N × 1`.
+    grad_q2: Matrix,
+    /// Policy gradient sliced to the action coordinates, `N × a`.
+    grad_action: Matrix,
+    actor_fwd: BatchScratch,
+    actor_tgt: BatchScratch,
+    critic1_fwd: BatchScratch,
+    critic2_fwd: BatchScratch,
+    critic1_tgt: BatchScratch,
+    critic2_tgt: BatchScratch,
+}
+
+/// Writes the row-wise concatenation `[left ‖ right]` into `out`.
+fn concat_rows_into(left: &Matrix, right: &Matrix, out: &mut Matrix) {
+    debug_assert_eq!(left.rows(), right.rows(), "batch size mismatch");
+    out.reshape(left.rows(), left.cols() + right.cols());
+    for r in 0..left.rows() {
+        let row = out.row_mut(r);
+        row[..left.cols()].copy_from_slice(left.row(r));
+        row[left.cols()..].copy_from_slice(right.row(r));
+    }
 }
 
 impl Td3 {
@@ -101,6 +146,7 @@ impl Td3 {
             critic1_opt,
             critic2_opt,
             updates: 0,
+            scratch: UpdateScratch::default(),
         }
     }
 
@@ -133,7 +179,7 @@ impl Td3 {
 
     /// Q₁ estimate for a state–action pair (diagnostics).
     pub fn q1(&self, state: &[f64], action: &[f64]) -> f64 {
-        self.critic1.forward(&concat(state, action))[0]
+        self.critic1.forward_concat(state, action)[0]
     }
 
     /// Number of gradient updates performed so far.
@@ -156,6 +202,12 @@ impl Td3 {
     /// (e.g. a differentiable certified-bound loss); whatever it adds is
     /// scaled by `1 / batch_size` together with the policy gradient, so it
     /// should *sum* per-sample contributions over the provided batch.
+    ///
+    /// The whole update runs as batched GEMM passes over reusable scratch
+    /// buffers — zero heap allocation in steady state — and is bitwise
+    /// identical to the per-transition reference loop
+    /// ([`update_reference`](Self::update_reference)) for the same RNG
+    /// stream.
     pub fn update_with_actor_reg<R: Rng>(
         &mut self,
         replay: &ReplayBuffer,
@@ -166,12 +218,155 @@ impl Td3 {
             return None;
         }
         let batch = replay.sample(rng, self.config.batch_size);
-        let n = batch.len() as f64;
+        let n = batch.len();
+        let nf = n as f64;
         let smoothing = GaussianNoise::new(self.config.target_noise_std);
+        let s_dim = self.actor.input_dim();
+        let a_dim = self.actor.output_dim();
+
+        let sc = &mut self.scratch;
+        sc.states.reshape(n, s_dim);
+        sc.actions.reshape(n, a_dim);
+        sc.next_states.reshape(n, s_dim);
+        for (r, t) in batch.iter().enumerate() {
+            sc.states.set_row(r, &t.state);
+            sc.actions.set_row(r, &t.action);
+            sc.next_states.set_row(r, &t.next_state);
+        }
 
         // --- Critic update -------------------------------------------------
         // y = r + γ·(1−done)·min(Q₁'(s', ã), Q₂'(s', ã)),
         // ã = clip(π'(s') + clip(ε, ±c)).
+        // The forward passes consume no randomness, so drawing all smoothing
+        // noise after the batched π'(s') pass — in sample-major, dim-minor
+        // order — replays the reference loop's RNG stream exactly.
+        let a_next = self
+            .actor_target
+            .forward_batch(&sc.next_states, &mut sc.actor_tgt);
+        sc.next_actions.copy_from(a_next);
+        for r in 0..n {
+            for a in sc.next_actions.row_mut(r) {
+                *a = (*a + smoothing.sample_clipped(rng, self.config.target_noise_clip))
+                    .clamp(-1.0, 1.0);
+            }
+        }
+        concat_rows_into(&sc.next_states, &sc.next_actions, &mut sc.xa);
+        let q1t = self
+            .critic1_target
+            .forward_batch(&sc.xa, &mut sc.critic1_tgt);
+        let q2t = self
+            .critic2_target
+            .forward_batch(&sc.xa, &mut sc.critic2_tgt);
+        sc.targets.clear();
+        for (r, t) in batch.iter().enumerate() {
+            let not_done = if t.done { 0.0 } else { 1.0 };
+            let q = q1t.get(r, 0).min(q2t.get(r, 0));
+            sc.targets.push(t.reward + self.config.gamma * not_done * q);
+        }
+
+        self.critic1.zero_grads();
+        self.critic2.zero_grads();
+        concat_rows_into(&sc.states, &sc.actions, &mut sc.xa);
+        let q1 = self
+            .critic1
+            .forward_trace_batch(&sc.xa, &mut sc.critic1_fwd);
+        sc.grad_q1.reshape(n, 1);
+        for r in 0..n {
+            *sc.grad_q1.get_mut(r, 0) = q1.get(r, 0) - sc.targets[r];
+        }
+        self.critic1
+            .backward_batch_params_only(&sc.xa, &mut sc.critic1_fwd, &sc.grad_q1);
+        let q2 = self
+            .critic2
+            .forward_trace_batch(&sc.xa, &mut sc.critic2_fwd);
+        sc.grad_q2.reshape(n, 1);
+        for r in 0..n {
+            *sc.grad_q2.get_mut(r, 0) = q2.get(r, 0) - sc.targets[r];
+        }
+        self.critic2
+            .backward_batch_params_only(&sc.xa, &mut sc.critic2_fwd, &sc.grad_q2);
+        // Summed in the reference loop's interleaved order so the reported
+        // loss also matches bitwise.
+        let mut critic_loss = 0.0;
+        for r in 0..n {
+            let e1 = sc.grad_q1.get(r, 0);
+            let e2 = sc.grad_q2.get(r, 0);
+            critic_loss += e1 * e1;
+            critic_loss += e2 * e2;
+        }
+        critic_loss /= 2.0 * nf;
+        self.critic1_opt.step(&mut self.critic1, 1.0 / nf);
+        self.critic2_opt.step(&mut self.critic2, 1.0 / nf);
+
+        self.updates += 1;
+
+        // --- Delayed actor + target updates --------------------------------
+        let mut actor_loss = None;
+        if self.updates.is_multiple_of(self.config.policy_delay) {
+            self.actor.zero_grads();
+            let a = self
+                .actor
+                .forward_trace_batch(&sc.states, &mut sc.actor_fwd);
+            concat_rows_into(&sc.states, a, &mut sc.xa);
+            let q = self
+                .critic1
+                .forward_trace_batch(&sc.xa, &mut sc.critic1_fwd);
+            let mut loss = 0.0;
+            for r in 0..n {
+                loss -= q.get(r, 0);
+            }
+            // ∂(−Q)/∂input, sliced to the action coordinates, chained
+            // through the actor.
+            sc.grad_q1.reshape(n, 1);
+            sc.grad_q1.as_mut_slice().fill(-1.0);
+            let grad_in = self
+                .critic1
+                .backward_batch(&sc.xa, &mut sc.critic1_fwd, &sc.grad_q1);
+            grad_in.copy_cols_into(s_dim, s_dim + a_dim, &mut sc.grad_action);
+            self.actor
+                .backward_batch_params_only(&sc.states, &mut sc.actor_fwd, &sc.grad_action);
+            // The critic gradients accumulated above belong to the actor's
+            // objective, not the critic's; discard them.
+            self.critic1.zero_grads();
+            actor_reg(&mut self.actor, &batch);
+            self.actor_opt.step(&mut self.actor, 1.0 / nf);
+            actor_loss = Some(loss / nf);
+
+            let tau = self.config.tau;
+            self.actor_target.soft_update_from(&self.actor, tau);
+            self.critic1_target.soft_update_from(&self.critic1, tau);
+            self.critic2_target.soft_update_from(&self.critic2, tau);
+        }
+
+        Some(UpdateStats {
+            critic_loss,
+            actor_loss,
+        })
+    }
+
+    /// The original per-transition scalar update loop, kept verbatim as
+    /// the equivalence oracle for the batched [`update`](Self::update) and
+    /// as the recorded perf baseline for the `perf_report` harness. Do not
+    /// use in production paths; it allocates heavily per step.
+    pub fn update_reference<R: Rng>(
+        &mut self,
+        replay: &ReplayBuffer,
+        rng: &mut R,
+    ) -> Option<UpdateStats> {
+        fn concat(a: &[f64], b: &[f64]) -> Vec<f64> {
+            let mut v = Vec::with_capacity(a.len() + b.len());
+            v.extend_from_slice(a);
+            v.extend_from_slice(b);
+            v
+        }
+
+        if replay.len() < self.config.batch_size {
+            return None;
+        }
+        let batch = replay.sample(rng, self.config.batch_size);
+        let n = batch.len() as f64;
+        let smoothing = GaussianNoise::new(self.config.target_noise_std);
+
         let mut targets = Vec::with_capacity(batch.len());
         for t in &batch {
             let mut a_next = self.actor_target.forward(&t.next_state);
@@ -206,7 +401,6 @@ impl Td3 {
 
         self.updates += 1;
 
-        // --- Delayed actor + target updates --------------------------------
         let mut actor_loss = None;
         if self.updates.is_multiple_of(self.config.policy_delay) {
             self.actor.zero_grads();
@@ -216,16 +410,11 @@ impl Td3 {
                 let xa = concat(&t.state, &a);
                 let (q, critic_trace) = self.critic1.forward_trace(&xa);
                 loss -= q[0];
-                // ∂(−Q)/∂input, sliced to the action coordinates, chained
-                // through the actor.
                 let grad_in = self.critic1.backward(&critic_trace, &[-1.0]);
                 let grad_action = &grad_in[t.state.len()..];
                 self.actor.backward(&actor_trace, grad_action);
             }
-            // The critic gradients accumulated above belong to the actor's
-            // objective, not the critic's; discard them.
             self.critic1.zero_grads();
-            actor_reg(&mut self.actor, &batch);
             self.actor_opt.step(&mut self.actor, 1.0 / n);
             actor_loss = Some(loss / n);
 
@@ -240,13 +429,6 @@ impl Td3 {
             actor_loss,
         })
     }
-}
-
-fn concat(a: &[f64], b: &[f64]) -> Vec<f64> {
-    let mut v = Vec::with_capacity(a.len() + b.len());
-    v.extend_from_slice(a);
-    v.extend_from_slice(b);
-    v
 }
 
 #[cfg(test)]
@@ -404,6 +586,38 @@ mod tests {
             regularized < plain - 0.1,
             "regularizer should push actions down: plain {plain:.3}, reg {regularized:.3}"
         );
+    }
+
+    /// The batched update must reproduce the scalar reference loop
+    /// bitwise: same RNG stream, same parameters, same reported losses.
+    #[test]
+    fn batched_update_matches_reference_bitwise() {
+        let mut fast = agent(17);
+        let mut slow = agent(17);
+        let mut replay = ReplayBuffer::new(512);
+        let mut rng_fill = StdRng::seed_from_u64(23);
+        for i in 0..96 {
+            let s = i as f64 / 96.0 - 0.5;
+            let a = fast.act_explore(&[s], 0.4, &mut rng_fill);
+            replay.push(Transition {
+                state: vec![s],
+                action: a.clone(),
+                reward: -(a[0] - s).abs(),
+                next_state: vec![-s],
+                done: i % 7 == 0,
+            });
+        }
+        let mut rng_a = StdRng::seed_from_u64(31);
+        let mut rng_b = StdRng::seed_from_u64(31);
+        for step in 0..8 {
+            let sa = fast.update(&replay, &mut rng_a).unwrap();
+            let sb = slow.update_reference(&replay, &mut rng_b).unwrap();
+            assert_eq!(sa.critic_loss, sb.critic_loss, "step {step}");
+            assert_eq!(sa.actor_loss, sb.actor_loss, "step {step}");
+        }
+        assert_eq!(fast.actor().params_flat(), slow.actor().params_flat());
+        assert_eq!(fast.act(&[0.3]), slow.act(&[0.3]));
+        assert_eq!(fast.q1(&[0.3], &[0.1]), slow.q1(&[0.3], &[0.1]));
     }
 
     #[test]

@@ -41,14 +41,26 @@ impl Criterion {
         BenchmarkGroup {
             criterion: self,
             name: name.to_string(),
+            throughput: None,
         }
     }
+}
+
+/// Throughput specification attached to a group: when set, per-iteration
+/// timings are also reported as elements (or bytes) per second.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
 }
 
 /// A named family of benchmarks (`group/bench` ids).
 pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -63,6 +75,13 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Sets the per-iteration throughput for subsequent benches in this
+    /// group; timings are then also reported as a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
     /// Runs one benchmark within the group.
     pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
     where
@@ -70,9 +89,10 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        run_one(
+        run_one_with(
             &format!("{}/{}", self.name, id.label()),
             self.criterion.measurement,
+            self.throughput,
             &mut f,
         );
         self
@@ -86,9 +106,10 @@ impl BenchmarkGroup<'_> {
     {
         let id = id.into();
         let mut g = |b: &mut Bencher| f(b, input);
-        run_one(
+        run_one_with(
             &format!("{}/{}", self.name, id.label()),
             self.criterion.measurement,
+            self.throughput,
             &mut g,
         );
         self
@@ -167,6 +188,15 @@ impl Bencher {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(name: &str, measurement: Duration, f: &mut F) {
+    run_one_with(name, measurement, None, f);
+}
+
+fn run_one_with<F: FnMut(&mut Bencher)>(
+    name: &str,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
     // Calibrate: start at one iteration, grow until the batch is long
     // enough to time meaningfully, then take the median of several batches.
     let mut iters = 1u64;
@@ -198,7 +228,36 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, measurement: Duration, f: &mut F)
         .collect();
     per_iter.sort_by(|a, b| a.total_cmp(b));
     let median = per_iter[per_iter.len() / 2];
-    println!("{name:<48} time: {}", format_ns(median));
+    match throughput {
+        Some(t) => println!(
+            "{name:<48} time: {}  thrpt: {}",
+            format_ns(median),
+            format_throughput(t, median)
+        ),
+        None => println!("{name:<48} time: {}", format_ns(median)),
+    }
+}
+
+fn format_throughput(t: Throughput, median_ns: f64) -> String {
+    let per_sec = |count: u64| count as f64 / (median_ns / 1e9);
+    match t {
+        Throughput::Elements(n) => {
+            let rate = per_sec(n);
+            if rate >= 1e6 {
+                format!("{:.2} Melem/s", rate / 1e6)
+            } else {
+                format!("{:.1} Kelem/s", rate / 1e3)
+            }
+        }
+        Throughput::Bytes(n) => {
+            let rate = per_sec(n);
+            if rate >= 1e6 {
+                format!("{:.2} MiB/s", rate / (1024.0 * 1024.0))
+            } else {
+                format!("{:.1} KiB/s", rate / 1024.0)
+            }
+        }
+    }
 }
 
 fn format_ns(ns: f64) -> String {
