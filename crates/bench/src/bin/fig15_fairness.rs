@@ -42,6 +42,7 @@ fn main() {
             .map(|i| FlowSpec {
                 scheme: scheme.clone(),
                 start: stagger * i as u64,
+                stop: None,
                 min_rtt: Time::from_millis(20),
             })
             .collect();

@@ -1,0 +1,221 @@
+//! The scenario lab: fuzzed stress evaluation over the scenario families.
+//!
+//! Generates `--seeds` scenarios per selected family (reproducible from
+//! `(family, seed)` alone), runs every requested scheme over every
+//! scenario on the worker pool, prints a per-family summary table, and
+//! writes the full `SCENARIOS_report.json`.
+//!
+//! ```text
+//! cargo run -p canopy_bench --release --bin scenario_lab -- \
+//!     [--family all|<name>[,<name>...]] [--seeds N] \
+//!     [--schemes cubic,bbr,canopy-shallow,...] [--check] [--smoke] \
+//!     [--out PATH]
+//! ```
+//!
+//! `--family` accepts `all` (default) or a comma list of
+//! `flash-crowd`, `bandwidth-cliff`, `jitter-storm`, `lossy-wireless`,
+//! `buffer-sweep`, `cross-traffic-churn`. `--schemes` accepts the classic
+//! kernels (`cubic`, `newreno`, `vegas`, `bbr`) plus the trained models
+//! (`canopy-shallow`, `canopy-deep`, `canopy-robust`, `orca`), which are
+//! loaded from the model cache (training on first use; `--smoke` shrinks
+//! the budget). `--check` re-runs the entire matrix from re-parsed specs
+//! and fails unless the report is schema-valid and bitwise reproducible.
+
+use std::process::ExitCode;
+
+use canopy_bench::{f1, f3, header, model, row, HarnessOpts};
+use canopy_core::eval::Scheme;
+use canopy_core::models::ModelKind;
+use canopy_scenarios::{fuzz_suite, Family, ScenarioReport, ScenarioSpec};
+
+struct LabOpts {
+    families: Vec<Family>,
+    seeds: u64,
+    schemes: Vec<String>,
+    check: bool,
+    out: String,
+}
+
+fn parse_lab_opts() -> Result<LabOpts, String> {
+    let mut opts = LabOpts {
+        families: Family::ALL.to_vec(),
+        seeds: 8,
+        schemes: vec!["cubic".to_string()],
+        check: false,
+        out: "SCENARIOS_report.json".to_string(),
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--family" | "--families" => {
+                let v = args.get(i + 1).ok_or("--family needs a value")?;
+                if v != "all" {
+                    opts.families = v
+                        .split(',')
+                        .map(|n| {
+                            Family::parse(n.trim()).ok_or_else(|| format!("unknown family `{n}`"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                i += 1;
+            }
+            "--seeds" => {
+                let v = args.get(i + 1).ok_or("--seeds needs a value")?;
+                opts.seeds = v.parse().map_err(|_| format!("bad seed count `{v}`"))?;
+                i += 1;
+            }
+            "--schemes" => {
+                let v = args.get(i + 1).ok_or("--schemes needs a value")?;
+                opts.schemes = v.split(',').map(|s| s.trim().to_string()).collect();
+                i += 1;
+            }
+            "--check" => opts.check = true,
+            "--out" => {
+                opts.out = args.get(i + 1).ok_or("--out needs a value")?.clone();
+                i += 1;
+            }
+            // Consumed by HarnessOpts, skipped here.
+            "--smoke" => {}
+            "--seed" => i += 1,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    if opts.seeds == 0 {
+        return Err("--seeds must be at least 1".into());
+    }
+    Ok(opts)
+}
+
+/// Resolves a scheme name: a classic kernel, or a trained model by name.
+fn resolve_scheme(name: &str, harness: &HarnessOpts) -> Result<Scheme, String> {
+    if canopy_cc::by_name(name).is_some() {
+        return Ok(Scheme::Baseline(name.to_string()));
+    }
+    let kind = match name {
+        "canopy-shallow" => ModelKind::Shallow,
+        "canopy-deep" => ModelKind::Deep,
+        "canopy-robust" => ModelKind::Robust,
+        "orca" => ModelKind::Orca,
+        _ => return Err(format!("unknown scheme `{name}`")),
+    };
+    let (trained, _) = model(kind, harness);
+    Ok(Scheme::Learned(trained))
+}
+
+fn main() -> ExitCode {
+    let harness = HarnessOpts::from_args();
+    let lab = match parse_lab_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("scenario_lab: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let schemes: Vec<Scheme> = match lab
+        .schemes
+        .iter()
+        .map(|n| resolve_scheme(n, &harness))
+        .collect()
+    {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("scenario_lab: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let specs = fuzz_suite(&lab.families, lab.seeds);
+    println!(
+        "# Scenario lab — {} scenarios ({} families × {} seeds) × {} schemes\n",
+        specs.len(),
+        lab.families.len(),
+        lab.seeds,
+        schemes.len()
+    );
+
+    let results = match canopy_scenarios::run_matrix(&schemes, &specs, None) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scenario_lab: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = ScenarioReport::new(results);
+
+    // Per-(scheme, family) summary: means over the family's seeds.
+    header(&[
+        "scheme",
+        "family",
+        "thr (Mbps)",
+        "util",
+        "p95 qdelay (ms)",
+        "loss",
+        "jain",
+    ]);
+    for scheme in &report.schemes {
+        for family in &report.families {
+            let cells: Vec<&canopy_scenarios::ScenarioMetrics> = report
+                .results
+                .iter()
+                .filter(|r| &r.scheme == scheme && &r.family == family)
+                .collect();
+            if cells.is_empty() {
+                continue;
+            }
+            let n = cells.len() as f64;
+            let mean = |f: &dyn Fn(&canopy_scenarios::ScenarioMetrics) -> f64| {
+                cells.iter().map(|c| f(c)).sum::<f64>() / n
+            };
+            row(&[
+                scheme.clone(),
+                family.clone(),
+                f1(mean(&|c| c.primary.throughput_mbps)),
+                f3(mean(&|c| c.primary.utilization)),
+                f1(mean(&|c| c.primary.p95_qdelay_ms)),
+                f1(mean(&|c| c.primary.losses as f64)),
+                f3(mean(&|c| c.jain_fairness)),
+            ]);
+        }
+    }
+
+    if let Err(e) = report.validate() {
+        eprintln!("scenario_lab: generated report is invalid: {e}");
+        return ExitCode::FAILURE;
+    }
+    let text = report.to_json();
+    if let Err(e) = std::fs::write(&lab.out, &text) {
+        eprintln!("scenario_lab: cannot write {}: {e}", lab.out);
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "\nwrote {} ({} results, schema {})",
+        lab.out,
+        report.results.len(),
+        report.schema
+    );
+
+    if lab.check {
+        // Reproducibility gate: rebuild every spec from its (family, seed)
+        // identity, round-trip it through JSON, re-run the whole matrix,
+        // and require a bitwise-identical report.
+        let reparsed: Vec<ScenarioSpec> = specs
+            .iter()
+            .map(|s| ScenarioSpec::from_json(&s.to_json()).expect("specs round-trip"))
+            .collect();
+        let again = match canopy_scenarios::run_matrix(&schemes, &reparsed, None) {
+            Ok(r) => ScenarioReport::new(r),
+            Err(e) => {
+                eprintln!("scenario_lab: --check re-run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if again.to_json() != text {
+            eprintln!("scenario_lab: --check FAILED: re-run diverged from the report");
+            return ExitCode::FAILURE;
+        }
+        println!("--check OK: re-run from re-parsed specs is bitwise identical");
+    }
+    ExitCode::SUCCESS
+}

@@ -207,7 +207,7 @@ fn run_baseline(
     let mut sim = Simulator::new(link);
     let flow = sim.add_flow(FlowConfig::new(min_rtt), cc);
     sim.run_until(duration);
-    metrics_from_sim(&sim, flow, name, trace, duration, None, None, None)
+    metrics_from_sim(&sim, flow, name, None, None, None)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -259,27 +259,24 @@ fn run_learned(
         env.sim(),
         env.flow(),
         &scheme.name(),
-        trace,
-        duration,
         qc_sat,
         qc_sat_std,
         fallback.map(|f| f.fallback_rate()),
     )
 }
 
-#[allow(clippy::too_many_arguments)]
-fn metrics_from_sim(
-    sim: &Simulator,
-    flow: FlowId,
-    scheme: &str,
-    trace: &BandwidthTrace,
-    duration: Time,
-    qc_sat: Option<f64>,
-    qc_sat_std: Option<f64>,
-    fallback_rate: Option<f64>,
-) -> RunMetrics {
+/// Per-flow metrics from any simulator the caller drove itself, normalized
+/// to the flow's **active interval** (start event to departure), not the
+/// run length — a flow that joined late or left early is judged over the
+/// time it was actually sending. Utilization integrates link capacity over
+/// the same interval. This is the metric kernel behind [`run_scheme`] and
+/// the scenario-matrix runner.
+pub fn flow_metrics(sim: &Simulator, flow: FlowId, scheme: &str) -> RunMetrics {
     let stats = sim.flow_stats(flow);
-    let capacity = trace.capacity_bytes(Time::ZERO, duration).max(1.0);
+    let trace = &sim.link().trace;
+    let (start, end) = stats.active_interval(sim.now());
+    let capacity = trace.capacity_bytes(start, end).max(1.0);
+    let throughput_mbps = stats.throughput_mbps(sim.now());
     RunMetrics {
         scheme: scheme.to_string(),
         trace: trace.name().to_string(),
@@ -288,12 +285,28 @@ fn metrics_from_sim(
         p95_qdelay_ms: stats.queue_delay_quantile_ms(0.95),
         avg_rtt_ms: stats.mean_rtt_ms(),
         p95_rtt_ms: stats.rtt_quantile_ms(0.95),
-        throughput_mbps: stats.acked_bytes as f64 * 8.0 / duration.as_secs_f64() / 1e6,
+        throughput_mbps,
         losses: stats.dropped_packets + stats.random_losses,
         retransmits: stats.retransmits,
+        qc_sat: None,
+        qc_sat_std: None,
+        fallback_rate: None,
+    }
+}
+
+fn metrics_from_sim(
+    sim: &Simulator,
+    flow: FlowId,
+    scheme: &str,
+    qc_sat: Option<f64>,
+    qc_sat_std: Option<f64>,
+    fallback_rate: Option<f64>,
+) -> RunMetrics {
+    RunMetrics {
         qc_sat,
         qc_sat_std,
         fallback_rate,
+        ..flow_metrics(sim, flow, scheme)
     }
 }
 
@@ -395,8 +408,22 @@ pub struct FlowSpec {
     pub scheme: FlowScheme,
     /// When the flow starts.
     pub start: Time,
+    /// When the flow departs (`None` runs to the end).
+    pub stop: Option<Time>,
     /// Propagation RTT of this flow's path.
     pub min_rtt: Time,
+}
+
+impl FlowSpec {
+    /// A flow active for the whole run.
+    pub fn new(scheme: FlowScheme, min_rtt: Time) -> FlowSpec {
+        FlowSpec {
+            scheme,
+            start: Time::ZERO,
+            stop: None,
+            min_rtt,
+        }
+    }
 }
 
 struct AgentDriver {
@@ -406,6 +433,7 @@ struct AgentDriver {
     layout: StateLayout,
     mi: Time,
     next_decision: Time,
+    stop: Option<Time>,
     prev_action: f64,
 }
 
@@ -427,12 +455,13 @@ pub fn run_multiflow(
                 .unwrap_or_else(|| panic!("unknown baseline scheme `{name}`")),
             FlowScheme::Agent(_) => Box::new(canopy_cc::Cubic::new()),
         };
-        let id = sim.add_flow(
-            FlowConfig::new(spec.min_rtt)
-                .starting_at(spec.start)
-                .without_samples(),
-            cc,
-        );
+        let mut flow_cfg = FlowConfig::new(spec.min_rtt)
+            .starting_at(spec.start)
+            .without_samples();
+        if let Some(stop) = spec.stop {
+            flow_cfg = flow_cfg.stopping_at(stop);
+        }
+        let id = sim.add_flow(flow_cfg, cc);
         ids.push(id);
         drivers.push(match &spec.scheme {
             FlowScheme::Agent(model) => {
@@ -446,6 +475,7 @@ pub fn run_multiflow(
                     layout,
                     mi,
                     next_decision: spec.start + mi,
+                    stop: spec.stop,
                     prev_action: 0.0,
                 })
             }
@@ -468,6 +498,11 @@ pub fn run_multiflow(
 
         for d in drivers.iter_mut().flatten() {
             if d.next_decision <= sim.now() {
+                if d.stop.is_some_and(|s| sim.now() >= s) {
+                    // The agent's flow departed; stop waking up for it.
+                    d.next_decision = Time::MAX;
+                    continue;
+                }
                 let sample = sim.monitor_sample(d.flow);
                 let obs = Observation::from_sample(&sample);
                 d.builder.push(&obs, d.prev_action);
@@ -508,17 +543,9 @@ pub fn friendliness_ratio(
     duration: Time,
 ) -> f64 {
     let link = LinkConfig::with_bdp_buffer(trace.clone(), min_rtt, buffer_bdp);
-    let mut flows = vec![FlowSpec {
-        scheme: scheme.clone(),
-        start: Time::ZERO,
-        min_rtt,
-    }];
+    let mut flows = vec![FlowSpec::new(scheme.clone(), min_rtt)];
     for _ in 0..n_competitors {
-        flows.push(FlowSpec {
-            scheme: FlowScheme::Classic("cubic".into()),
-            start: Time::ZERO,
-            min_rtt,
-        });
+        flows.push(FlowSpec::new(FlowScheme::Classic("cubic".into()), min_rtt));
     }
     let series = run_multiflow(link, &flows, duration, Time::from_secs(1));
     // Skip the first quarter as warm-up.
@@ -665,11 +692,7 @@ mod tests {
         let trace = BandwidthTrace::constant("fair", 48e6);
         let link = LinkConfig::with_bdp_buffer(trace, Time::from_millis(20), 1.0);
         let flows: Vec<FlowSpec> = (0..2)
-            .map(|_| FlowSpec {
-                scheme: FlowScheme::Classic("cubic".into()),
-                start: Time::ZERO,
-                min_rtt: Time::from_millis(20),
-            })
+            .map(|_| FlowSpec::new(FlowScheme::Classic("cubic".into()), Time::from_millis(20)))
             .collect();
         let series = run_multiflow(link, &flows, Time::from_secs(20), Time::from_secs(1));
         assert_eq!(series.len(), 2);

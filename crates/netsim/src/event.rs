@@ -20,6 +20,9 @@ pub enum Event {
     RtoTimer { flow: FlowId, generation: u64 },
     /// The application on `flow` starts sending.
     FlowStart(FlowId),
+    /// The application on `flow` departs: no new data or retransmissions
+    /// after this instant (in-flight packets may still be acknowledged).
+    FlowStop(FlowId),
 }
 
 /// An event with its activation time and a monotone tie-break id.

@@ -25,6 +25,11 @@ pub struct FlowConfig {
     pub min_rtt: Time,
     /// When the application starts sending.
     pub start_time: Time,
+    /// When the application departs (`None` keeps sending forever). After
+    /// this instant the flow transmits nothing — no new data and no
+    /// retransmissions — though packets already in flight may still be
+    /// acknowledged.
+    pub stop_time: Option<Time>,
     /// Whether to record per-ACK delay samples in [`FlowStats::samples`].
     pub record_samples: bool,
 }
@@ -35,6 +40,7 @@ impl FlowConfig {
         FlowConfig {
             min_rtt,
             start_time: Time::ZERO,
+            stop_time: None,
             record_samples: true,
         }
     }
@@ -42,6 +48,12 @@ impl FlowConfig {
     /// Sets the start time.
     pub fn starting_at(mut self, t: Time) -> FlowConfig {
         self.start_time = t;
+        self
+    }
+
+    /// Sets the departure time (clamped to be no earlier than the start).
+    pub fn stopping_at(mut self, t: Time) -> FlowConfig {
+        self.stop_time = Some(t.max(self.start_time));
         self
     }
 
@@ -106,6 +118,8 @@ pub struct FlowState {
     pub cc: Box<dyn CongestionControl>,
     /// Whether the application has started.
     pub started: bool,
+    /// Whether the application has departed (stopped sending for good).
+    pub stopped: bool,
 
     // --- Sender reliability state ---
     /// Next fresh sequence number to send.
@@ -155,6 +169,7 @@ impl FlowState {
             config,
             cc,
             started: false,
+            stopped: false,
             next_seq: 0,
             cum_acked: 0,
             outstanding: BTreeMap::new(),
@@ -184,9 +199,14 @@ impl FlowState {
         self.cc.cwnd().max(MIN_CWND).floor() as u64
     }
 
+    /// Whether the application is between its start and stop times.
+    pub fn active(&self) -> bool {
+        self.started && !self.stopped
+    }
+
     /// Whether the window permits sending another packet.
     pub fn can_send(&self) -> bool {
-        self.started && self.inflight() < self.effective_cwnd()
+        self.active() && self.inflight() < self.effective_cwnd()
     }
 
     /// Whether there is anything to (re)transmit.

@@ -34,8 +34,75 @@ impl Impairments {
     }
 }
 
+/// One phase of a time-scheduled impairment program: from `start` until the
+/// next phase begins (or forever), packets see the given loss probability
+/// and jitter bound.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ImpairmentPhase {
+    /// When this phase takes effect.
+    pub start: Time,
+    /// Random-loss probability during the phase; `0.0` disables.
+    pub random_loss: f64,
+    /// Maximum extra one-way delay during the phase; [`Time::ZERO`]
+    /// disables.
+    pub max_jitter: Time,
+}
+
+/// A time-scheduled impairment program (loss/jitter phases), generalizing
+/// the static [`Impairments`]: before the first phase the link is clean,
+/// then each phase holds until the next one starts, and the final phase
+/// holds to the end of the run. One seeded RNG drives the whole program so
+/// runs stay deterministic.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ImpairmentSchedule {
+    /// Phases sorted by `start` (unsorted input is sorted on construction;
+    /// building by hand must keep them sorted).
+    pub phases: Vec<ImpairmentPhase>,
+    /// Seed for the impairment RNG.
+    pub seed: u64,
+}
+
+impl ImpairmentSchedule {
+    /// A schedule from explicit phases (sorted by start time here).
+    pub fn new(mut phases: Vec<ImpairmentPhase>, seed: u64) -> ImpairmentSchedule {
+        phases.sort_by_key(|p| p.start);
+        ImpairmentSchedule { phases, seed }
+    }
+
+    /// A single-phase schedule equivalent to static [`Impairments`].
+    pub fn constant(imp: Impairments) -> ImpairmentSchedule {
+        ImpairmentSchedule {
+            phases: vec![ImpairmentPhase {
+                start: Time::ZERO,
+                random_loss: imp.random_loss,
+                max_jitter: imp.max_jitter,
+            }],
+            seed: imp.seed,
+        }
+    }
+
+    /// Whether any phase impairs traffic.
+    pub fn is_active(&self) -> bool {
+        self.phases
+            .iter()
+            .any(|p| p.random_loss > 0.0 || p.max_jitter > Time::ZERO)
+    }
+
+    /// The `(random_loss, max_jitter)` in effect at time `t` (clean before
+    /// the first phase).
+    pub fn at(&self, t: Time) -> (f64, Time) {
+        let idx = self.phases.partition_point(|p| p.start <= t);
+        if idx == 0 {
+            (0.0, Time::ZERO)
+        } else {
+            let p = &self.phases[idx - 1];
+            (p.random_loss, p.max_jitter)
+        }
+    }
+}
+
 /// Static configuration of the bottleneck.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct LinkConfig {
     /// The bandwidth process.
     pub trace: BandwidthTrace,
@@ -43,6 +110,9 @@ pub struct LinkConfig {
     pub buffer_bytes: u64,
     /// Stochastic impairments (off by default).
     pub impairments: Impairments,
+    /// Optional time-scheduled impairment program; when set it supersedes
+    /// the static `impairments`.
+    pub schedule: Option<ImpairmentSchedule>,
 }
 
 impl LinkConfig {
@@ -52,6 +122,7 @@ impl LinkConfig {
             trace,
             buffer_bytes,
             impairments: Impairments::none(),
+            schedule: None,
         }
     }
 
@@ -59,6 +130,26 @@ impl LinkConfig {
     pub fn with_impairments(mut self, impairments: Impairments) -> LinkConfig {
         self.impairments = impairments;
         self
+    }
+
+    /// Attaches a time-scheduled impairment program (supersedes any static
+    /// impairments).
+    pub fn with_impairment_schedule(mut self, schedule: ImpairmentSchedule) -> LinkConfig {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// The effective impairment program: the explicit schedule when set,
+    /// otherwise the static impairments lifted to a one-phase schedule,
+    /// otherwise `None`.
+    pub fn effective_schedule(&self) -> Option<ImpairmentSchedule> {
+        match &self.schedule {
+            Some(s) => s.is_active().then(|| s.clone()),
+            None => self
+                .impairments
+                .is_active()
+                .then(|| ImpairmentSchedule::constant(self.impairments)),
+        }
     }
 
     /// Creates a link whose buffer is `bdp_multiple` bandwidth-delay
@@ -77,6 +168,7 @@ impl LinkConfig {
             trace,
             buffer_bytes: buffer,
             impairments: Impairments::none(),
+            schedule: None,
         }
     }
 

@@ -13,7 +13,7 @@ use rand::{Rng, SeedableRng};
 use crate::cc::{AckInfo, CongestionControl, LossInfo};
 use crate::event::{Event, EventQueue};
 use crate::flow::{FlowConfig, FlowId, FlowState, SentMeta, DUPACK_THRESHOLD};
-use crate::link::{Impairments, Link, LinkConfig};
+use crate::link::{ImpairmentSchedule, Link, LinkConfig};
 use crate::packet::{Ack, Packet, MSS_BYTES};
 use crate::stats::{DelaySample, FlowStats, MonitorSample};
 use crate::time::Time;
@@ -42,19 +42,17 @@ pub struct Simulator {
     events: EventQueue,
     link: Link,
     flows: Vec<FlowState>,
-    /// Impairment model and its RNG; present only when active so that
-    /// unimpaired runs are seed-independent.
-    impair: Option<(Impairments, StdRng)>,
+    /// Impairment program and its RNG; present only when some phase
+    /// impairs traffic so that unimpaired runs are seed-independent.
+    impair: Option<(ImpairmentSchedule, StdRng)>,
 }
 
 impl Simulator {
     /// Creates a simulator around one bottleneck link.
     pub fn new(link: LinkConfig) -> Simulator {
-        let impair = link.impairments.is_active().then(|| {
-            (
-                link.impairments,
-                StdRng::seed_from_u64(link.impairments.seed),
-            )
+        let impair = link.effective_schedule().map(|s| {
+            let rng = StdRng::seed_from_u64(s.seed);
+            (s, rng)
         });
         Simulator {
             now: Time::ZERO,
@@ -65,16 +63,20 @@ impl Simulator {
         }
     }
 
-    /// Adds a flow; it begins sending at `config.start_time`.
+    /// Adds a flow; it begins sending at `config.start_time` and, when
+    /// `config.stop_time` is set, departs at that instant.
     pub fn add_flow(&mut self, config: FlowConfig, cc: Box<dyn CongestionControl>) -> FlowId {
         let id = FlowId(self.flows.len());
-        let start = config.start_time;
+        let start = config.start_time.max(self.now);
+        let stop = config.stop_time;
         self.flows.push(FlowState::new(config, cc));
         // Keep the calendar's capacity tracking the flow count so the
         // heap's backing buffer never grows mid-run.
         self.events.reserve_for_flow();
-        self.events
-            .schedule(start.max(self.now), Event::FlowStart(id));
+        self.events.schedule(start, Event::FlowStart(id));
+        if let Some(stop) = stop {
+            self.events.schedule(stop.max(start), Event::FlowStop(id));
+        }
         id
     }
 
@@ -172,9 +174,21 @@ impl Simulator {
     fn dispatch(&mut self, event: Event) {
         match event {
             Event::FlowStart(f) => {
-                self.flows[f.0].started = true;
+                let flow = &mut self.flows[f.0];
+                flow.started = true;
+                flow.stats.started_at = Some(self.now);
                 self.try_send(f);
                 self.ensure_rto_armed(f);
+            }
+            Event::FlowStop(f) => {
+                let flow = &mut self.flows[f.0];
+                flow.stopped = true;
+                flow.stats.stopped_at = Some(self.now);
+                // The departing application abandons undelivered data: no
+                // retransmissions, and the pending timer is invalidated.
+                flow.lost_pending.clear();
+                flow.rto_armed = false;
+                flow.rto_generation += 1;
             }
             Event::LinkDeparture => self.on_departure(),
             Event::AckArrival(ack) => self.on_ack(ack),
@@ -255,18 +269,20 @@ impl Simulator {
             .dequeue()
             .expect("departure event implies a packet in service");
         let f = qp.packet.flow;
-        // Non-congestive impairments after transmission.
+        // Non-congestive impairments after transmission, under whichever
+        // phase of the impairment program is active right now.
         let mut jitter = Time::ZERO;
-        if let Some((cfg, rng)) = self.impair.as_mut() {
-            if cfg.random_loss > 0.0 && rng.random::<f64>() < cfg.random_loss {
+        if let Some((sched, rng)) = self.impair.as_mut() {
+            let (random_loss, max_jitter) = sched.at(self.now);
+            if random_loss > 0.0 && rng.random::<f64>() < random_loss {
                 // Corrupted on the wire: no delivery, no ACK; the sender
                 // discovers this like any other loss.
                 self.flows[f.0].stats.random_losses += 1;
                 self.maybe_start_transmission();
                 return;
             }
-            if cfg.max_jitter > Time::ZERO {
-                jitter = Time::from_nanos(rng.random_range(0..=cfg.max_jitter.as_nanos()));
+            if max_jitter > Time::ZERO {
+                jitter = Time::from_nanos(rng.random_range(0..=max_jitter.as_nanos()));
             }
         }
         let queue_delay = self.now - qp.enqueued_at;
@@ -446,7 +462,7 @@ impl Simulator {
         let now = self.now;
         let flow = &mut self.flows[f.0];
         flow.rto_generation += 1;
-        if flow.outstanding.is_empty() && flow.lost_pending.is_empty() {
+        if flow.stopped || (flow.outstanding.is_empty() && flow.lost_pending.is_empty()) {
             flow.rto_armed = false;
             return;
         }
@@ -816,6 +832,206 @@ mod tests {
             sim.flow_stats(f).acked_packets > acked_before,
             "flow starved after the lull"
         );
+    }
+
+    #[test]
+    fn flow_stops_at_departure_time() {
+        let mut sim = basic_sim(12e6, 20, 2.0);
+        let f = sim.add_flow(
+            FlowConfig::new(Time::from_millis(20))
+                .starting_at(Time::from_secs(1))
+                .stopping_at(Time::from_secs(3)),
+            Box::new(FixedWindow::new(20.0)),
+        );
+        sim.run_until(Time::from_secs(6));
+        let stats = sim.flow_stats(f);
+        assert_eq!(stats.started_at, Some(Time::from_secs(1)));
+        assert_eq!(stats.stopped_at, Some(Time::from_secs(3)));
+        assert!(stats.acked_packets > 0);
+        // Nothing is sent after the stop: the last transmission happened at
+        // or before the departure instant, so everything in flight drains
+        // within one RTT and the counters freeze.
+        let sent_at_stop = stats.sent_packets;
+        sim.run_until(Time::from_secs(10));
+        assert_eq!(sim.flow_stats(f).sent_packets, sent_at_stop);
+    }
+
+    #[test]
+    fn active_interval_normalizes_throughput() {
+        // Two identical flows, one active the whole run, one only for the
+        // middle two seconds: active-interval throughput must match even
+        // though lifetime byte counts differ by ~3x.
+        let mut sim = basic_sim(48e6, 20, 2.0);
+        let long = sim.add_flow(
+            FlowConfig::new(Time::from_millis(20)),
+            Box::new(FixedWindow::new(10.0)),
+        );
+        let short = sim.add_flow(
+            FlowConfig::new(Time::from_millis(20))
+                .starting_at(Time::from_secs(2))
+                .stopping_at(Time::from_secs(4)),
+            Box::new(FixedWindow::new(10.0)),
+        );
+        sim.run_until(Time::from_secs(6));
+        let now = sim.now();
+        let rate = |f: FlowId| {
+            let s = sim.flow_stats(f);
+            s.acked_bytes as f64 * 8.0 / s.active_duration(now).as_secs_f64()
+        };
+        assert_eq!(
+            sim.flow_stats(short).active_duration(now),
+            Time::from_secs(2)
+        );
+        assert_eq!(
+            sim.flow_stats(long).active_duration(now),
+            Time::from_secs(6)
+        );
+        let (r_long, r_short) = (rate(long), rate(short));
+        assert!(
+            (r_long - r_short).abs() / r_long < 0.15,
+            "normalized rates diverge: {r_long:.0} vs {r_short:.0}"
+        );
+        // A flow that never started has an empty interval.
+        let mut sim2 = basic_sim(12e6, 20, 2.0);
+        let never = sim2.add_flow(
+            FlowConfig::new(Time::from_millis(20)).starting_at(Time::from_secs(50)),
+            Box::new(FixedWindow::new(10.0)),
+        );
+        sim2.run_until(Time::from_secs(1));
+        assert_eq!(
+            sim2.flow_stats(never).active_duration(sim2.now()),
+            Time::ZERO
+        );
+    }
+
+    #[test]
+    fn impairment_phases_schedule_loss_in_time() {
+        use crate::link::{ImpairmentPhase, ImpairmentSchedule};
+        // Clean for 3 s, heavy random loss for 3 s, clean again.
+        let trace = BandwidthTrace::constant("phased", 12e6);
+        let schedule = ImpairmentSchedule::new(
+            vec![
+                ImpairmentPhase {
+                    start: Time::from_secs(3),
+                    random_loss: 0.05,
+                    max_jitter: Time::ZERO,
+                },
+                ImpairmentPhase {
+                    start: Time::from_secs(6),
+                    random_loss: 0.0,
+                    max_jitter: Time::ZERO,
+                },
+            ],
+            11,
+        );
+        let link = LinkConfig::with_bdp_buffer(trace, Time::from_millis(40), 4.0)
+            .with_impairment_schedule(schedule);
+        let mut sim = Simulator::new(link);
+        let f = sim.add_flow(
+            FlowConfig::new(Time::from_millis(40)),
+            Box::new(FixedWindow::new(20.0)),
+        );
+        sim.run_until(Time::from_secs(3));
+        assert_eq!(sim.flow_stats(f).random_losses, 0, "clean opening phase");
+        sim.run_until(Time::from_secs(6));
+        let during = sim.flow_stats(f).random_losses;
+        assert!(during > 0, "storm phase must drop packets");
+        sim.run_until(Time::from_secs(9));
+        assert_eq!(
+            sim.flow_stats(f).random_losses,
+            during,
+            "closing phase is clean again"
+        );
+    }
+
+    #[test]
+    fn impairment_schedule_lookup() {
+        use crate::link::{ImpairmentPhase, ImpairmentSchedule};
+        let s = ImpairmentSchedule::new(
+            vec![
+                ImpairmentPhase {
+                    start: Time::from_secs(5),
+                    random_loss: 0.02,
+                    max_jitter: Time::from_millis(1),
+                },
+                ImpairmentPhase {
+                    start: Time::from_secs(2),
+                    random_loss: 0.01,
+                    max_jitter: Time::ZERO,
+                },
+            ],
+            0,
+        );
+        // Construction sorts by start.
+        assert_eq!(s.at(Time::ZERO), (0.0, Time::ZERO));
+        assert_eq!(s.at(Time::from_secs(2)), (0.01, Time::ZERO));
+        assert_eq!(s.at(Time::from_secs(4)), (0.01, Time::ZERO));
+        assert_eq!(s.at(Time::from_secs(7)), (0.02, Time::from_millis(1)));
+        assert!(s.is_active());
+        assert!(!ImpairmentSchedule::new(Vec::new(), 1).is_active());
+    }
+
+    #[test]
+    fn static_impairments_equal_one_phase_schedule() {
+        use crate::link::{ImpairmentSchedule, Impairments};
+        let run = |link: LinkConfig| {
+            let mut sim = Simulator::new(link);
+            let f = sim.add_flow(
+                FlowConfig::new(Time::from_millis(40)).without_samples(),
+                Box::new(FixedWindow::new(20.0)),
+            );
+            sim.run_until(Time::from_secs(5));
+            let s = sim.flow_stats(f);
+            (s.acked_packets, s.random_losses, s.retransmits)
+        };
+        let imp = Impairments {
+            random_loss: 0.01,
+            max_jitter: Time::from_millis(5),
+            seed: 3,
+        };
+        let mk = || {
+            LinkConfig::with_bdp_buffer(
+                BandwidthTrace::constant("det", 12e6),
+                Time::from_millis(40),
+                2.0,
+            )
+        };
+        let static_run = run(mk().with_impairments(imp));
+        let sched_run = run(mk().with_impairment_schedule(ImpairmentSchedule::constant(imp)));
+        assert_eq!(static_run, sched_run);
+    }
+
+    #[test]
+    fn link_config_round_trips_through_json() {
+        use crate::link::{ImpairmentPhase, ImpairmentSchedule};
+        let link = LinkConfig::with_bdp_buffer(
+            BandwidthTrace::square_wave("rt", 6e6, 24e6, Time::from_millis(500)),
+            Time::from_millis(30),
+            1.5,
+        )
+        .with_impairment_schedule(ImpairmentSchedule::new(
+            vec![ImpairmentPhase {
+                start: Time::from_secs(1),
+                random_loss: 0.02,
+                max_jitter: Time::from_millis(3),
+            }],
+            9,
+        ));
+        let text = serde_json::to_string(&link).expect("serialize");
+        let back: LinkConfig = serde_json::from_str(&text).expect("parse");
+        assert_eq!(serde_json::to_string(&back).expect("re-serialize"), text);
+        // The deserialized link drives an identical simulation.
+        let run = |link: LinkConfig| {
+            let mut sim = Simulator::new(link);
+            let f = sim.add_flow(
+                FlowConfig::new(Time::from_millis(30)).without_samples(),
+                Box::new(FixedWindow::new(30.0)),
+            );
+            sim.run_until(Time::from_secs(4));
+            let s = sim.flow_stats(f);
+            (s.sent_packets, s.acked_packets, s.random_losses)
+        };
+        assert_eq!(run(link), run(back));
     }
 
     #[test]

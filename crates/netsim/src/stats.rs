@@ -38,6 +38,11 @@ pub struct FlowStats {
     pub random_losses: u64,
     /// Smallest RTT observed so far ([`Time::MAX`] until the first sample).
     pub min_rtt: Time,
+    /// When the application started sending (`None` before its start
+    /// event fires).
+    pub started_at: Option<Time>,
+    /// When the application departed (`None` while still active).
+    pub stopped_at: Option<Time>,
     /// Per-ACK delay samples (empty when recording is disabled).
     pub samples: Vec<DelaySample>,
 }
@@ -48,6 +53,40 @@ impl FlowStats {
         FlowStats {
             min_rtt: Time::MAX,
             ..FlowStats::default()
+        }
+    }
+
+    /// The flow's active interval as of time `now`: from when the
+    /// application actually started to when it departed (or `now` while
+    /// still running). A flow whose start event has not fired yet has an
+    /// empty interval. Rate metrics (throughput, utilization) must be
+    /// normalized over this interval, not the run length, or late-starting
+    /// and early-finishing flows read as artificially slow.
+    pub fn active_interval(&self, now: Time) -> (Time, Time) {
+        let start = match self.started_at {
+            Some(t) => t.min(now),
+            None => return (now, now),
+        };
+        let end = self.stopped_at.unwrap_or(now).min(now).max(start);
+        (start, end)
+    }
+
+    /// Length of [`active_interval`](Self::active_interval).
+    pub fn active_duration(&self, now: Time) -> Time {
+        let (start, end) = self.active_interval(now);
+        end - start
+    }
+
+    /// Goodput in Mbps over the flow's active interval as of `now` (zero
+    /// for a flow that never became active). The one normalization rule
+    /// every consumer — evaluation metrics, fairness shares — must agree
+    /// on.
+    pub fn throughput_mbps(&self, now: Time) -> f64 {
+        let active_s = self.active_duration(now).as_secs_f64();
+        if active_s > 0.0 {
+            self.acked_bytes as f64 * 8.0 / active_s / 1e6
+        } else {
+            0.0
         }
     }
 

@@ -280,6 +280,181 @@ impl BandwidthTrace {
             .map(|s| s.rate_bps)
             .fold(f64::INFINITY, f64::min)
     }
+
+    // -----------------------------------------------------------------
+    // Composition combinators.
+    //
+    // Each combinator materializes a new piecewise-constant trace; the
+    // scenario subsystem composes them into arbitrary bandwidth programs
+    // (cliffs, spliced outages, repeated bursts) from a small algebra.
+    // -----------------------------------------------------------------
+
+    /// Returns the trace under a new name (combinators derive names
+    /// automatically; specs override them with this).
+    pub fn with_name(mut self, name: &str) -> BandwidthTrace {
+        self.name = name.to_string();
+        self
+    }
+
+    /// Materializes the piecewise-constant rate over `[from, to)` as
+    /// explicit segments (adjacent equal-rate spans merged), unrolling
+    /// loops and the held final rate of non-looping traces.
+    pub fn window(&self, from: Time, to: Time) -> Vec<Segment> {
+        let mut out: Vec<Segment> = Vec::new();
+        if to <= from || self.segments.is_empty() {
+            return out;
+        }
+        let (mut idx, offset) = self.locate(from);
+        let mut now = from;
+        let mut seg_left = if self.loops || from < self.total {
+            self.segments[idx].duration - offset
+        } else {
+            Time::MAX
+        };
+        while now < to {
+            let span = seg_left.min(to - now);
+            let rate = self.segments[idx].rate_bps;
+            match out.last_mut() {
+                Some(last) if last.rate_bps == rate => last.duration += span,
+                _ => out.push(Segment {
+                    duration: span,
+                    rate_bps: rate,
+                }),
+            }
+            now += span;
+            if now >= to {
+                break;
+            }
+            idx += 1;
+            if idx == self.segments.len() {
+                if self.loops {
+                    idx = 0;
+                } else {
+                    idx = self.segments.len() - 1;
+                    seg_left = Time::MAX;
+                    continue;
+                }
+            }
+            seg_left = self.segments[idx].duration;
+        }
+        out
+    }
+
+    /// Multiplies every rate by `factor` (clamped non-negative).
+    pub fn scaled(&self, factor: f64) -> BandwidthTrace {
+        let factor = factor.max(0.0);
+        let segments = self
+            .segments
+            .iter()
+            .map(|s| Segment {
+                duration: s.duration,
+                rate_bps: s.rate_bps * factor,
+            })
+            .collect();
+        BandwidthTrace::from_segments(
+            &format!("scale({},{factor:.3})", self.name),
+            segments,
+            self.loops,
+        )
+    }
+
+    /// Adds `delta_bps` to every rate (negative shifts floor at zero).
+    pub fn rate_shifted(&self, delta_bps: f64) -> BandwidthTrace {
+        let segments = self
+            .segments
+            .iter()
+            .map(|s| Segment {
+                duration: s.duration,
+                rate_bps: (s.rate_bps + delta_bps).max(0.0),
+            })
+            .collect();
+        BandwidthTrace::from_segments(
+            &format!("shift({},{delta_bps:.0})", self.name),
+            segments,
+            self.loops,
+        )
+    }
+
+    /// Clamps every rate into `[min_bps, max_bps]`.
+    pub fn clamped(&self, min_bps: f64, max_bps: f64) -> BandwidthTrace {
+        let lo = min_bps.max(0.0);
+        let hi = max_bps.max(lo);
+        let segments = self
+            .segments
+            .iter()
+            .map(|s| Segment {
+                duration: s.duration,
+                rate_bps: s.rate_bps.clamp(lo, hi),
+            })
+            .collect();
+        BandwidthTrace::from_segments(
+            &format!("clamp({},{lo:.0},{hi:.0})", self.name),
+            segments,
+            self.loops,
+        )
+    }
+
+    /// Shifts the time origin: the result at time `t` has the rate this
+    /// trace has at `dt + t`. Looping traces rotate; non-looping traces
+    /// drop the prefix and keep holding their final rate.
+    pub fn time_shifted(&self, dt: Time) -> BandwidthTrace {
+        let name = format!("tshift({},{dt})", self.name);
+        if self.segments.is_empty() {
+            return BandwidthTrace::from_segments(&name, Vec::new(), self.loops);
+        }
+        let segments = if self.loops {
+            let dt = Time::from_nanos(dt.as_nanos() % self.total.as_nanos().max(1));
+            self.window(dt, dt + self.total)
+        } else if dt >= self.total {
+            // Only the held final rate remains.
+            vec![Segment {
+                duration: Time::from_secs(1),
+                rate_bps: self.segments[self.segments.len() - 1].rate_bps,
+            }]
+        } else {
+            self.window(dt, self.total)
+        };
+        BandwidthTrace::from_segments(&name, segments, self.loops)
+    }
+
+    /// One full cycle of `self` followed by one full cycle of `other`;
+    /// `loops` selects whether the concatenation repeats.
+    pub fn concat(&self, other: &BandwidthTrace, loops: bool) -> BandwidthTrace {
+        let mut segments = self.segments.clone();
+        segments.extend(other.segments.iter().copied());
+        BandwidthTrace::from_segments(
+            &format!("concat({},{})", self.name, other.name),
+            segments,
+            loops,
+        )
+    }
+
+    /// Replaces `[at, at + len)` of this trace with the first `len` of
+    /// `patch`, resuming this trace's own timeline afterwards. The result
+    /// covers one cycle of `self` (extended if the patch runs past it) and
+    /// keeps this trace's looping behaviour.
+    pub fn spliced(&self, at: Time, patch: &BandwidthTrace, len: Time) -> BandwidthTrace {
+        let end = at + len;
+        let cycle = self.total.max(end);
+        let mut segments = self.window(Time::ZERO, at);
+        segments.extend(patch.window(Time::ZERO, len));
+        segments.extend(self.window(end, cycle));
+        BandwidthTrace::from_segments(
+            &format!("splice({},{},{at})", self.name, patch.name),
+            segments,
+            self.loops,
+        )
+    }
+
+    /// Loops the prefix `[0, window)` of this trace forever (periodic
+    /// repeat), regardless of the source's own looping flag.
+    pub fn periodic(&self, window: Time) -> BandwidthTrace {
+        BandwidthTrace::from_segments(
+            &format!("periodic({},{window})", self.name),
+            self.window(Time::ZERO, window),
+            true,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -409,6 +584,157 @@ mod tests {
             tr.transmit_end(Time::from_secs(1), 0.0),
             Some(Time::from_secs(1))
         );
+    }
+
+    #[test]
+    fn window_materializes_and_merges() {
+        let tr = two_step();
+        // A window inside one segment.
+        let w = tr.window(Time::from_millis(100), Time::from_millis(600));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].duration, Time::from_millis(500));
+        assert_eq!(w[0].rate_bps, 8e6);
+        // Crossing a loop wrap: 16 Mbps tail, 8 Mbps head.
+        let w = tr.window(Time::from_millis(1500), Time::from_millis(2500));
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].rate_bps, 16e6);
+        assert_eq!(w[1].rate_bps, 8e6);
+        assert_eq!(w[0].duration + w[1].duration, Time::from_secs(1));
+        // Empty window.
+        assert!(tr.window(Time::from_secs(1), Time::from_secs(1)).is_empty());
+        // Two full cycles merge the wrap-adjacent equal rates into four
+        // spans (8,16,8,16).
+        let w = tr.window(Time::ZERO, Time::from_secs(4));
+        assert_eq!(w.len(), 4);
+        assert_eq!(
+            w.iter().map(|s| s.duration).fold(Time::ZERO, |a, d| a + d),
+            Time::from_secs(4)
+        );
+    }
+
+    #[test]
+    fn window_of_non_looping_holds_final_rate() {
+        let tr = BandwidthTrace::from_segments("nl", two_step().segments().to_vec(), false);
+        let w = tr.window(Time::from_secs(1), Time::from_secs(5));
+        // 1 s of 16 Mbps inside the trace, then 3 s of held 16 Mbps: merged.
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].rate_bps, 16e6);
+        assert_eq!(w[0].duration, Time::from_secs(4));
+    }
+
+    #[test]
+    fn scaled_multiplies_rates_and_keeps_lengths() {
+        let tr = two_step().scaled(0.5);
+        assert_eq!(tr.cycle_duration(), Time::from_secs(2));
+        assert_eq!(tr.rate_at(Time::ZERO), 4e6);
+        assert_eq!(tr.rate_at(Time::from_millis(1500)), 8e6);
+        assert!(tr.loops());
+        // Negative factors clamp to an outage.
+        assert_eq!(two_step().scaled(-2.0).peak_rate(), 0.0);
+    }
+
+    #[test]
+    fn rate_shift_floors_at_zero() {
+        let tr = two_step().rate_shifted(-12e6);
+        assert_eq!(tr.rate_at(Time::ZERO), 0.0); // 8 - 12 floors
+        assert_eq!(tr.rate_at(Time::from_millis(1500)), 4e6);
+        let up = two_step().rate_shifted(1e6);
+        assert_eq!(up.min_rate(), 9e6);
+        assert_eq!(up.peak_rate(), 17e6);
+    }
+
+    #[test]
+    fn clamp_bounds_rates() {
+        let tr = two_step().clamped(10e6, 12e6);
+        assert_eq!(tr.min_rate(), 10e6);
+        assert_eq!(tr.peak_rate(), 12e6);
+        assert_eq!(tr.cycle_duration(), Time::from_secs(2));
+        // Inverted bounds are reordered instead of panicking.
+        let tr = two_step().clamped(12e6, 10e6);
+        assert_eq!(tr.min_rate(), 12e6);
+    }
+
+    #[test]
+    fn time_shift_rotates_looping_traces() {
+        let tr = two_step().time_shifted(Time::from_secs(1));
+        assert_eq!(tr.cycle_duration(), Time::from_secs(2));
+        assert_eq!(tr.rate_at(Time::ZERO), 16e6);
+        assert_eq!(tr.rate_at(Time::from_millis(1500)), 8e6);
+        // Shift by a whole cycle is identity on rates.
+        let id = two_step().time_shifted(Time::from_secs(2));
+        assert_eq!(id.rate_at(Time::ZERO), 8e6);
+    }
+
+    #[test]
+    fn time_shift_past_end_of_non_looping_holds_last() {
+        let tr = BandwidthTrace::from_segments("nl", two_step().segments().to_vec(), false);
+        let sh = tr.time_shifted(Time::from_secs(10));
+        assert_eq!(sh.rate_at(Time::ZERO), 16e6);
+        assert_eq!(sh.rate_at(Time::from_secs(100)), 16e6);
+    }
+
+    #[test]
+    fn concat_joins_cycles() {
+        let a = BandwidthTrace::constant("a", 8e6);
+        let b = BandwidthTrace::constant("b", 16e6);
+        let ab = a.concat(&b, true);
+        assert_eq!(ab.cycle_duration(), Time::from_secs(2));
+        assert_eq!(ab.rate_at(Time::from_millis(500)), 8e6);
+        assert_eq!(ab.rate_at(Time::from_millis(1500)), 16e6);
+        assert_eq!(ab.rate_at(Time::from_millis(2500)), 8e6); // loops
+    }
+
+    #[test]
+    fn splice_boundaries_are_exact() {
+        let base = BandwidthTrace::from_segments(
+            "base",
+            vec![Segment {
+                duration: Time::from_secs(4),
+                rate_bps: 16e6,
+            }],
+            true,
+        );
+        let patch = BandwidthTrace::constant("patch", 2e6);
+        let sp = base.spliced(Time::from_secs(1), &patch, Time::from_secs(1));
+        assert_eq!(sp.cycle_duration(), Time::from_secs(4));
+        assert_eq!(sp.rate_at(Time::from_millis(999)), 16e6);
+        assert_eq!(sp.rate_at(Time::from_millis(1000)), 2e6);
+        assert_eq!(sp.rate_at(Time::from_millis(1999)), 2e6);
+        assert_eq!(sp.rate_at(Time::from_millis(2000)), 16e6);
+        // The patch may extend past the base cycle.
+        let long = base.spliced(Time::from_secs(3), &patch, Time::from_secs(2));
+        assert_eq!(long.cycle_duration(), Time::from_secs(5));
+        assert_eq!(long.rate_at(Time::from_millis(4500)), 2e6);
+    }
+
+    #[test]
+    fn periodic_repeats_prefix() {
+        let tr = two_step().periodic(Time::from_millis(500));
+        assert!(tr.loops());
+        assert_eq!(tr.cycle_duration(), Time::from_millis(500));
+        // Only the 8 Mbps prefix survives, repeated forever.
+        assert_eq!(tr.rate_at(Time::from_secs(10)), 8e6);
+        assert_eq!(tr.peak_rate(), 8e6);
+    }
+
+    #[test]
+    fn combinators_compose() {
+        // scale ∘ clamp ∘ splice on a square wave stays well-formed.
+        let sq = BandwidthTrace::square_wave("sq", 8e6, 32e6, Time::from_secs(1));
+        let out = sq
+            .scaled(2.0)
+            .clamped(10e6, 48e6)
+            .spliced(
+                Time::from_millis(500),
+                &BandwidthTrace::constant("dip", 1e6),
+                Time::from_millis(250),
+            )
+            .periodic(Time::from_secs(2));
+        assert!(out.loops());
+        assert_eq!(out.cycle_duration(), Time::from_secs(2));
+        assert_eq!(out.rate_at(Time::from_millis(600)), 1e6);
+        assert_eq!(out.rate_at(Time::ZERO), 16e6);
+        assert!(out.peak_rate() <= 48e6);
     }
 
     #[test]

@@ -1,0 +1,42 @@
+//! Declarative scenario generation, fuzzing, and stress evaluation.
+//!
+//! Canopy's claims are only as strong as the conditions they are evaluated
+//! under, and the paper's fixed 21-trace single-flow suite leaves most of
+//! the condition space unexplored. This crate makes "handles as many
+//! scenarios as you can imagine" concrete, in three layers:
+//!
+//! * [`spec`] — a serde-serializable [`ScenarioSpec`] describing a full
+//!   experiment: a bandwidth *program* composed from combinators over
+//!   [`canopy_netsim::BandwidthTrace`] (scale, shift, clamp, concat,
+//!   splice, periodic repeat), buffer depth, a time-scheduled impairment
+//!   program, observation noise, and a multi-flow schedule with staggered
+//!   arrivals/departures and baseline cross-traffic.
+//! * [`gen`] — seeded generators for six named stress families
+//!   (flash-crowd, bandwidth-cliff, jitter-storm, lossy-wireless,
+//!   buffer-sweep, cross-traffic-churn); any scenario reproduces from
+//!   `(family, seed)` alone and round-trips through JSON.
+//! * [`runner`] — a `Scheme × Scenario` matrix executor fanned over the
+//!   `canopy_core::pool` worker pool, emitting per-scenario metrics
+//!   (throughput, p95 queuing delay, loss, Jain fairness, `QC_sat`,
+//!   fallback rate) and an aggregate stable-schema report.
+//!
+//! ```
+//! use canopy_core::eval::Scheme;
+//! use canopy_scenarios::{generate, run_scenario, Family};
+//!
+//! let spec = generate(Family::BandwidthCliff, 42);
+//! let parsed = canopy_scenarios::ScenarioSpec::from_json(&spec.to_json()).unwrap();
+//! let metrics = run_scenario(&Scheme::Baseline("cubic".into()), &parsed, None).unwrap();
+//! assert!(metrics.primary.throughput_mbps > 0.0);
+//! ```
+
+pub mod gen;
+pub mod runner;
+pub mod spec;
+
+pub use gen::{fuzz_suite, generate, Family};
+pub use runner::{
+    run_matrix, run_matrix_with_threads, run_scenario, ScenarioMetrics, ScenarioReport,
+    REPORT_SCHEMA,
+};
+pub use spec::{CrossFlow, ScenarioSpec, SpecError, TraceProgram};

@@ -1,0 +1,486 @@
+//! The scenario matrix executor.
+//!
+//! Runs every `Scheme × Scenario` cell as an independent deterministic
+//! simulation, fanned over the `canopy_core::pool` work-stealing pool, and
+//! aggregates per-scenario metrics into a stable-schema report. Results
+//! are bitwise identical at any `CANOPY_THREADS` because each cell owns
+//! all of its state (simulator, RNG streams, verifier) and the pool
+//! preserves job order.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use canopy_cc::Cubic;
+use canopy_core::eval::{flow_metrics, jain_index, QcEval, RunMetrics, Scheme};
+use canopy_core::obs::{Normalizer, Observation, StateBuilder};
+use canopy_core::orca::f_cwnd;
+use canopy_core::pool;
+use canopy_core::runtime::FallbackController;
+use canopy_core::verifier::{StepContext, Verifier};
+use canopy_netsim::{FlowConfig, FlowId, Simulator, Time};
+
+use crate::spec::{ScenarioSpec, SpecError};
+
+/// Per-scenario evaluation results for one scheme.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScenarioMetrics {
+    /// Scenario name.
+    pub scenario: String,
+    /// The family it was generated from.
+    pub family: String,
+    /// The generator seed.
+    pub seed: u64,
+    /// The scheme under test.
+    pub scheme: String,
+    /// Total flows that took part (primary + cross traffic).
+    pub flows: usize,
+    /// The primary flow's metrics, normalized to its active interval.
+    pub primary: RunMetrics,
+    /// Jain fairness over all flows' active-interval throughputs.
+    pub jain_fairness: f64,
+    /// Each cross flow's active-interval throughput, Mbps (spec order).
+    pub cross_throughput_mbps: Vec<f64>,
+}
+
+/// Runs one scheme over one scenario.
+///
+/// The primary flow carries the scheme under test (a classic kernel, or a
+/// learned controller driven Orca-style on its monitor clock, optionally
+/// behind the QC fallback monitor and under the spec's observation noise);
+/// cross-traffic flows arrive and depart on the spec's schedule. `qc`
+/// requests per-step certificate evaluation for plain learned schemes
+/// (fallback schemes always report their monitor's `QC_sat`).
+pub fn run_scenario(
+    scheme: &Scheme,
+    spec: &ScenarioSpec,
+    qc: Option<&QcEval>,
+) -> Result<ScenarioMetrics, SpecError> {
+    spec.validate()?;
+    let link = spec.link()?;
+    let mut sim = Simulator::new(link.clone());
+
+    let primary_cc: Box<dyn canopy_netsim::CongestionControl> = match scheme {
+        Scheme::Baseline(name) => canopy_cc::by_name(name)
+            .ok_or_else(|| SpecError(format!("unknown baseline scheme `{name}`")))?,
+        // Learned controllers steer a Cubic kernel, exactly as in training.
+        Scheme::Learned(_) | Scheme::LearnedFallback { .. } => Box::new(Cubic::new()),
+    };
+    let primary = sim.add_flow(FlowConfig::new(spec.primary_min_rtt), primary_cc);
+
+    let mut cross_ids: Vec<FlowId> = Vec::with_capacity(spec.cross_traffic.len());
+    for cf in &spec.cross_traffic {
+        let cc = canopy_cc::by_name(&cf.cc)
+            .ok_or_else(|| SpecError(format!("unknown cross kernel `{}`", cf.cc)))?;
+        let mut cfg = FlowConfig::new(cf.min_rtt)
+            .starting_at(cf.start)
+            .without_samples();
+        if let Some(stop) = cf.stop {
+            cfg = cfg.stopping_at(stop);
+        }
+        cross_ids.push(sim.add_flow(cfg, cc));
+    }
+
+    let mut qc_values: Vec<f64> = Vec::new();
+    let mut fallback_rate = None;
+
+    match scheme {
+        Scheme::Baseline(_) => sim.run_until(spec.duration),
+        Scheme::Learned(model) => {
+            drive_learned(
+                &mut sim,
+                primary,
+                spec,
+                &link,
+                model,
+                None,
+                qc.map(|q| (Verifier::new(q.n_components), q.properties.clone())),
+                &mut qc_values,
+            );
+        }
+        Scheme::LearnedFallback {
+            model,
+            properties,
+            threshold,
+            n_components,
+        } => {
+            let mut fb = FallbackController::new(properties.clone(), *threshold, *n_components);
+            drive_learned(
+                &mut sim,
+                primary,
+                spec,
+                &link,
+                model,
+                Some(&mut fb),
+                None,
+                &mut qc_values,
+            );
+            fallback_rate = Some(fb.fallback_rate());
+        }
+    }
+
+    let mut metrics = flow_metrics(&sim, primary, &scheme.name());
+    if !qc_values.is_empty() {
+        let n = qc_values.len() as f64;
+        let mean = qc_values.iter().sum::<f64>() / n;
+        let var = qc_values
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / n;
+        metrics.qc_sat = Some(mean);
+        metrics.qc_sat_std = Some(var.sqrt());
+    }
+    metrics.fallback_rate = fallback_rate;
+
+    // Fairness over every flow that actually ran, each share normalized to
+    // its own active interval by the shared FlowStats rule.
+    let now = sim.now();
+    let cross_throughput_mbps: Vec<f64> = cross_ids
+        .iter()
+        .map(|&f| sim.flow_stats(f).throughput_mbps(now))
+        .collect();
+    let mut shares = vec![metrics.throughput_mbps];
+    shares.extend(
+        cross_ids
+            .iter()
+            .filter(|&&f| sim.flow_stats(f).active_duration(now) > Time::ZERO)
+            .map(|&f| sim.flow_stats(f).throughput_mbps(now)),
+    );
+    let jain_fairness = jain_index(&shares);
+
+    Ok(ScenarioMetrics {
+        scenario: spec.name.clone(),
+        family: spec.family.clone(),
+        seed: spec.seed,
+        scheme: scheme.name(),
+        flows: 1 + spec.cross_traffic.len(),
+        primary: metrics,
+        jain_fairness,
+        cross_throughput_mbps,
+    })
+}
+
+/// Drives the primary flow with a learned controller: one decision per
+/// monitor interval, with the spec's observation noise and the optional
+/// runtime monitors.
+#[allow(clippy::too_many_arguments)]
+fn drive_learned(
+    sim: &mut Simulator,
+    primary: FlowId,
+    spec: &ScenarioSpec,
+    link: &canopy_netsim::LinkConfig,
+    model: &canopy_core::models::TrainedModel,
+    mut fallback: Option<&mut FallbackController>,
+    qc: Option<(Verifier, Vec<canopy_core::property::Property>)>,
+    qc_values: &mut Vec<f64>,
+) {
+    use canopy_core::obs::StateLayout;
+    let mi = spec.primary_min_rtt.max(Time::from_millis(20));
+    let layout = StateLayout::new(model.k);
+    let normalizer = Normalizer::for_link(link, spec.primary_min_rtt, mi);
+    let mut builder = StateBuilder::new(layout, normalizer);
+    let mut noise_rng = spec.noise.map(|n| StdRng::seed_from_u64(n.seed));
+    let mut prev_action = 0.0;
+    let mut prev_cwnd = canopy_cc::cubic::INITIAL_CWND;
+
+    loop {
+        let target = (sim.now() + mi).min(spec.duration);
+        sim.run_until(target);
+        if sim.now() >= spec.duration {
+            break;
+        }
+        let sample = sim.monitor_sample(primary);
+        let mut obs = Observation::from_sample(&sample);
+        if let (Some(noise), Some(rng)) = (spec.noise, noise_rng.as_mut()) {
+            let eta = rng.random_range(-noise.mu..=noise.mu);
+            obs.queue_delay_ms *= 1.0 + eta;
+        }
+        builder.push(&obs, prev_action);
+        let ctx = StepContext {
+            state: builder.state(),
+            cwnd_tcp: sim.cwnd(primary),
+            cwnd_prev: prev_cwnd,
+        };
+        if let Some((verifier, properties)) = &qc {
+            let (_, agg) = verifier.certify_all(&model.actor, properties, layout, &ctx);
+            qc_values.push(agg);
+        }
+        let action = model.actor.forward(&ctx.state)[0];
+        let use_agent = match fallback.as_deref_mut() {
+            Some(fb) => {
+                let decision = fb.decide(&model.actor, layout, &ctx);
+                qc_values.push(decision.qc_sat);
+                decision.use_agent
+            }
+            None => true,
+        };
+        if use_agent {
+            let cwnd = f_cwnd(action, ctx.cwnd_tcp);
+            sim.set_cwnd(primary, cwnd);
+            prev_cwnd = cwnd;
+        } else {
+            prev_cwnd = sim.cwnd(primary);
+        }
+        prev_action = action;
+    }
+}
+
+/// Runs the full `schemes × specs` matrix on the worker pool, returning
+/// results in scheme-major order (every scenario for the first scheme,
+/// then the second, ...). Identical output at any thread count.
+pub fn run_matrix(
+    schemes: &[Scheme],
+    specs: &[ScenarioSpec],
+    qc: Option<&QcEval>,
+) -> Result<Vec<ScenarioMetrics>, SpecError> {
+    run_matrix_with_threads(schemes, specs, qc, None)
+}
+
+/// [`run_matrix`] with an explicit worker-count override (`None` consults
+/// `CANOPY_THREADS`/available parallelism), for callers comparing thread
+/// counts inside one process without mutating the environment.
+pub fn run_matrix_with_threads(
+    schemes: &[Scheme],
+    specs: &[ScenarioSpec],
+    qc: Option<&QcEval>,
+    threads: Option<usize>,
+) -> Result<Vec<ScenarioMetrics>, SpecError> {
+    let jobs: Vec<(&Scheme, &ScenarioSpec)> = schemes
+        .iter()
+        .flat_map(|s| specs.iter().map(move |sp| (s, sp)))
+        .collect();
+    let results = pool::parallel_map(
+        &jobs,
+        pool::resolve_threads(threads).min(jobs.len().max(1)),
+        |(scheme, spec)| run_scenario(scheme, spec, qc),
+    );
+    results.into_iter().collect()
+}
+
+/// The report schema tag; bump when [`ScenarioMetrics`] fields change.
+pub const REPORT_SCHEMA: &str = "canopy-scenarios-report/v1";
+
+/// The aggregate output of a matrix run (`SCENARIOS_report.json`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Schema tag ([`REPORT_SCHEMA`]).
+    pub schema: String,
+    /// Families covered, in run order.
+    pub families: Vec<String>,
+    /// Schemes covered, in run order.
+    pub schemes: Vec<String>,
+    /// One entry per `Scheme × Scenario` cell, scheme-major.
+    pub results: Vec<ScenarioMetrics>,
+}
+
+impl ScenarioReport {
+    /// Builds the report from matrix results.
+    pub fn new(results: Vec<ScenarioMetrics>) -> ScenarioReport {
+        let mut families: Vec<String> = Vec::new();
+        let mut schemes: Vec<String> = Vec::new();
+        for r in &results {
+            if !families.contains(&r.family) {
+                families.push(r.family.clone());
+            }
+            if !schemes.contains(&r.scheme) {
+                schemes.push(r.scheme.clone());
+            }
+        }
+        ScenarioReport {
+            schema: REPORT_SCHEMA.to_string(),
+            families,
+            schemes,
+            results,
+        }
+    }
+
+    /// Serializes to deterministic JSON (sorted keys).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("reports always serialize")
+    }
+
+    /// Parses [`to_json`](Self::to_json) output.
+    pub fn from_json(text: &str) -> Result<ScenarioReport, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+
+    /// Validates the schema tag and basic metric invariants — the gate the
+    /// CI smoke job runs against freshly generated reports.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != REPORT_SCHEMA {
+            return Err(format!(
+                "schema mismatch: `{}` (expected `{REPORT_SCHEMA}`)",
+                self.schema
+            ));
+        }
+        if self.results.is_empty() {
+            return Err("report contains no results".into());
+        }
+        for r in &self.results {
+            let tag = format!("{} × {}", r.scheme, r.scenario);
+            if r.scenario.is_empty() || r.family.is_empty() || r.scheme.is_empty() {
+                return Err(format!("{tag}: empty identity field"));
+            }
+            if r.flows == 0 {
+                return Err(format!("{tag}: zero flows"));
+            }
+            let finite = [
+                r.primary.utilization,
+                r.primary.throughput_mbps,
+                r.primary.avg_qdelay_ms,
+                r.primary.p95_qdelay_ms,
+                r.jain_fairness,
+            ];
+            if finite.iter().any(|v| !v.is_finite() || *v < 0.0) {
+                return Err(format!("{tag}: non-finite or negative metric"));
+            }
+            if !(0.0..=1.0).contains(&r.jain_fairness) {
+                return Err(format!(
+                    "{tag}: Jain index {} outside [0,1]",
+                    r.jain_fairness
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, Family};
+    use crate::spec::CrossFlow;
+    use canopy_netsim::link::{ImpairmentPhase, ImpairmentSchedule};
+
+    fn short(mut spec: ScenarioSpec) -> ScenarioSpec {
+        spec.duration = Time::from_secs(4);
+        spec
+    }
+
+    #[test]
+    fn baseline_runs_a_generated_scenario() {
+        let spec = short(generate(Family::FlashCrowd, 1));
+        let m = run_scenario(&Scheme::Baseline("cubic".into()), &spec, None).expect("runs");
+        assert_eq!(m.scenario, spec.name);
+        assert_eq!(m.flows, 1 + spec.cross_traffic.len());
+        assert!(m.primary.throughput_mbps > 0.0, "{m:?}");
+        assert!((0.0..=1.0).contains(&m.jain_fairness));
+        assert_eq!(m.cross_throughput_mbps.len(), spec.cross_traffic.len());
+    }
+
+    #[test]
+    fn cross_traffic_depresses_primary_share() {
+        // A scenario with four competitors sharing the whole run must leave
+        // the primary with a meaningfully smaller share than a solo run.
+        let mut solo =
+            ScenarioSpec::simple("solo", 48e6, Time::from_millis(20), Time::from_secs(6));
+        let mut crowded = solo.clone();
+        crowded.name = "crowded".into();
+        for _ in 0..4 {
+            crowded.cross_traffic.push(CrossFlow {
+                cc: "cubic".into(),
+                start: Time::ZERO,
+                stop: None,
+                min_rtt: Time::from_millis(20),
+            });
+        }
+        solo.buffer_bdp = 1.0;
+        let cubic = Scheme::Baseline("cubic".into());
+        let a = run_scenario(&cubic, &solo, None).unwrap();
+        let b = run_scenario(&cubic, &crowded, None).unwrap();
+        assert!(
+            b.primary.throughput_mbps < 0.6 * a.primary.throughput_mbps,
+            "crowded {} vs solo {}",
+            b.primary.throughput_mbps,
+            a.primary.throughput_mbps
+        );
+    }
+
+    #[test]
+    fn matrix_is_thread_invariant_and_ordered() {
+        let specs: Vec<ScenarioSpec> = [Family::BandwidthCliff, Family::CrossTrafficChurn]
+            .iter()
+            .flat_map(|&f| (0..2).map(move |s| short(generate(f, s))))
+            .collect();
+        let schemes = [
+            Scheme::Baseline("cubic".into()),
+            Scheme::Baseline("bbr".into()),
+        ];
+        let run = |threads: usize| {
+            run_matrix_with_threads(&schemes, &specs, None, Some(threads)).expect("matrix runs")
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(seq.len(), schemes.len() * specs.len());
+        let to_json = |v: &Vec<ScenarioMetrics>| serde_json::to_string(v).expect("serializes");
+        assert_eq!(to_json(&seq), to_json(&par), "thread-count variance");
+        // Scheme-major order.
+        assert!(seq[..specs.len()].iter().all(|m| m.scheme == "cubic"));
+        assert!(seq[specs.len()..].iter().all(|m| m.scheme == "bbr"));
+    }
+
+    #[test]
+    fn impairment_phases_register_in_metrics() {
+        let mut spec =
+            ScenarioSpec::simple("lossy", 24e6, Time::from_millis(30), Time::from_secs(6));
+        spec.impairments = Some(ImpairmentSchedule::new(
+            vec![ImpairmentPhase {
+                start: Time::from_secs(1),
+                random_loss: 0.03,
+                max_jitter: Time::ZERO,
+            }],
+            13,
+        ));
+        let m = run_scenario(&Scheme::Baseline("cubic".into()), &spec, None).unwrap();
+        assert!(m.primary.losses > 0, "scheduled loss must register: {m:?}");
+    }
+
+    #[test]
+    fn learned_schemes_report_qc_and_fallback() {
+        use canopy_core::models::{train_model, ModelKind, TrainBudget};
+        use canopy_core::property::{Property, PropertyParams};
+        let model = train_model(ModelKind::Shallow, 3, TrainBudget::smoke()).model;
+        // Jitter-storm specs carry observation noise, exercising the noisy
+        // observation path of the learned driver.
+        let spec = short(generate(Family::JitterStorm, 0));
+        assert!(spec.noise.is_some());
+        let m = run_scenario(
+            &Scheme::LearnedFallback {
+                model: model.clone(),
+                properties: Property::shallow_set(&PropertyParams::default()),
+                threshold: 0.5,
+                n_components: 5,
+            },
+            &spec,
+            None,
+        )
+        .expect("fallback scheme runs");
+        let qc = m.primary.qc_sat.expect("fallback runs report QC_sat");
+        assert!((0.0..=1.0).contains(&qc), "{qc}");
+        let rate = m.primary.fallback_rate.expect("fallback rate present");
+        assert!((0.0..=1.0).contains(&rate), "{rate}");
+        assert!(m.primary.throughput_mbps > 0.0);
+
+        let plain = run_scenario(&Scheme::Learned(model), &spec, None).expect("plain runs");
+        assert!(plain.primary.qc_sat.is_none());
+        assert!(plain.primary.fallback_rate.is_none());
+        assert!(plain.primary.throughput_mbps > 0.0);
+    }
+
+    #[test]
+    fn report_validates_and_round_trips() {
+        let spec = short(generate(Family::BufferSweep, 2));
+        let results = run_matrix(&[Scheme::Baseline("cubic".into())], &[spec], None).expect("runs");
+        let report = ScenarioReport::new(results);
+        report.validate().expect("fresh report is valid");
+        let text = report.to_json();
+        let back = ScenarioReport::from_json(&text).expect("parses");
+        assert_eq!(back.to_json(), text);
+        back.validate().expect("parsed report is valid");
+
+        let mut broken = back;
+        broken.schema = "other/v9".into();
+        assert!(broken.validate().is_err());
+    }
+}

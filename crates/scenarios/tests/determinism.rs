@@ -1,0 +1,68 @@
+//! End-to-end determinism: `(family, seed) → ScenarioSpec → run` must be a
+//! pure function. Each sampled case generates a spec, round-trips it
+//! through JSON, and re-runs the scenario from the re-parsed spec; the
+//! resulting metrics must be bitwise identical (compared through their
+//! canonical JSON encoding, which preserves every f64 exactly).
+
+use proptest::prelude::*;
+
+use canopy_core::eval::Scheme;
+use canopy_netsim::Time;
+use canopy_scenarios::{generate, run_scenario, Family, ScenarioSpec};
+
+/// Shrinks a generated scenario so debug-mode proptest cases stay fast;
+/// the truncation is itself deterministic, so reproducibility claims are
+/// unaffected.
+fn shorten(mut spec: ScenarioSpec) -> ScenarioSpec {
+    let cap = Time::from_secs(3);
+    if spec.duration > cap {
+        spec.duration = cap;
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn spec_json_round_trip_is_lossless(family_idx in 0usize..6, seed in 0u64..1000) {
+        let spec = generate(Family::ALL[family_idx], seed);
+        let text = spec.to_json();
+        let back = ScenarioSpec::from_json(&text).expect("generated specs parse");
+        prop_assert_eq!(back.to_json(), text);
+        prop_assert!(back.validate().is_ok());
+        // The compiled bandwidth programs agree segment-for-segment.
+        let a = spec.trace.compile().expect("compiles");
+        let b = back.trace.compile().expect("compiles");
+        prop_assert_eq!(a.segments(), b.segments());
+    }
+
+    #[test]
+    fn rerun_from_reparsed_spec_is_bitwise_identical(
+        family_idx in 0usize..6,
+        seed in 0u64..500,
+    ) {
+        let spec = shorten(generate(Family::ALL[family_idx], seed));
+        let reparsed = ScenarioSpec::from_json(&spec.to_json()).expect("parses");
+        let cubic = Scheme::Baseline("cubic".into());
+        let first = run_scenario(&cubic, &spec, None).expect("runs");
+        let second = run_scenario(&cubic, &reparsed, None).expect("runs");
+        prop_assert_eq!(
+            serde_json::to_string(&first).expect("serializes"),
+            serde_json::to_string(&second).expect("serializes")
+        );
+    }
+}
+
+#[test]
+fn generation_is_stable_across_processes() {
+    // Anchor a few concrete scenarios so silent generator drift (which
+    // would invalidate committed (family, seed) references) fails loudly.
+    for family in Family::ALL {
+        let spec = generate(family, 7);
+        assert_eq!(spec.name, format!("{}-s7", family.name()));
+        assert_eq!(spec.family, family.name());
+        assert_eq!(spec.seed, 7);
+        assert_eq!(generate(family, 7).to_json(), spec.to_json());
+    }
+}

@@ -31,6 +31,19 @@ pub fn all_eval_traces(seed: u64) -> Vec<BandwidthTrace> {
     v
 }
 
+/// Looks up any evaluation trace by its canonical name (`syn-*` or
+/// `cell-*`), so scenario specs can reference the paper's base traces
+/// declaratively and recreate them from `(name, seed)` alone.
+pub fn by_name(name: &str, seed: u64) -> Option<BandwidthTrace> {
+    if let Some(t) = synthetic::by_name(name, seed) {
+        return Some(t);
+    }
+    [cellular::ATT, cellular::VERIZON, cellular::TMOBILE]
+        .iter()
+        .find(|m| m.name == name)
+        .map(|m| cellular::generate(m, seed, 60.0))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -44,5 +57,15 @@ mod tests {
         names.sort();
         names.dedup();
         assert_eq!(names.len(), 21);
+    }
+
+    #[test]
+    fn by_name_covers_every_eval_trace() {
+        for t in all_eval_traces(7) {
+            let again =
+                by_name(t.name(), 7).unwrap_or_else(|| panic!("missing trace {}", t.name()));
+            assert_eq!(again.segments(), t.segments(), "{}", t.name());
+        }
+        assert!(by_name("no-such-trace", 0).is_none());
     }
 }

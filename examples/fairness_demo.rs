@@ -20,6 +20,7 @@ fn main() {
         .map(|i| FlowSpec {
             scheme: FlowScheme::Classic("cubic".into()),
             start: stagger * i as u64,
+            stop: None,
             min_rtt: Time::from_millis(20),
         })
         .collect();

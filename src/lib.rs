@@ -11,6 +11,8 @@
 //! * [`traces`] — synthetic, cellular, and real-world workload traces
 //! * [`core`] — Canopy itself: properties, quantitative certificates,
 //!   certification-in-the-loop training, runtime fallback, evaluation
+//! * [`scenarios`] — declarative scenario specs, the seeded stress-family
+//!   fuzzer, and the `Scheme × Scenario` matrix runner
 //!
 //! # Quickstart
 //!
@@ -29,4 +31,5 @@ pub use canopy_core as core;
 pub use canopy_netsim as netsim;
 pub use canopy_nn as nn;
 pub use canopy_rl as rl;
+pub use canopy_scenarios as scenarios;
 pub use canopy_traces as traces;

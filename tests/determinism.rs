@@ -77,6 +77,7 @@ fn multiflow_is_bit_deterministic() {
         .map(|i| FlowSpec {
             scheme: FlowScheme::Classic("cubic".into()),
             start: Time::from_secs(i),
+            stop: None,
             min_rtt: Time::from_millis(20),
         })
         .collect();
