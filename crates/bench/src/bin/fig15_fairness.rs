@@ -39,11 +39,8 @@ fn main() {
         let trace = BandwidthTrace::constant("fair", 48e6);
         let link = LinkConfig::with_bdp_buffer(trace, Time::from_millis(20), 1.0);
         let flows: Vec<FlowSpec> = (0..n_flows)
-            .map(|i| FlowSpec {
-                scheme: scheme.clone(),
-                start: stagger * i as u64,
-                stop: None,
-                min_rtt: Time::from_millis(20),
+            .map(|i| {
+                FlowSpec::new(scheme.clone(), Time::from_millis(20)).starting_at(stagger * i as u64)
             })
             .collect();
         let series = run_multiflow(link, &flows, duration, Time::from_secs(1));

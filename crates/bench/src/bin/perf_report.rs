@@ -4,8 +4,12 @@
 //!
 //! ```text
 //! cargo run -p canopy_bench --release --bin perf_report -- \
-//!     [--smoke] [--check] [--write-baseline] [--seed N]
+//!     [--smoke] [--check] [--write-baseline] [--seed N] [--only PREFIX]
 //! ```
+//!
+//! `--only PREFIX` restricts the run to bench groups whose name starts
+//! with `PREFIX` (e.g. `--only run_multiflow` for the multi-flow CI
+//! smoke job); `--check` then gates only the benches that actually ran.
 //!
 //! Benches (median ns/op over several samples):
 //!
@@ -23,6 +27,9 @@
 //!   worker pool vs the seed's scalar `propagate_mlp` stack loop
 //!   (replicated here from the pre-batching implementation).
 //! * `simulator/cubic_2s` — a 2-simulated-second single-flow Cubic run.
+//! * `run_multiflow/32flows_2s` — a 2-simulated-second, 32-Cubic-flow
+//!   shared-bottleneck `run_multiflow` — the multi-flow event-path
+//!   workload the per-flow calendar sharding targets.
 //!
 //! `--write-baseline` records the current medians to
 //! `BENCH_baseline.json`; `--check` compares against that file and exits
@@ -50,12 +57,20 @@ const BASELINE_PATH: &str = "BENCH_baseline.json";
 /// machine that recorded the baseline).
 const REGRESSION_FACTOR: f64 = 2.0;
 
-#[derive(Clone, Copy)]
+#[derive(Clone)]
 struct Opts {
     smoke: bool,
     check: bool,
     write_baseline: bool,
     seed: u64,
+    only: Option<String>,
+}
+
+impl Opts {
+    /// Whether the bench group with this name prefix should run.
+    fn runs(&self, group: &str) -> bool {
+        self.only.as_deref().is_none_or(|p| group.starts_with(p))
+    }
 }
 
 fn parse_opts() -> Opts {
@@ -64,6 +79,7 @@ fn parse_opts() -> Opts {
         check: false,
         write_baseline: false,
         seed: canopy_bench::DEFAULT_SEED,
+        only: None,
     };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -75,6 +91,12 @@ fn parse_opts() -> Opts {
             "--seed" => {
                 if let Some(v) = args.get(i + 1) {
                     opts.seed = v.parse().unwrap_or(opts.seed);
+                    i += 1;
+                }
+            }
+            "--only" => {
+                if let Some(v) = args.get(i + 1) {
+                    opts.only = Some(v.clone());
                     i += 1;
                 }
             }
@@ -681,44 +703,136 @@ fn bench_simulator(opts: &Opts, out: &mut Vec<(String, f64)>) {
     ));
 }
 
+// --- Multi-flow event path ------------------------------------------------
+
+fn bench_multiflow(opts: &Opts, out: &mut Vec<(String, f64)>) {
+    use canopy_core::eval::{run_multiflow, FlowScheme, FlowSpec};
+    let (samples, iters) = if opts.smoke { (3, 1) } else { (7, 2) };
+    // 32 Cubic flows with staggered arrivals and spread RTTs on a shared
+    // 192 Mbps bottleneck: the dozens-of-flows scenario-matrix workload.
+    // Cubic keeps the queue saturated, so the run is event-path bound.
+    let trace = BandwidthTrace::constant("bench32", 192e6);
+    let link = LinkConfig::with_bdp_buffer(trace, Time::from_millis(20), 1.0);
+    let flows: Vec<FlowSpec> = (0..32)
+        .map(|i| {
+            FlowSpec::new(
+                FlowScheme::Classic("cubic".into()),
+                Time::from_millis(10 + (i % 8) * 5),
+            )
+            .starting_at(Time::from_millis(25 * i))
+        })
+        .collect();
+    out.push((
+        "run_multiflow/32flows_2s".into(),
+        median_ns(samples, iters, || {
+            let series = run_multiflow(
+                link.clone(),
+                &flows,
+                Time::from_secs(2),
+                Time::from_millis(500),
+            );
+            std::hint::black_box(series[0].len());
+        }),
+    ));
+}
+
 // --- Report assembly -----------------------------------------------------
 
-fn find(benches: &[(String, f64)], name: &str) -> f64 {
-    benches
-        .iter()
-        .find(|(n, _)| n == name)
-        .map(|(_, v)| *v)
-        .unwrap_or(f64::NAN)
+fn find(benches: &[(String, f64)], name: &str) -> Option<f64> {
+    benches.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+}
+
+/// Reads the committed baseline (the single parse path for both the
+/// `vs_baseline` report block and the `--check` gate).
+fn read_baseline() -> Result<Value, String> {
+    let text = std::fs::read_to_string(BASELINE_PATH)
+        .map_err(|e| format!("cannot read {BASELINE_PATH}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {BASELINE_PATH}: {e}"))
 }
 
 fn main() {
     let opts = parse_opts();
     let mut benches: Vec<(String, f64)> = Vec::new();
 
-    eprintln!("perf_report: td3 update step…");
-    bench_td3(&opts, &mut benches);
-    eprintln!("perf_report: policy evaluation…");
-    bench_forward(&opts, &mut benches);
-    eprintln!("perf_report: gemm kernel…");
-    bench_gemm(&opts, &mut benches);
-    eprintln!("perf_report: training primitives…");
-    bench_train_primitives(&opts, &mut benches);
-    eprintln!("perf_report: ibp primitives…");
-    bench_ibp(&opts, &mut benches);
-    eprintln!("perf_report: adaptive certification…");
-    let certify_leaves = bench_certify(&opts, &mut benches);
-    eprintln!("perf_report: simulator…");
-    bench_simulator(&opts, &mut benches);
+    if opts.runs("td3_update") {
+        eprintln!("perf_report: td3 update step…");
+        bench_td3(&opts, &mut benches);
+    }
+    if opts.runs("actor_forward") {
+        eprintln!("perf_report: policy evaluation…");
+        bench_forward(&opts, &mut benches);
+    }
+    if opts.runs("gemm") {
+        eprintln!("perf_report: gemm kernel…");
+        bench_gemm(&opts, &mut benches);
+    }
+    if opts.runs("train") {
+        eprintln!("perf_report: training primitives…");
+        bench_train_primitives(&opts, &mut benches);
+    }
+    if opts.runs("ibp") {
+        eprintln!("perf_report: ibp primitives…");
+        bench_ibp(&opts, &mut benches);
+    }
+    let mut certify_leaves = 0usize;
+    if opts.runs("certify_adaptive") {
+        eprintln!("perf_report: adaptive certification…");
+        certify_leaves = bench_certify(&opts, &mut benches);
+    }
+    if opts.runs("simulator") {
+        eprintln!("perf_report: simulator…");
+        bench_simulator(&opts, &mut benches);
+    }
+    if opts.runs("run_multiflow") {
+        eprintln!("perf_report: multi-flow event path…");
+        bench_multiflow(&opts, &mut benches);
+    }
 
-    let speedups = json!({
-        "td3_update": (find(&benches, "td3_update/reference") / find(&benches, "td3_update/batched")),
-        "td3_update_vs_seed_replica": (find(&benches, "td3_update/seed") / find(&benches, "td3_update/batched")),
-        "actor_forward": (find(&benches, "actor_forward/scalar") / find(&benches, "actor_forward/batched")),
-        "certify_adaptive_4threads_vs_seed":
-            (find(&benches, "certify_adaptive/seed") / find(&benches, "certify_adaptive/batched_threads4")),
-        "certify_adaptive_1thread_vs_seed":
-            (find(&benches, "certify_adaptive/seed") / find(&benches, "certify_adaptive/batched_threads1")),
-    });
+    // In-run speedups (both sides measured this invocation).
+    let mut speedups = serde_json::Map::new();
+    for (key, num, den) in [
+        ("td3_update", "td3_update/reference", "td3_update/batched"),
+        (
+            "td3_update_vs_seed_replica",
+            "td3_update/seed",
+            "td3_update/batched",
+        ),
+        (
+            "actor_forward",
+            "actor_forward/scalar",
+            "actor_forward/batched",
+        ),
+        (
+            "certify_adaptive_4threads_vs_seed",
+            "certify_adaptive/seed",
+            "certify_adaptive/batched_threads4",
+        ),
+        (
+            "certify_adaptive_1thread_vs_seed",
+            "certify_adaptive/seed",
+            "certify_adaptive/batched_threads1",
+        ),
+    ] {
+        if let (Some(n), Some(d)) = (find(&benches, num), find(&benches, den)) {
+            speedups.insert(key.to_string(), json!(n / d));
+        }
+    }
+    let speedups = Value::Object(speedups);
+
+    // Cross-run speedups against the committed baseline (`> 1` is faster
+    // than the baseline recorded with `--write-baseline`). This is where
+    // engine rewrites — e.g. the per-flow calendar sharding — leave their
+    // before/after evidence in the committed report.
+    let mut vs_baseline = serde_json::Map::new();
+    if let Ok(baseline) = read_baseline() {
+        if let Some(base) = baseline["benches"].as_object() {
+            for (name, ns) in &benches {
+                if let Some(base_ns) = base.get(name).and_then(Value::as_f64) {
+                    vs_baseline.insert(name.clone(), json!(base_ns / ns));
+                }
+            }
+        }
+    }
 
     let bench_map: serde_json::Map = benches.iter().map(|(n, v)| (n.clone(), json!(v))).collect();
     let report = json!({
@@ -728,6 +842,7 @@ fn main() {
         "certify_leaves": (certify_leaves),
         "benches": (Value::Object(bench_map.clone())),
         "speedups": (speedups.clone()),
+        "vs_baseline": (Value::Object(vs_baseline)),
     });
     let report_text = serde_json::to_string(&report).expect("serialize report");
     std::fs::write(REPORT_PATH, report_text + "\n").expect("write BENCH_report.json");
@@ -751,23 +866,49 @@ fn main() {
     }
 
     if opts.check {
-        let baseline: Value = match std::fs::read_to_string(BASELINE_PATH) {
-            Ok(s) => serde_json::from_str(&s).expect("parse BENCH_baseline.json"),
+        // A gate that measured nothing must fail loudly, not pass: an
+        // `--only` prefix that matches no bench group (typo, renamed
+        // bench) would otherwise silently disable the regression check.
+        if benches.is_empty() {
+            eprintln!(
+                "perf_report: --check ran zero benches (--only {:?} matched nothing)",
+                opts.only.as_deref().unwrap_or("")
+            );
+            std::process::exit(1);
+        }
+        let baseline: Value = match read_baseline() {
+            Ok(v) => v,
             Err(e) => {
-                eprintln!("perf_report: cannot read {BASELINE_PATH}: {e}");
+                eprintln!("perf_report: {e}");
                 std::process::exit(1);
             }
         };
+        if let Value::Bool(base_smoke) = baseline["smoke"] {
+            if base_smoke != opts.smoke {
+                eprintln!(
+                    "perf_report: warning: comparing a {} run against a {} baseline; \
+                     mode-sensitive benches (certification depth) are not comparable",
+                    if opts.smoke { "smoke" } else { "full" },
+                    if base_smoke { "smoke" } else { "full" },
+                );
+            }
+        }
         let mut regressions = Vec::new();
         if let Some(base) = baseline["benches"].as_object() {
             for (name, ns) in &benches {
-                if let Some(base_ns) = base.get(name).and_then(Value::as_f64) {
-                    let ratio = ns / base_ns;
-                    if ratio > REGRESSION_FACTOR {
-                        regressions.push(format!(
-                            "{name}: {ns:.0} ns vs baseline {base_ns:.0} ns ({ratio:.2}x)"
-                        ));
+                match base.get(name).and_then(Value::as_f64) {
+                    Some(base_ns) => {
+                        let ratio = ns / base_ns;
+                        if ratio > REGRESSION_FACTOR {
+                            regressions.push(format!(
+                                "{name}: {ns:.0} ns vs baseline {base_ns:.0} ns ({ratio:.2}x)"
+                            ));
+                        }
                     }
+                    None => eprintln!(
+                        "perf_report: warning: `{name}` has no baseline entry \
+                         (re-record with --write-baseline); not gated"
+                    ),
                 }
             }
         }

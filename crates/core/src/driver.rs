@@ -1,0 +1,569 @@
+//! The one Orca decision loop.
+//!
+//! Every harness in the workspace drives a learned controller the same
+//! way: once per monitor interval it drains the flow's monitor sample,
+//! perturbs the observed queuing delay with the configured noise stream,
+//! pushes the observation into the rolling `k`-step state, evaluates the
+//! actor (optionally behind the QC fallback monitor), and applies the
+//! resulting window through `f_cwnd` (Eq. 1). [`OrcaDriver`] owns that
+//! loop — sampling, noise, state, policy, window application, and the
+//! `prev_action`/`prev_cwnd` bookkeeping — over a **caller-owned**
+//! [`Simulator`] and [`FlowId`], so the training environment
+//! ([`CcEnv`](crate::env::CcEnv)), the multi-flow experiment driver
+//! ([`eval::run_multiflow`](crate::eval::run_multiflow)), and the
+//! scenario-matrix runner are bitwise consistent by construction.
+//!
+//! # Decision timing
+//!
+//! A self-driving driver decides at `start + i·MI` for `i = 1, 2, …`,
+//! **strictly before** the run horizon: a decision scheduled exactly at
+//! the horizon does not fire. (The first interval `[start, start + MI)`
+//! runs on the unmodified kernel; the first observation the agent sees is
+//! that interval's sample.) Callers that need a decision *at* time zero —
+//! the RL training loop acts on the initial all-zero state — use the
+//! [`apply_agent`](OrcaDriver::apply_agent)/[`observe`](OrcaDriver::observe)
+//! primitives directly, as [`CcEnv`](crate::env::CcEnv) does.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use canopy_netsim::{FlowId, LinkConfig, MonitorSample, Simulator, Time};
+use canopy_nn::Mlp;
+
+use crate::env::NoiseConfig;
+use crate::models::TrainedModel;
+use crate::obs::{Normalizer, Observation, StateBuilder, StateLayout};
+use crate::orca::f_cwnd;
+use crate::property::Property;
+use crate::runtime::FallbackController;
+use crate::verifier::{StepContext, Verifier};
+
+/// Static configuration of one driver: everything about the decision loop
+/// that is not the policy itself.
+#[derive(Clone, Debug)]
+pub struct DriverConfig {
+    /// Propagation RTT of the controlled flow's path.
+    pub min_rtt: Time,
+    /// History depth `k`.
+    pub k: usize,
+    /// Monitor interval; [`Time::ZERO`] selects `max(min_rtt, 20 ms)`.
+    pub monitor_interval: Time,
+    /// Optional observation noise (queuing delay × `1 + η`,
+    /// `η ~ U(−μ, μ)`).
+    pub noise: Option<NoiseConfig>,
+    /// When the flow starts; the first self-driven decision fires one
+    /// monitor interval later.
+    pub start: Time,
+    /// When the flow departs; decisions at or after this instant are
+    /// skipped and the driver deactivates.
+    pub stop: Option<Time>,
+}
+
+impl DriverConfig {
+    /// A driver configuration with the default monitor interval and no
+    /// noise, starting at time zero.
+    pub fn new(min_rtt: Time, k: usize) -> DriverConfig {
+        DriverConfig {
+            min_rtt,
+            k,
+            monitor_interval: Time::ZERO,
+            noise: None,
+            start: Time::ZERO,
+            stop: None,
+        }
+    }
+
+    /// The effective monitor interval.
+    pub fn effective_mi(&self) -> Time {
+        if self.monitor_interval > Time::ZERO {
+            self.monitor_interval
+        } else {
+            self.min_rtt.max(Time::from_millis(20))
+        }
+    }
+
+    /// Enables observation noise.
+    pub fn with_noise(mut self, noise: Option<NoiseConfig>) -> DriverConfig {
+        self.noise = noise;
+        self
+    }
+
+    /// Sets the flow start time.
+    pub fn starting_at(mut self, t: Time) -> DriverConfig {
+        self.start = t;
+        self
+    }
+
+    /// Sets the flow departure time.
+    pub fn stopping_at(mut self, t: Option<Time>) -> DriverConfig {
+        self.stop = t;
+        self
+    }
+}
+
+/// The decision policy of a self-driving driver: the actor network,
+/// optionally behind the QC-guided fallback monitor, optionally with
+/// per-step certificate evaluation.
+#[derive(Clone, Debug)]
+pub struct DriverPolicy {
+    actor: Mlp,
+    fallback: Option<FallbackController>,
+    qc: Option<(Verifier, Vec<Property>)>,
+}
+
+impl DriverPolicy {
+    /// A plain learned policy.
+    pub fn new(actor: Mlp) -> DriverPolicy {
+        DriverPolicy {
+            actor,
+            fallback: None,
+            qc: None,
+        }
+    }
+
+    /// A plain learned policy from a trained model.
+    pub fn for_model(model: &TrainedModel) -> DriverPolicy {
+        DriverPolicy::new(model.actor.clone())
+    }
+
+    /// Puts the policy behind a QC fallback monitor: the actor's window is
+    /// applied only when the runtime certificate clears the threshold,
+    /// otherwise the interval runs on the unmodified kernel.
+    pub fn with_fallback(mut self, fallback: FallbackController) -> DriverPolicy {
+        self.fallback = Some(fallback);
+        self
+    }
+
+    /// Requests per-decision certificate evaluation (independent of any
+    /// fallback monitor); results are collected in
+    /// [`OrcaDriver::qc_values`].
+    pub fn with_qc(mut self, n_components: usize, properties: Vec<Property>) -> DriverPolicy {
+        self.qc = Some((Verifier::new(n_components), properties));
+        self
+    }
+}
+
+/// The shared per-flow decision loop (see the module docs).
+///
+/// The driver never owns the simulator: every method that advances or
+/// mutates simulation state takes `&mut Simulator`, so one simulator can
+/// host many drivers (see [`DriverPool`]) next to classic kernels.
+#[derive(Debug)]
+pub struct OrcaDriver {
+    flow: FlowId,
+    mi: Time,
+    start: Time,
+    stop: Option<Time>,
+    next_decision: Time,
+    layout: StateLayout,
+    builder: StateBuilder,
+    noise: Option<NoiseConfig>,
+    noise_rng: Option<StdRng>,
+    prev_action: f64,
+    prev_cwnd: f64,
+    policy: Option<DriverPolicy>,
+    decisions: u64,
+    qc_values: Vec<f64>,
+    fallback_qc: Vec<f64>,
+}
+
+impl OrcaDriver {
+    /// Builds a driver for `flow` on the given link. The normalizer is
+    /// derived from the link exactly as in training, so states transfer
+    /// between harnesses.
+    pub fn new(config: &DriverConfig, link: &LinkConfig, flow: FlowId) -> OrcaDriver {
+        let mi = config.effective_mi();
+        let layout = StateLayout::new(config.k);
+        let normalizer = Normalizer::for_link(link, config.min_rtt, mi);
+        OrcaDriver {
+            flow,
+            mi,
+            start: config.start,
+            stop: config.stop,
+            next_decision: config.start + mi,
+            layout,
+            builder: StateBuilder::new(layout, normalizer),
+            noise: config.noise,
+            noise_rng: config.noise.map(|n| StdRng::seed_from_u64(n.seed)),
+            prev_action: 0.0,
+            prev_cwnd: canopy_cc::cubic::INITIAL_CWND,
+            policy: None,
+            decisions: 0,
+            qc_values: Vec::new(),
+            fallback_qc: Vec::new(),
+        }
+    }
+
+    /// Attaches a self-driving policy.
+    pub fn with_policy(mut self, policy: DriverPolicy) -> OrcaDriver {
+        self.policy = Some(policy);
+        self
+    }
+
+    // --- Primitives (the pieces every harness shares) --------------------
+
+    /// Drains the flow's monitor sample, applies observation noise, and
+    /// pushes the (noisy) observation into the state history together with
+    /// the action that led to it. Returns the noise-free sample.
+    pub fn observe(&mut self, sim: &mut Simulator) -> MonitorSample {
+        let sample = sim.monitor_sample(self.flow);
+        let mut obs = Observation::from_sample(&sample);
+        if let (Some(noise), Some(rng)) = (self.noise, self.noise_rng.as_mut()) {
+            let eta = rng.random_range(-noise.mu..=noise.mu);
+            obs.queue_delay_ms *= 1.0 + eta;
+        }
+        self.builder.push(&obs, self.prev_action);
+        sample
+    }
+
+    /// The verifier's view of the current decision point.
+    pub fn step_context(&self, sim: &Simulator) -> StepContext {
+        StepContext {
+            state: self.builder.state(),
+            cwnd_tcp: sim.cwnd(self.flow),
+            cwnd_prev: self.prev_cwnd,
+        }
+    }
+
+    /// Applies an agent action through Eq. (1) — **the** action→cwnd
+    /// runtime path — and records it for the next observation. Returns the
+    /// enforced window.
+    pub fn apply_agent(&mut self, sim: &mut Simulator, action: f64) -> f64 {
+        let cwnd_tcp = sim.cwnd(self.flow);
+        let cwnd = f_cwnd(action, cwnd_tcp);
+        sim.set_cwnd(self.flow, cwnd);
+        self.prev_action = action;
+        self.prev_cwnd = cwnd;
+        cwnd
+    }
+
+    /// Lets the interval run on the unmodified kernel (the fallback path
+    /// and baseline evaluation through the same bookkeeping): the recorded
+    /// action is 0 — `f_cwnd(0, w) = w`, i.e. "keep TCP's window".
+    pub fn apply_kernel(&mut self, sim: &mut Simulator) -> f64 {
+        let cwnd = sim.cwnd(self.flow);
+        self.prev_action = 0.0;
+        self.prev_cwnd = cwnd;
+        cwnd
+    }
+
+    /// Resets the episode state (history, bookkeeping, telemetry) while
+    /// deterministically **continuing** the noise stream, exactly as
+    /// [`CcEnv::reset`](crate::env::CcEnv::reset) requires.
+    pub fn reset_episode(&mut self) {
+        self.builder.reset();
+        self.prev_action = 0.0;
+        self.prev_cwnd = canopy_cc::cubic::INITIAL_CWND;
+        self.next_decision = self.start + self.mi;
+        self.decisions = 0;
+        self.qc_values.clear();
+        self.fallback_qc.clear();
+    }
+
+    /// Re-targets the driver at a freshly built flow (episode restarts
+    /// rebuild the simulator; the flow id may change).
+    pub fn rebind(&mut self, flow: FlowId) {
+        self.flow = flow;
+    }
+
+    // --- The self-driving loop -------------------------------------------
+
+    /// The next decision instant ([`Time::MAX`] once the flow departed).
+    pub fn next_decision(&self) -> Time {
+        self.next_decision
+    }
+
+    /// Executes the decision scheduled at the current simulation time:
+    /// observe → (certify) → actor → (fallback) → apply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no policy is attached.
+    pub fn on_decision(&mut self, sim: &mut Simulator) {
+        if self.stop.is_some_and(|s| sim.now() >= s) {
+            // The flow departed; stop waking up for it.
+            self.next_decision = Time::MAX;
+            return;
+        }
+        self.observe(sim);
+        let ctx = self.step_context(sim);
+        let mut policy = self
+            .policy
+            .take()
+            .expect("self-driving decisions require a policy");
+        if let Some((verifier, properties)) = &policy.qc {
+            let (_, agg) = verifier.certify_all(&policy.actor, properties, self.layout, &ctx);
+            self.qc_values.push(agg);
+        }
+        let action = policy.actor.forward(&ctx.state)[0];
+        let use_agent = match policy.fallback.as_mut() {
+            Some(fb) => {
+                let decision = fb.decide(&policy.actor, self.layout, &ctx);
+                self.fallback_qc.push(decision.qc_sat);
+                decision.use_agent
+            }
+            None => true,
+        };
+        if use_agent {
+            self.apply_agent(sim, action);
+        } else {
+            self.apply_kernel(sim);
+        }
+        self.policy = Some(policy);
+        self.decisions += 1;
+        self.next_decision += self.mi;
+    }
+
+    /// Runs the simulator to `horizon`, executing every decision scheduled
+    /// strictly before it, and lands the clock exactly on `horizon`.
+    pub fn run_until(&mut self, sim: &mut Simulator, horizon: Time) {
+        while self.next_decision < horizon {
+            sim.run_until(self.next_decision);
+            self.on_decision(sim);
+        }
+        sim.run_until(horizon);
+    }
+
+    // --- Accessors --------------------------------------------------------
+
+    /// The flow under control.
+    pub fn flow(&self) -> FlowId {
+        self.flow
+    }
+
+    /// The effective monitor interval.
+    pub fn mi(&self) -> Time {
+        self.mi
+    }
+
+    /// The state layout.
+    pub fn layout(&self) -> StateLayout {
+        self.layout
+    }
+
+    /// The normalizer derived from the link.
+    pub fn normalizer(&self) -> &Normalizer {
+        self.builder.normalizer()
+    }
+
+    /// The current flat state vector.
+    pub fn state(&self) -> Vec<f64> {
+        self.builder.state()
+    }
+
+    /// The window applied at the previous decision.
+    pub fn prev_cwnd(&self) -> f64 {
+        self.prev_cwnd
+    }
+
+    /// The action recorded at the previous decision (0 on fallback).
+    pub fn prev_action(&self) -> f64 {
+        self.prev_action
+    }
+
+    /// Self-driven decisions executed so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Per-decision `QC_sat` from explicit certificate evaluation
+    /// ([`DriverPolicy::with_qc`]).
+    pub fn qc_values(&self) -> &[f64] {
+        &self.qc_values
+    }
+
+    /// Per-decision `QC_sat` reported by the fallback monitor.
+    pub fn fallback_qc_values(&self) -> &[f64] {
+        &self.fallback_qc
+    }
+
+    /// The fallback monitor, when the policy has one.
+    pub fn fallback(&self) -> Option<&FallbackController> {
+        self.policy.as_ref().and_then(|p| p.fallback.as_ref())
+    }
+
+    /// Fraction of decisions the fallback monitor overrode, when present.
+    pub fn fallback_rate(&self) -> Option<f64> {
+        self.fallback().map(FallbackController::fallback_rate)
+    }
+}
+
+/// Multiplexes any number of self-driving drivers over one simulator by
+/// next-decision time: the pool repeatedly runs the simulator to the
+/// earliest pending decision and dispatches every driver due at that
+/// instant in insertion order (the deterministic tie-break).
+#[derive(Debug, Default)]
+pub struct DriverPool {
+    drivers: Vec<OrcaDriver>,
+}
+
+impl DriverPool {
+    /// An empty pool.
+    pub fn new() -> DriverPool {
+        DriverPool::default()
+    }
+
+    /// Adds a driver (it must carry a policy) and returns its index.
+    pub fn push(&mut self, driver: OrcaDriver) -> usize {
+        assert!(
+            driver.policy.is_some(),
+            "pooled drivers must be self-driving (attach a DriverPolicy)"
+        );
+        self.drivers.push(driver);
+        self.drivers.len() - 1
+    }
+
+    /// Number of drivers in the pool.
+    pub fn len(&self) -> usize {
+        self.drivers.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.drivers.is_empty()
+    }
+
+    /// The drivers, in insertion order.
+    pub fn drivers(&self) -> &[OrcaDriver] {
+        &self.drivers
+    }
+
+    /// The earliest pending decision across the pool ([`Time::MAX`] when
+    /// idle).
+    pub fn next_decision(&self) -> Time {
+        self.drivers
+            .iter()
+            .map(OrcaDriver::next_decision)
+            .fold(Time::MAX, Time::min)
+    }
+
+    /// Runs the simulator to `horizon`, dispatching every pooled decision
+    /// scheduled strictly before it (ties in insertion order), and lands
+    /// the clock exactly on `horizon`.
+    pub fn run_until(&mut self, sim: &mut Simulator, horizon: Time) {
+        loop {
+            let next = self.next_decision();
+            if next >= horizon {
+                break;
+            }
+            sim.run_until(next);
+            for driver in &mut self.drivers {
+                if driver.next_decision <= sim.now() {
+                    driver.on_decision(sim);
+                }
+            }
+        }
+        sim.run_until(horizon);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canopy_cc::Cubic;
+    use canopy_netsim::{BandwidthTrace, FlowConfig};
+
+    fn link(rate_bps: f64) -> LinkConfig {
+        LinkConfig::with_bdp_buffer(
+            BandwidthTrace::constant("drv", rate_bps),
+            Time::from_millis(40),
+            1.0,
+        )
+    }
+
+    fn actor(k: usize, seed: u64) -> Mlp {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Mlp::new(
+            &mut rng,
+            &[StateLayout::new(k).dim(), 8, 1],
+            canopy_nn::Activation::Tanh,
+        )
+    }
+
+    fn driver_on(link: &LinkConfig, sim: &mut Simulator, cfg: &DriverConfig) -> OrcaDriver {
+        let mut flow_cfg = FlowConfig::new(cfg.min_rtt)
+            .starting_at(cfg.start)
+            .without_samples();
+        if let Some(stop) = cfg.stop {
+            flow_cfg = flow_cfg.stopping_at(stop);
+        }
+        let flow = sim.add_flow(flow_cfg, Box::new(Cubic::new()));
+        OrcaDriver::new(cfg, link, flow)
+    }
+
+    #[test]
+    fn decisions_fire_strictly_before_the_horizon() {
+        // MI = 40 ms; a 2 s horizon is an exact multiple, so the decision
+        // scheduled at exactly 2 s must NOT fire: 49 decisions, not 50.
+        let link = link(24e6);
+        let cfg = DriverConfig::new(Time::from_millis(40), 3);
+        let mut sim = Simulator::new(link.clone());
+        let mut d = driver_on(&link, &mut sim, &cfg).with_policy(DriverPolicy::new(actor(3, 1)));
+        d.run_until(&mut sim, Time::from_secs(2));
+        assert_eq!(d.decisions(), 49);
+        assert_eq!(sim.now(), Time::from_secs(2));
+
+        // One nanosecond past the multiple, the boundary decision fires.
+        let mut sim2 = Simulator::new(link.clone());
+        let mut d2 = driver_on(&link, &mut sim2, &cfg).with_policy(DriverPolicy::new(actor(3, 1)));
+        d2.run_until(&mut sim2, Time::from_secs(2) + Time::from_nanos(1));
+        assert_eq!(d2.decisions(), 50);
+    }
+
+    #[test]
+    fn departed_driver_goes_idle() {
+        let link = link(24e6);
+        let cfg =
+            DriverConfig::new(Time::from_millis(40), 3).stopping_at(Some(Time::from_millis(200)));
+        let mut sim = Simulator::new(link.clone());
+        let mut d = driver_on(&link, &mut sim, &cfg).with_policy(DriverPolicy::new(actor(3, 2)));
+        d.run_until(&mut sim, Time::from_secs(1));
+        // Decisions at 40/80/120/160 ms fire; the one at 200 ms hits the
+        // departure and deactivates the driver.
+        assert_eq!(d.decisions(), 4);
+        assert_eq!(d.next_decision(), Time::MAX);
+        assert_eq!(sim.now(), Time::from_secs(1));
+    }
+
+    #[test]
+    fn pool_dispatches_in_insertion_order_and_matches_solo_runs() {
+        // Two identical agent flows on their own links must behave exactly
+        // like one (per-flow state is fully owned by each driver).
+        let run_pair = || {
+            let link = link(48e6);
+            let mut sim = Simulator::new(link.clone());
+            let mut pool = DriverPool::new();
+            for i in 0..2 {
+                let cfg = DriverConfig::new(Time::from_millis(40), 3)
+                    .starting_at(Time::from_millis(100 * i));
+                let d =
+                    driver_on(&link, &mut sim, &cfg).with_policy(DriverPolicy::new(actor(3, 7)));
+                pool.push(d);
+            }
+            pool.run_until(&mut sim, Time::from_secs(2));
+            let stats: Vec<u64> = pool
+                .drivers()
+                .iter()
+                .map(|d| sim.flow_stats(d.flow()).acked_packets)
+                .collect();
+            (stats, pool.drivers()[0].decisions())
+        };
+        assert_eq!(run_pair(), run_pair());
+    }
+
+    #[test]
+    fn fallback_policy_records_qc_and_rate() {
+        let link = link(12e6);
+        let cfg = DriverConfig::new(Time::from_millis(40), 3);
+        let mut sim = Simulator::new(link.clone());
+        let properties = Property::shallow_set(&crate::property::PropertyParams::default());
+        let fb = FallbackController::new(properties, 0.5, 4);
+        let mut d = driver_on(&link, &mut sim, &cfg)
+            .with_policy(DriverPolicy::new(actor(3, 3)).with_fallback(fb));
+        d.run_until(&mut sim, Time::from_secs(1));
+        assert_eq!(d.fallback_qc_values().len() as u64, d.decisions());
+        let rate = d.fallback_rate().expect("fallback attached");
+        assert!((0.0..=1.0).contains(&rate));
+        assert!(d.qc_values().is_empty(), "no explicit QC eval requested");
+    }
+}

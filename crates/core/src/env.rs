@@ -8,8 +8,6 @@
 //! the next interval. Cubic keeps doing fine-grained per-ACK control in
 //! between, evolving from the enforced window.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use canopy_cc::Cubic;
@@ -18,8 +16,9 @@ use canopy_netsim::{
     BandwidthTrace, FlowConfig, FlowId, LinkConfig, MonitorSample, Simulator, Time,
 };
 
-use crate::obs::{Normalizer, Observation, StateBuilder, StateLayout};
-use crate::orca::{f_cwnd, RewardConfig};
+use crate::driver::{DriverConfig, OrcaDriver};
+use crate::obs::{Normalizer, StateLayout};
+use crate::orca::RewardConfig;
 use crate::verifier::StepContext;
 
 /// Observation-noise configuration: at each step the observed queuing
@@ -128,52 +127,54 @@ pub struct StepResult {
     pub done: bool,
 }
 
-/// A single-flow congestion-control environment.
+/// A single-flow congestion-control environment: a thin episode wrapper
+/// around one [`OrcaDriver`] (which owns the decision mechanics — state,
+/// noise, window application) plus the Orca reward and the episode clock.
 pub struct CcEnv {
     config: EnvConfig,
     sim: Simulator,
     flow: FlowId,
-    builder: StateBuilder,
-    layout: StateLayout,
-    prev_cwnd: f64,
+    driver: OrcaDriver,
     steps: u64,
-    noise_rng: Option<StdRng>,
 }
 
 impl CcEnv {
     /// Builds the environment and its simulator.
     pub fn new(config: EnvConfig) -> CcEnv {
         let link = config.link();
-        let normalizer = Normalizer::for_link(&link, config.min_rtt, config.effective_mi());
-        let layout = StateLayout::new(config.k);
-        let mut sim = Simulator::new(link);
+        let mut sim = Simulator::new(link.clone());
         let flow_config = if config.record_samples {
             FlowConfig::new(config.min_rtt)
         } else {
             FlowConfig::new(config.min_rtt).without_samples()
         };
         let flow = sim.add_flow(flow_config, Box::new(Cubic::new()));
-        let noise_rng = config.noise.map(|n| StdRng::seed_from_u64(n.seed));
+        let driver_config = DriverConfig {
+            min_rtt: config.min_rtt,
+            k: config.k,
+            monitor_interval: config.monitor_interval,
+            noise: config.noise,
+            start: Time::ZERO,
+            stop: None,
+        };
+        let driver = OrcaDriver::new(&driver_config, &link, flow);
         CcEnv {
-            builder: StateBuilder::new(layout, normalizer),
             config,
             sim,
             flow,
-            layout,
-            prev_cwnd: canopy_cc::cubic::INITIAL_CWND,
+            driver,
             steps: 0,
-            noise_rng,
         }
     }
 
     /// The environment's state layout.
     pub fn layout(&self) -> StateLayout {
-        self.layout
+        self.driver.layout()
     }
 
     /// The normalizer derived from the link.
     pub fn normalizer(&self) -> &Normalizer {
-        self.builder.normalizer()
+        self.driver.normalizer()
     }
 
     /// The configuration.
@@ -183,7 +184,7 @@ impl CcEnv {
 
     /// The current flat state vector.
     pub fn state(&self) -> Vec<f64> {
-        self.builder.state()
+        self.driver.state()
     }
 
     /// Steps taken since the last reset.
@@ -198,11 +199,7 @@ impl CcEnv {
 
     /// The verifier's view of the current decision point.
     pub fn step_context(&self) -> StepContext {
-        StepContext {
-            state: self.state(),
-            cwnd_tcp: self.sim.cwnd(self.flow),
-            cwnd_prev: self.prev_cwnd,
-        }
+        self.driver.step_context(&self.sim)
     }
 
     /// Restarts the episode with a fresh simulator (deterministic: the
@@ -217,39 +214,32 @@ impl CcEnv {
         };
         self.flow = sim.add_flow(flow_config, Box::new(Cubic::new()));
         self.sim = sim;
-        self.builder.reset();
-        self.prev_cwnd = canopy_cc::cubic::INITIAL_CWND;
+        self.driver.reset_episode();
+        self.driver.rebind(self.flow);
         self.steps = 0;
     }
 
     /// Applies an agent action and advances one monitor interval.
     pub fn step(&mut self, action: f64) -> StepResult {
-        let cwnd_tcp = self.sim.cwnd(self.flow);
-        let cwnd = f_cwnd(action, cwnd_tcp);
-        self.sim.set_cwnd(self.flow, cwnd);
-        self.advance(action, cwnd)
+        let cwnd = self.driver.apply_agent(&mut self.sim, action);
+        self.advance(cwnd)
     }
 
     /// Advances one monitor interval *without* overriding the window —
     /// Cubic rules alone (used by the runtime fallback and by baseline
     /// evaluation through the same code path).
     pub fn step_without_agent(&mut self) -> StepResult {
-        let cwnd = self.sim.cwnd(self.flow);
-        self.advance(0.0, cwnd)
+        let cwnd = self.driver.apply_kernel(&mut self.sim);
+        self.advance(cwnd)
     }
 
-    fn advance(&mut self, action: f64, cwnd_applied: f64) -> StepResult {
+    fn advance(&mut self, cwnd_applied: f64) -> StepResult {
         let cwnd_tcp_at_decision = self.sim.cwnd(self.flow);
-        let mi = self.config.effective_mi();
-        let target = self.sim.now() + mi;
+        // The driver owns the monitor-interval rule; the env's clock must
+        // advance by the same interval its normalizer was derived from.
+        let target = self.sim.now() + self.driver.mi();
         self.sim.run_until(target);
-        let sample = self.sim.monitor_sample(self.flow);
-        let mut obs = Observation::from_sample(&sample);
-        if let (Some(noise), Some(rng)) = (self.config.noise, self.noise_rng.as_mut()) {
-            let eta = rng.random_range(-noise.mu..=noise.mu);
-            obs.queue_delay_ms *= 1.0 + eta;
-        }
-        self.builder.push(&obs, action);
+        let sample = self.driver.observe(&mut self.sim);
 
         // The reward uses the true (noise-free) environment feedback.
         let thr_norm =
@@ -265,11 +255,10 @@ impl CcEnv {
             .reward
             .reward(thr_norm, sample.loss_rate, srtt_ms, min_rtt_ms);
 
-        self.prev_cwnd = cwnd_applied;
         self.steps += 1;
         let done = self.sim.now() >= self.config.episode;
         StepResult {
-            state: self.builder.state(),
+            state: self.driver.state(),
             reward,
             sample,
             cwnd_tcp: cwnd_tcp_at_decision,

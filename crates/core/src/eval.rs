@@ -5,12 +5,10 @@
 use serde::{Deserialize, Serialize};
 
 use canopy_netsim::{BandwidthTrace, FlowConfig, FlowId, LinkConfig, Simulator, Time};
-use canopy_nn::Mlp;
 
+use crate::driver::{DriverConfig, DriverPolicy, DriverPool, OrcaDriver};
 use crate::env::{CcEnv, EnvConfig, NoiseConfig};
 use crate::models::TrainedModel;
-use crate::obs::{Normalizer, Observation, StateBuilder, StateLayout};
-use crate::orca::f_cwnd;
 use crate::property::Property;
 use crate::runtime::FallbackController;
 use crate::verifier::Verifier;
@@ -401,6 +399,17 @@ pub enum FlowScheme {
     Agent(TrainedModel),
 }
 
+/// QC fallback monitoring attached to one agent flow of a multi-flow run.
+#[derive(Clone, Debug)]
+pub struct FallbackSpec {
+    /// Properties monitored at runtime.
+    pub properties: Vec<Property>,
+    /// `QC_sat` threshold below which the flow falls back to Cubic.
+    pub threshold: f64,
+    /// Verifier components for the runtime certificate.
+    pub n_components: usize,
+}
+
 /// Specification of one flow in a shared-bottleneck run.
 #[derive(Clone, Debug)]
 pub struct FlowSpec {
@@ -412,34 +421,56 @@ pub struct FlowSpec {
     pub stop: Option<Time>,
     /// Propagation RTT of this flow's path.
     pub min_rtt: Time,
+    /// Observation noise for agent flows (classic kernels ignore it).
+    pub noise: Option<NoiseConfig>,
+    /// QC fallback monitoring for agent flows (classic kernels ignore it).
+    pub fallback: Option<FallbackSpec>,
 }
 
 impl FlowSpec {
-    /// A flow active for the whole run.
+    /// A flow active for the whole run, noise-free and unmonitored.
     pub fn new(scheme: FlowScheme, min_rtt: Time) -> FlowSpec {
         FlowSpec {
             scheme,
             start: Time::ZERO,
             stop: None,
             min_rtt,
+            noise: None,
+            fallback: None,
         }
     }
-}
 
-struct AgentDriver {
-    flow: FlowId,
-    actor: Mlp,
-    builder: StateBuilder,
-    layout: StateLayout,
-    mi: Time,
-    next_decision: Time,
-    stop: Option<Time>,
-    prev_action: f64,
+    /// Sets the arrival time.
+    pub fn starting_at(mut self, t: Time) -> FlowSpec {
+        self.start = t;
+        self
+    }
+
+    /// Sets the departure time.
+    pub fn stopping_at(mut self, t: Time) -> FlowSpec {
+        self.stop = Some(t);
+        self
+    }
+
+    /// Enables observation noise on an agent flow.
+    pub fn with_noise(mut self, noise: NoiseConfig) -> FlowSpec {
+        self.noise = Some(noise);
+        self
+    }
+
+    /// Puts an agent flow behind the QC fallback monitor.
+    pub fn with_fallback(mut self, fallback: FallbackSpec) -> FlowSpec {
+        self.fallback = Some(fallback);
+        self
+    }
 }
 
 /// Per-flow, per-bin throughput (Mbps) from a shared-bottleneck run — the
 /// raw material for the friendliness (Fig. 14) and fairness (Fig. 15)
-/// experiments.
+/// experiments. Agent flows are driven by [`OrcaDriver`]s multiplexed over
+/// the shared simulator by a [`DriverPool`], so they honour each spec's
+/// observation noise and fallback configuration exactly like every other
+/// harness.
 pub fn run_multiflow(
     link: LinkConfig,
     flows: &[FlowSpec],
@@ -447,7 +478,7 @@ pub fn run_multiflow(
     bin: Time,
 ) -> Vec<Vec<f64>> {
     let mut sim = Simulator::new(link.clone());
-    let mut drivers: Vec<Option<AgentDriver>> = Vec::new();
+    let mut pool = DriverPool::new();
     let mut ids = Vec::new();
     for spec in flows {
         let cc: Box<dyn canopy_netsim::CongestionControl> = match &spec.scheme {
@@ -463,24 +494,25 @@ pub fn run_multiflow(
         }
         let id = sim.add_flow(flow_cfg, cc);
         ids.push(id);
-        drivers.push(match &spec.scheme {
-            FlowScheme::Agent(model) => {
-                let mi = spec.min_rtt.max(Time::from_millis(20));
-                let layout = StateLayout::new(model.k);
-                let normalizer = Normalizer::for_link(&link, spec.min_rtt, mi);
-                Some(AgentDriver {
-                    flow: id,
-                    actor: model.actor.clone(),
-                    builder: StateBuilder::new(layout, normalizer),
-                    layout,
-                    mi,
-                    next_decision: spec.start + mi,
-                    stop: spec.stop,
-                    prev_action: 0.0,
-                })
+        if let FlowScheme::Agent(model) = &spec.scheme {
+            let config = DriverConfig {
+                min_rtt: spec.min_rtt,
+                k: model.k,
+                monitor_interval: Time::ZERO,
+                noise: spec.noise,
+                start: spec.start,
+                stop: spec.stop,
+            };
+            let mut policy = DriverPolicy::for_model(model);
+            if let Some(fb) = &spec.fallback {
+                policy = policy.with_fallback(FallbackController::new(
+                    fb.properties.clone(),
+                    fb.threshold,
+                    fb.n_components,
+                ));
             }
-            FlowScheme::Classic(_) => None,
-        });
+            pool.push(OrcaDriver::new(&config, &link, id).with_policy(policy));
+        }
     }
 
     let bins = (duration.as_nanos() / bin.as_nanos().max(1)) as usize;
@@ -489,33 +521,7 @@ pub fn run_multiflow(
     let mut next_bin = bin;
 
     loop {
-        // The next interesting instant: an agent decision or a bin edge.
-        let mut next = next_bin.min(duration);
-        for d in drivers.iter().flatten() {
-            next = next.min(d.next_decision);
-        }
-        sim.run_until(next);
-
-        for d in drivers.iter_mut().flatten() {
-            if d.next_decision <= sim.now() {
-                if d.stop.is_some_and(|s| sim.now() >= s) {
-                    // The agent's flow departed; stop waking up for it.
-                    d.next_decision = Time::MAX;
-                    continue;
-                }
-                let sample = sim.monitor_sample(d.flow);
-                let obs = Observation::from_sample(&sample);
-                d.builder.push(&obs, d.prev_action);
-                let state = d.builder.state();
-                let action = d.actor.forward(&state)[0];
-                let cwnd_tcp = sim.cwnd(d.flow);
-                sim.set_cwnd(d.flow, f_cwnd(action, cwnd_tcp));
-                d.prev_action = action;
-                d.next_decision += d.mi;
-                let _ = d.layout;
-            }
-        }
-
+        pool.run_until(&mut sim, next_bin.min(duration));
         if sim.now() >= next_bin {
             for (i, &id) in ids.iter().enumerate() {
                 let bytes = sim.flow_stats(id).acked_bytes;

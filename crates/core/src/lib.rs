@@ -13,8 +13,12 @@
 //!   smoothed feedback of Eq. 6 and the multi-property aggregate of Eq. 7.
 //! * [`verifier`] — abstract interpretation of the actor network and the
 //!   `f_cwnd` computation (Eq. 5) over partitioned input regions.
+//! * [`driver`] — the one Orca decision loop: sampling, noise, state,
+//!   policy, and `f_cwnd` application over a caller-owned simulator, plus
+//!   the pool that multiplexes many drivers by next-decision time.
 //! * [`env`] — the congestion-control RL environment: a simulated link
-//!   stepped one monitor interval at a time.
+//!   stepped one monitor interval at a time (a thin episode wrapper
+//!   around one driver).
 //! * [`trainer`] — certification-in-the-loop training: TD3 on the λ-mixed
 //!   reward `(1−λ)·R + λ·R_verifier` (Eq. 10).
 //! * [`runtime`] — QC_sat-guided runtime monitoring with TCP-Cubic
@@ -27,6 +31,7 @@
 //!   shallow / deep / robust Canopy models and the Orca baseline, with
 //!   on-disk caching for the benchmark harness.
 
+pub mod driver;
 pub mod env;
 pub mod eval;
 pub mod models;
@@ -39,6 +44,7 @@ pub mod runtime;
 pub mod trainer;
 pub mod verifier;
 
+pub use driver::{DriverConfig, DriverPolicy, DriverPool, OrcaDriver};
 pub use env::{CcEnv, EnvConfig, NoiseConfig, StepResult};
 pub use models::{ModelKind, TrainedModel};
 pub use obs::{Normalizer, Observation, StateBuilder, StateLayout};

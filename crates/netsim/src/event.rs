@@ -1,7 +1,33 @@
-//! The discrete-event calendar.
+//! The discrete-event calendar, sharded per flow.
+//!
+//! The calendar exploits the structure of a single-bottleneck simulation
+//! instead of funnelling every event through one global binary heap:
+//!
+//! * **Per-flow lanes.** Each flow owns a sorted ring of its pending
+//!   ACK-arrival and start/stop events. ACKs are generated in departure
+//!   order and arrive one fixed propagation delay later, so without
+//!   jitter every insertion is an O(1) append; jitter displaces an entry
+//!   by at most a few slots from the tail.
+//! * **One retransmit slot per flow.** TCP restarts the RTO on every ACK,
+//!   which in a heap-based calendar buries thousands of stale timer
+//!   entries (one per ACK, each popped later as a no-op). Only the most
+//!   recently armed timer can ever fire (older generations are ignored by
+//!   the dispatcher), so the calendar keeps exactly one slot per flow and
+//!   lets re-arming overwrite it.
+//! * **One transmit slot for the link.** The bottleneck serializes one
+//!   packet at a time, so at most one departure is pending (a short
+//!   sorted lane keeps the structure general).
+//!
+//! The lanes merge through a small top-level ladder: a cached
+//! `(time, id)` head per lane, combined by a tournament (winner) tree
+//! whose root always names the lane holding the globally earliest event.
+//! A head change re-plays one leaf-to-root path (O(log #lanes)); peeking
+//! is O(1). Ids are assigned globally in schedule order, so the merged
+//! dispatch order is **identical** to the classic global min-heap with
+//! FIFO tie-breaks — simulations replay bit-for-bit — while every hot
+//! operation is O(1) in the event population.
 
-use std::cmp::{Ordering, Reverse};
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 
 use crate::flow::FlowId;
 use crate::packet::Ack;
@@ -36,86 +62,321 @@ pub struct ScheduledEvent {
     pub event: Event,
 }
 
-impl PartialEq for ScheduledEvent {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.id == other.id
-    }
-}
-
-impl Eq for ScheduledEvent {}
-
-impl PartialOrd for ScheduledEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for ScheduledEvent {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Natural order: by time, then insertion id. The queue wraps
-        // entries in `Reverse` to turn the std max-heap into the min-heap
-        // a calendar needs.
-        self.at.cmp(&other.at).then_with(|| self.id.cmp(&other.id))
-    }
-}
-
-/// Pending events pre-reserved per flow: enough for a window of in-flight
-/// departures/ACKs plus timers without rehashing the heap's backing
-/// buffer mid-run.
+/// Ring capacity pre-reserved per flow: enough for a window of in-flight
+/// ACKs plus control events without reallocating mid-run.
 const EVENTS_PER_FLOW: usize = 64;
 
-/// A deterministic event calendar (min-heap keyed by time, FIFO on ties).
+/// The "no pending event" ladder entry; compares after every real head.
+const IDLE: (Time, u64) = (Time::MAX, u64::MAX);
+
+/// Inserts `entry` into a lane keeping `(time, id)` order, where `time_of`
+/// projects an entry's activation time. Ids grow monotonically, so an
+/// entry lands at the tail unless jitter reordered activation times, and
+/// equal times keep FIFO order.
+fn insort_by_time<T>(lane: &mut VecDeque<T>, at: Time, entry: T, time_of: impl Fn(&T) -> Time) {
+    let mut idx = lane.len();
+    while idx > 0 && time_of(&lane[idx - 1]) > at {
+        idx -= 1;
+    }
+    if idx == lane.len() {
+        lane.push_back(entry);
+    } else {
+        lane.insert(idx, entry);
+    }
+}
+
+/// One flow's calendar shard: its sorted event lane plus the single
+/// retransmit-timer slot.
 #[derive(Debug, Default)]
+struct FlowShard {
+    /// Pending ACK arrivals and start/stop events, sorted by `(time, id)`.
+    lane: VecDeque<(Time, u64, Event)>,
+    /// The armed retransmission timer, if any: `(time, id, generation)`.
+    /// Re-arming overwrites; only the newest generation can fire anyway.
+    rto: Option<(Time, u64, u64)>,
+}
+
+impl FlowShard {
+    fn with_capacity(capacity: usize) -> FlowShard {
+        FlowShard {
+            lane: VecDeque::with_capacity(capacity),
+            rto: None,
+        }
+    }
+
+    /// The earliest `(time, id)` pending in this shard.
+    fn head(&self) -> (Time, u64) {
+        let lane = self.lane.front().map_or(IDLE, |&(at, id, _)| (at, id));
+        match self.rto {
+            Some((at, id, _)) if (at, id) < lane => (at, id),
+            _ => lane,
+        }
+    }
+
+    /// Inserts keeping `(time, id)` order.
+    fn insort(&mut self, at: Time, id: u64, event: Event) {
+        insort_by_time(&mut self.lane, at, (at, id, event), |e| e.0);
+    }
+}
+
+/// A deterministic event calendar: per-flow lanes plus a link lane,
+/// merged by a tournament tree over cached lane heads (min `(time, id)`,
+/// FIFO on ties).
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Reverse<ScheduledEvent>>,
+    /// Pending link departures, sorted (at most one in a real simulation).
+    link: VecDeque<(Time, u64)>,
+    /// Per-flow shards, indexed by `FlowId`.
+    shards: Vec<FlowShard>,
+    /// The merge ladder: `heads[0]` mirrors the link lane, `heads[1 + f]`
+    /// mirrors flow `f`'s shard. Kept exact on every mutation.
+    heads: Vec<(Time, u64)>,
+    /// Tournament tree over `heads`: a complete binary tree with
+    /// `leaf_base` leaves (`heads` padded with [`IDLE`]); `tree[1]` is the
+    /// index of the lane holding the earliest `(time, id)`. `tree[n]` for
+    /// internal `n` names the winner among the leaves below `n`.
+    tree: Vec<u32>,
+    /// Number of leaves (a power of two, `>= heads.len()`).
+    leaf_base: usize,
     next_id: u64,
+    len: usize,
+}
+
+/// The tournament slot for "no lane" (beyond `heads.len()`); its key is
+/// [`IDLE`], so it loses every match.
+const NO_LANE: u32 = u32::MAX;
+
+impl Default for EventQueue {
+    fn default() -> EventQueue {
+        EventQueue::new()
+    }
 }
 
 impl EventQueue {
     /// Creates an empty calendar.
     pub fn new() -> EventQueue {
-        EventQueue::default()
+        let mut q = EventQueue {
+            link: VecDeque::with_capacity(2),
+            shards: Vec::new(),
+            heads: vec![IDLE],
+            tree: Vec::new(),
+            leaf_base: 0,
+            next_id: 0,
+            len: 0,
+        };
+        q.rebuild_tree();
+        q
     }
 
     /// Creates an empty calendar pre-sized for `flows` concurrent flows.
     pub fn with_flow_capacity(flows: usize) -> EventQueue {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(flows.max(1) * EVENTS_PER_FLOW),
-            next_id: 0,
+        let mut q = EventQueue::new();
+        q.ensure_shards(flows);
+        q
+    }
+
+    /// Pre-sizes the calendar for one more flow's worth of events (called
+    /// as flows are added, so shard count tracks the flow count).
+    pub fn reserve_for_flow(&mut self) {
+        let want = self.shards.len() + 1;
+        self.ensure_shards(want);
+    }
+
+    fn ensure_shards(&mut self, count: usize) {
+        if self.shards.len() >= count {
+            return;
+        }
+        while self.shards.len() < count {
+            self.shards.push(FlowShard::with_capacity(EVENTS_PER_FLOW));
+            self.heads.push(IDLE);
+            let lane = self.heads.len() - 1;
+            if lane < self.leaf_base {
+                // Room in the current tournament: claim the leaf (its key
+                // is IDLE, so no path needs re-playing yet).
+                self.tree[self.leaf_base + lane] = lane as u32;
+            }
+        }
+        if self.heads.len() > self.leaf_base {
+            self.rebuild_tree();
         }
     }
 
-    /// Grows the backing buffer to cover one more flow's worth of events
-    /// (called as flows are added, so capacity tracks the flow count).
-    pub fn reserve_for_flow(&mut self) {
-        self.heap.reserve(EVENTS_PER_FLOW);
+    /// Rebuilds the tournament tree from scratch (lane-count growth only;
+    /// steady-state updates re-play single paths).
+    fn rebuild_tree(&mut self) {
+        let mut leaves = 2usize;
+        while leaves < self.heads.len() {
+            leaves *= 2;
+        }
+        self.leaf_base = leaves;
+        self.tree = vec![NO_LANE; 2 * leaves];
+        for lane in 0..self.heads.len() {
+            self.tree[leaves + lane] = lane as u32;
+        }
+        for n in (1..leaves).rev() {
+            self.tree[n] = self.winner(self.tree[2 * n], self.tree[2 * n + 1]);
+        }
+    }
+
+    #[inline]
+    fn key(&self, lane: u32) -> (Time, u64) {
+        if lane == NO_LANE {
+            IDLE
+        } else {
+            self.heads[lane as usize]
+        }
+    }
+
+    #[inline]
+    fn winner(&self, a: u32, b: u32) -> u32 {
+        if self.key(b) < self.key(a) {
+            b
+        } else {
+            a
+        }
+    }
+
+    /// Re-plays the tournament path from `lane`'s leaf to the root after
+    /// its head changed.
+    #[inline]
+    fn replay(&mut self, lane: usize) {
+        let mut n = (self.leaf_base + lane) / 2;
+        while n >= 1 {
+            self.tree[n] = self.winner(self.tree[2 * n], self.tree[2 * n + 1]);
+            n /= 2;
+        }
+    }
+
+    fn refresh_shard_head(&mut self, flow: usize) {
+        let head = self.shards[flow].head();
+        // Most mutations leave the head alone (ACKs append at the back,
+        // timer re-arms land behind the next ACK): skip the tournament
+        // re-play unless the lane's key actually moved.
+        if self.heads[1 + flow] != head {
+            self.heads[1 + flow] = head;
+            self.replay(1 + flow);
+        }
+    }
+
+    fn refresh_link_head(&mut self) {
+        let head = self.link.front().copied().unwrap_or(IDLE);
+        if self.heads[0] != head {
+            self.heads[0] = head;
+            self.replay(0);
+        }
     }
 
     /// Schedules `event` at time `at`.
     pub fn schedule(&mut self, at: Time, event: Event) {
         let id = self.next_id;
         self.next_id += 1;
-        self.heap.push(Reverse(ScheduledEvent { at, id, event }));
+        match event {
+            Event::LinkDeparture => {
+                insort_by_time(&mut self.link, at, (at, id), |e| e.0);
+                self.refresh_link_head();
+                self.len += 1;
+            }
+            Event::RtoTimer { flow, generation } => {
+                let f = flow.0;
+                self.ensure_shards(f + 1);
+                // Overwrite: a superseded timer carries a stale generation
+                // and would be ignored at dispatch, so dropping it here is
+                // behaviourally identical and keeps one slot per flow.
+                if self.shards[f].rto.replace((at, id, generation)).is_none() {
+                    self.len += 1;
+                }
+                self.refresh_shard_head(f);
+            }
+            Event::AckArrival(ref ack) => {
+                let f = ack.flow.0;
+                self.ensure_shards(f + 1);
+                self.shards[f].insort(at, id, event);
+                self.len += 1;
+                self.refresh_shard_head(f);
+            }
+            Event::FlowStart(flow) | Event::FlowStop(flow) => {
+                let f = flow.0;
+                self.ensure_shards(f + 1);
+                self.shards[f].insort(at, id, event);
+                self.len += 1;
+                self.refresh_shard_head(f);
+            }
+        }
+    }
+
+    /// The tournament's current minimum: `(lane index, (time, id))`.
+    #[inline]
+    fn min_head(&self) -> Option<(usize, (Time, u64))> {
+        let lane = self.tree[1];
+        let key = self.key(lane);
+        if key == IDLE {
+            None
+        } else {
+            Some((lane as usize, key))
+        }
     }
 
     /// The activation time of the earliest pending event.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.0.at)
+        self.min_head().map(|(_, (at, _))| at)
     }
 
-    /// Removes and returns the earliest pending event.
+    /// Removes and returns the earliest pending event (FIFO on time ties,
+    /// by global schedule order).
     pub fn pop(&mut self) -> Option<ScheduledEvent> {
-        self.heap.pop().map(|e| e.0)
+        let (lane, (at, id)) = self.min_head()?;
+        Some(self.pop_lane(lane, at, id))
+    }
+
+    /// Removes and returns the earliest pending event if it activates at
+    /// or before `t` — the simulator main loop's peek-and-pop fused into
+    /// one tournament lookup.
+    pub fn pop_due(&mut self, t: Time) -> Option<ScheduledEvent> {
+        let (lane, (at, id)) = self.min_head()?;
+        if at > t {
+            return None;
+        }
+        Some(self.pop_lane(lane, at, id))
+    }
+
+    fn pop_lane(&mut self, lane: usize, at: Time, id: u64) -> ScheduledEvent {
+        self.len -= 1;
+        if lane == 0 {
+            self.link.pop_front().expect("link head exists");
+            self.refresh_link_head();
+            return ScheduledEvent {
+                at,
+                id,
+                event: Event::LinkDeparture,
+            };
+        }
+        let f = lane - 1;
+        let shard = &mut self.shards[f];
+        let event = match shard.rto {
+            Some((rto_at, rto_id, generation)) if (rto_at, rto_id) == (at, id) => {
+                shard.rto = None;
+                Event::RtoTimer {
+                    flow: FlowId(f),
+                    generation,
+                }
+            }
+            _ => {
+                let (_, _, event) = shard.lane.pop_front().expect("lane head exists");
+                event
+            }
+        };
+        self.refresh_shard_head(f);
+        ScheduledEvent { at, id, event }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Whether the calendar is empty.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 }
 
@@ -176,5 +437,112 @@ mod tests {
         assert_eq!(q.peek_time(), Some(Time::from_millis(1)));
         assert_eq!(q.pop().unwrap().at, Time::from_millis(1));
         assert_eq!(q.pop().unwrap().at, Time::from_millis(2));
+    }
+
+    #[test]
+    fn rearming_overwrites_the_rto_slot() {
+        let mut q = EventQueue::new();
+        q.schedule(
+            Time::from_millis(200),
+            Event::RtoTimer {
+                flow: FlowId(0),
+                generation: 1,
+            },
+        );
+        // Re-arm earlier with a newer generation: exactly one timer stays.
+        q.schedule(
+            Time::from_millis(150),
+            Event::RtoTimer {
+                flow: FlowId(0),
+                generation: 2,
+            },
+        );
+        assert_eq!(q.len(), 1);
+        let e = q.pop().unwrap();
+        assert_eq!(e.at, Time::from_millis(150));
+        match e.event {
+            Event::RtoTimer { flow, generation } => {
+                assert_eq!(flow, FlowId(0));
+                assert_eq!(generation, 2);
+            }
+            other => panic!("expected RtoTimer, got {other:?}"),
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn out_of_order_lane_insertions_sort_by_time_then_id() {
+        // Jittered ACKs can land out of order; the lane must re-sort them
+        // while keeping FIFO among equal times.
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_millis(9), Event::FlowStop(FlowId(0)));
+        q.schedule(Time::from_millis(4), Event::FlowStart(FlowId(0)));
+        q.schedule(Time::from_millis(4), Event::FlowStop(FlowId(0)));
+        q.schedule(Time::from_millis(6), Event::FlowStart(FlowId(0)));
+        let order: Vec<(Time, u64)> =
+            std::iter::from_fn(|| q.pop().map(|e| (e.at, e.id))).collect();
+        assert_eq!(
+            order,
+            vec![
+                (Time::from_millis(4), 1),
+                (Time::from_millis(4), 2),
+                (Time::from_millis(6), 3),
+                (Time::from_millis(9), 0),
+            ]
+        );
+    }
+
+    /// The sharded calendar must replay the classic global min-heap's
+    /// dispatch order exactly — same times, same FIFO tie-breaks — for a
+    /// randomized interleaving of every event kind across several flows.
+    #[test]
+    fn matches_reference_heap_order() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        // Simple deterministic LCG so the test needs no RNG dependency.
+        let mut state: u64 = 0x9E3779B97F4A7C15;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+
+        let mut q = EventQueue::with_flow_capacity(4);
+        let mut reference: BinaryHeap<Reverse<(Time, u64)>> = BinaryHeap::new();
+        let mut pending_rto: [Option<u64>; 4] = [None; 4];
+        for id in 0..400u64 {
+            let at = Time::from_micros(next() % 50_000);
+            let flow = FlowId((next() % 4) as usize);
+            let event = match next() % 4 {
+                0 => Event::LinkDeparture,
+                1 => Event::FlowStart(flow),
+                2 => Event::FlowStop(flow),
+                _ => Event::RtoTimer {
+                    flow,
+                    generation: id,
+                },
+            };
+            // The reference heap models slot overwrite by discarding the
+            // superseded timer's key.
+            if let Event::RtoTimer { flow, .. } = event {
+                if let Some(old) = pending_rto[flow.0].take() {
+                    let mut keep: Vec<Reverse<(Time, u64)>> = reference.drain().collect();
+                    keep.retain(|Reverse((_, i))| *i != old);
+                    reference.extend(keep);
+                }
+                pending_rto[flow.0] = Some(id);
+            }
+            reference.push(Reverse((at, id)));
+            q.schedule(at, event);
+        }
+        assert_eq!(q.len(), reference.len());
+        while let Some(Reverse((at, eid))) = reference.pop() {
+            assert_eq!(q.peek_time(), Some(at));
+            let got = q.pop().expect("calendar has an event");
+            assert_eq!((got.at, got.id), (at, eid));
+        }
+        assert!(q.is_empty());
     }
 }

@@ -6,7 +6,7 @@
 //! sampling, and an RFC 6298 retransmission timer with exponential backoff.
 //! Congestion control is delegated to a [`CongestionControl`] kernel.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 
@@ -85,13 +85,184 @@ pub struct SentMeta {
     pub delivered_at_send: u64,
 }
 
+/// An ordered set of sequence numbers over a ring buffer.
+///
+/// The reliability layer's sets see near-sorted traffic — new losses and
+/// out-of-order arrivals cluster at the frontier, recovery drains from
+/// the front — so a sorted ring with binary search beats a node-based
+/// tree on every hot operation while keeping identical ordered-set
+/// semantics (iteration and minimum are in ascending order).
+#[derive(Clone, Debug, Default)]
+pub struct SeqSet {
+    seqs: VecDeque<u64>,
+}
+
+impl SeqSet {
+    /// An empty set.
+    pub fn new() -> SeqSet {
+        SeqSet::default()
+    }
+
+    /// Number of sequence numbers held.
+    pub fn len(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seqs.is_empty()
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.seqs.clear();
+    }
+
+    /// Removes and returns the smallest element.
+    pub fn pop_first(&mut self) -> Option<u64> {
+        self.seqs.pop_front()
+    }
+
+    /// Inserts `seq`; returns `false` if it was already present.
+    #[inline]
+    pub fn insert(&mut self, seq: u64) -> bool {
+        // Frontier fast path: losses and reorderings are declared in
+        // mostly ascending order.
+        match self.seqs.back() {
+            None => {
+                self.seqs.push_back(seq);
+                return true;
+            }
+            Some(&last) if last < seq => {
+                self.seqs.push_back(seq);
+                return true;
+            }
+            _ => {}
+        }
+        match self.seqs.binary_search(&seq) {
+            Ok(_) => false,
+            Err(idx) => {
+                self.seqs.insert(idx, seq);
+                true
+            }
+        }
+    }
+
+    /// Removes `seq`; returns whether it was present.
+    #[inline]
+    pub fn remove(&mut self, seq: u64) -> bool {
+        // Recovery drains the front: the gap being filled is the minimum.
+        match self.seqs.front() {
+            None => return false,
+            Some(&first) if first == seq => {
+                self.seqs.pop_front();
+                return true;
+            }
+            Some(&first) if first > seq => return false,
+            _ => {}
+        }
+        match self.seqs.binary_search(&seq) {
+            Ok(idx) => {
+                self.seqs.remove(idx);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Removes every element strictly below `cutoff`.
+    pub fn drain_below(&mut self, cutoff: u64) {
+        let keep = self.seqs.partition_point(|&s| s < cutoff);
+        self.seqs.drain(..keep);
+    }
+}
+
+/// The send window: outstanding packets keyed by sequence number, sorted
+/// ascending over a ring buffer (the ordered-map twin of [`SeqSet`]).
+/// Fresh data appends at the back, the cumulative ACK drains the front,
+/// and selective ACKs overwhelmingly hit the frontier.
+#[derive(Debug, Default)]
+pub struct SendWindow {
+    entries: VecDeque<(u64, SentMeta)>,
+}
+
+impl SendWindow {
+    /// An empty window pre-sized for a typical in-flight population.
+    pub fn with_capacity(capacity: usize) -> SendWindow {
+        SendWindow {
+            entries: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Number of outstanding packets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records a sent packet. Fresh data is an O(1) append; a retransmit
+    /// re-enters near the front.
+    pub fn insert(&mut self, seq: u64, meta: SentMeta) {
+        if self.entries.back().is_none_or(|&(last, _)| last < seq) {
+            self.entries.push_back((seq, meta));
+            return;
+        }
+        match self.entries.binary_search_by_key(&seq, |&(s, _)| s) {
+            Ok(idx) => self.entries[idx] = (seq, meta),
+            Err(idx) => self.entries.insert(idx, (seq, meta)),
+        }
+    }
+
+    /// Removes `seq`, returning its metadata if it was outstanding.
+    #[inline]
+    pub fn remove(&mut self, seq: u64) -> Option<SentMeta> {
+        // In-order delivery acknowledges the oldest outstanding packet.
+        match self.entries.front() {
+            None => return None,
+            Some(&(first, meta)) if first == seq => {
+                self.entries.pop_front();
+                return Some(meta);
+            }
+            Some(&(first, _)) if first > seq => return None,
+            _ => {}
+        }
+        match self.entries.binary_search_by_key(&seq, |&(s, _)| s) {
+            Ok(idx) => self.entries.remove(idx).map(|(_, meta)| meta),
+            Err(_) => None,
+        }
+    }
+
+    /// Removes every packet strictly below the cumulative ACK, returning
+    /// how many were acknowledged.
+    pub fn drain_below(&mut self, cum_ack: u64) -> u64 {
+        let keep = self.entries.partition_point(|&(s, _)| s < cum_ack);
+        self.entries.drain(..keep);
+        keep as u64
+    }
+
+    /// Declares every outstanding packet lost: moves all sequence numbers
+    /// into `lost` (ascending) and empties the window, returning the count.
+    pub fn declare_all_lost(&mut self, lost: &mut SeqSet) -> u64 {
+        let count = self.entries.len() as u64;
+        for &(seq, _) in &self.entries {
+            lost.insert(seq);
+        }
+        self.entries.clear();
+        count
+    }
+}
+
 /// Receiver-side reassembly state.
 #[derive(Debug, Default)]
 pub struct Receiver {
     /// Next expected sequence number; everything below has been received.
     pub cum_recv: u64,
     /// Out-of-order packets received above `cum_recv`.
-    pub out_of_order: BTreeSet<u64>,
+    pub out_of_order: SeqSet,
 }
 
 impl Receiver {
@@ -99,7 +270,7 @@ impl Receiver {
     pub fn on_data(&mut self, seq: u64) -> u64 {
         if seq == self.cum_recv {
             self.cum_recv += 1;
-            while self.out_of_order.remove(&self.cum_recv) {
+            while self.out_of_order.remove(self.cum_recv) {
                 self.cum_recv += 1;
             }
         } else if seq > self.cum_recv {
@@ -127,9 +298,9 @@ pub struct FlowState {
     /// Cumulative ACK received: all `seq < cum_acked` are delivered.
     pub cum_acked: u64,
     /// Outstanding packets (sent, neither acknowledged nor declared lost).
-    pub outstanding: BTreeMap<u64, SentMeta>,
+    pub outstanding: SendWindow,
     /// Packets declared lost and awaiting retransmission.
-    pub lost_pending: BTreeSet<u64>,
+    pub lost_pending: SeqSet,
     /// Duplicate-ACK counter.
     pub dup_acks: u32,
     /// While in fast recovery: recovery completes once `cum_acked` reaches
@@ -172,8 +343,8 @@ impl FlowState {
             stopped: false,
             next_seq: 0,
             cum_acked: 0,
-            outstanding: BTreeMap::new(),
-            lost_pending: BTreeSet::new(),
+            outstanding: SendWindow::with_capacity(64),
+            lost_pending: SeqSet::new(),
             dup_acks: 0,
             recovery_end: None,
             delivered_bytes: 0,

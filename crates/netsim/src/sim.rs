@@ -153,11 +153,7 @@ impl Simulator {
         if t < self.now {
             return;
         }
-        while let Some(at) = self.events.peek_time() {
-            if at > t {
-                break;
-            }
-            let scheduled = self.events.pop().expect("peeked event exists");
+        while let Some(scheduled) = self.events.pop_due(t) {
             debug_assert!(scheduled.at >= self.now, "time went backwards");
             self.now = scheduled.at;
             self.dispatch(scheduled.event);
@@ -346,28 +342,21 @@ impl Simulator {
 
         // Selective acknowledgement of the packet that triggered this ACK.
         if ack.echo_seq >= old_cum {
-            if flow.outstanding.remove(&ack.echo_seq).is_some() {
+            if flow.outstanding.remove(ack.echo_seq).is_some() {
                 newly_acked += 1;
                 credit_delivery(flow, 1);
             }
             // A packet we had written off arrived after all.
-            flow.lost_pending.remove(&ack.echo_seq);
+            flow.lost_pending.remove(ack.echo_seq);
         }
 
         let advanced = ack.cum_ack > old_cum;
         if advanced {
             flow.cum_acked = ack.cum_ack;
-            let below: Vec<u64> = flow
-                .outstanding
-                .range(..ack.cum_ack)
-                .map(|(&s, _)| s)
-                .collect();
-            for s in below {
-                flow.outstanding.remove(&s);
-                newly_acked += 1;
-                credit_delivery(flow, 1);
-            }
-            flow.lost_pending = flow.lost_pending.split_off(&ack.cum_ack);
+            let count = flow.outstanding.drain_below(ack.cum_ack);
+            newly_acked += count;
+            credit_delivery(flow, count);
+            flow.lost_pending.drain_below(ack.cum_ack);
             flow.dup_acks = 0;
             flow.rto_backoff = 0;
 
@@ -379,7 +368,7 @@ impl Simulator {
                     // NewReno partial ACK: the new first hole is also lost;
                     // retransmit it without a fresh congestion signal.
                     let hole = ack.cum_ack;
-                    if flow.outstanding.remove(&hole).is_some() {
+                    if flow.outstanding.remove(hole).is_some() {
                         flow.lost_pending.insert(hole);
                         flow.stats.declared_losses += 1;
                         flow.monitor.lost_packets += 1;
@@ -391,7 +380,7 @@ impl Simulator {
             flow.dup_acks += 1;
             if flow.dup_acks == DUPACK_THRESHOLD && !flow.in_recovery() {
                 let hole = old_cum;
-                if flow.outstanding.remove(&hole).is_some() {
+                if flow.outstanding.remove(hole).is_some() {
                     flow.lost_pending.insert(hole);
                     flow.stats.declared_losses += 1;
                     flow.monitor.lost_packets += 1;
@@ -430,12 +419,12 @@ impl Simulator {
             return;
         }
         // Everything in flight is presumed lost.
-        let lost: Vec<u64> = flow.outstanding.keys().copied().collect();
-        let count = lost.len() as u64;
-        for s in lost {
-            flow.outstanding.remove(&s);
-            flow.lost_pending.insert(s);
-        }
+        let FlowState {
+            outstanding,
+            lost_pending,
+            ..
+        } = flow;
+        let count = outstanding.declare_all_lost(lost_pending);
         flow.stats.declared_losses += count;
         flow.monitor.lost_packets += count;
         flow.stats.timeouts += 1;

@@ -7,17 +7,13 @@
 //! all of its state (simulator, RNG streams, verifier) and the pool
 //! preserves job order.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use canopy_cc::Cubic;
+use canopy_core::driver::{DriverConfig, DriverPolicy, OrcaDriver};
 use canopy_core::eval::{flow_metrics, jain_index, QcEval, RunMetrics, Scheme};
-use canopy_core::obs::{Normalizer, Observation, StateBuilder};
-use canopy_core::orca::f_cwnd;
 use canopy_core::pool;
 use canopy_core::runtime::FallbackController;
-use canopy_core::verifier::{StepContext, Verifier};
 use canopy_netsim::{FlowConfig, FlowId, Simulator, Time};
 
 use crate::spec::{ScenarioSpec, SpecError};
@@ -81,22 +77,27 @@ pub fn run_scenario(
         cross_ids.push(sim.add_flow(cfg, cc));
     }
 
+    // The learned decision loop is the shared `OrcaDriver` — the same
+    // runtime every other harness uses, bitwise — configured from the
+    // spec's noise; the primary flow's own clock is the monitor interval.
+    let driver_config = DriverConfig::new(spec.primary_min_rtt, 0).with_noise(spec.noise);
     let mut qc_values: Vec<f64> = Vec::new();
     let mut fallback_rate = None;
 
     match scheme {
         Scheme::Baseline(_) => sim.run_until(spec.duration),
         Scheme::Learned(model) => {
-            drive_learned(
-                &mut sim,
-                primary,
-                spec,
-                &link,
-                model,
-                None,
-                qc.map(|q| (Verifier::new(q.n_components), q.properties.clone())),
-                &mut qc_values,
-            );
+            let mut policy = DriverPolicy::for_model(model);
+            if let Some(q) = qc {
+                policy = policy.with_qc(q.n_components, q.properties.clone());
+            }
+            let config = DriverConfig {
+                k: model.k,
+                ..driver_config
+            };
+            let mut driver = OrcaDriver::new(&config, &link, primary).with_policy(policy);
+            driver.run_until(&mut sim, spec.duration);
+            qc_values.extend_from_slice(driver.qc_values());
         }
         Scheme::LearnedFallback {
             model,
@@ -104,18 +105,16 @@ pub fn run_scenario(
             threshold,
             n_components,
         } => {
-            let mut fb = FallbackController::new(properties.clone(), *threshold, *n_components);
-            drive_learned(
-                &mut sim,
-                primary,
-                spec,
-                &link,
-                model,
-                Some(&mut fb),
-                None,
-                &mut qc_values,
-            );
-            fallback_rate = Some(fb.fallback_rate());
+            let fb = FallbackController::new(properties.clone(), *threshold, *n_components);
+            let config = DriverConfig {
+                k: model.k,
+                ..driver_config
+            };
+            let mut driver = OrcaDriver::new(&config, &link, primary)
+                .with_policy(DriverPolicy::for_model(model).with_fallback(fb));
+            driver.run_until(&mut sim, spec.duration);
+            qc_values.extend_from_slice(driver.fallback_qc_values());
+            fallback_rate = driver.fallback_rate();
         }
     }
 
@@ -159,71 +158,6 @@ pub fn run_scenario(
         jain_fairness,
         cross_throughput_mbps,
     })
-}
-
-/// Drives the primary flow with a learned controller: one decision per
-/// monitor interval, with the spec's observation noise and the optional
-/// runtime monitors.
-#[allow(clippy::too_many_arguments)]
-fn drive_learned(
-    sim: &mut Simulator,
-    primary: FlowId,
-    spec: &ScenarioSpec,
-    link: &canopy_netsim::LinkConfig,
-    model: &canopy_core::models::TrainedModel,
-    mut fallback: Option<&mut FallbackController>,
-    qc: Option<(Verifier, Vec<canopy_core::property::Property>)>,
-    qc_values: &mut Vec<f64>,
-) {
-    use canopy_core::obs::StateLayout;
-    let mi = spec.primary_min_rtt.max(Time::from_millis(20));
-    let layout = StateLayout::new(model.k);
-    let normalizer = Normalizer::for_link(link, spec.primary_min_rtt, mi);
-    let mut builder = StateBuilder::new(layout, normalizer);
-    let mut noise_rng = spec.noise.map(|n| StdRng::seed_from_u64(n.seed));
-    let mut prev_action = 0.0;
-    let mut prev_cwnd = canopy_cc::cubic::INITIAL_CWND;
-
-    loop {
-        let target = (sim.now() + mi).min(spec.duration);
-        sim.run_until(target);
-        if sim.now() >= spec.duration {
-            break;
-        }
-        let sample = sim.monitor_sample(primary);
-        let mut obs = Observation::from_sample(&sample);
-        if let (Some(noise), Some(rng)) = (spec.noise, noise_rng.as_mut()) {
-            let eta = rng.random_range(-noise.mu..=noise.mu);
-            obs.queue_delay_ms *= 1.0 + eta;
-        }
-        builder.push(&obs, prev_action);
-        let ctx = StepContext {
-            state: builder.state(),
-            cwnd_tcp: sim.cwnd(primary),
-            cwnd_prev: prev_cwnd,
-        };
-        if let Some((verifier, properties)) = &qc {
-            let (_, agg) = verifier.certify_all(&model.actor, properties, layout, &ctx);
-            qc_values.push(agg);
-        }
-        let action = model.actor.forward(&ctx.state)[0];
-        let use_agent = match fallback.as_deref_mut() {
-            Some(fb) => {
-                let decision = fb.decide(&model.actor, layout, &ctx);
-                qc_values.push(decision.qc_sat);
-                decision.use_agent
-            }
-            None => true,
-        };
-        if use_agent {
-            let cwnd = f_cwnd(action, ctx.cwnd_tcp);
-            sim.set_cwnd(primary, cwnd);
-            prev_cwnd = cwnd;
-        } else {
-            prev_cwnd = sim.cwnd(primary);
-        }
-        prev_action = action;
-    }
 }
 
 /// Runs the full `schemes × specs` matrix on the worker pool, returning

@@ -1,0 +1,124 @@
+//! Cross-harness consistency: a single-flow `ScenarioSpec` run through
+//! `scenarios::runner` must match driving the exact same configuration
+//! through `CcEnv` step-for-step — both stacks sit on the one shared
+//! `OrcaDriver` decision loop, so the resulting flow metrics are bitwise
+//! identical.
+//!
+//! The emulation protocol mirrors the driver's decision timing: the first
+//! interval `[0, MI)` runs kernel-only (`step_without_agent`), then one
+//! agent decision per monitor interval, stopping at the horizon. The spec
+//! duration is an exact monitor-interval multiple so both clocks land on
+//! the same final instant.
+
+use canopy_core::env::{CcEnv, EnvConfig, NoiseConfig};
+use canopy_core::eval::{flow_metrics, RunMetrics, Scheme};
+use canopy_core::models::{train_model, ModelKind, TrainBudget, TrainedModel};
+use canopy_core::property::{Property, PropertyParams};
+use canopy_core::runtime::FallbackController;
+use canopy_netsim::Time;
+use canopy_scenarios::{run_scenario, ScenarioSpec};
+
+fn quick_model() -> TrainedModel {
+    train_model(ModelKind::Shallow, 3, TrainBudget::smoke()).model
+}
+
+fn spec() -> ScenarioSpec {
+    // MI = max(40 ms, 20 ms) = 40 ms; 2 s is an exact multiple (50 MI).
+    let mut spec = ScenarioSpec::simple(
+        "driver-consistency",
+        24e6,
+        Time::from_millis(40),
+        Time::from_secs(2),
+    );
+    spec.noise = Some(NoiseConfig { mu: 0.1, seed: 9 });
+    spec
+}
+
+fn env_for(spec: &ScenarioSpec, model: &TrainedModel) -> CcEnv {
+    let trace = spec.trace.compile().expect("compiles");
+    let mut cfg = EnvConfig::new(trace, spec.primary_min_rtt, spec.buffer_bdp)
+        .with_episode(spec.duration)
+        .with_samples();
+    cfg.k = model.k;
+    cfg.noise = spec.noise;
+    CcEnv::new(cfg)
+}
+
+fn metrics_json(m: &RunMetrics) -> String {
+    serde_json::to_string(m).expect("metrics serialize")
+}
+
+#[test]
+fn learned_scenario_matches_ccenv_step_for_step() {
+    let model = quick_model();
+    let spec = spec();
+    let scheme = Scheme::Learned(model.clone());
+    let through_runner = run_scenario(&scheme, &spec, None).expect("runs");
+
+    let mut env = env_for(&spec, &model);
+    let mut done = env.step_without_agent().done;
+    let mut decisions = 0u64;
+    while !done {
+        let action = model.actor.forward(&env.state())[0];
+        done = env.step(action).done;
+        decisions += 1;
+    }
+    // 50 monitor intervals; the decision at the 2 s boundary does not
+    // fire (the shared driver decides strictly before the horizon), so
+    // 49 agent decisions follow the kernel-only opening interval.
+    assert_eq!(decisions, 49);
+    assert_eq!(env.now(), spec.duration);
+    let emulated = flow_metrics(env.sim(), env.flow(), &scheme.name());
+    assert_eq!(
+        metrics_json(&through_runner.primary),
+        metrics_json(&emulated),
+        "runner and CcEnv disagree on the same spec"
+    );
+}
+
+#[test]
+fn fallback_scenario_matches_ccenv_step_for_step() {
+    let model = quick_model();
+    let spec = spec();
+    let properties = Property::shallow_set(&PropertyParams::default());
+    let scheme = Scheme::LearnedFallback {
+        model: model.clone(),
+        properties: properties.clone(),
+        threshold: 0.5,
+        n_components: 4,
+    };
+    let through_runner = run_scenario(&scheme, &spec, None).expect("runs");
+
+    let mut env = env_for(&spec, &model);
+    let mut fb = FallbackController::new(properties, 0.5, 4);
+    let layout = env.layout();
+    let mut qc_values = Vec::new();
+    let mut done = env.step_without_agent().done;
+    while !done {
+        let ctx = env.step_context();
+        let action = model.actor.forward(&ctx.state)[0];
+        let decision = fb.decide(&model.actor, layout, &ctx);
+        qc_values.push(decision.qc_sat);
+        done = if decision.use_agent {
+            env.step(action).done
+        } else {
+            env.step_without_agent().done
+        };
+    }
+    let mut emulated = flow_metrics(env.sim(), env.flow(), &scheme.name());
+    let n = qc_values.len() as f64;
+    let mean = qc_values.iter().sum::<f64>() / n;
+    let var = qc_values
+        .iter()
+        .map(|v| (v - mean) * (v - mean))
+        .sum::<f64>()
+        / n;
+    emulated.qc_sat = Some(mean);
+    emulated.qc_sat_std = Some(var.sqrt());
+    emulated.fallback_rate = Some(fb.fallback_rate());
+    assert_eq!(
+        metrics_json(&through_runner.primary),
+        metrics_json(&emulated),
+        "fallback runner and CcEnv disagree on the same spec"
+    );
+}

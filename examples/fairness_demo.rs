@@ -17,11 +17,9 @@ fn main() {
     let link = LinkConfig::with_bdp_buffer(trace, Time::from_millis(20), 1.0);
 
     let flows: Vec<FlowSpec> = (0..n_flows)
-        .map(|i| FlowSpec {
-            scheme: FlowScheme::Classic("cubic".into()),
-            start: stagger * i as u64,
-            stop: None,
-            min_rtt: Time::from_millis(20),
+        .map(|i| {
+            FlowSpec::new(FlowScheme::Classic("cubic".into()), Time::from_millis(20))
+                .starting_at(stagger * i as u64)
         })
         .collect();
     let series = run_multiflow(link, &flows, duration, Time::from_secs(1));

@@ -74,11 +74,9 @@ fn multiflow_is_bit_deterministic() {
     let trace = BandwidthTrace::constant("det", 48e6);
     let link = LinkConfig::with_bdp_buffer(trace, Time::from_millis(20), 1.0);
     let flows: Vec<FlowSpec> = (0..3)
-        .map(|i| FlowSpec {
-            scheme: FlowScheme::Classic("cubic".into()),
-            start: Time::from_secs(i),
-            stop: None,
-            min_rtt: Time::from_millis(20),
+        .map(|i| {
+            FlowSpec::new(FlowScheme::Classic("cubic".into()), Time::from_millis(20))
+                .starting_at(Time::from_secs(i))
         })
         .collect();
     let a = run_multiflow(link.clone(), &flows, Time::from_secs(8), Time::from_secs(1));
