@@ -3,16 +3,21 @@
 //! observed queuing delay, per trace, for Orca vs the Canopy robustness
 //! model. Closer to zero is more robust.
 //!
+//! The evaluation conditions are declarative [`ScenarioSpec`]s
+//! ([`fig11_specs`], committed under `fixtures/fig11/specs.json`) run
+//! through the scenario-matrix runner — the same engine as every other
+//! scenario evaluation — rather than a private loop. `--write-fixtures`
+//! regenerates the committed fixture (full mode at the current seed).
+//!
 //! ```text
-//! cargo run -p canopy-bench --release --bin fig11_robust_perf [--smoke] [--seed N]
+//! cargo run -p canopy_bench --release --bin fig11_robust_perf -- \
+//!     [--smoke] [--seed N] [--write-fixtures]
 //! ```
 
-use canopy_bench::{f1, header, mean_std, model, row, HarnessOpts};
-use canopy_core::env::NoiseConfig;
-use canopy_core::eval::{run_scheme, Scheme};
-use canopy_core::models::{ModelKind, TrainedModel};
-use canopy_netsim::{BandwidthTrace, Time};
-use canopy_traces::{cellular, synthetic};
+use canopy_bench::{f1, fig11_specs, header, mean_std, model, row, HarnessOpts};
+use canopy_core::eval::Scheme;
+use canopy_core::models::ModelKind;
+use canopy_scenarios::{run_matrix, ScenarioMetrics, ScenarioSpec, TraceProgram};
 
 /// Per-scheme accumulator: (name, Δutil %, Δ avg delay %, Δ p95 delay %).
 type SchemeSummary = (String, Vec<f64>, Vec<f64>, Vec<f64>);
@@ -27,17 +32,25 @@ fn pct(clean: f64, noisy: f64) -> f64 {
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    if std::env::args().any(|a| a == "--write-fixtures") {
+        let specs = fig11_specs(opts.seed, false);
+        let path = "fixtures/fig11/specs.json";
+        std::fs::create_dir_all("fixtures/fig11").expect("fixture dir");
+        std::fs::write(path, serde_json::to_string(&specs).expect("serializes"))
+            .expect("fixture write");
+        println!("wrote {path} ({} specs)", specs.len());
+        return;
+    }
+
     let (canopy, _) = model(ModelKind::Robust, &opts);
     let (orca, _) = model(ModelKind::Orca, &opts);
+    let schemes = [Scheme::Learned(orca), Scheme::Learned(canopy)];
+    let specs: Vec<ScenarioSpec> = fig11_specs(opts.seed, opts.smoke);
 
-    let mut traces: Vec<BandwidthTrace> = if opts.smoke {
-        synthetic::all(opts.seed)[..3].to_vec()
-    } else {
-        synthetic::all(opts.seed)
-    };
-    traces.extend(cellular::all(opts.seed));
-    let min_rtt = Time::from_millis(40);
-    let buffer_bdp = 2.0;
+    let results = run_matrix(&schemes, &specs, None).expect("fig11 scenarios run");
+    // Scheme-major results; within a scheme, (clean, noisy) pairs in
+    // trace order, exactly as fig11_specs emits them.
+    let per_scheme: Vec<&[ScenarioMetrics]> = results.chunks(specs.len()).collect();
 
     println!("# Figure 11: % change under ±5% delay noise (per trace)\n");
     header(&[
@@ -52,40 +65,18 @@ fn main() {
         ("orca".into(), vec![], vec![], vec![]),
         ("canopy".into(), vec![], vec![], vec![]),
     ];
-    for trace in &traces {
-        for (si, (name, m)) in [("orca", &orca), ("canopy", &canopy)].iter().enumerate() {
-            let m: &TrainedModel = m;
-            let clean = run_scheme(
-                &Scheme::Learned(m.clone()),
-                trace,
-                min_rtt,
-                buffer_bdp,
-                opts.eval_duration(),
-                None,
-                None,
-            );
-            let noisy = run_scheme(
-                &Scheme::Learned(m.clone()),
-                trace,
-                min_rtt,
-                buffer_bdp,
-                opts.eval_duration(),
-                Some(NoiseConfig {
-                    mu: 0.05,
-                    seed: opts.seed ^ 0x11,
-                }),
-                None,
-            );
+    for (pair_idx, pair) in specs.chunks(2).enumerate() {
+        let trace_name = match &pair[0].trace {
+            TraceProgram::Named { name, .. } => name.clone(),
+            _ => pair[0].name.clone(),
+        };
+        for (si, name) in ["orca", "canopy"].iter().enumerate() {
+            let clean = &per_scheme[si][2 * pair_idx].primary;
+            let noisy = &per_scheme[si][2 * pair_idx + 1].primary;
             let du = pct(clean.utilization, noisy.utilization);
             let da = pct(clean.avg_qdelay_ms, noisy.avg_qdelay_ms);
             let dp = pct(clean.p95_qdelay_ms, noisy.p95_qdelay_ms);
-            row(&[
-                trace.name().to_string(),
-                name.to_string(),
-                f1(du),
-                f1(da),
-                f1(dp),
-            ]);
+            row(&[trace_name.clone(), name.to_string(), f1(du), f1(da), f1(dp)]);
             summary[si].1.push(du.abs());
             summary[si].2.push(da.abs());
             summary[si].3.push(dp.abs());

@@ -7,45 +7,93 @@
 //!
 //! ```text
 //! cargo run -p canopy_bench --release --bin scenario_lab -- \
-//!     [--family all|<name>[,<name>...]] [--seeds N] \
+//!     [--family all|<name>[,<name>...]] [--seeds N | --seeds a,b,c] \
 //!     [--schemes cubic,bbr,canopy-shallow,...] [--check] [--smoke] \
 //!     [--out PATH]
 //! ```
 //!
 //! `--family` accepts `all` (default) or a comma list of
 //! `flash-crowd`, `bandwidth-cliff`, `jitter-storm`, `lossy-wireless`,
-//! `buffer-sweep`, `cross-traffic-churn`. `--schemes` accepts the classic
-//! kernels (`cubic`, `newreno`, `vegas`, `bbr`) plus the trained models
-//! (`canopy-shallow`, `canopy-deep`, `canopy-robust`, `orca`), which are
-//! loaded from the model cache (training on first use; `--smoke` shrinks
-//! the budget). `--check` re-runs the entire matrix from re-parsed specs
-//! and fails unless the report is schema-valid and bitwise reproducible.
+//! `buffer-sweep`, `cross-traffic-churn`. `--seeds` accepts either a
+//! count `N` (runs seeds `0..N`) or an explicit comma-separated seed list
+//! (`--seeds 3,5,7`; a single explicit seed is spelled with a trailing
+//! comma, `--seeds 7,`); a zero count, an empty list, or a duplicated seed
+//! is rejected up front — a duplicated seed would silently run the same
+//! scenario twice and produce a degenerate matrix. `--schemes` accepts
+//! the classic kernels (`cubic`, `newreno`, `vegas`, `bbr`) plus the
+//! trained models (`canopy-shallow`, `canopy-deep`, `canopy-robust`,
+//! `orca`), which are loaded from the model cache (training on first
+//! use; `--smoke` shrinks the budget). `--check` re-runs the entire
+//! matrix from re-parsed specs and fails unless the report is
+//! schema-valid and bitwise reproducible.
 
 use std::process::ExitCode;
 
 use canopy_bench::{f1, f3, header, model, row, HarnessOpts};
 use canopy_core::eval::Scheme;
 use canopy_core::models::ModelKind;
-use canopy_scenarios::{fuzz_suite, Family, ScenarioReport, ScenarioSpec};
+use canopy_scenarios::{fuzz_suite_seeds, Family, ScenarioReport, ScenarioSpec};
 
 struct LabOpts {
     families: Vec<Family>,
-    seeds: u64,
+    seeds: Vec<u64>,
     schemes: Vec<String>,
     check: bool,
     out: String,
 }
 
+/// Parses the `--seeds` value: a plain count `N` selects seeds `0..N`, a
+/// comma list selects exactly those seeds (a trailing comma — `7,` — is
+/// how a *single* explicit seed is spelled, since a lone number is always
+/// a count). Zero/empty/duplicate selections are hard errors rather than
+/// degenerate matrices.
+fn parse_seeds(v: &str) -> Result<Vec<u64>, String> {
+    let seeds: Vec<u64> = if v.contains(',') {
+        let list = v.trim();
+        let list = list.strip_suffix(',').unwrap_or(list);
+        list.split(',')
+            .map(|s| {
+                let s = s.trim();
+                if s.is_empty() {
+                    return Err("--seeds list contains an empty entry".to_string());
+                }
+                s.parse::<u64>().map_err(|_| format!("bad seed `{s}`"))
+            })
+            .collect::<Result<_, _>>()?
+    } else {
+        let n: u64 = v
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad seed count `{v}` (expected a count or a comma list)"))?;
+        (0..n).collect()
+    };
+    if seeds.is_empty() {
+        return Err("--seeds selects zero seeds; need at least one".into());
+    }
+    let mut sorted = seeds.clone();
+    sorted.sort_unstable();
+    if let Some(w) = sorted.windows(2).find(|w| w[0] == w[1]) {
+        return Err(format!(
+            "--seeds lists seed {} twice; duplicates would run identical scenarios",
+            w[0]
+        ));
+    }
+    Ok(seeds)
+}
+
 fn parse_lab_opts() -> Result<LabOpts, String> {
+    parse_lab_args(&std::env::args().skip(1).collect::<Vec<_>>())
+}
+
+fn parse_lab_args(args: &[String]) -> Result<LabOpts, String> {
     let mut opts = LabOpts {
         families: Family::ALL.to_vec(),
-        seeds: 8,
+        seeds: (0..8).collect(),
         schemes: vec!["cubic".to_string()],
         check: false,
         out: "SCENARIOS_report.json".to_string(),
     };
-    let args: Vec<String> = std::env::args().collect();
-    let mut i = 1;
+    let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--family" | "--families" => {
@@ -62,7 +110,7 @@ fn parse_lab_opts() -> Result<LabOpts, String> {
             }
             "--seeds" => {
                 let v = args.get(i + 1).ok_or("--seeds needs a value")?;
-                opts.seeds = v.parse().map_err(|_| format!("bad seed count `{v}`"))?;
+                opts.seeds = parse_seeds(v)?;
                 i += 1;
             }
             "--schemes" => {
@@ -81,9 +129,6 @@ fn parse_lab_opts() -> Result<LabOpts, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
         i += 1;
-    }
-    if opts.seeds == 0 {
-        return Err("--seeds must be at least 1".into());
     }
     Ok(opts)
 }
@@ -126,12 +171,12 @@ fn main() -> ExitCode {
         }
     };
 
-    let specs = fuzz_suite(&lab.families, lab.seeds);
+    let specs = fuzz_suite_seeds(&lab.families, &lab.seeds);
     println!(
         "# Scenario lab — {} scenarios ({} families × {} seeds) × {} schemes\n",
         specs.len(),
         lab.families.len(),
-        lab.seeds,
+        lab.seeds.len(),
         schemes.len()
     );
 
@@ -168,6 +213,13 @@ fn main() -> ExitCode {
             let mean = |f: &dyn Fn(&canopy_scenarios::ScenarioMetrics) -> f64| {
                 cells.iter().map(|c| f(c)).sum::<f64>() / n
             };
+            // Jain is only defined for the family's multi-flow scenarios.
+            let jains: Vec<f64> = cells.iter().filter_map(|c| c.jain_fairness).collect();
+            let jain_cell = if jains.is_empty() {
+                "-".to_string()
+            } else {
+                f3(jains.iter().sum::<f64>() / jains.len() as f64)
+            };
             row(&[
                 scheme.clone(),
                 family.clone(),
@@ -175,7 +227,7 @@ fn main() -> ExitCode {
                 f3(mean(&|c| c.primary.utilization)),
                 f1(mean(&|c| c.primary.p95_qdelay_ms)),
                 f1(mean(&|c| c.primary.losses as f64)),
-                f3(mean(&|c| c.jain_fairness)),
+                jain_cell,
             ]);
         }
     }
@@ -218,4 +270,47 @@ fn main() -> ExitCode {
         println!("--check OK: re-run from re-parsed specs is bitwise identical");
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn seed_counts_expand_and_lists_pass_through() {
+        assert_eq!(parse_seeds("3").unwrap(), vec![0, 1, 2]);
+        assert_eq!(parse_seeds("3,5,7").unwrap(), vec![3, 5, 7]);
+        assert_eq!(parse_seeds(" 9 , 0 ").unwrap(), vec![9, 0]);
+        // A trailing comma spells a single *explicit* seed (a lone number
+        // is always a count).
+        assert_eq!(parse_seeds("7,").unwrap(), vec![7]);
+        assert_eq!(parse_seeds("7").unwrap(), (0..7).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn zero_and_duplicate_seeds_are_rejected_loudly() {
+        let zero = parse_seeds("0").unwrap_err();
+        assert!(zero.contains("zero seeds"), "{zero}");
+        let dup = parse_seeds("4,2,4").unwrap_err();
+        assert!(dup.contains("seed 4 twice"), "{dup}");
+        let empty = parse_seeds("1,,2").unwrap_err();
+        assert!(empty.contains("empty entry"), "{empty}");
+        assert!(parse_seeds("x").unwrap_err().contains("bad seed count"));
+        assert!(parse_seeds("1,x").unwrap_err().contains("bad seed `x`"));
+    }
+
+    #[test]
+    fn lab_args_carry_seed_lists() {
+        let opts = parse_lab_args(&argv(&["--family", "flash-crowd", "--seeds", "2,6"])).unwrap();
+        assert_eq!(opts.seeds, vec![2, 6]);
+        assert_eq!(opts.families, vec![Family::FlashCrowd]);
+        let default = parse_lab_args(&argv(&[])).unwrap();
+        assert_eq!(default.seeds, (0..8).collect::<Vec<u64>>());
+        assert!(parse_lab_args(&argv(&["--seeds", "0"])).is_err());
+        assert!(parse_lab_args(&argv(&["--seeds", "1,1"])).is_err());
+    }
 }

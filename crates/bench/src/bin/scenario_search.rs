@@ -1,0 +1,380 @@
+//! Adversarial scenario search: hunt a fuzz family's parameter space for
+//! the conditions where a learned scheme fails, minimize what is found,
+//! and emit committable regression fixtures.
+//!
+//! ```text
+//! cargo run -p canopy_bench --release --bin scenario_search -- \
+//!     --family flash-crowd --seed 7 --objective qc_sat --budget 64 \
+//!     [--scheme canopy-shallow] [--optimizer cem|hill] [--population N] \
+//!     [--model-seed N] [--max-duration SECS] [--shrink-budget N] \
+//!     [--smoke] [--check] [--out SEARCH_report.json] [--fixture-out DIR]
+//! ```
+//!
+//! Objectives: `qc_sat` (minimize the runtime certificate), `fallback_rate`
+//! (maximize QC-monitor overrides), `reward_gap` (maximize reward conceded
+//! to Cubic on the identical scenario). The search is deterministic in
+//! `(family, seed, objective, scheme, budget, optimizer, population)` and
+//! bitwise reproducible at any `CANOPY_THREADS`; `--check` proves it by
+//! re-running the optimizer and diffing the reports. `--smoke` switches to
+//! the smoke-budget model (seed 3, the test suite's shared controller) and
+//! caps decoded horizons at 4 s so a CI run stays inside a wall-clock
+//! budget. When the worst case found clears the objective's violation
+//! threshold, it is delta-debugged down to a minimal spec; `--fixture-out`
+//! additionally writes that spec as a self-contained
+//! `canopy-adversarial-fixture/v1` JSON replayed by the regression suite.
+
+use std::process::ExitCode;
+
+use canopy_bench::{f3, header, model, row, HarnessOpts, DEFAULT_SEED};
+use canopy_core::models::ModelKind;
+use canopy_netsim::Time;
+use canopy_scenarios::Family;
+use canopy_search::{
+    search, AdversarialFixture, Minimized, Objective, ObjectiveKind, OptimizerKind, SearchConfig,
+    SearchReport, SearchSpace, ShrinkConfig, FIXTURE_SCHEMA, SEARCH_SCHEMA,
+};
+
+struct SearchOpts {
+    family: Family,
+    objective: ObjectiveKind,
+    optimizer: OptimizerKind,
+    scheme: ModelKind,
+    seed: u64,
+    model_seed: Option<u64>,
+    budget: usize,
+    population: usize,
+    shrink_budget: usize,
+    max_duration: Option<Time>,
+    smoke: bool,
+    check: bool,
+    out: String,
+    fixture_out: Option<String>,
+}
+
+fn parse_opts(args: &[String]) -> Result<SearchOpts, String> {
+    let mut opts = SearchOpts {
+        family: Family::FlashCrowd,
+        objective: ObjectiveKind::QcSat,
+        optimizer: OptimizerKind::Cem,
+        scheme: ModelKind::Shallow,
+        seed: DEFAULT_SEED,
+        model_seed: None,
+        budget: 64,
+        population: 16,
+        shrink_budget: 64,
+        max_duration: None,
+        smoke: false,
+        check: false,
+        out: "SEARCH_report.json".to_string(),
+        fixture_out: None,
+    };
+    let mut i = 0;
+    let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--family" => {
+                let v = value(args, i, "--family")?;
+                opts.family =
+                    Family::parse(v.trim()).ok_or_else(|| format!("unknown family `{v}`"))?;
+                i += 1;
+            }
+            "--objective" => {
+                let v = value(args, i, "--objective")?;
+                opts.objective = ObjectiveKind::parse(v.trim())
+                    .ok_or_else(|| format!("unknown objective `{v}`"))?;
+                i += 1;
+            }
+            "--optimizer" => {
+                let v = value(args, i, "--optimizer")?;
+                opts.optimizer = OptimizerKind::parse(v.trim())
+                    .ok_or_else(|| format!("unknown optimizer `{v}` (cem|hill)"))?;
+                i += 1;
+            }
+            "--scheme" => {
+                let v = value(args, i, "--scheme")?;
+                opts.scheme = ModelKind::parse(v.trim())
+                    .ok_or_else(|| format!("unknown scheme `{v}` (expected a model name)"))?;
+                i += 1;
+            }
+            "--seed" => {
+                let v = value(args, i, "--seed")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+                i += 1;
+            }
+            "--model-seed" => {
+                let v = value(args, i, "--model-seed")?;
+                opts.model_seed = Some(v.parse().map_err(|_| format!("bad model seed `{v}`"))?);
+                i += 1;
+            }
+            "--budget" => {
+                let v = value(args, i, "--budget")?;
+                let n: usize = v.parse().map_err(|_| format!("bad budget `{v}`"))?;
+                if n == 0 {
+                    return Err("--budget must be at least 1".into());
+                }
+                opts.budget = n;
+                i += 1;
+            }
+            "--population" => {
+                let v = value(args, i, "--population")?;
+                let n: usize = v.parse().map_err(|_| format!("bad population `{v}`"))?;
+                if n == 0 {
+                    return Err("--population must be at least 1".into());
+                }
+                opts.population = n;
+                i += 1;
+            }
+            "--shrink-budget" => {
+                let v = value(args, i, "--shrink-budget")?;
+                let n: usize = v.parse().map_err(|_| format!("bad shrink budget `{v}`"))?;
+                if n == 0 {
+                    return Err("--shrink-budget must be at least 1".into());
+                }
+                opts.shrink_budget = n;
+                i += 1;
+            }
+            "--max-duration" => {
+                let v = value(args, i, "--max-duration")?;
+                let s: f64 = v.parse().map_err(|_| format!("bad duration `{v}`"))?;
+                if !s.is_finite() || s <= 0.0 {
+                    return Err("--max-duration must be positive seconds".into());
+                }
+                opts.max_duration = Some(Time::from_secs_f64(s));
+                i += 1;
+            }
+            "--out" => {
+                opts.out = value(args, i, "--out")?;
+                i += 1;
+            }
+            "--fixture-out" => {
+                opts.fixture_out = Some(value(args, i, "--fixture-out")?);
+                i += 1;
+            }
+            "--smoke" => opts.smoke = true,
+            "--check" => opts.check = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    if opts.smoke && opts.max_duration.is_none() {
+        opts.max_duration = Some(Time::from_secs(4));
+    }
+    Ok(opts)
+}
+
+/// The model-training seed: explicit override, else seed 3 in smoke mode
+/// (the test suite's shared smoke controller, so committed fixtures replay
+/// against a model the tests rebuild in seconds), else the harness default.
+fn model_seed(opts: &SearchOpts) -> u64 {
+    opts.model_seed
+        .unwrap_or(if opts.smoke { 3 } else { DEFAULT_SEED })
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_opts(&args)?;
+    let harness = HarnessOpts {
+        seed: model_seed(&opts),
+        smoke: opts.smoke,
+    };
+    let (trained, _) = model(opts.scheme, &harness);
+    println!(
+        "# Adversarial search — {} × {} on {} ({}; budget {}, population {}, seed {})\n",
+        opts.family.name(),
+        opts.objective.name(),
+        trained.name,
+        opts.optimizer.name(),
+        opts.budget,
+        opts.population,
+        opts.seed
+    );
+
+    let space = SearchSpace::new(opts.family, opts.seed).with_duration_cap(opts.max_duration);
+    let objective = Objective::new(opts.objective, trained.clone());
+    let config = SearchConfig {
+        optimizer: opts.optimizer,
+        budget: opts.budget,
+        population: opts.population,
+        elite_frac: 0.25,
+        seed: opts.seed,
+        threads: None,
+    };
+    let outcome = search(&space, &objective, &config).map_err(|e| e.to_string())?;
+
+    header(&["batch", "best badness"]);
+    for (i, b) in outcome.trajectory.iter().enumerate() {
+        row(&[format!("{}", i + 1), f3(*b)]);
+    }
+
+    let threshold = opts.objective.violation_threshold();
+    let mut minimized: Option<Minimized> = None;
+    if outcome.best_badness >= threshold {
+        let shrunk = canopy_search::shrink(
+            &outcome.best_spec,
+            outcome.best_badness,
+            threshold,
+            &ShrinkConfig {
+                budget: opts.shrink_budget,
+                min_duration: Time::from_secs(2),
+            },
+            |s| objective.badness(s),
+        )
+        .map_err(|e| e.to_string())?;
+        println!(
+            "\nviolation (badness {:.3} ≥ {threshold}); minimized in {} steps / {} evals to badness {:.3}",
+            outcome.best_badness,
+            shrunk.applied.len(),
+            shrunk.evaluations,
+            shrunk.badness
+        );
+        let mut spec = shrunk.spec;
+        spec.name = format!(
+            "{}-{}-s{}-min",
+            opts.family.name(),
+            opts.objective.name().replace('_', "-"),
+            opts.seed
+        );
+        minimized = Some(Minimized {
+            badness: shrunk.badness,
+            threshold,
+            evaluations: shrunk.evaluations,
+            applied: shrunk.applied,
+            spec,
+        });
+    } else {
+        println!(
+            "\nno violation found (best badness {:.3} < threshold {threshold})",
+            outcome.best_badness
+        );
+    }
+
+    let report = SearchReport {
+        schema: SEARCH_SCHEMA.to_string(),
+        family: opts.family.name().to_string(),
+        scheme: trained.name.clone(),
+        objective: opts.objective.name().to_string(),
+        optimizer: opts.optimizer.name().to_string(),
+        search_seed: opts.seed,
+        budget: opts.budget,
+        population: opts.population,
+        evaluations: outcome.evaluations,
+        duration_cap_s: opts.max_duration.map(Time::as_secs_f64),
+        violation_threshold: threshold,
+        best_badness: outcome.best_badness,
+        trajectory: outcome.trajectory.clone(),
+        best_spec: outcome.best_spec.clone(),
+        minimized,
+    };
+    report
+        .validate()
+        .map_err(|e| format!("invalid report: {e}"))?;
+    let text = report.to_json();
+    std::fs::write(&opts.out, &text).map_err(|e| format!("cannot write {}: {e}", opts.out))?;
+    println!("wrote {} (schema {})", opts.out, report.schema);
+
+    if let (Some(dir), Some(min)) = (&opts.fixture_out, &report.minimized) {
+        // The replay threshold backs off 10 % from the recorded badness
+        // (tolerating cross-CPU floating-point drift) but never below the
+        // objective's violation threshold: a replay that is no longer a
+        // violation must fail, whatever it scores.
+        let fixture = AdversarialFixture {
+            schema: FIXTURE_SCHEMA.to_string(),
+            family: opts.family.name().to_string(),
+            objective: opts.objective.name().to_string(),
+            scheme: trained.name.clone(),
+            model_seed: model_seed(&opts),
+            smoke_model: opts.smoke,
+            n_components: objective.n_components,
+            fallback_threshold: objective.fallback_threshold,
+            optimizer: opts.optimizer.name().to_string(),
+            search_seed: opts.seed,
+            replay_threshold: threshold.max(0.9 * min.badness),
+            recorded_badness: min.badness,
+            spec: min.spec.clone(),
+        };
+        fixture
+            .validate()
+            .map_err(|e| format!("invalid fixture: {e}"))?;
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+        let path = format!("{dir}/{}", fixture.file_name());
+        std::fs::write(&path, fixture.to_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote fixture {path}");
+    }
+
+    if opts.check {
+        // Reproducibility gate: re-run the optimizer from scratch and
+        // require a bitwise-identical trajectory and best spec.
+        let again = search(&space, &objective, &config).map_err(|e| e.to_string())?;
+        if again.trajectory != outcome.trajectory
+            || again.best_spec.to_json() != outcome.best_spec.to_json()
+        {
+            return Err("--check FAILED: re-run diverged from the report".into());
+        }
+        println!("--check OK: re-run is bitwise identical");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("scenario_search: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn acceptance_flags_parse() {
+        let opts = parse_opts(&argv(&[
+            "--family",
+            "flash-crowd",
+            "--seed",
+            "7",
+            "--objective",
+            "qc_sat",
+            "--budget",
+            "64",
+        ]))
+        .unwrap();
+        assert_eq!(opts.family, Family::FlashCrowd);
+        assert_eq!(opts.objective, ObjectiveKind::QcSat);
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.budget, 64);
+        assert_eq!(model_seed(&opts), DEFAULT_SEED);
+        assert!(opts.max_duration.is_none());
+    }
+
+    #[test]
+    fn smoke_mode_caps_horizons_and_uses_the_test_model_seed() {
+        let opts = parse_opts(&argv(&["--smoke"])).unwrap();
+        assert_eq!(opts.max_duration, Some(Time::from_secs(4)));
+        assert_eq!(model_seed(&opts), 3);
+        let explicit = parse_opts(&argv(&["--smoke", "--max-duration", "2.5"])).unwrap();
+        assert_eq!(explicit.max_duration, Some(Time::from_secs_f64(2.5)));
+    }
+
+    #[test]
+    fn bad_flags_fail_loudly() {
+        assert!(parse_opts(&argv(&["--family", "tsunami"])).is_err());
+        assert!(parse_opts(&argv(&["--objective", "latency"])).is_err());
+        assert!(parse_opts(&argv(&["--budget", "0"])).is_err());
+        assert!(parse_opts(&argv(&["--optimizer", "anneal"])).is_err());
+        assert!(parse_opts(&argv(&["--scheme", "cubic"])).is_err());
+        assert!(parse_opts(&argv(&["--mystery"])).is_err());
+    }
+}

@@ -7,9 +7,11 @@
 
 use std::path::PathBuf;
 
+use canopy_core::env::NoiseConfig;
 use canopy_core::models::{self, ModelKind, TrainBudget, TrainedModel};
 use canopy_core::trainer::TrainingHistory;
 use canopy_netsim::Time;
+use canopy_scenarios::{ScenarioSpec, TraceProgram};
 
 /// The seed every figure uses unless overridden with `--seed N`.
 pub const DEFAULT_SEED: u64 = 20260427;
@@ -86,6 +88,53 @@ pub fn model_dir() -> PathBuf {
 /// Loads (or trains and caches) one of the paper's models.
 pub fn model(kind: ModelKind, opts: &HarnessOpts) -> (TrainedModel, TrainingHistory) {
     models::load_or_train(&model_dir(), kind, opts.seed, opts.budget())
+}
+
+/// The Figure 11 evaluation conditions as declarative scenario specs: for
+/// each evaluation trace, a clean run and a ±5 % delay-noise run over a
+/// 2 BDP buffer and 40 ms propagation RTT — committed under
+/// `fixtures/fig11/specs.json` (full mode, default seed) so the figure's
+/// conditions are data, and replayed through the scenario-matrix runner
+/// by both the `fig11_robust_perf` harness and the regression suite.
+/// Specs come in (clean, noisy) pairs, trace-major.
+pub fn fig11_specs(seed: u64, smoke: bool) -> Vec<ScenarioSpec> {
+    let mut traces = if smoke {
+        canopy_traces::synthetic::all(seed)[..3].to_vec()
+    } else {
+        canopy_traces::synthetic::all(seed)
+    };
+    traces.extend(canopy_traces::cellular::all(seed));
+    // The same horizon every single-flow harness uses, from one place.
+    let duration = HarnessOpts { seed, smoke }.eval_duration();
+    let mut specs = Vec::with_capacity(traces.len() * 2);
+    for trace in &traces {
+        for noisy in [false, true] {
+            let mut spec = ScenarioSpec::simple(
+                &format!(
+                    "fig11-{}-{}",
+                    trace.name(),
+                    if noisy { "noisy" } else { "clean" }
+                ),
+                0.0,
+                Time::from_millis(40),
+                duration,
+            );
+            spec.family = "fig11".to_string();
+            spec.seed = seed;
+            spec.trace = TraceProgram::Named {
+                name: trace.name().to_string(),
+                seed,
+            };
+            spec.buffer_bdp = 2.0;
+            spec.noise = noisy.then_some(NoiseConfig {
+                mu: 0.05,
+                seed: seed ^ 0x11,
+            });
+            debug_assert!(spec.validate().is_ok(), "{:?}", spec.validate());
+            specs.push(spec);
+        }
+    }
+    specs
 }
 
 /// Prints a Markdown-style table row.

@@ -77,6 +77,9 @@ pub struct RunMetrics {
     pub p95_rtt_ms: f64,
     /// Average goodput, Mbps.
     pub throughput_mbps: f64,
+    /// Packets cumulatively acknowledged over the active interval (the
+    /// denominator behind loss-rate style objectives).
+    pub acked_packets: u64,
     /// Packets actually lost on the wire (droptail + random impairment);
     /// sender-side declared losses can overcount after timeouts.
     pub losses: u64,
@@ -284,6 +287,7 @@ pub fn flow_metrics(sim: &Simulator, flow: FlowId, scheme: &str) -> RunMetrics {
         avg_rtt_ms: stats.mean_rtt_ms(),
         p95_rtt_ms: stats.rtt_quantile_ms(0.95),
         throughput_mbps,
+        acked_packets: stats.acked_packets,
         losses: stats.dropped_packets + stats.random_losses,
         retransmits: stats.retransmits,
         qc_sat: None,
@@ -567,6 +571,24 @@ pub fn friendliness_ratio(
     }
 }
 
+/// A whole-run Orca-style reward proxy over aggregate [`RunMetrics`]: the
+/// same shape as the per-interval training reward (Eq. 2/3 — normalized
+/// throughput minus ζ·loss-rate, discounted by delay beyond the β·minRTT
+/// forgiveness band), evaluated once on run-level aggregates. Bounded in
+/// `[−ζ, 1]`; higher is better. This is the score behind the adversarial
+/// reward-gap objective, which hunts for conditions where a learned scheme
+/// earns meaningfully less than Cubic on the identical scenario.
+pub fn run_reward(m: &RunMetrics, min_rtt_ms: f64) -> f64 {
+    let delivered = m.acked_packets + m.losses;
+    let loss_rate = if delivered == 0 {
+        0.0
+    } else {
+        m.losses as f64 / delivered as f64
+    };
+    let thr_norm = m.utilization.clamp(0.0, 1.0);
+    crate::orca::RewardConfig::default().reward(thr_norm, loss_rate, m.avg_rtt_ms, min_rtt_ms)
+}
+
 /// Jain's fairness index over per-flow throughputs.
 pub fn jain_index(throughputs: &[f64]) -> f64 {
     let n = throughputs.len() as f64;
@@ -742,6 +764,36 @@ mod tests {
             assert_eq!(m.utilization, solo.utilization, "{}", m.scheme);
             assert_eq!(m.losses, solo.losses, "{}", m.scheme);
         }
+    }
+
+    #[test]
+    fn run_reward_orders_good_runs_above_bad_ones() {
+        let trace = BandwidthTrace::constant("eval", 24e6);
+        let good = run_scheme(
+            &Scheme::Baseline("cubic".into()),
+            &trace,
+            Time::from_millis(40),
+            1.0,
+            Time::from_secs(8),
+            None,
+            None,
+        );
+        let r = run_reward(&good, 40.0);
+        assert!((-5.0..=1.0).contains(&r), "{r}");
+        // Starving the same run's throughput must lower the proxy.
+        let mut starved = good.clone();
+        starved.utilization = 0.1 * good.utilization;
+        assert!(run_reward(&starved, 40.0) < r);
+        // Piling on losses must lower it too.
+        let mut lossy = good.clone();
+        lossy.losses = lossy.acked_packets.max(1);
+        assert!(run_reward(&lossy, 40.0) < r);
+        // Within the β·minRTT forgiveness band delay does not discount.
+        let mut snappy = good.clone();
+        snappy.avg_rtt_ms = 40.0;
+        let mut laggy = good;
+        laggy.avg_rtt_ms = 400.0;
+        assert!(run_reward(&laggy, 40.0) < run_reward(&snappy, 40.0));
     }
 
     #[test]

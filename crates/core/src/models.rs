@@ -92,6 +92,18 @@ impl ModelKind {
         }
     }
 
+    /// Parses a canonical model name back to its kind.
+    pub fn parse(name: &str) -> Option<ModelKind> {
+        [
+            ModelKind::Shallow,
+            ModelKind::Deep,
+            ModelKind::Robust,
+            ModelKind::Orca,
+        ]
+        .into_iter()
+        .find(|k| k.name() == name)
+    }
+
     /// The buffer depth (BDP multiples) this model trains on, following
     /// Section 5 of the paper.
     pub fn buffer_bdp(self) -> f64 {

@@ -1,21 +1,22 @@
 //! Seeded scenario generation: named stress families and the fuzzer.
 //!
 //! Every scenario is a pure function of `(family, seed)`: the generator
-//! seeds one [`StdRng`] from that pair and samples the family's parameter
-//! distribution, so any scenario the fuzzer ever produced can be recreated
-//! (and committed as a regression fixture) from two integers. The six
-//! families are adversarial compositions the paper's fixed 21-trace suite
-//! never exercises: flash crowds, bandwidth cliffs, jitter storms, lossy
-//! wireless links, buffer-depth sweeps, and cross-traffic churn.
+//! seeds one [`StdRng`] from that pair, samples the family's parameter
+//! vector uniformly within its bounds ([`params::sample_point`]), and
+//! decodes it through the same [`params::decode`] hook adversarial search
+//! uses — so any scenario the fuzzer ever produced can be recreated (and
+//! committed as a regression fixture) from two integers, and every
+//! search-found counterexample lives in the same parameter space as the
+//! fuzzed suite. The six families are adversarial compositions the paper's
+//! fixed 21-trace suite never exercises: flash crowds, bandwidth cliffs,
+//! jitter storms, lossy wireless links, buffer-depth sweeps, and
+//! cross-traffic churn.
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
-use canopy_core::env::NoiseConfig;
-use canopy_netsim::link::{ImpairmentPhase, ImpairmentSchedule};
-use canopy_netsim::Time;
-
-use crate::spec::{CrossFlow, ScenarioSpec, TraceProgram};
+use crate::params;
+use crate::spec::ScenarioSpec;
 
 /// The named scenario families.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -71,229 +72,40 @@ fn fxhash(s: &str) -> u64 {
     })
 }
 
-fn rng_for(family: Family, seed: u64) -> StdRng {
+pub(crate) fn rng_for(family: Family, seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed ^ fxhash(family.name()))
-}
-
-fn secs(rng: &mut StdRng, lo: f64, hi: f64) -> Time {
-    Time::from_secs_f64(rng.random_range(lo..hi))
-}
-
-const MBPS: f64 = 1e6;
-
-/// Base traces sturdy enough to carry cross-traffic (deterministic,
-/// tens of Mbps).
-const WIDE_BASES: &[&str] = &["syn-plateau-dip", "syn-step-up", "syn-square-slow"];
-
-fn named(name: &str, seed: u64) -> Box<TraceProgram> {
-    Box::new(TraceProgram::Named {
-        name: name.to_string(),
-        seed,
-    })
 }
 
 /// Generates the `(family, seed)` scenario. Pure and deterministic: the
 /// same pair always yields a byte-identical spec.
 pub fn generate(family: Family, seed: u64) -> ScenarioSpec {
     let mut rng = rng_for(family, seed);
-    let mut spec = ScenarioSpec::simple(
-        &format!("{}-s{seed}", family.name()),
-        48.0 * MBPS,
-        Time::from_millis(rng.random_range(20..=60)),
-        secs(&mut rng, 10.0, 16.0),
-    );
-    spec.family = family.name().to_string();
-    spec.seed = seed;
-    match family {
-        Family::FlashCrowd => flash_crowd(&mut rng, &mut spec),
-        Family::BandwidthCliff => bandwidth_cliff(&mut rng, &mut spec),
-        Family::JitterStorm => jitter_storm(&mut rng, &mut spec),
-        Family::LossyWireless => lossy_wireless(&mut rng, &mut spec),
-        Family::BufferSweep => buffer_sweep(&mut rng, &mut spec),
-        Family::CrossTrafficChurn => cross_traffic_churn(&mut rng, &mut spec),
-    }
-    debug_assert!(spec.validate().is_ok(), "{:?}", spec.validate());
-    spec
-}
-
-/// A stampede: the primary flow has the link to itself, then `n`
-/// competitors arrive nearly at once mid-run and depart together.
-fn flash_crowd(rng: &mut StdRng, spec: &mut ScenarioSpec) {
-    let base = WIDE_BASES[rng.random_range(0..WIDE_BASES.len())];
-    spec.trace = TraceProgram::Scale {
-        inner: named(base, spec.seed),
-        factor: rng.random_range(1.0..2.5),
-    };
-    spec.buffer_bdp = rng.random_range(1.0..2.5);
-    let d = spec.duration.as_secs_f64();
-    let arrive = rng.random_range(0.25 * d..0.45 * d);
-    let dwell = rng.random_range(0.2 * d..0.35 * d);
-    let n = rng.random_range(3..=6);
-    for i in 0..n {
-        // The crowd arrives within a few hundred milliseconds.
-        let jitter = rng.random_range(0.0..0.3);
-        spec.cross_traffic.push(CrossFlow {
-            cc: "cubic".into(),
-            start: Time::from_secs_f64(arrive + i as f64 * 0.05 + jitter),
-            stop: Some(Time::from_secs_f64(arrive + dwell + jitter)),
-            min_rtt: Time::from_millis(rng.random_range(10..=80)),
-        });
-    }
-}
-
-/// The link rate falls off a cliff (to 5–15 % of nominal) partway through
-/// and recovers after a spell — a spliced outage-like collapse.
-fn bandwidth_cliff(rng: &mut StdRng, spec: &mut ScenarioSpec) {
-    let high = rng.random_range(48.0..144.0) * MBPS;
-    let d = spec.duration.as_secs_f64();
-    let at = rng.random_range(0.3 * d..0.55 * d);
-    let len = rng.random_range(0.15 * d..0.35 * d);
-    let floor = high * rng.random_range(0.05..0.15);
-    spec.trace = TraceProgram::Splice {
-        base: Box::new(TraceProgram::Constant { rate_bps: high }),
-        patch: Box::new(TraceProgram::Constant { rate_bps: floor }),
-        at: Time::from_secs_f64(at),
-        len: Time::from_secs_f64(len),
-    };
-    spec.buffer_bdp = rng.random_range(0.5..2.0);
-    if rng.random::<f64>() < 0.5 {
-        // Half the scenarios face the cliff while sharing with one
-        // long-lived competitor.
-        spec.cross_traffic.push(CrossFlow {
-            cc: "cubic".into(),
-            start: Time::ZERO,
-            stop: None,
-            min_rtt: spec.primary_min_rtt,
-        });
-    }
-}
-
-/// Calm, then one or two phases of heavy delay jitter, then calm again.
-fn jitter_storm(rng: &mut StdRng, spec: &mut ScenarioSpec) {
-    spec.trace = TraceProgram::Clamp {
-        inner: Box::new(TraceProgram::SquareWave {
-            low_bps: rng.random_range(12.0..24.0) * MBPS,
-            high_bps: rng.random_range(36.0..96.0) * MBPS,
-            half_period: secs(rng, 0.5, 2.0),
-        }),
-        min_bps: 6.0 * MBPS,
-        max_bps: 120.0 * MBPS,
-    };
-    spec.buffer_bdp = rng.random_range(1.0..4.0);
-    let d = spec.duration.as_secs_f64();
-    let mut phases = Vec::new();
-    let storms = rng.random_range(1..=2);
-    let mut t = rng.random_range(0.15 * d..0.3 * d);
-    for _ in 0..storms {
-        let storm_len = rng.random_range(0.15 * d..0.3 * d);
-        phases.push(ImpairmentPhase {
-            start: Time::from_secs_f64(t),
-            random_loss: 0.0,
-            max_jitter: Time::from_millis(rng.random_range(5..=25)),
-        });
-        t += storm_len;
-        phases.push(ImpairmentPhase {
-            start: Time::from_secs_f64(t),
-            random_loss: 0.0,
-            max_jitter: Time::ZERO,
-        });
-        t += rng.random_range(0.1 * d..0.2 * d);
-    }
-    spec.impairments = Some(ImpairmentSchedule::new(phases, spec.seed.wrapping_add(1)));
-    spec.noise = Some(NoiseConfig {
-        mu: rng.random_range(0.0..0.2),
-        seed: spec.seed.wrapping_add(2),
-    });
-}
-
-/// A cellular-class bandwidth process with scheduled random-loss phases,
-/// the wireless regime learned controllers notoriously misread.
-fn lossy_wireless(rng: &mut StdRng, spec: &mut ScenarioSpec) {
-    let cell =
-        ["cell-att-lte", "cell-verizon-lte", "cell-tmobile-lte"][rng.random_range(0..3usize)];
-    spec.trace = TraceProgram::Periodic {
-        inner: named(cell, spec.seed),
-        window: secs(rng, 8.0, 20.0),
-    };
-    spec.buffer_bdp = rng.random_range(1.0..3.0);
-    let d = spec.duration.as_secs_f64();
-    let onset = rng.random_range(0.1 * d..0.4 * d);
-    let mut phases = vec![ImpairmentPhase {
-        start: Time::from_secs_f64(onset),
-        random_loss: rng.random_range(0.005..0.03),
-        max_jitter: Time::from_millis(rng.random_range(0..=5)),
-    }];
-    if rng.random::<f64>() < 0.5 {
-        // Sometimes the loss clears before the end.
-        phases.push(ImpairmentPhase {
-            start: Time::from_secs_f64(rng.random_range(0.6 * d..0.9 * d)),
-            random_loss: 0.0,
-            max_jitter: Time::ZERO,
-        });
-    }
-    spec.impairments = Some(ImpairmentSchedule::new(phases, spec.seed.wrapping_add(3)));
-}
-
-/// The same workload across a wide, log-uniform sweep of buffer depths
-/// (0.25–8 BDP), isolating buffer sensitivity.
-fn buffer_sweep(rng: &mut StdRng, spec: &mut ScenarioSpec) {
-    let base = WIDE_BASES[rng.random_range(0..WIDE_BASES.len())];
-    spec.trace = TraceProgram::Shift {
-        inner: named(base, spec.seed),
-        delta_bps: rng.random_range(-4.0..12.0) * MBPS,
-    };
-    // log-uniform over [0.25, 8] BDP.
-    let log = rng.random_range((0.25f64).ln()..(8.0f64).ln());
-    spec.buffer_bdp = log.exp();
-    spec.noise = Some(NoiseConfig {
-        mu: rng.random_range(0.0..0.1),
-        seed: spec.seed.wrapping_add(4),
-    });
-}
-
-/// Competitors of mixed kernels continually arriving and departing on a
-/// concatenated two-regime link.
-fn cross_traffic_churn(rng: &mut StdRng, spec: &mut ScenarioSpec) {
-    let lo = rng.random_range(24.0..48.0) * MBPS;
-    let hi = lo * rng.random_range(1.5..3.0);
-    spec.trace = TraceProgram::Concat {
-        first: Box::new(TraceProgram::Constant { rate_bps: hi }),
-        second: Box::new(TraceProgram::SquareWave {
-            low_bps: lo,
-            high_bps: hi,
-            half_period: secs(rng, 1.0, 3.0),
-        }),
-        loops: true,
-    };
-    spec.buffer_bdp = rng.random_range(0.5..3.0);
-    let d = spec.duration.as_secs_f64();
-    let n = rng.random_range(3..=5);
-    let kernels = ["cubic", "bbr"];
-    for i in 0..n {
-        let start = rng.random_range(0.0..0.7 * d);
-        let dwell = rng.random_range(0.15 * d..0.5 * d);
-        let stop = (start + dwell).min(0.95 * d);
-        spec.cross_traffic.push(CrossFlow {
-            cc: kernels[i % kernels.len()].into(),
-            start: Time::from_secs_f64(start),
-            stop: Some(Time::from_secs_f64(stop)),
-            min_rtt: Time::from_millis(rng.random_range(10..=100)),
-        });
-    }
+    let x = params::sample_point(family, &mut rng);
+    params::decode(family, seed, &x, None)
 }
 
 /// The fuzz suite: `seeds` scenarios from each listed family
 /// (`seed = 0..seeds`), in deterministic family-major order.
 pub fn fuzz_suite(families: &[Family], seeds: u64) -> Vec<ScenarioSpec> {
+    let all: Vec<u64> = (0..seeds).collect();
+    fuzz_suite_seeds(families, &all)
+}
+
+/// The fuzz suite over an explicit seed list, in deterministic
+/// family-major order. The caller is responsible for the list being
+/// duplicate-free; duplicated seeds would produce identically named
+/// scenarios and a degenerate matrix (see `scenario_lab --seeds`).
+pub fn fuzz_suite_seeds(families: &[Family], seeds: &[u64]) -> Vec<ScenarioSpec> {
     families
         .iter()
-        .flat_map(|&f| (0..seeds).map(move |s| generate(f, s)))
+        .flat_map(|&f| seeds.iter().map(move |&s| generate(f, s)))
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use canopy_netsim::Time;
 
     #[test]
     fn family_names_round_trip() {
@@ -340,5 +152,17 @@ mod tests {
             let back = ScenarioSpec::from_json(&s.to_json()).expect("parses");
             assert_eq!(back.to_json(), s.to_json());
         }
+    }
+
+    #[test]
+    fn explicit_seed_lists_select_exact_scenarios() {
+        let picked = fuzz_suite_seeds(&[Family::FlashCrowd, Family::BufferSweep], &[3, 11]);
+        assert_eq!(picked.len(), 4);
+        assert_eq!(picked[0].name, "flash-crowd-s3");
+        assert_eq!(picked[1].name, "flash-crowd-s11");
+        assert_eq!(
+            picked[3].to_json(),
+            generate(Family::BufferSweep, 11).to_json()
+        );
     }
 }

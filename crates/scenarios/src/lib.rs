@@ -31,10 +31,12 @@
 //! ```
 
 pub mod gen;
+pub mod params;
 pub mod runner;
 pub mod spec;
 
-pub use gen::{fuzz_suite, generate, Family};
+pub use gen::{fuzz_suite, fuzz_suite_seeds, generate, Family};
+pub use params::{decode, param_defs, sample_point, ParamDef, ParamKind};
 pub use runner::{
     run_matrix, run_matrix_with_threads, run_scenario, ScenarioMetrics, ScenarioReport,
     REPORT_SCHEMA,

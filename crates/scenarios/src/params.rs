@@ -1,0 +1,623 @@
+//! Family parameter spaces: the encode/decode hooks behind both the
+//! seeded generator and adversarial search.
+//!
+//! Every fuzz family is a *parametric* scenario template: a fixed-length
+//! vector of bounded reals (trace-combinator knobs, buffer depth,
+//! impairment-phase timing, flow-schedule offsets) plus a deterministic
+//! [`decode`] that turns any in-bounds vector into a [`ScenarioSpec`].
+//! The seeded generator samples that vector uniformly within its bounds
+//! ([`sample_point`]), so `generate(family, seed)` and a search loop
+//! exploring the same space by construction produce specs of identical
+//! shape — a counterexample found by search is just another point of the
+//! family, committable and reproducible like any fuzzed scenario.
+//!
+//! Variable-length structure (competitor flows, storm phases) is encoded
+//! with a fixed maximum: the vector always carries every slot, and an
+//! "active count" parameter decides how many decode into the spec.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use canopy_core::env::NoiseConfig;
+use canopy_netsim::link::{ImpairmentPhase, ImpairmentSchedule};
+use canopy_netsim::Time;
+
+use crate::gen::Family;
+use crate::spec::{CrossFlow, ScenarioSpec, TraceProgram};
+
+/// How a parameter's real-valued slot is interpreted on decode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParamKind {
+    /// Used as-is (after clamping into `[lo, hi]`).
+    Continuous,
+    /// Rounded to the nearest integer in `[lo, hi]` (both integral).
+    Int,
+}
+
+/// One bounded parameter of a family's scenario template.
+#[derive(Clone, Copy, Debug)]
+pub struct ParamDef {
+    /// Stable snake-case parameter name (for reports and debugging).
+    pub name: &'static str,
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Upper bound (inclusive for [`ParamKind::Int`], the open end of the
+    /// sampling range for [`ParamKind::Continuous`]; decode clamps to it).
+    pub hi: f64,
+    /// Interpretation on decode.
+    pub kind: ParamKind,
+}
+
+impl ParamDef {
+    const fn cont(name: &'static str, lo: f64, hi: f64) -> ParamDef {
+        ParamDef {
+            name,
+            lo,
+            hi,
+            kind: ParamKind::Continuous,
+        }
+    }
+
+    const fn int(name: &'static str, lo: u64, hi: u64) -> ParamDef {
+        ParamDef {
+            name,
+            lo: lo as f64,
+            hi: hi as f64,
+            kind: ParamKind::Int,
+        }
+    }
+
+    /// Clamps a raw coordinate into this parameter's domain (rounding for
+    /// integer parameters). Non-finite input lands on the lower bound.
+    pub fn clamp(&self, x: f64) -> f64 {
+        let x = if x.is_finite() { x } else { self.lo };
+        let x = x.clamp(self.lo, self.hi);
+        match self.kind {
+            ParamKind::Continuous => x,
+            ParamKind::Int => x.round().clamp(self.lo, self.hi),
+        }
+    }
+}
+
+const MBPS: f64 = 1e6;
+
+/// Base traces sturdy enough to carry cross-traffic (deterministic,
+/// tens of Mbps).
+pub(crate) const WIDE_BASES: &[&str] = &["syn-plateau-dip", "syn-step-up", "syn-square-slow"];
+
+const CELL_BASES: &[&str] = &["cell-att-lte", "cell-verizon-lte", "cell-tmobile-lte"];
+
+/// Maximum competitor slots carried by the flash-crowd vector.
+const FLASH_CROWD_MAX_FLOWS: u64 = 6;
+/// Maximum competitor slots carried by the churn vector.
+const CHURN_MAX_FLOWS: u64 = 5;
+/// Maximum storm slots carried by the jitter-storm vector.
+const STORM_MAX: u64 = 2;
+
+/// The parameter template shared by every family: propagation RTT and
+/// experiment horizon.
+const COMMON: [ParamDef; 2] = [
+    ParamDef::int("min_rtt_ms", 20, 60),
+    ParamDef::cont("duration_s", 10.0, 16.0),
+];
+
+/// The full ordered parameter list of a family's scenario template.
+pub fn param_defs(family: Family) -> Vec<ParamDef> {
+    let mut defs = COMMON.to_vec();
+    match family {
+        Family::FlashCrowd => {
+            defs.extend([
+                ParamDef::int("base_trace", 0, WIDE_BASES.len() as u64 - 1),
+                ParamDef::cont("scale_factor", 1.0, 2.5),
+                ParamDef::cont("buffer_bdp", 1.0, 2.5),
+                ParamDef::cont("arrive_frac", 0.25, 0.45),
+                ParamDef::cont("dwell_frac", 0.2, 0.35),
+                ParamDef::int("n_flows", 3, FLASH_CROWD_MAX_FLOWS),
+            ]);
+            for i in 0..FLASH_CROWD_MAX_FLOWS {
+                defs.push(ParamDef {
+                    name: flow_param_name("jitter_s", i),
+                    lo: 0.0,
+                    hi: 0.3,
+                    kind: ParamKind::Continuous,
+                });
+                defs.push(ParamDef {
+                    name: flow_param_name("rtt_ms", i),
+                    lo: 10.0,
+                    hi: 80.0,
+                    kind: ParamKind::Int,
+                });
+            }
+        }
+        Family::BandwidthCliff => defs.extend([
+            ParamDef::cont("high_mbps", 48.0, 144.0),
+            ParamDef::cont("cliff_at_frac", 0.3, 0.55),
+            ParamDef::cont("cliff_len_frac", 0.15, 0.35),
+            ParamDef::cont("floor_frac", 0.05, 0.15),
+            ParamDef::cont("buffer_bdp", 0.5, 2.0),
+            ParamDef::cont("competitor_coin", 0.0, 1.0),
+        ]),
+        Family::JitterStorm => {
+            defs.extend([
+                ParamDef::cont("low_mbps", 12.0, 24.0),
+                ParamDef::cont("high_mbps", 36.0, 96.0),
+                ParamDef::cont("half_period_s", 0.5, 2.0),
+                ParamDef::cont("buffer_bdp", 1.0, 4.0),
+                ParamDef::int("n_storms", 1, STORM_MAX),
+                ParamDef::cont("onset_frac", 0.15, 0.3),
+            ]);
+            for i in 0..STORM_MAX {
+                defs.push(ParamDef {
+                    name: flow_param_name("storm_len_frac", i),
+                    lo: 0.15,
+                    hi: 0.3,
+                    kind: ParamKind::Continuous,
+                });
+                defs.push(ParamDef {
+                    name: flow_param_name("storm_jitter_ms", i),
+                    lo: 5.0,
+                    hi: 25.0,
+                    kind: ParamKind::Int,
+                });
+                defs.push(ParamDef {
+                    name: flow_param_name("calm_frac", i),
+                    lo: 0.1,
+                    hi: 0.2,
+                    kind: ParamKind::Continuous,
+                });
+            }
+            defs.push(ParamDef::cont("noise_mu", 0.0, 0.2));
+        }
+        Family::LossyWireless => defs.extend([
+            ParamDef::int("cell_trace", 0, CELL_BASES.len() as u64 - 1),
+            ParamDef::cont("window_s", 8.0, 20.0),
+            ParamDef::cont("buffer_bdp", 1.0, 3.0),
+            ParamDef::cont("onset_frac", 0.1, 0.4),
+            ParamDef::cont("random_loss", 0.005, 0.03),
+            ParamDef::int("loss_jitter_ms", 0, 5),
+            ParamDef::cont("clear_coin", 0.0, 1.0),
+            ParamDef::cont("clear_frac", 0.6, 0.9),
+        ]),
+        Family::BufferSweep => defs.extend([
+            ParamDef::int("base_trace", 0, WIDE_BASES.len() as u64 - 1),
+            ParamDef::cont("shift_mbps", -4.0, 12.0),
+            ParamDef::cont("log_buffer_bdp", (0.25f64).ln(), (8.0f64).ln()),
+            ParamDef::cont("noise_mu", 0.0, 0.1),
+        ]),
+        Family::CrossTrafficChurn => {
+            defs.extend([
+                ParamDef::cont("low_mbps", 24.0, 48.0),
+                ParamDef::cont("high_factor", 1.5, 3.0),
+                ParamDef::cont("half_period_s", 1.0, 3.0),
+                ParamDef::cont("buffer_bdp", 0.5, 3.0),
+                ParamDef::int("n_flows", 3, CHURN_MAX_FLOWS),
+            ]);
+            for i in 0..CHURN_MAX_FLOWS {
+                defs.push(ParamDef {
+                    name: flow_param_name("start_frac", i),
+                    lo: 0.0,
+                    hi: 0.7,
+                    kind: ParamKind::Continuous,
+                });
+                defs.push(ParamDef {
+                    name: flow_param_name("dwell_frac", i),
+                    lo: 0.15,
+                    hi: 0.5,
+                    kind: ParamKind::Continuous,
+                });
+                defs.push(ParamDef {
+                    name: flow_param_name("rtt_ms", i),
+                    lo: 10.0,
+                    hi: 100.0,
+                    kind: ParamKind::Int,
+                });
+            }
+        }
+    }
+    defs
+}
+
+/// Per-slot parameter names need `'static` lifetimes for [`ParamDef`];
+/// the handful of (prefix, index) combinations is enumerated statically.
+fn flow_param_name(prefix: &'static str, i: u64) -> &'static str {
+    macro_rules! slots {
+        ($($p:literal => [$($n:literal),*]),* $(,)?) => {
+            match (prefix, i) {
+                $($(($p, $n) => concat!($p, "_", stringify!($n)),)*)*
+                _ => unreachable!("unregistered param slot {prefix}_{i}"),
+            }
+        };
+    }
+    slots!(
+        "jitter_s" => [0, 1, 2, 3, 4, 5],
+        "rtt_ms" => [0, 1, 2, 3, 4, 5],
+        "storm_len_frac" => [0, 1],
+        "storm_jitter_ms" => [0, 1],
+        "calm_frac" => [0, 1],
+        "start_frac" => [0, 1, 2, 3, 4],
+        "dwell_frac" => [0, 1, 2, 3, 4],
+    )
+}
+
+/// Samples one parameter vector uniformly within the family's bounds
+/// (integer parameters uniformly over their inclusive range). This is the
+/// distribution behind [`generate`](crate::gen::generate).
+pub fn sample_point(family: Family, rng: &mut StdRng) -> Vec<f64> {
+    param_defs(family)
+        .iter()
+        .map(|d| match d.kind {
+            ParamKind::Continuous => rng.random_range(d.lo..d.hi),
+            ParamKind::Int => rng.random_range(d.lo as u64..=d.hi as u64) as f64,
+        })
+        .collect()
+}
+
+/// A cursor over one parameter vector, clamping each coordinate into its
+/// definition's domain as it is consumed.
+struct Params<'a> {
+    defs: &'a [ParamDef],
+    x: &'a [f64],
+    i: usize,
+}
+
+impl Params<'_> {
+    fn next(&mut self) -> f64 {
+        let v = self.defs[self.i].clamp(self.x[self.i]);
+        self.i += 1;
+        v
+    }
+
+    fn next_usize(&mut self) -> usize {
+        self.next() as usize
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.next() as u64
+    }
+
+    fn next_coin(&mut self) -> bool {
+        self.next() < 0.5
+    }
+}
+
+/// Decodes a parameter vector into the family's [`ScenarioSpec`] — the
+/// inverse direction of [`sample_point`], and the sole constructor both
+/// the seeded generator and adversarial search go through.
+///
+/// Out-of-bounds coordinates are clamped per parameter, so any real vector
+/// of the right length decodes to a valid spec. `seed` is recorded as the
+/// spec's provenance and drives the derived impairment/noise RNG streams.
+/// `max_duration` caps the experiment horizon *before* fractional times
+/// (arrivals, phase starts) are resolved, so a capped scenario keeps the
+/// family's shape at a shorter time scale.
+///
+/// # Panics
+///
+/// Panics if `x.len()` differs from the family's [`param_defs`] length.
+pub fn decode(family: Family, seed: u64, x: &[f64], max_duration: Option<Time>) -> ScenarioSpec {
+    let defs = param_defs(family);
+    assert_eq!(
+        x.len(),
+        defs.len(),
+        "{} expects {} parameters, got {}",
+        family.name(),
+        defs.len(),
+        x.len()
+    );
+    let mut p = Params {
+        defs: &defs,
+        x,
+        i: 0,
+    };
+    let min_rtt = Time::from_millis(p.next_u64());
+    let mut duration = Time::from_secs_f64(p.next());
+    if let Some(cap) = max_duration {
+        duration = duration.min(cap);
+    }
+    let mut spec = ScenarioSpec::simple(
+        &format!("{}-s{seed}", family.name()),
+        48.0 * MBPS,
+        min_rtt,
+        duration,
+    );
+    spec.family = family.name().to_string();
+    spec.seed = seed;
+    match family {
+        Family::FlashCrowd => flash_crowd(&mut p, &mut spec),
+        Family::BandwidthCliff => bandwidth_cliff(&mut p, &mut spec),
+        Family::JitterStorm => jitter_storm(&mut p, &mut spec),
+        Family::LossyWireless => lossy_wireless(&mut p, &mut spec),
+        Family::BufferSweep => buffer_sweep(&mut p, &mut spec),
+        Family::CrossTrafficChurn => cross_traffic_churn(&mut p, &mut spec),
+    }
+    debug_assert_eq!(p.i, defs.len(), "{}: unconsumed parameters", family.name());
+    debug_assert!(spec.validate().is_ok(), "{:?}", spec.validate());
+    spec
+}
+
+fn named(name: &str, seed: u64) -> Box<TraceProgram> {
+    Box::new(TraceProgram::Named {
+        name: name.to_string(),
+        seed,
+    })
+}
+
+/// A stampede: the primary flow has the link to itself, then `n`
+/// competitors arrive nearly at once mid-run and depart together.
+fn flash_crowd(p: &mut Params<'_>, spec: &mut ScenarioSpec) {
+    let base = WIDE_BASES[p.next_usize()];
+    spec.trace = TraceProgram::Scale {
+        inner: named(base, spec.seed),
+        factor: p.next(),
+    };
+    spec.buffer_bdp = p.next();
+    let d = spec.duration.as_secs_f64();
+    let arrive = p.next() * d;
+    let dwell = p.next() * d;
+    let n = p.next_usize();
+    for i in 0..FLASH_CROWD_MAX_FLOWS as usize {
+        // The crowd arrives within a few hundred milliseconds; inactive
+        // slots still consume their parameters so vector layout is fixed.
+        let jitter = p.next();
+        let rtt_ms = p.next_u64();
+        if i >= n {
+            continue;
+        }
+        spec.cross_traffic.push(CrossFlow {
+            cc: "cubic".into(),
+            start: Time::from_secs_f64(arrive + i as f64 * 0.05 + jitter),
+            stop: Some(Time::from_secs_f64(arrive + dwell + jitter)),
+            min_rtt: Time::from_millis(rtt_ms),
+        });
+    }
+}
+
+/// The link rate falls off a cliff (to 5–15 % of nominal) partway through
+/// and recovers after a spell — a spliced outage-like collapse.
+fn bandwidth_cliff(p: &mut Params<'_>, spec: &mut ScenarioSpec) {
+    let high = p.next() * MBPS;
+    let d = spec.duration.as_secs_f64();
+    let at = p.next() * d;
+    let len = p.next() * d;
+    let floor = high * p.next();
+    spec.trace = TraceProgram::Splice {
+        base: Box::new(TraceProgram::Constant { rate_bps: high }),
+        patch: Box::new(TraceProgram::Constant { rate_bps: floor }),
+        at: Time::from_secs_f64(at),
+        len: Time::from_secs_f64(len),
+    };
+    spec.buffer_bdp = p.next();
+    if p.next_coin() {
+        // Half the scenarios face the cliff while sharing with one
+        // long-lived competitor.
+        spec.cross_traffic.push(CrossFlow {
+            cc: "cubic".into(),
+            start: Time::ZERO,
+            stop: None,
+            min_rtt: spec.primary_min_rtt,
+        });
+    }
+}
+
+/// Calm, then one or two phases of heavy delay jitter, then calm again.
+fn jitter_storm(p: &mut Params<'_>, spec: &mut ScenarioSpec) {
+    spec.trace = TraceProgram::Clamp {
+        inner: Box::new(TraceProgram::SquareWave {
+            low_bps: p.next() * MBPS,
+            high_bps: p.next() * MBPS,
+            half_period: Time::from_secs_f64(p.next()),
+        }),
+        min_bps: 6.0 * MBPS,
+        max_bps: 120.0 * MBPS,
+    };
+    spec.buffer_bdp = p.next();
+    let d = spec.duration.as_secs_f64();
+    let storms = p.next_usize();
+    let mut t = p.next() * d;
+    let mut phases = Vec::new();
+    for i in 0..STORM_MAX as usize {
+        let storm_len = p.next() * d;
+        let jitter_ms = p.next_u64();
+        let calm = p.next() * d;
+        if i >= storms {
+            continue;
+        }
+        phases.push(ImpairmentPhase {
+            start: Time::from_secs_f64(t),
+            random_loss: 0.0,
+            max_jitter: Time::from_millis(jitter_ms),
+        });
+        t += storm_len;
+        phases.push(ImpairmentPhase {
+            start: Time::from_secs_f64(t),
+            random_loss: 0.0,
+            max_jitter: Time::ZERO,
+        });
+        t += calm;
+    }
+    spec.impairments = Some(ImpairmentSchedule::new(phases, spec.seed.wrapping_add(1)));
+    spec.noise = Some(NoiseConfig {
+        mu: p.next(),
+        seed: spec.seed.wrapping_add(2),
+    });
+}
+
+/// A cellular-class bandwidth process with scheduled random-loss phases,
+/// the wireless regime learned controllers notoriously misread.
+fn lossy_wireless(p: &mut Params<'_>, spec: &mut ScenarioSpec) {
+    let cell = CELL_BASES[p.next_usize()];
+    spec.trace = TraceProgram::Periodic {
+        inner: named(cell, spec.seed),
+        window: Time::from_secs_f64(p.next()),
+    };
+    spec.buffer_bdp = p.next();
+    let d = spec.duration.as_secs_f64();
+    let onset = p.next() * d;
+    let mut phases = vec![ImpairmentPhase {
+        start: Time::from_secs_f64(onset),
+        random_loss: p.next(),
+        max_jitter: Time::from_millis(p.next_u64()),
+    }];
+    let clears = p.next_coin();
+    let clear_at = p.next() * d;
+    if clears {
+        // Sometimes the loss clears before the end.
+        phases.push(ImpairmentPhase {
+            start: Time::from_secs_f64(clear_at.max(onset)),
+            random_loss: 0.0,
+            max_jitter: Time::ZERO,
+        });
+    }
+    spec.impairments = Some(ImpairmentSchedule::new(phases, spec.seed.wrapping_add(3)));
+}
+
+/// The same workload across a wide, log-uniform sweep of buffer depths
+/// (0.25–8 BDP), isolating buffer sensitivity.
+fn buffer_sweep(p: &mut Params<'_>, spec: &mut ScenarioSpec) {
+    let base = WIDE_BASES[p.next_usize()];
+    spec.trace = TraceProgram::Shift {
+        inner: named(base, spec.seed),
+        delta_bps: p.next() * MBPS,
+    };
+    spec.buffer_bdp = p.next().exp();
+    spec.noise = Some(NoiseConfig {
+        mu: p.next(),
+        seed: spec.seed.wrapping_add(4),
+    });
+}
+
+/// Competitors of mixed kernels continually arriving and departing on a
+/// concatenated two-regime link.
+fn cross_traffic_churn(p: &mut Params<'_>, spec: &mut ScenarioSpec) {
+    let lo = p.next() * MBPS;
+    let hi = lo * p.next();
+    spec.trace = TraceProgram::Concat {
+        first: Box::new(TraceProgram::Constant { rate_bps: hi }),
+        second: Box::new(TraceProgram::SquareWave {
+            low_bps: lo,
+            high_bps: hi,
+            half_period: Time::from_secs_f64(p.next()),
+        }),
+        loops: true,
+    };
+    spec.buffer_bdp = p.next();
+    let d = spec.duration.as_secs_f64();
+    let n = p.next_usize();
+    let kernels = ["cubic", "bbr"];
+    for i in 0..CHURN_MAX_FLOWS as usize {
+        let start = p.next() * d;
+        let dwell = p.next() * d;
+        let rtt_ms = p.next_u64();
+        if i >= n {
+            continue;
+        }
+        let stop = (start + dwell).min(0.95 * d);
+        spec.cross_traffic.push(CrossFlow {
+            cc: kernels[i % kernels.len()].into(),
+            start: Time::from_secs_f64(start),
+            stop: Some(Time::from_secs_f64(stop)),
+            min_rtt: Time::from_millis(rtt_ms),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_family_has_a_consistent_template() {
+        for f in Family::ALL {
+            let defs = param_defs(f);
+            assert!(defs.len() >= 6, "{}: too few parameters", f.name());
+            let mut names: Vec<&str> = defs.iter().map(|d| d.name).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), defs.len(), "{}: duplicate names", f.name());
+            for d in &defs {
+                assert!(d.lo < d.hi, "{}: empty range for {}", f.name(), d.name);
+                if d.kind == ParamKind::Int {
+                    assert_eq!(d.lo, d.lo.trunc(), "{}: non-integral lo", d.name);
+                    assert_eq!(d.hi, d.hi.trunc(), "{}: non-integral hi", d.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn any_in_bounds_vector_decodes_to_a_valid_spec() {
+        for f in Family::ALL {
+            let defs = param_defs(f);
+            for pick_hi in [false, true] {
+                let x: Vec<f64> = defs
+                    .iter()
+                    .map(|d| if pick_hi { d.hi } else { d.lo })
+                    .collect();
+                let spec = decode(f, 9, &x, None);
+                assert!(
+                    spec.validate().is_ok(),
+                    "{} at bounds: {:?}",
+                    f.name(),
+                    spec
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_vectors_clamp_instead_of_failing() {
+        for f in Family::ALL {
+            let dims = param_defs(f).len();
+            let wild: Vec<f64> = (0..dims)
+                .map(|i| if i % 2 == 0 { 1e9 } else { -1e9 })
+                .collect();
+            let spec = decode(f, 1, &wild, None);
+            assert!(spec.validate().is_ok(), "{}: {:?}", f.name(), spec);
+            let nans = vec![f64::NAN; dims];
+            assert!(decode(f, 1, &nans, None).validate().is_ok(), "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn duration_cap_rescales_fractional_times() {
+        let f = Family::FlashCrowd;
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = sample_point(f, &mut rng);
+        let capped = decode(f, 5, &x, Some(Time::from_secs(4)));
+        assert_eq!(capped.duration, Time::from_secs(4));
+        // The crowd still arrives inside the capped horizon.
+        for cf in &capped.cross_traffic {
+            assert!(cf.start < capped.duration, "{:?}", cf.start);
+        }
+        let uncapped = decode(f, 5, &x, None);
+        assert!(uncapped.duration >= Time::from_secs(10));
+    }
+
+    #[test]
+    fn sample_decode_matches_generate() {
+        for f in Family::ALL {
+            let spec = crate::gen::generate(f, 11);
+            let mut rng = crate::gen::rng_for(f, 11);
+            let x = sample_point(f, &mut rng);
+            let decoded = decode(f, 11, &x, None);
+            assert_eq!(spec.to_json(), decoded.to_json(), "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn sampled_points_are_in_bounds() {
+        for f in Family::ALL {
+            let defs = param_defs(f);
+            let mut rng = StdRng::seed_from_u64(3);
+            for _ in 0..8 {
+                let x = sample_point(f, &mut rng);
+                assert_eq!(x.len(), defs.len());
+                for (v, d) in x.iter().zip(&defs) {
+                    assert!(*v >= d.lo && *v <= d.hi, "{}: {} = {v}", f.name(), d.name);
+                    assert_eq!(d.clamp(*v), *v, "{}: clamp must be identity", d.name);
+                }
+            }
+        }
+    }
+}

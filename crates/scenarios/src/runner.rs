@@ -33,8 +33,11 @@ pub struct ScenarioMetrics {
     pub flows: usize,
     /// The primary flow's metrics, normalized to its active interval.
     pub primary: RunMetrics,
-    /// Jain fairness over all flows' active-interval throughputs.
-    pub jain_fairness: f64,
+    /// Jain fairness over all flows' active-interval throughputs — only
+    /// meaningful when the scenario actually shares the bottleneck, so
+    /// single-flow scenarios report `None` instead of a trivial 1.0
+    /// (schema `canopy-scenarios-report/v2`).
+    pub jain_fairness: Option<f64>,
     /// Each cross flow's active-interval throughput, Mbps (spec order).
     pub cross_throughput_mbps: Vec<f64>,
 }
@@ -133,20 +136,24 @@ pub fn run_scenario(
     metrics.fallback_rate = fallback_rate;
 
     // Fairness over every flow that actually ran, each share normalized to
-    // its own active interval by the shared FlowStats rule.
+    // its own active interval by the shared FlowStats rule. A scenario
+    // without cross traffic has no sharing to score, so the column is
+    // absent rather than a trivial 1.0.
     let now = sim.now();
     let cross_throughput_mbps: Vec<f64> = cross_ids
         .iter()
         .map(|&f| sim.flow_stats(f).throughput_mbps(now))
         .collect();
-    let mut shares = vec![metrics.throughput_mbps];
-    shares.extend(
-        cross_ids
-            .iter()
-            .filter(|&&f| sim.flow_stats(f).active_duration(now) > Time::ZERO)
-            .map(|&f| sim.flow_stats(f).throughput_mbps(now)),
-    );
-    let jain_fairness = jain_index(&shares);
+    let jain_fairness = (!cross_ids.is_empty()).then(|| {
+        let mut shares = vec![metrics.throughput_mbps];
+        shares.extend(
+            cross_ids
+                .iter()
+                .filter(|&&f| sim.flow_stats(f).active_duration(now) > Time::ZERO)
+                .map(|&f| sim.flow_stats(f).throughput_mbps(now)),
+        );
+        jain_index(&shares)
+    });
 
     Ok(ScenarioMetrics {
         scenario: spec.name.clone(),
@@ -193,7 +200,9 @@ pub fn run_matrix_with_threads(
 }
 
 /// The report schema tag; bump when [`ScenarioMetrics`] fields change.
-pub const REPORT_SCHEMA: &str = "canopy-scenarios-report/v1";
+/// v2: `jain_fairness` became nullable (present exactly for multi-flow
+/// scenarios) and the primary metrics gained `acked_packets`.
+pub const REPORT_SCHEMA: &str = "canopy-scenarios-report/v2";
 
 /// The aggregate output of a matrix run (`SCENARIOS_report.json`).
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -251,6 +260,7 @@ impl ScenarioReport {
         if self.results.is_empty() {
             return Err("report contains no results".into());
         }
+        let mut cells: Vec<(&str, &str)> = Vec::with_capacity(self.results.len());
         for r in &self.results {
             let tag = format!("{} × {}", r.scheme, r.scenario);
             if r.scenario.is_empty() || r.family.is_empty() || r.scheme.is_empty() {
@@ -259,22 +269,34 @@ impl ScenarioReport {
             if r.flows == 0 {
                 return Err(format!("{tag}: zero flows"));
             }
+            cells.push((r.scheme.as_str(), r.scenario.as_str()));
             let finite = [
                 r.primary.utilization,
                 r.primary.throughput_mbps,
                 r.primary.avg_qdelay_ms,
                 r.primary.p95_qdelay_ms,
-                r.jain_fairness,
             ];
             if finite.iter().any(|v| !v.is_finite() || *v < 0.0) {
                 return Err(format!("{tag}: non-finite or negative metric"));
             }
-            if !(0.0..=1.0).contains(&r.jain_fairness) {
-                return Err(format!(
-                    "{tag}: Jain index {} outside [0,1]",
-                    r.jain_fairness
-                ));
+            match r.jain_fairness {
+                Some(j) if r.flows > 1 && !(0.0..=1.0).contains(&j) => {
+                    return Err(format!("{tag}: Jain index {j} outside [0,1]"));
+                }
+                Some(_) if r.flows == 1 => {
+                    return Err(format!("{tag}: Jain index on a single-flow scenario"));
+                }
+                None if r.flows > 1 => {
+                    return Err(format!("{tag}: multi-flow scenario missing Jain index"));
+                }
+                _ => {}
             }
+        }
+        // A duplicated cell means the same (scheme, scenario) ran twice —
+        // the degenerate matrix a duplicated seed list would produce.
+        cells.sort_unstable();
+        if let Some(w) = cells.windows(2).find(|w| w[0] == w[1]) {
+            return Err(format!("duplicate cell {} × {}", w[0].0, w[0].1));
         }
         Ok(())
     }
@@ -299,8 +321,14 @@ mod tests {
         assert_eq!(m.scenario, spec.name);
         assert_eq!(m.flows, 1 + spec.cross_traffic.len());
         assert!(m.primary.throughput_mbps > 0.0, "{m:?}");
-        assert!((0.0..=1.0).contains(&m.jain_fairness));
+        let jain = m.jain_fairness.expect("multi-flow scenarios score Jain");
+        assert!((0.0..=1.0).contains(&jain));
         assert_eq!(m.cross_throughput_mbps.len(), spec.cross_traffic.len());
+
+        // A single-flow scenario has nothing to share, so no Jain column.
+        let solo = ScenarioSpec::simple("solo", 24e6, Time::from_millis(30), Time::from_secs(4));
+        let sm = run_scenario(&Scheme::Baseline("cubic".into()), &solo, None).expect("runs");
+        assert!(sm.jain_fairness.is_none());
     }
 
     #[test]

@@ -1,0 +1,385 @@
+//! Seeded black-box optimizers over the unit cube.
+//!
+//! Two complementary strategies, both population-based so every iteration
+//! evaluates its candidates in one `canopy_core::pool` batch:
+//!
+//! * **Cross-entropy method** — keeps a per-dimension Gaussian, samples a
+//!   population, refits mean/std to the elite fraction. Good at pulling a
+//!   whole family toward its bad region.
+//! * **Batched hill climbing** — perturbs the incumbent with a shrinking
+//!   Gaussian step, moving to the best candidate when it improves. Good
+//!   at polishing a known-bad neighbourhood.
+//!
+//! All randomness lives on the coordinator thread (one seeded [`StdRng`]),
+//! and batch evaluation goes through the order-preserving
+//! [`parallel_map`](canopy_core::pool::parallel_map), so a search is
+//! bitwise reproducible at any `CANOPY_THREADS`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use canopy_core::pool;
+use canopy_scenarios::{ScenarioSpec, SpecError};
+
+use crate::objective::Objective;
+use crate::space::SearchSpace;
+
+/// Which optimizer drives the search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OptimizerKind {
+    /// Cross-entropy method.
+    Cem,
+    /// Batched hill climbing.
+    HillClimb,
+}
+
+impl OptimizerKind {
+    /// The canonical CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OptimizerKind::Cem => "cem",
+            OptimizerKind::HillClimb => "hill",
+        }
+    }
+
+    /// Parses a canonical optimizer name.
+    pub fn parse(name: &str) -> Option<OptimizerKind> {
+        [OptimizerKind::Cem, OptimizerKind::HillClimb]
+            .into_iter()
+            .find(|k| k.name() == name)
+    }
+}
+
+/// Search budget and strategy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchConfig {
+    /// The optimizer.
+    pub optimizer: OptimizerKind,
+    /// Total scenario evaluations the search may spend.
+    pub budget: usize,
+    /// Candidates per batch (clamped to the remaining budget).
+    pub population: usize,
+    /// Elite fraction refitting the CEM distribution.
+    pub elite_frac: f64,
+    /// Seed of the coordinator RNG (and the decoded specs' provenance).
+    pub seed: u64,
+    /// Worker override (`None` consults `CANOPY_THREADS`).
+    pub threads: Option<usize>,
+}
+
+impl SearchConfig {
+    /// A CEM search with the default population shape.
+    pub fn new(seed: u64, budget: usize) -> SearchConfig {
+        SearchConfig {
+            optimizer: OptimizerKind::Cem,
+            budget: budget.max(1),
+            population: 16,
+            elite_frac: 0.25,
+            seed,
+            threads: None,
+        }
+    }
+}
+
+/// The result of one search run.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// The worst point found, in unit-cube coordinates.
+    pub best_unit: Vec<f64>,
+    /// The worst point decoded to its scenario.
+    pub best_spec: ScenarioSpec,
+    /// Its badness (larger is worse for the scheme under test).
+    pub best_badness: f64,
+    /// Scenario evaluations actually spent.
+    pub evaluations: usize,
+    /// Best badness after each batch (the search trajectory).
+    pub trajectory: Vec<f64>,
+}
+
+/// One standard-normal draw (Box–Muller on the coordinator RNG).
+fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = 1.0 - rng.random::<f64>(); // (0, 1]: log stays finite
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Evaluates a batch of unit points on the worker pool, preserving order.
+fn eval_batch(
+    space: &SearchSpace,
+    objective: &Objective,
+    threads: Option<usize>,
+    points: &[Vec<f64>],
+) -> Result<Vec<f64>, SpecError> {
+    let results = pool::parallel_map(
+        points,
+        pool::resolve_threads(threads).min(points.len().max(1)),
+        |unit| objective.badness(&space.decode_unit(unit)),
+    );
+    results.into_iter().collect()
+}
+
+/// Index of the batch maximum, ties to the lowest index (determinism).
+fn argmax(values: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, v) in values.iter().enumerate().skip(1) {
+        if *v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Runs the configured search, maximizing `objective` badness over
+/// `space`. Deterministic in `(space, objective, config)`.
+pub fn search(
+    space: &SearchSpace,
+    objective: &Objective,
+    config: &SearchConfig,
+) -> Result<SearchOutcome, SpecError> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    match config.optimizer {
+        OptimizerKind::Cem => cem(space, objective, config, &mut rng),
+        OptimizerKind::HillClimb => hill_climb(space, objective, config, &mut rng),
+    }
+}
+
+fn cem(
+    space: &SearchSpace,
+    objective: &Objective,
+    config: &SearchConfig,
+    rng: &mut StdRng,
+) -> Result<SearchOutcome, SpecError> {
+    let d = space.dims();
+    let mut mean = vec![0.5; d];
+    let mut std = vec![0.3; d];
+    let mut best_unit = mean.clone();
+    let mut best_badness = f64::NEG_INFINITY;
+    let mut evaluations = 0usize;
+    let mut trajectory = Vec::new();
+
+    while evaluations < config.budget {
+        let batch = config.population.max(1).min(config.budget - evaluations);
+        let points: Vec<Vec<f64>> = (0..batch)
+            .map(|_| {
+                (0..d)
+                    .map(|j| (mean[j] + std[j] * gauss(rng)).clamp(0.0, 1.0))
+                    .collect()
+            })
+            .collect();
+        let values = eval_batch(space, objective, config.threads, &points)?;
+        evaluations += points.len();
+
+        let top = argmax(&values);
+        if values[top] > best_badness {
+            best_badness = values[top];
+            best_unit = points[top].clone();
+        }
+        trajectory.push(best_badness);
+
+        // Refit to the elite set: stable sort by badness descending, index
+        // ascending, so the refit is independent of evaluation order.
+        let mut order: Vec<usize> = (0..points.len()).collect();
+        order.sort_by(|&a, &b| {
+            values[b]
+                .partial_cmp(&values[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let n_elite =
+            ((points.len() as f64 * config.elite_frac).ceil() as usize).clamp(1, points.len());
+        let elites = &order[..n_elite];
+        for j in 0..d {
+            let m = elites.iter().map(|&i| points[i][j]).sum::<f64>() / n_elite as f64;
+            let var = elites
+                .iter()
+                .map(|&i| (points[i][j] - m) * (points[i][j] - m))
+                .sum::<f64>()
+                / n_elite as f64;
+            mean[j] = m;
+            // A variance floor keeps late iterations exploring.
+            std[j] = var.sqrt().max(0.02);
+        }
+    }
+
+    Ok(SearchOutcome {
+        best_spec: space.decode_unit(&best_unit),
+        best_unit,
+        best_badness,
+        evaluations,
+        trajectory,
+    })
+}
+
+fn hill_climb(
+    space: &SearchSpace,
+    objective: &Objective,
+    config: &SearchConfig,
+    rng: &mut StdRng,
+) -> Result<SearchOutcome, SpecError> {
+    let d = space.dims();
+    let mut current = vec![0.5; d];
+    let mut current_badness = objective.badness(&space.decode_unit(&current))?;
+    let mut evaluations = 1usize;
+    let mut trajectory = vec![current_badness];
+    let mut step = 0.35;
+
+    while evaluations < config.budget {
+        let batch = config.population.max(1).min(config.budget - evaluations);
+        let points: Vec<Vec<f64>> = (0..batch)
+            .map(|_| {
+                current
+                    .iter()
+                    .map(|&c| (c + step * gauss(rng)).clamp(0.0, 1.0))
+                    .collect()
+            })
+            .collect();
+        let values = eval_batch(space, objective, config.threads, &points)?;
+        evaluations += points.len();
+
+        let top = argmax(&values);
+        if values[top] > current_badness {
+            current_badness = values[top];
+            current = points[top].clone();
+        } else {
+            // The whole batch failed to improve: contract the step.
+            step = (step * 0.5).max(0.02);
+        }
+        trajectory.push(current_badness);
+    }
+
+    Ok(SearchOutcome {
+        best_spec: space.decode_unit(&current),
+        best_unit: current,
+        best_badness: current_badness,
+        evaluations,
+        trajectory,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canopy_core::models::{train_model, ModelKind, TrainBudget};
+    use canopy_netsim::Time;
+    use canopy_scenarios::Family;
+
+    use crate::objective::ObjectiveKind;
+
+    fn tiny_search(optimizer: OptimizerKind, threads: usize) -> SearchOutcome {
+        let model = train_model(ModelKind::Shallow, 3, TrainBudget::smoke()).model;
+        let objective = Objective::new(ObjectiveKind::QcSat, model);
+        let space =
+            SearchSpace::new(Family::BufferSweep, 5).with_duration_cap(Some(Time::from_secs(2)));
+        let config = SearchConfig {
+            optimizer,
+            budget: 6,
+            population: 3,
+            elite_frac: 0.34,
+            seed: 9,
+            threads: Some(threads),
+        };
+        search(&space, &objective, &config).expect("searches")
+    }
+
+    #[test]
+    fn searches_are_thread_invariant_and_spend_their_budget() {
+        for optimizer in [OptimizerKind::Cem, OptimizerKind::HillClimb] {
+            let seq = tiny_search(optimizer, 1);
+            let par = tiny_search(optimizer, 4);
+            assert_eq!(seq.evaluations, 6, "{}", optimizer.name());
+            assert_eq!(
+                seq.best_badness.to_bits(),
+                par.best_badness.to_bits(),
+                "{}: thread-count variance",
+                optimizer.name()
+            );
+            assert_eq!(seq.best_unit, par.best_unit, "{}", optimizer.name());
+            assert_eq!(
+                seq.best_spec.to_json(),
+                par.best_spec.to_json(),
+                "{}",
+                optimizer.name()
+            );
+            assert_eq!(seq.trajectory, par.trajectory, "{}", optimizer.name());
+            // Trajectories are best-so-far: monotone non-decreasing.
+            assert!(seq
+                .trajectory
+                .windows(2)
+                .all(|w| w[1] >= w[0] || (w[1].is_nan() && w[0].is_nan())));
+            assert!(seq.best_spec.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn cem_maximizes_a_synthetic_landscape() {
+        // Pure optimizer check on a known landscape (no simulator): badness
+        // = -(distance from 0.8)², optimum at 0.8 per dimension.
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = 4;
+        let mut mean = vec![0.5; d];
+        let mut std = vec![0.3; d];
+        for _ in 0..12 {
+            let pts: Vec<Vec<f64>> = (0..24)
+                .map(|_| {
+                    (0..d)
+                        .map(|j| (mean[j] + std[j] * gauss(&mut rng)).clamp(0.0, 1.0))
+                        .collect()
+                })
+                .collect();
+            let vals: Vec<f64> = pts
+                .iter()
+                .map(|p| -p.iter().map(|x| (x - 0.8) * (x - 0.8)).sum::<f64>())
+                .collect();
+            let mut order: Vec<usize> = (0..pts.len()).collect();
+            order.sort_by(|&a, &b| vals[b].partial_cmp(&vals[a]).unwrap().then(a.cmp(&b)));
+            let elites = &order[..6];
+            for j in 0..d {
+                let m = elites.iter().map(|&i| pts[i][j]).sum::<f64>() / 6.0;
+                let var = elites.iter().map(|&i| (pts[i][j] - m).powi(2)).sum::<f64>() / 6.0;
+                mean[j] = m;
+                std[j] = var.sqrt().max(0.02);
+            }
+        }
+        for m in &mean {
+            assert!((m - 0.8).abs() < 0.1, "CEM failed to converge: {mean:?}");
+        }
+    }
+
+    #[test]
+    fn population_one_is_honored_exactly() {
+        // The engine must run the configured batch shape, not a silent
+        // minimum — the report's provenance depends on it.
+        let model = train_model(ModelKind::Shallow, 3, TrainBudget::smoke()).model;
+        let objective = Objective::new(ObjectiveKind::RewardGap, model);
+        let space =
+            SearchSpace::new(Family::BufferSweep, 2).with_duration_cap(Some(Time::from_secs(1)));
+        for optimizer in [OptimizerKind::Cem, OptimizerKind::HillClimb] {
+            let config = SearchConfig {
+                optimizer,
+                budget: 3,
+                population: 1,
+                elite_frac: 0.25,
+                seed: 4,
+                threads: Some(1),
+            };
+            let out = search(&space, &objective, &config).expect("searches");
+            assert_eq!(out.evaluations, 3, "{}", optimizer.name());
+            // One trajectory entry per batch: CEM runs 3 one-point
+            // batches; hill climbing spends one evaluation on the
+            // incumbent, then 2 one-point batches.
+            let batches = match optimizer {
+                OptimizerKind::Cem => 3,
+                OptimizerKind::HillClimb => 3, // initial point + 2 batches
+            };
+            assert_eq!(out.trajectory.len(), batches, "{}", optimizer.name());
+        }
+    }
+
+    #[test]
+    fn optimizer_names_round_trip() {
+        for k in [OptimizerKind::Cem, OptimizerKind::HillClimb] {
+            assert_eq!(OptimizerKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(OptimizerKind::parse("anneal"), None);
+    }
+}

@@ -1,0 +1,299 @@
+//! Stable-schema search reports and committed counterexample fixtures.
+//!
+//! A search run emits one [`SearchReport`] (`SEARCH_report.json`); a
+//! minimized violation additionally serializes as an
+//! [`AdversarialFixture`] under `fixtures/adversarial/`, carrying enough
+//! provenance (model kind/seed/budget class, objective setup, replay
+//! threshold) for a regression test to re-run it from the file alone.
+
+use serde::{Deserialize, Serialize};
+
+use canopy_scenarios::ScenarioSpec;
+
+/// The search-report schema tag; bump when [`SearchReport`] changes.
+pub const SEARCH_SCHEMA: &str = "canopy-search-report/v1";
+
+/// The fixture schema tag; bump when [`AdversarialFixture`] changes.
+pub const FIXTURE_SCHEMA: &str = "canopy-adversarial-fixture/v1";
+
+/// A minimized counterexample inside a report.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Minimized {
+    /// Badness of the minimized spec.
+    pub badness: f64,
+    /// The violation threshold the shrinker preserved.
+    pub threshold: f64,
+    /// Candidate evaluations the shrinker spent.
+    pub evaluations: usize,
+    /// Accepted shrink steps, in order.
+    pub applied: Vec<String>,
+    /// The minimized scenario.
+    pub spec: ScenarioSpec,
+}
+
+/// The aggregate output of one `scenario_search` run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SearchReport {
+    /// Schema tag ([`SEARCH_SCHEMA`]).
+    pub schema: String,
+    /// Family searched.
+    pub family: String,
+    /// Scheme (model) under test.
+    pub scheme: String,
+    /// Objective name.
+    pub objective: String,
+    /// Optimizer name.
+    pub optimizer: String,
+    /// Coordinator RNG / spec provenance seed.
+    pub search_seed: u64,
+    /// Requested evaluation budget.
+    pub budget: usize,
+    /// Batch size.
+    pub population: usize,
+    /// Evaluations actually spent by the optimizer.
+    pub evaluations: usize,
+    /// Horizon cap applied to decoded specs, seconds.
+    pub duration_cap_s: Option<f64>,
+    /// Badness level that counts as a violation.
+    pub violation_threshold: f64,
+    /// Worst badness found.
+    pub best_badness: f64,
+    /// Best badness after each batch.
+    pub trajectory: Vec<f64>,
+    /// The worst scenario found.
+    pub best_spec: ScenarioSpec,
+    /// The minimized counterexample, when the search found a violation.
+    pub minimized: Option<Minimized>,
+}
+
+impl SearchReport {
+    /// Serializes to deterministic JSON (sorted keys).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("search reports always serialize")
+    }
+
+    /// Parses [`to_json`](Self::to_json) output.
+    pub fn from_json(text: &str) -> Result<SearchReport, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+
+    /// Validates the schema tag and basic invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != SEARCH_SCHEMA {
+            return Err(format!(
+                "schema mismatch: `{}` (expected `{SEARCH_SCHEMA}`)",
+                self.schema
+            ));
+        }
+        if self.family.is_empty() || self.scheme.is_empty() || self.objective.is_empty() {
+            return Err("empty identity field".into());
+        }
+        if self.evaluations == 0 || self.evaluations > self.budget {
+            return Err(format!(
+                "evaluations {} outside (0, budget {}]",
+                self.evaluations, self.budget
+            ));
+        }
+        if !self.best_badness.is_finite() {
+            return Err(format!("non-finite best badness {}", self.best_badness));
+        }
+        if self.trajectory.is_empty() {
+            return Err("empty trajectory".into());
+        }
+        let max_seen = self.trajectory.iter().cloned().fold(f64::MIN, f64::max);
+        if max_seen != self.best_badness {
+            return Err(format!(
+                "trajectory peak {max_seen} disagrees with best badness {}",
+                self.best_badness
+            ));
+        }
+        self.best_spec.validate().map_err(|e| e.to_string())?;
+        if let Some(min) = &self.minimized {
+            min.spec.validate().map_err(|e| e.to_string())?;
+            if min.badness < min.threshold {
+                return Err(format!(
+                    "minimized spec badness {} below its threshold {}",
+                    min.badness, min.threshold
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A committed, self-contained adversarial regression fixture.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AdversarialFixture {
+    /// Schema tag ([`FIXTURE_SCHEMA`]).
+    pub schema: String,
+    /// Family the counterexample came from.
+    pub family: String,
+    /// Objective name.
+    pub objective: String,
+    /// Model name under test (a `ModelKind` canonical name).
+    pub scheme: String,
+    /// Training seed of the model.
+    pub model_seed: u64,
+    /// Whether the model uses the smoke training budget (fixtures meant
+    /// for the test suite always do — retraining stays seconds-fast).
+    pub smoke_model: bool,
+    /// Verifier components per certificate.
+    pub n_components: usize,
+    /// Fallback monitor threshold (fallback-rate objective).
+    pub fallback_threshold: f64,
+    /// Optimizer that found the counterexample (provenance; part of the
+    /// fixture's file identity so hunts differing only in strategy never
+    /// overwrite each other).
+    pub optimizer: String,
+    /// The search seed that produced the counterexample.
+    pub search_seed: u64,
+    /// Badness the replay must still reach for the regression to count as
+    /// reproduced: the recorded badness minus a floating-point safety
+    /// margin, floored at the objective's violation threshold so a replay
+    /// that is no longer a violation always fails.
+    pub replay_threshold: f64,
+    /// Badness recorded when the fixture was created.
+    pub recorded_badness: f64,
+    /// The minimized counterexample scenario.
+    pub spec: ScenarioSpec,
+}
+
+impl AdversarialFixture {
+    /// Serializes to deterministic JSON (sorted keys).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("fixtures always serialize")
+    }
+
+    /// Parses [`to_json`](Self::to_json) output.
+    pub fn from_json(text: &str) -> Result<AdversarialFixture, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+
+    /// The canonical committed file name. Every axis a hunt can vary on —
+    /// family, objective, scheme, model seed, budget class, optimizer,
+    /// search seed — is part of the name, so two different hunts never
+    /// silently overwrite each other's committed counterexample.
+    pub fn file_name(&self) -> String {
+        format!(
+            "{}-{}-{}-m{}-{}-{}-s{}.json",
+            self.family,
+            self.objective.replace('_', "-"),
+            self.scheme,
+            self.model_seed,
+            if self.smoke_model { "smoke" } else { "full" },
+            self.optimizer,
+            self.search_seed
+        )
+    }
+
+    /// Validates the schema tag and replayability invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != FIXTURE_SCHEMA {
+            return Err(format!(
+                "schema mismatch: `{}` (expected `{FIXTURE_SCHEMA}`)",
+                self.schema
+            ));
+        }
+        if crate::ObjectiveKind::parse(&self.objective).is_none() {
+            return Err(format!("unknown objective `{}`", self.objective));
+        }
+        if crate::OptimizerKind::parse(&self.optimizer).is_none() {
+            return Err(format!("unknown optimizer `{}`", self.optimizer));
+        }
+        if canopy_core::models::ModelKind::parse(&self.scheme).is_none() {
+            return Err(format!("unknown scheme `{}`", self.scheme));
+        }
+        if !self.recorded_badness.is_finite() || self.recorded_badness < self.replay_threshold {
+            return Err(format!(
+                "recorded badness {} below replay threshold {}",
+                self.recorded_badness, self.replay_threshold
+            ));
+        }
+        if self.n_components == 0 {
+            return Err("zero verifier components".into());
+        }
+        self.spec.validate().map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canopy_netsim::Time;
+
+    fn sample_report() -> SearchReport {
+        SearchReport {
+            schema: SEARCH_SCHEMA.to_string(),
+            family: "flash-crowd".into(),
+            scheme: "canopy-shallow".into(),
+            objective: "qc_sat".into(),
+            optimizer: "cem".into(),
+            search_seed: 7,
+            budget: 64,
+            population: 16,
+            evaluations: 64,
+            duration_cap_s: None,
+            violation_threshold: 0.5,
+            best_badness: 0.75,
+            trajectory: vec![0.4, 0.75],
+            best_spec: ScenarioSpec::simple("cx", 24e6, Time::from_millis(40), Time::from_secs(4)),
+            minimized: None,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_and_validates() {
+        let r = sample_report();
+        r.validate().expect("valid");
+        let back = SearchReport::from_json(&r.to_json()).expect("parses");
+        assert_eq!(back.to_json(), r.to_json());
+
+        let mut bad_schema = sample_report();
+        bad_schema.schema = "nope/v0".into();
+        assert!(bad_schema.validate().is_err());
+
+        let mut drifted = sample_report();
+        drifted.trajectory = vec![0.9];
+        assert!(drifted.validate().is_err(), "trajectory/best disagreement");
+
+        let mut overspent = sample_report();
+        overspent.evaluations = 65;
+        assert!(overspent.validate().is_err());
+    }
+
+    #[test]
+    fn fixture_round_trips_and_validates() {
+        let f = AdversarialFixture {
+            schema: FIXTURE_SCHEMA.to_string(),
+            family: "flash-crowd".into(),
+            objective: "qc_sat".into(),
+            scheme: "canopy-shallow".into(),
+            model_seed: 3,
+            smoke_model: true,
+            n_components: 5,
+            fallback_threshold: 0.5,
+            optimizer: "cem".into(),
+            search_seed: 7,
+            replay_threshold: 0.45,
+            recorded_badness: 0.6,
+            spec: ScenarioSpec::simple("cx", 24e6, Time::from_millis(40), Time::from_secs(4)),
+        };
+        f.validate().expect("valid");
+        assert_eq!(
+            f.file_name(),
+            "flash-crowd-qc-sat-canopy-shallow-m3-smoke-cem-s7.json"
+        );
+        let back = AdversarialFixture::from_json(&f.to_json()).expect("parses");
+        assert_eq!(back.to_json(), f.to_json());
+
+        let mut weak = f.clone();
+        weak.recorded_badness = 0.1;
+        assert!(weak.validate().is_err(), "badness below replay threshold");
+        let mut unknown = f.clone();
+        unknown.scheme = "canopy-quantum".into();
+        assert!(unknown.validate().is_err());
+        let mut bad_opt = f;
+        bad_opt.optimizer = "anneal".into();
+        assert!(bad_opt.validate().is_err());
+    }
+}

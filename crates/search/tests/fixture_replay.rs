@@ -1,0 +1,96 @@
+//! Replays every committed adversarial fixture: each discovered worst
+//! case is permanent, reproducible evaluation data. For every JSON file
+//! under `fixtures/adversarial/`, this suite re-trains the recorded model
+//! (smoke budget — seconds, and cached under `target/canopy-models`),
+//! re-scores the minimized spec with the recorded objective, and requires
+//! the violation to reproduce at or above the fixture's replay threshold.
+
+use std::fs;
+use std::path::PathBuf;
+
+use canopy_core::models::{self, ModelKind, TrainBudget};
+use canopy_search::{AdversarialFixture, Objective, ObjectiveKind};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn fixture_paths() -> Vec<PathBuf> {
+    let dir = workspace_root().join("fixtures/adversarial");
+    let mut paths: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    paths
+}
+
+#[test]
+fn committed_fixtures_are_canonical_and_valid() {
+    let paths = fixture_paths();
+    assert!(!paths.is_empty(), "no committed adversarial fixtures");
+    for path in paths {
+        let text = fs::read_to_string(&path).expect("readable fixture");
+        let fixture = AdversarialFixture::from_json(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        fixture
+            .validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        // Committed files are canonical serde output, so a fixture
+        // round-trips bitwise from the repository alone.
+        assert_eq!(
+            fixture.to_json(),
+            text,
+            "{} is not canonical",
+            path.display()
+        );
+        assert_eq!(
+            path.file_name().and_then(|n| n.to_str()),
+            Some(fixture.file_name().as_str()),
+            "{} is misnamed",
+            path.display()
+        );
+        assert!(
+            fixture.smoke_model,
+            "{}: committed fixtures must use the smoke model so replay stays fast",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn committed_fixtures_replay_their_violations() {
+    let cache = workspace_root().join("target/canopy-models");
+    for path in fixture_paths() {
+        let text = fs::read_to_string(&path).expect("readable fixture");
+        let fixture = AdversarialFixture::from_json(&text).expect("parses");
+        let kind = ModelKind::parse(&fixture.scheme).expect("known scheme");
+        // Honor the fixture's recorded budget class: the violation is only
+        // meaningful against the model it was found on. (Committed
+        // fixtures are required to be smoke-budget by the canonicality
+        // test above, so this stays seconds-fast in practice.)
+        let budget = if fixture.smoke_model {
+            TrainBudget::smoke()
+        } else {
+            TrainBudget::standard()
+        };
+        let (model, _) = models::load_or_train(&cache, kind, fixture.model_seed, budget);
+        let objective_kind = ObjectiveKind::parse(&fixture.objective).expect("known objective");
+        let mut objective = Objective::new(objective_kind, model);
+        objective.n_components = fixture.n_components;
+        objective.fallback_threshold = fixture.fallback_threshold;
+
+        let badness = objective
+            .badness(&fixture.spec)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(
+            badness >= fixture.replay_threshold,
+            "{}: replayed badness {badness} fell below the committed threshold {} \
+             (recorded {}) — the regression no longer reproduces",
+            path.display(),
+            fixture.replay_threshold,
+            fixture.recorded_badness
+        );
+    }
+}

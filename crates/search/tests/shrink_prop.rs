@@ -1,0 +1,92 @@
+//! Property tests for the counterexample shrinker: across randomly drawn
+//! fuzz-family scenarios and a real (simulator-backed) objective, a shrunk
+//! spec must still violate its threshold, and must serialize
+//! bitwise-stably through serde — the two invariants committed fixtures
+//! rely on.
+
+use proptest::prelude::*;
+
+use canopy_core::eval::Scheme;
+use canopy_netsim::Time;
+use canopy_scenarios::{generate, run_scenario, Family, ScenarioSpec, SpecError, TraceProgram};
+use canopy_search::{shrink, ShrinkConfig};
+
+/// A cheap deterministic badness: the p95 queuing delay (ms) Cubic builds
+/// up under the scenario. Structure-dependent (buffers, cliffs and cross
+/// traffic all move it), simulator-backed, and model-free, so each
+/// proptest case costs milliseconds.
+fn cubic_p95_delay(spec: &ScenarioSpec) -> Result<f64, SpecError> {
+    run_scenario(&Scheme::Baseline("cubic".into()), spec, None).map(|m| m.primary.p95_qdelay_ms)
+}
+
+fn structural_size(spec: &ScenarioSpec) -> usize {
+    fn tree(p: &TraceProgram) -> usize {
+        1 + match p {
+            TraceProgram::Named { .. }
+            | TraceProgram::Constant { .. }
+            | TraceProgram::SquareWave { .. } => 0,
+            TraceProgram::Scale { inner, .. }
+            | TraceProgram::Shift { inner, .. }
+            | TraceProgram::Clamp { inner, .. }
+            | TraceProgram::Periodic { inner, .. } => tree(inner),
+            TraceProgram::Concat { first, second, .. } => tree(first) + tree(second),
+            TraceProgram::Splice { base, patch, .. } => tree(base) + tree(patch),
+        }
+    }
+    tree(&spec.trace)
+        + spec.cross_traffic.len()
+        + spec.impairments.as_ref().map_or(0, |s| s.phases.len())
+        + usize::from(spec.noise.is_some())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn shrunk_specs_preserve_their_violation_and_serde_stability(
+        family_idx in 0usize..6,
+        seed in 0u64..300,
+    ) {
+        let mut spec = generate(Family::ALL[family_idx], seed);
+        // Keep each simulated candidate short; the truncation is part of
+        // the deterministic input, not a source of flakiness.
+        spec.duration = spec.duration.min(Time::from_secs(3));
+
+        let original = cubic_p95_delay(&spec).expect("original scores");
+        // Violation = keeping at least half the original delay signal.
+        // (With zero original delay every candidate "violates" and the
+        // shrinker must still terminate at minimal structure.)
+        let threshold = 0.5 * original;
+        let config = ShrinkConfig {
+            budget: 24,
+            min_duration: Time::from_secs(1),
+        };
+        let out = shrink(&spec, original, threshold, &config, cubic_p95_delay)
+            .expect("shrinks");
+
+        // Budget respected; structure never grows.
+        prop_assert!(out.evaluations <= config.budget);
+        prop_assert!(structural_size(&out.spec) <= structural_size(&spec));
+        prop_assert!(out.spec.validate().is_ok());
+
+        // The shrunk spec still violates: its recorded badness clears the
+        // threshold, and re-scoring from scratch reproduces it bitwise
+        // (the objective is a pure function of the spec).
+        prop_assert!(out.badness >= threshold);
+        let rescored = cubic_p95_delay(&out.spec).expect("rescoring runs");
+        prop_assert_eq!(rescored.to_bits(), out.badness.to_bits());
+
+        // Serde stability, bitwise: canonical JSON is a fixpoint, and a
+        // re-parsed spec is the same scenario (identical compiled trace,
+        // identical metrics encoding).
+        let text = out.spec.to_json();
+        let back = ScenarioSpec::from_json(&text).expect("parses");
+        prop_assert_eq!(back.to_json(), text);
+        prop_assert_eq!(
+            back.trace.compile().expect("compiles").segments(),
+            out.spec.trace.compile().expect("compiles").segments()
+        );
+        let replayed = cubic_p95_delay(&back).expect("replays");
+        prop_assert_eq!(replayed.to_bits(), out.badness.to_bits());
+    }
+}

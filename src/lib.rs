@@ -13,6 +13,8 @@
 //!   certification-in-the-loop training, runtime fallback, evaluation
 //! * [`scenarios`] — declarative scenario specs, the seeded stress-family
 //!   fuzzer, and the `Scheme × Scenario` matrix runner
+//! * [`search`] — adversarial scenario search: bounded family spaces,
+//!   failure objectives, seeded optimizers, counterexample shrinking
 //!
 //! # Quickstart
 //!
@@ -32,4 +34,5 @@ pub use canopy_netsim as netsim;
 pub use canopy_nn as nn;
 pub use canopy_rl as rl;
 pub use canopy_scenarios as scenarios;
+pub use canopy_search as search;
 pub use canopy_traces as traces;
