@@ -30,6 +30,10 @@
 //! * `run_multiflow/32flows_2s` — a 2-simulated-second, 32-Cubic-flow
 //!   shared-bottleneck `run_multiflow` — the multi-flow event-path
 //!   workload the per-flow calendar sharding targets.
+//! * `topology/incast8_2s` and `topology/parkinglot3_2s` — 2-simulated-
+//!   second multi-hop runs (an 8-flow incast tree and a 3-hop parking
+//!   lot with per-hop competitors): the HopArrival forwarding path and
+//!   per-link calendar lanes the topology graph added.
 //!
 //! `--write-baseline` records the current medians to
 //! `BENCH_baseline.json`; `--check` compares against that file and exits
@@ -736,6 +740,79 @@ fn bench_multiflow(opts: &Opts, out: &mut Vec<(String, f64)>) {
     ));
 }
 
+// --- Multi-hop topologies -------------------------------------------------
+
+fn bench_topology(opts: &Opts, out: &mut Vec<(String, f64)>) {
+    use canopy_netsim::Topology;
+    let (samples, iters) = if opts.smoke { (3, 1) } else { (7, 2) };
+
+    // An 8-flow incast tree: eight Cubic senders, one per leaf uplink,
+    // all fanning into a shared 96 Mbps root. Every data packet crosses
+    // two links, so this exercises the HopArrival forwarding path and
+    // the per-link calendar lanes the topology refactor added.
+    let fan_in = 8;
+    let root = LinkConfig::with_bdp_buffer(
+        BandwidthTrace::constant("bench-root", 96e6),
+        Time::from_millis(20),
+        1.0,
+    );
+    let leaf = LinkConfig::with_bdp_buffer(
+        BandwidthTrace::constant("bench-leaf", 192e6),
+        Time::from_millis(20),
+        1.0,
+    );
+    let tree = Topology::incast(root, leaf, fan_in);
+    out.push((
+        "topology/incast8_2s".into(),
+        median_ns(samples, iters, || {
+            let mut sim = Simulator::with_topology(tree.clone());
+            let flows: Vec<_> = (0..fan_in)
+                .map(|i| {
+                    sim.add_flow(
+                        FlowConfig::new(Time::from_millis(40))
+                            .on_path(Topology::incast_path(i, fan_in)),
+                        Box::new(canopy_cc::Cubic::new()),
+                    )
+                })
+                .collect();
+            sim.run_until(Time::from_secs(2));
+            std::hint::black_box(sim.flow_stats(flows[0]).acked_bytes);
+        }),
+    ));
+
+    // A 3-hop parking lot: one long Cubic flow across all three
+    // bottlenecks plus a one-hop Cubic competitor per hop — the classic
+    // RTT-unfairness construction, with queues contested at every hop.
+    let hops = 3;
+    let hop = LinkConfig::with_bdp_buffer(
+        BandwidthTrace::constant("bench-hop", 48e6),
+        Time::from_millis(20),
+        1.0,
+    )
+    .with_delay(Time::from_millis(5));
+    let lot = Topology::parking_lot(hop, hops);
+    out.push((
+        "topology/parkinglot3_2s".into(),
+        median_ns(samples, iters, || {
+            let mut sim = Simulator::with_topology(lot.clone());
+            let long = sim.add_flow(
+                FlowConfig::new(Time::from_millis(40))
+                    .on_path(Topology::parking_lot_long_path(hops)),
+                Box::new(canopy_cc::Cubic::new()),
+            );
+            for i in 0..hops {
+                sim.add_flow(
+                    FlowConfig::new(Time::from_millis(40))
+                        .on_path(Topology::parking_lot_hop_path(i, hops)),
+                    Box::new(canopy_cc::Cubic::new()),
+                );
+            }
+            sim.run_until(Time::from_secs(2));
+            std::hint::black_box(sim.flow_stats(long).acked_bytes);
+        }),
+    ));
+}
+
 // --- Report assembly -----------------------------------------------------
 
 fn find(benches: &[(String, f64)], name: &str) -> Option<f64> {
@@ -786,6 +863,10 @@ fn main() {
     if opts.runs("run_multiflow") {
         eprintln!("perf_report: multi-flow event path…");
         bench_multiflow(&opts, &mut benches);
+    }
+    if opts.runs("topology") {
+        eprintln!("perf_report: multi-hop topologies…");
+        bench_topology(&opts, &mut benches);
     }
 
     // In-run speedups (both sides measured this invocation).

@@ -8,13 +8,18 @@
 //! ```text
 //! cargo run -p canopy_bench --release --bin scenario_lab -- \
 //!     [--family all|<name>[,<name>...]] [--seeds N | --seeds a,b,c] \
-//!     [--schemes cubic,bbr,canopy-shallow,...] [--check] [--smoke] \
-//!     [--out PATH]
+//!     [--schemes cubic,bbr,canopy-shallow,...] \
+//!     [--topology dumbbell|parking-lot:H|incast:K] \
+//!     [--check] [--smoke] [--out PATH]
 //! ```
 //!
 //! `--family` accepts `all` (default) or a comma list of
 //! `flash-crowd`, `bandwidth-cliff`, `jitter-storm`, `lossy-wireless`,
-//! `buffer-sweep`, `cross-traffic-churn`. `--seeds` accepts either a
+//! `buffer-sweep`, `cross-traffic-churn`, `incast-burst`,
+//! `parking-lot-unfairness`. `--topology` forces every generated
+//! scenario onto one network shape (hop and fan-in counts are validated
+//! up front); without it each family keeps its own topology.
+//! `--seeds` accepts either a
 //! count `N` (runs seeds `0..N`) or an explicit comma-separated seed list
 //! (`--seeds 3,5,7`; a single explicit seed is spelled with a trailing
 //! comma, `--seeds 7,`); a zero count, an empty list, or a duplicated seed
@@ -32,14 +37,59 @@ use std::process::ExitCode;
 use canopy_bench::{f1, f3, header, model, row, HarnessOpts};
 use canopy_core::eval::Scheme;
 use canopy_core::models::ModelKind;
-use canopy_scenarios::{fuzz_suite_seeds, Family, ScenarioReport, ScenarioSpec};
+use canopy_netsim::Time;
+use canopy_scenarios::{fuzz_suite_seeds, Family, ScenarioReport, ScenarioSpec, TopologySpec};
 
 struct LabOpts {
     families: Vec<Family>,
     seeds: Vec<u64>,
     schemes: Vec<String>,
+    topology: Option<TopologySpec>,
     check: bool,
     out: String,
+}
+
+/// Per-hop propagation delay used when `--topology parking-lot:H` does
+/// not carry its own (the flag syntax only selects the shape).
+const LAB_HOP_DELAY: Time = Time::from_millis(5);
+
+/// Parses the `--topology` value: `dumbbell`, `parking-lot:H` (H hops in
+/// series), or `incast:K` (K leaves fanning into one root). Hop and
+/// fan-in counts outside the ranges the topology builders support are
+/// rejected here, before any scenario runs.
+fn parse_topology(v: &str) -> Result<TopologySpec, String> {
+    let (shape, count) = match v.split_once(':') {
+        Some((shape, count)) => (shape, Some(count)),
+        None => (v, None),
+    };
+    let parse_count = |what: &str| -> Result<usize, String> {
+        let c = count.ok_or_else(|| format!("--topology {shape} needs `:{what}`"))?;
+        c.trim()
+            .parse::<usize>()
+            .map_err(|_| format!("bad {what} `{c}` in --topology"))
+    };
+    let topo = match shape {
+        "dumbbell" => {
+            if count.is_some() {
+                return Err("--topology dumbbell takes no count".into());
+            }
+            TopologySpec::Dumbbell
+        }
+        "parking-lot" => TopologySpec::ParkingLot {
+            hops: parse_count("hops")?,
+            hop_delay: LAB_HOP_DELAY,
+        },
+        "incast" => TopologySpec::Incast {
+            fan_in: parse_count("fan-in")?,
+        },
+        other => {
+            return Err(format!(
+                "unknown topology `{other}` (expected dumbbell, parking-lot:H, or incast:K)"
+            ))
+        }
+    };
+    topo.validate().map_err(|e| e.to_string())?;
+    Ok(topo)
 }
 
 /// Parses the `--seeds` value: a plain count `N` selects seeds `0..N`, a
@@ -90,6 +140,7 @@ fn parse_lab_args(args: &[String]) -> Result<LabOpts, String> {
         families: Family::ALL.to_vec(),
         seeds: (0..8).collect(),
         schemes: vec!["cubic".to_string()],
+        topology: None,
         check: false,
         out: "SCENARIOS_report.json".to_string(),
     };
@@ -116,6 +167,11 @@ fn parse_lab_args(args: &[String]) -> Result<LabOpts, String> {
             "--schemes" => {
                 let v = args.get(i + 1).ok_or("--schemes needs a value")?;
                 opts.schemes = v.split(',').map(|s| s.trim().to_string()).collect();
+                i += 1;
+            }
+            "--topology" => {
+                let v = args.get(i + 1).ok_or("--topology needs a value")?;
+                opts.topology = Some(parse_topology(v)?);
                 i += 1;
             }
             "--check" => opts.check = true,
@@ -171,7 +227,16 @@ fn main() -> ExitCode {
         }
     };
 
-    let specs = fuzz_suite_seeds(&lab.families, &lab.seeds);
+    let mut specs = fuzz_suite_seeds(&lab.families, &lab.seeds);
+    if let Some(topology) = lab.topology {
+        // Force every generated scenario onto the requested shape. The
+        // scenario keeps its (family, seed) identity; only the network
+        // it runs over changes.
+        for spec in &mut specs {
+            spec.topology = topology;
+        }
+        println!("# topology override: {}\n", topology.label());
+    }
     println!(
         "# Scenario lab — {} scenarios ({} families × {} seeds) × {} schemes\n",
         specs.len(),
@@ -301,6 +366,56 @@ mod tests {
         assert!(empty.contains("empty entry"), "{empty}");
         assert!(parse_seeds("x").unwrap_err().contains("bad seed count"));
         assert!(parse_seeds("1,x").unwrap_err().contains("bad seed `x`"));
+    }
+
+    #[test]
+    fn topologies_parse_and_reject_bad_shapes() {
+        assert_eq!(parse_topology("dumbbell").unwrap(), TopologySpec::Dumbbell);
+        assert_eq!(
+            parse_topology("parking-lot:3").unwrap(),
+            TopologySpec::ParkingLot {
+                hops: 3,
+                hop_delay: LAB_HOP_DELAY
+            }
+        );
+        assert_eq!(
+            parse_topology("incast:8").unwrap(),
+            TopologySpec::Incast { fan_in: 8 }
+        );
+
+        // Counts outside the builders' supported ranges fail at parse
+        // time, before any scenario runs.
+        let low = parse_topology("parking-lot:1").unwrap_err();
+        assert!(low.contains("outside 2..=8"), "{low}");
+        let high = parse_topology("parking-lot:9").unwrap_err();
+        assert!(high.contains("outside 2..=8"), "{high}");
+        let fan_low = parse_topology("incast:1").unwrap_err();
+        assert!(fan_low.contains("outside 2..=16"), "{fan_low}");
+        let fan_high = parse_topology("incast:17").unwrap_err();
+        assert!(fan_high.contains("outside 2..=16"), "{fan_high}");
+
+        // Malformed values are loud, not silently dumbbell.
+        assert!(parse_topology("parking-lot").unwrap_err().contains(":hops"));
+        assert!(parse_topology("incast").unwrap_err().contains(":fan-in"));
+        assert!(parse_topology("incast:x")
+            .unwrap_err()
+            .contains("bad fan-in"));
+        assert!(parse_topology("dumbbell:2")
+            .unwrap_err()
+            .contains("no count"));
+        assert!(parse_topology("torus:4")
+            .unwrap_err()
+            .contains("unknown topology"));
+    }
+
+    #[test]
+    fn lab_args_carry_topology_overrides() {
+        let opts = parse_lab_args(&argv(&["--topology", "incast:4"])).unwrap();
+        assert_eq!(opts.topology, Some(TopologySpec::Incast { fan_in: 4 }));
+        let default = parse_lab_args(&argv(&[])).unwrap();
+        assert_eq!(default.topology, None);
+        assert!(parse_lab_args(&argv(&["--topology", "incast:99"])).is_err());
+        assert!(parse_lab_args(&argv(&["--topology"])).is_err());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use canopy_netsim::{BandwidthTrace, FlowConfig, FlowId, LinkConfig, Simulator, Time};
+use canopy_netsim::{BandwidthTrace, FlowConfig, FlowId, LinkConfig, LinkId, Simulator, Time};
 
 use crate::driver::{DriverConfig, DriverPolicy, DriverPool, OrcaDriver};
 use crate::env::{CcEnv, EnvConfig, NoiseConfig};
@@ -269,12 +269,13 @@ fn run_learned(
 /// Per-flow metrics from any simulator the caller drove itself, normalized
 /// to the flow's **active interval** (start event to departure), not the
 /// run length — a flow that joined late or left early is judged over the
-/// time it was actually sending. Utilization integrates link capacity over
-/// the same interval. This is the metric kernel behind [`run_scheme`] and
-/// the scenario-matrix runner.
+/// time it was actually sending. Utilization integrates the capacity of
+/// the flow's **bottleneck** link (the slowest hop of its path; the only
+/// hop, on a dumbbell) over the same interval. This is the metric kernel
+/// behind [`run_scheme`] and the scenario-matrix runner.
 pub fn flow_metrics(sim: &Simulator, flow: FlowId, scheme: &str) -> RunMetrics {
     let stats = sim.flow_stats(flow);
-    let trace = &sim.link().trace;
+    let trace = &sim.link_at(sim.bottleneck_of(flow)).trace;
     let (start, end) = stats.active_interval(sim.now());
     let capacity = trace.capacity_bytes(start, end).max(1.0);
     let throughput_mbps = stats.throughput_mbps(sim.now());
@@ -310,6 +311,45 @@ fn metrics_from_sim(
         fallback_rate,
         ..flow_metrics(sim, flow, scheme)
     }
+}
+
+/// Per-link aggregate metrics over a finished run, one row per link of the
+/// topology. On a dumbbell this is a single row describing the bottleneck;
+/// on parking-lot and incast topologies it localizes where queueing and
+/// drops actually happened, which the scenario matrix surfaces as per-link
+/// utilization and queue-occupancy columns.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkMetrics {
+    /// Index of the link in its [`canopy_netsim::Topology`].
+    pub link: usize,
+    /// Fraction of the link's trace capacity actually serialized onto the
+    /// wire over the whole run (served bytes / capacity bytes).
+    pub utilization: f64,
+    /// Exact time-averaged queue occupancy in bytes.
+    pub mean_queue_bytes: f64,
+    /// Peak queue occupancy in bytes.
+    pub peak_queue_bytes: u64,
+    /// Packets tail-dropped at this link's queue.
+    pub drops: u64,
+}
+
+/// Computes [`LinkMetrics`] for every link of a finished simulation, in
+/// topology order.
+pub fn link_metrics(sim: &Simulator) -> Vec<LinkMetrics> {
+    let now = sim.now();
+    (0..sim.link_count())
+        .map(|l| {
+            let link = sim.link_at(LinkId(l));
+            let capacity = link.trace.capacity_bytes(Time::ZERO, now).max(1.0);
+            LinkMetrics {
+                link: l,
+                utilization: link.served_bytes as f64 / capacity,
+                mean_queue_bytes: link.queue.mean_bytes(now),
+                peak_queue_bytes: link.queue.peak_bytes(),
+                drops: link.queue.drops(),
+            }
+        })
+        .collect()
 }
 
 fn mean_std(values: &[f64]) -> (Option<f64>, Option<f64>) {

@@ -1,6 +1,6 @@
-//! The discrete-event calendar, sharded per flow.
+//! The discrete-event calendar, sharded per flow and per link.
 //!
-//! The calendar exploits the structure of a single-bottleneck simulation
+//! The calendar exploits the structure of a packet-level simulation
 //! instead of funnelling every event through one global binary heap:
 //!
 //! * **Per-flow lanes.** Each flow owns a sorted ring of its pending
@@ -14,9 +14,10 @@
 //!   recently armed timer can ever fire (older generations are ignored by
 //!   the dispatcher), so the calendar keeps exactly one slot per flow and
 //!   lets re-arming overwrite it.
-//! * **One transmit slot for the link.** The bottleneck serializes one
-//!   packet at a time, so at most one departure is pending (a short
-//!   sorted lane keeps the structure general).
+//! * **Per-link lanes.** Each link of the topology serializes one packet
+//!   at a time, so at most one departure is pending per link, and hop
+//!   forwardings toward a link arrive in near-sorted order (a short
+//!   sorted lane per link keeps the structure general).
 //!
 //! The lanes merge through a small top-level ladder: a cached
 //! `(time, id)` head per lane, combined by a tournament (winner) tree
@@ -30,14 +31,18 @@
 use std::collections::VecDeque;
 
 use crate::flow::FlowId;
-use crate::packet::Ack;
+use crate::packet::{Ack, Packet};
 use crate::time::Time;
+use crate::topology::LinkId;
 
 /// Events processed by the simulator's main loop.
 #[derive(Clone, Debug)]
 pub enum Event {
-    /// The bottleneck link finished serializing its head-of-line packet.
-    LinkDeparture,
+    /// The named link finished serializing its head-of-line packet.
+    LinkDeparture(LinkId),
+    /// `packet` reaches the ingress of `link`, the next hop of its path
+    /// (multi-hop topologies only; a dumbbell never forwards).
+    HopArrival { link: LinkId, packet: Packet },
     /// An ACK reaches the sender of `flow`.
     AckArrival(Ack),
     /// The retransmission timer for `flow` fires. The generation counter
@@ -119,17 +124,21 @@ impl FlowShard {
     }
 }
 
-/// A deterministic event calendar: per-flow lanes plus a link lane,
+/// A deterministic event calendar: per-flow lanes plus per-link lanes,
 /// merged by a tournament tree over cached lane heads (min `(time, id)`,
 /// FIFO on ties).
 #[derive(Debug)]
 pub struct EventQueue {
-    /// Pending link departures, sorted (at most one in a real simulation).
-    link: VecDeque<(Time, u64)>,
+    /// Per-link lanes, indexed by `LinkId`: pending departures (at most
+    /// one per link in a real simulation) and inbound hop forwardings,
+    /// sorted by `(time, id)`. Fixed at construction — topologies do not
+    /// grow mid-run.
+    links: Vec<VecDeque<(Time, u64, Event)>>,
     /// Per-flow shards, indexed by `FlowId`.
     shards: Vec<FlowShard>,
-    /// The merge ladder: `heads[0]` mirrors the link lane, `heads[1 + f]`
-    /// mirrors flow `f`'s shard. Kept exact on every mutation.
+    /// The merge ladder: `heads[l]` mirrors link `l`'s lane for
+    /// `l < links.len()`, `heads[links.len() + f]` mirrors flow `f`'s
+    /// shard. Kept exact on every mutation.
     heads: Vec<(Time, u64)>,
     /// Tournament tree over `heads`: a complete binary tree with
     /// `leaf_base` leaves (`heads` padded with [`IDLE`]); `tree[1]` is the
@@ -153,12 +162,20 @@ impl Default for EventQueue {
 }
 
 impl EventQueue {
-    /// Creates an empty calendar.
+    /// Creates an empty calendar with a single link lane (the dumbbell
+    /// fast path).
     pub fn new() -> EventQueue {
+        EventQueue::with_links(1)
+    }
+
+    /// Creates an empty calendar with one lane per link of a
+    /// `links`-link topology.
+    pub fn with_links(links: usize) -> EventQueue {
+        assert!(links >= 1, "a calendar needs at least one link lane");
         let mut q = EventQueue {
-            link: VecDeque::with_capacity(2),
+            links: (0..links).map(|_| VecDeque::with_capacity(2)).collect(),
             shards: Vec::new(),
-            heads: vec![IDLE],
+            heads: vec![IDLE; links],
             tree: Vec::new(),
             leaf_base: 0,
             next_id: 0,
@@ -173,6 +190,11 @@ impl EventQueue {
         let mut q = EventQueue::new();
         q.ensure_shards(flows);
         q
+    }
+
+    /// Number of link lanes.
+    fn link_lanes(&self) -> usize {
+        self.links.len()
     }
 
     /// Pre-sizes the calendar for one more flow's worth of events (called
@@ -248,21 +270,24 @@ impl EventQueue {
     }
 
     fn refresh_shard_head(&mut self, flow: usize) {
+        let lane = self.link_lanes() + flow;
         let head = self.shards[flow].head();
         // Most mutations leave the head alone (ACKs append at the back,
         // timer re-arms land behind the next ACK): skip the tournament
         // re-play unless the lane's key actually moved.
-        if self.heads[1 + flow] != head {
-            self.heads[1 + flow] = head;
-            self.replay(1 + flow);
+        if self.heads[lane] != head {
+            self.heads[lane] = head;
+            self.replay(lane);
         }
     }
 
-    fn refresh_link_head(&mut self) {
-        let head = self.link.front().copied().unwrap_or(IDLE);
-        if self.heads[0] != head {
-            self.heads[0] = head;
-            self.replay(0);
+    fn refresh_link_head(&mut self, link: usize) {
+        let head = self.links[link]
+            .front()
+            .map_or(IDLE, |&(at, id, _)| (at, id));
+        if self.heads[link] != head {
+            self.heads[link] = head;
+            self.replay(link);
         }
     }
 
@@ -271,9 +296,15 @@ impl EventQueue {
         let id = self.next_id;
         self.next_id += 1;
         match event {
-            Event::LinkDeparture => {
-                insort_by_time(&mut self.link, at, (at, id), |e| e.0);
-                self.refresh_link_head();
+            Event::LinkDeparture(link) | Event::HopArrival { link, .. } => {
+                let l = link.0;
+                assert!(
+                    l < self.links.len(),
+                    "link {l} outside the calendar's {} lanes",
+                    self.links.len()
+                );
+                insort_by_time(&mut self.links[l], at, (at, id, event), |e| e.0);
+                self.refresh_link_head(l);
                 self.len += 1;
             }
             Event::RtoTimer { flow, generation } => {
@@ -341,16 +372,12 @@ impl EventQueue {
 
     fn pop_lane(&mut self, lane: usize, at: Time, id: u64) -> ScheduledEvent {
         self.len -= 1;
-        if lane == 0 {
-            self.link.pop_front().expect("link head exists");
-            self.refresh_link_head();
-            return ScheduledEvent {
-                at,
-                id,
-                event: Event::LinkDeparture,
-            };
+        if lane < self.link_lanes() {
+            let (_, _, event) = self.links[lane].pop_front().expect("link head exists");
+            self.refresh_link_head(lane);
+            return ScheduledEvent { at, id, event };
         }
-        let f = lane - 1;
+        let f = lane - self.link_lanes();
         let shard = &mut self.shards[f];
         let event = match shard.rto {
             Some((rto_at, rto_id, generation)) if (rto_at, rto_id) == (at, id) => {
@@ -384,12 +411,25 @@ impl EventQueue {
 mod tests {
     use super::*;
 
+    fn packet(flow: usize, seq: u64) -> Packet {
+        Packet {
+            flow: FlowId(flow),
+            seq,
+            size: crate::packet::MSS_BYTES,
+            sent_at: Time::ZERO,
+            retransmit: false,
+            delivered_at_send: 0,
+            hop: 0,
+            accrued_queue_delay: Time::ZERO,
+        }
+    }
+
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.schedule(Time::from_millis(5), Event::LinkDeparture);
-        q.schedule(Time::from_millis(1), Event::LinkDeparture);
-        q.schedule(Time::from_millis(3), Event::LinkDeparture);
+        q.schedule(Time::from_millis(5), Event::LinkDeparture(LinkId(0)));
+        q.schedule(Time::from_millis(1), Event::LinkDeparture(LinkId(0)));
+        q.schedule(Time::from_millis(3), Event::LinkDeparture(LinkId(0)));
         let order: Vec<Time> = std::iter::from_fn(|| q.pop().map(|e| e.at)).collect();
         assert_eq!(
             order,
@@ -421,7 +461,7 @@ mod tests {
     fn len_tracks_contents() {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
-        q.schedule(Time::ZERO, Event::LinkDeparture);
+        q.schedule(Time::ZERO, Event::LinkDeparture(LinkId(0)));
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
@@ -432,11 +472,39 @@ mod tests {
     fn presized_queue_behaves_identically() {
         let mut q = EventQueue::with_flow_capacity(4);
         q.reserve_for_flow();
-        q.schedule(Time::from_millis(2), Event::LinkDeparture);
-        q.schedule(Time::from_millis(1), Event::LinkDeparture);
+        q.schedule(Time::from_millis(2), Event::LinkDeparture(LinkId(0)));
+        q.schedule(Time::from_millis(1), Event::LinkDeparture(LinkId(0)));
         assert_eq!(q.peek_time(), Some(Time::from_millis(1)));
         assert_eq!(q.pop().unwrap().at, Time::from_millis(1));
         assert_eq!(q.pop().unwrap().at, Time::from_millis(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the calendar")]
+    fn scheduling_beyond_link_lanes_panics() {
+        let mut q = EventQueue::with_links(2);
+        q.schedule(Time::ZERO, Event::LinkDeparture(LinkId(2)));
+    }
+
+    #[test]
+    fn hop_arrivals_carry_their_packet_through_link_lanes() {
+        let mut q = EventQueue::with_links(2);
+        q.schedule(
+            Time::from_millis(2),
+            Event::HopArrival {
+                link: LinkId(1),
+                packet: packet(3, 41),
+            },
+        );
+        q.schedule(Time::from_millis(1), Event::LinkDeparture(LinkId(1)));
+        assert_eq!(q.pop().unwrap().at, Time::from_millis(1));
+        match q.pop().unwrap().event {
+            Event::HopArrival { link, packet } => {
+                assert_eq!(link, LinkId(1));
+                assert_eq!((packet.flow, packet.seq), (FlowId(3), 41));
+            }
+            other => panic!("expected HopArrival, got {other:?}"),
+        }
     }
 
     #[test]
@@ -494,7 +562,9 @@ mod tests {
 
     /// The sharded calendar must replay the classic global min-heap's
     /// dispatch order exactly — same times, same FIFO tie-breaks — for a
-    /// randomized interleaving of every event kind across several flows.
+    /// randomized interleaving of every event kind across several flows
+    /// and several link lanes (multi-hop topology shape: departures and
+    /// hop forwardings spread over three links).
     #[test]
     fn matches_reference_heap_order() {
         use std::cmp::Reverse;
@@ -509,16 +579,21 @@ mod tests {
             state >> 33
         };
 
-        let mut q = EventQueue::with_flow_capacity(4);
+        let mut q = EventQueue::with_links(3);
         let mut reference: BinaryHeap<Reverse<(Time, u64)>> = BinaryHeap::new();
         let mut pending_rto: [Option<u64>; 4] = [None; 4];
-        for id in 0..400u64 {
+        for id in 0..600u64 {
             let at = Time::from_micros(next() % 50_000);
             let flow = FlowId((next() % 4) as usize);
-            let event = match next() % 4 {
-                0 => Event::LinkDeparture,
-                1 => Event::FlowStart(flow),
-                2 => Event::FlowStop(flow),
+            let link = LinkId((next() % 3) as usize);
+            let event = match next() % 5 {
+                0 => Event::LinkDeparture(link),
+                1 => Event::HopArrival {
+                    link,
+                    packet: packet(flow.0, id),
+                },
+                2 => Event::FlowStart(flow),
+                3 => Event::FlowStop(flow),
                 _ => Event::RtoTimer {
                     flow,
                     generation: id,

@@ -13,10 +13,16 @@ use serde::{Deserialize, Serialize};
 use crate::cc::CongestionControl;
 use crate::stats::{FlowStats, MonitorAccum};
 use crate::time::Time;
+use crate::topology::LinkId;
 
 /// Identifies a flow within one simulator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FlowId(pub usize);
+
+/// The default route: the single bottleneck of a dumbbell.
+fn dumbbell_path() -> Vec<LinkId> {
+    vec![LinkId(0)]
+}
 
 /// Static configuration of a flow.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -32,17 +38,31 @@ pub struct FlowConfig {
     pub stop_time: Option<Time>,
     /// Whether to record per-ACK delay samples in [`FlowStats::samples`].
     pub record_samples: bool,
+    /// The links this flow's data packets traverse, in hop order. The
+    /// default (link `0` only) is the dumbbell route; multi-hop topologies
+    /// set it via [`FlowConfig::on_path`]. Validated against the topology
+    /// when the flow is added.
+    #[serde(default = "dumbbell_path")]
+    pub path: Vec<LinkId>,
 }
 
 impl FlowConfig {
-    /// A flow starting at time zero with sample recording enabled.
+    /// A flow starting at time zero with sample recording enabled, routed
+    /// over the dumbbell's single bottleneck.
     pub fn new(min_rtt: Time) -> FlowConfig {
         FlowConfig {
             min_rtt,
             start_time: Time::ZERO,
             stop_time: None,
             record_samples: true,
+            path: dumbbell_path(),
         }
+    }
+
+    /// Routes the flow over an explicit sequence of links.
+    pub fn on_path(mut self, path: Vec<LinkId>) -> FlowConfig {
+        self.path = path;
+        self
     }
 
     /// Sets the start time.

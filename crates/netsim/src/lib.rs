@@ -22,11 +22,12 @@
 //! 3. **Multi-flow.** Several flows with distinct propagation delays and
 //!    congestion controllers can share the bottleneck, which the paper's
 //!    fairness (Fig. 15) and friendliness (Fig. 14) experiments require.
-//!
-//! The crate deliberately stops at a single bottleneck: every experiment in
-//! the paper (emulated and real-world) is a single-bottleneck path, and a
-//! general topology simulator would add complexity without adding fidelity
-//! for these workloads.
+//! 4. **Multi-hop.** Beyond the dumbbell, a [`Topology`] composes links
+//!    into parking-lot chains and incast fan-in trees, with per-flow paths
+//!    and per-link queues/traces/impairments — the regimes (RTT
+//!    unfairness, fan-in collapse) where certificate-guided congestion
+//!    control earns its keep. The dumbbell remains the default and is
+//!    bit-for-bit identical to the historical single-link engine.
 
 pub mod cc;
 pub mod event;
@@ -37,6 +38,7 @@ pub mod queue;
 pub mod sim;
 pub mod stats;
 pub mod time;
+pub mod topology;
 pub mod trace;
 
 pub use cc::{AckInfo, CongestionControl, FixedWindow, LossInfo};
@@ -46,4 +48,5 @@ pub use packet::MSS_BYTES;
 pub use sim::Simulator;
 pub use stats::{FlowStats, MonitorSample};
 pub use time::Time;
+pub use topology::{LinkId, Topology};
 pub use trace::BandwidthTrace;

@@ -101,7 +101,7 @@ impl ImpairmentSchedule {
     }
 }
 
-/// Static configuration of the bottleneck.
+/// Static configuration of one link.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct LinkConfig {
     /// The bandwidth process.
@@ -113,6 +113,13 @@ pub struct LinkConfig {
     /// Optional time-scheduled impairment program; when set it supersedes
     /// the static `impairments`.
     pub schedule: Option<ImpairmentSchedule>,
+    /// One-way propagation delay added when forwarding a packet from this
+    /// link to the *next* hop of its path. Irrelevant on a flow's final
+    /// hop, where delivery uses the flow's `min_rtt` instead — so a
+    /// dumbbell is delay-insensitive, exactly like the pre-topology
+    /// engine.
+    #[serde(default)]
+    pub delay: Time,
 }
 
 impl LinkConfig {
@@ -123,7 +130,14 @@ impl LinkConfig {
             buffer_bytes,
             impairments: Impairments::none(),
             schedule: None,
+            delay: Time::ZERO,
         }
+    }
+
+    /// Sets the per-hop forwarding delay (multi-hop topologies only).
+    pub fn with_delay(mut self, delay: Time) -> LinkConfig {
+        self.delay = delay;
+        self
     }
 
     /// Attaches stochastic impairments to the link.
@@ -169,6 +183,7 @@ impl LinkConfig {
             buffer_bytes: buffer,
             impairments: Impairments::none(),
             schedule: None,
+            delay: Time::ZERO,
         }
     }
 
@@ -181,19 +196,24 @@ impl LinkConfig {
     }
 }
 
-/// Runtime state of the bottleneck link.
+/// Runtime state of one link.
 #[derive(Debug)]
 pub struct Link {
     /// The bandwidth process.
     pub trace: BandwidthTrace,
     /// The droptail buffer.
     pub queue: DropTailQueue,
+    /// One-way forwarding delay toward the next hop (see
+    /// [`LinkConfig::delay`]).
+    pub delay: Time,
     /// Whether a packet is currently being serialized (a departure event is
     /// outstanding).
     pub busy: bool,
     /// Set when a transmission could never complete (an infinite outage);
     /// diagnostics only.
     pub stalled: bool,
+    /// Total bytes this link finished serializing (per-link utilization).
+    pub served_bytes: u64,
 }
 
 impl Link {
@@ -202,8 +222,10 @@ impl Link {
         Link {
             trace: config.trace,
             queue: DropTailQueue::new(config.buffer_bytes),
+            delay: config.delay,
             busy: false,
             stalled: false,
+            served_bytes: 0,
         }
     }
 

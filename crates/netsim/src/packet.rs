@@ -26,6 +26,12 @@ pub struct Packet {
     /// the receiver echoes it back so the sender can estimate delivery rate
     /// (needed by BBR).
     pub delivered_at_send: u64,
+    /// Index into the flow's path of the link this packet currently
+    /// occupies (`0` on a dumbbell).
+    pub hop: u32,
+    /// Queueing delay accumulated at hops already crossed; the final hop
+    /// adds its own and echoes the total in [`Ack::queue_delay`].
+    pub accrued_queue_delay: Time,
 }
 
 /// An acknowledgement travelling receiver → sender.

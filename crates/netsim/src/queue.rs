@@ -31,6 +31,11 @@ pub struct DropTailQueue {
     accepted: u64,
     /// Running peak occupancy in bytes (for diagnostics).
     peak_bytes: u64,
+    /// Time-integral of byte occupancy (byte·nanoseconds) up to
+    /// `last_change`; together they yield exact mean occupancy.
+    occupancy_integral: u128,
+    /// When the occupancy last changed.
+    last_change: Time,
 }
 
 impl DropTailQueue {
@@ -46,7 +51,16 @@ impl DropTailQueue {
             drops: 0,
             accepted: 0,
             peak_bytes: 0,
+            occupancy_integral: 0,
+            last_change: Time::ZERO,
         }
+    }
+
+    /// Accrues the occupancy integral up to `now`.
+    fn accrue(&mut self, now: Time) {
+        let dt = now.saturating_sub(self.last_change);
+        self.occupancy_integral += self.bytes as u128 * dt.as_nanos() as u128;
+        self.last_change = self.last_change.max(now);
     }
 
     /// Attempts to enqueue; returns `true` on success, `false` if the packet
@@ -57,6 +71,7 @@ impl DropTailQueue {
             self.drops += 1;
             return false;
         }
+        self.accrue(now);
         self.bytes += size;
         self.peak_bytes = self.peak_bytes.max(self.bytes);
         self.accepted += 1;
@@ -68,7 +83,10 @@ impl DropTailQueue {
     }
 
     /// Removes and returns the head-of-line packet, if any.
-    pub fn dequeue(&mut self) -> Option<QueuedPacket> {
+    pub fn dequeue(&mut self, now: Time) -> Option<QueuedPacket> {
+        if self.queue.front().is_some() {
+            self.accrue(now);
+        }
         let qp = self.queue.pop_front()?;
         self.bytes -= qp.packet.size as u64;
         Some(qp)
@@ -113,6 +131,16 @@ impl DropTailQueue {
     pub fn peak_bytes(&self) -> u64 {
         self.peak_bytes
     }
+
+    /// Exact time-averaged occupancy in bytes over `[0, now]`.
+    pub fn mean_bytes(&self, now: Time) -> f64 {
+        if now == Time::ZERO {
+            return self.bytes as f64;
+        }
+        let tail = now.saturating_sub(self.last_change);
+        let integral = self.occupancy_integral + self.bytes as u128 * tail.as_nanos() as u128;
+        integral as f64 / now.as_nanos() as f64
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +157,8 @@ mod tests {
             sent_at: Time::ZERO,
             retransmit: false,
             delivered_at_send: 0,
+            hop: 0,
+            accrued_queue_delay: Time::ZERO,
         }
     }
 
@@ -139,11 +169,11 @@ mod tests {
             assert!(q.enqueue(pkt(s), Time::from_millis(s)));
         }
         for s in 0..5 {
-            let qp = q.dequeue().unwrap();
+            let qp = q.dequeue(Time::from_millis(10)).unwrap();
             assert_eq!(qp.packet.seq, s);
             assert_eq!(qp.enqueued_at, Time::from_millis(s));
         }
-        assert!(q.dequeue().is_none());
+        assert!(q.dequeue(Time::from_millis(10)).is_none());
     }
 
     #[test]
@@ -156,7 +186,7 @@ mod tests {
         assert_eq!(q.accepted(), 2);
         assert_eq!(q.len(), 2);
         // Draining frees space again.
-        q.dequeue();
+        q.dequeue(Time::ZERO);
         assert!(q.enqueue(pkt(3), Time::ZERO));
     }
 
@@ -166,9 +196,24 @@ mod tests {
         q.enqueue(pkt(0), Time::ZERO);
         q.enqueue(pkt(1), Time::ZERO);
         assert_eq!(q.bytes(), 2 * MSS_BYTES as u64);
-        q.dequeue();
+        q.dequeue(Time::ZERO);
         assert_eq!(q.bytes(), MSS_BYTES as u64);
         assert_eq!(q.peak_bytes(), 2 * MSS_BYTES as u64);
+    }
+
+    #[test]
+    fn mean_occupancy_is_exact_time_average() {
+        let mss = MSS_BYTES as u64;
+        let mut q = DropTailQueue::new(10 * mss);
+        // Empty for 1 ms, one packet for 1 ms, two for 2 ms, one for 4 ms.
+        q.enqueue(pkt(0), Time::from_millis(1));
+        q.enqueue(pkt(1), Time::from_millis(2));
+        q.dequeue(Time::from_millis(4));
+        let now = Time::from_millis(8);
+        let expect = (mss as f64 * 1.0 + 2.0 * mss as f64 * 2.0 + mss as f64 * 4.0) / 8.0;
+        assert!((q.mean_bytes(now) - expect).abs() < 1e-9);
+        // Before any event the mean is the (zero) instantaneous occupancy.
+        assert_eq!(DropTailQueue::new(mss).mean_bytes(Time::ZERO), 0.0);
     }
 
     #[test]

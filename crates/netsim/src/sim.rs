@@ -1,6 +1,6 @@
 //! The discrete-event simulation engine.
 //!
-//! The engine owns the bottleneck [`Link`] and all [`FlowState`]s, and
+//! The engine owns the topology's [`Link`]s and all [`FlowState`]s, and
 //! dispatches calendar events until a caller-specified horizon. External
 //! code (a learned controller, an experiment driver) interleaves with the
 //! simulation by calling [`Simulator::run_until`] and then inspecting or
@@ -17,8 +17,31 @@ use crate::link::{ImpairmentSchedule, Link, LinkConfig};
 use crate::packet::{Ack, Packet, MSS_BYTES};
 use crate::stats::{DelaySample, FlowStats, MonitorSample};
 use crate::time::Time;
+use crate::topology::{LinkId, Topology};
 
-/// A deterministic single-bottleneck network simulator.
+/// One link's runtime state plus its private impairment stream.
+struct LinkRuntime {
+    link: Link,
+    /// Impairment program and its RNG; present only when some phase
+    /// impairs traffic so that unimpaired runs are seed-independent.
+    impair: Option<(ImpairmentSchedule, StdRng)>,
+}
+
+impl LinkRuntime {
+    fn new(config: LinkConfig) -> LinkRuntime {
+        let impair = config.effective_schedule().map(|s| {
+            let rng = StdRng::seed_from_u64(s.seed);
+            (s, rng)
+        });
+        LinkRuntime {
+            link: Link::new(config),
+            impair,
+        }
+    }
+}
+
+/// A deterministic packet-level network simulator over a multi-hop
+/// [`Topology`] (a single-link dumbbell by default).
 ///
 /// # Examples
 ///
@@ -40,32 +63,51 @@ use crate::time::Time;
 pub struct Simulator {
     now: Time,
     events: EventQueue,
-    link: Link,
+    links: Vec<LinkRuntime>,
     flows: Vec<FlowState>,
-    /// Impairment program and its RNG; present only when some phase
-    /// impairs traffic so that unimpaired runs are seed-independent.
-    impair: Option<(ImpairmentSchedule, StdRng)>,
 }
 
 impl Simulator {
-    /// Creates a simulator around one bottleneck link.
+    /// Creates a simulator around one bottleneck link — the dumbbell fast
+    /// path, bit-for-bit identical to
+    /// `Simulator::with_topology(Topology::dumbbell(link))`.
     pub fn new(link: LinkConfig) -> Simulator {
-        let impair = link.effective_schedule().map(|s| {
-            let rng = StdRng::seed_from_u64(s.seed);
-            (s, rng)
-        });
+        Simulator::with_topology(Topology::dumbbell(link))
+    }
+
+    /// Creates a simulator over an arbitrary topology. Each link gets its
+    /// own queue, serializer, and impairment RNG stream.
+    pub fn with_topology(topology: Topology) -> Simulator {
+        let links: Vec<LinkRuntime> = topology
+            .links()
+            .iter()
+            .map(|config| LinkRuntime::new(config.clone()))
+            .collect();
         Simulator {
             now: Time::ZERO,
-            events: EventQueue::new(),
-            link: Link::new(link),
+            events: EventQueue::with_links(links.len()),
+            links,
             flows: Vec::new(),
-            impair,
         }
     }
 
     /// Adds a flow; it begins sending at `config.start_time` and, when
-    /// `config.stop_time` is set, departs at that instant.
+    /// `config.stop_time` is set, departs at that instant. Panics when the
+    /// flow's path does not fit the topology (empty, unknown link, or a
+    /// repeated hop).
     pub fn add_flow(&mut self, config: FlowConfig, cc: Box<dyn CongestionControl>) -> FlowId {
+        assert!(!config.path.is_empty(), "flow path is empty");
+        let mut seen = vec![false; self.links.len()];
+        for &hop in &config.path {
+            assert!(
+                hop.0 < self.links.len(),
+                "flow path names link {} but the topology has {} links",
+                hop.0,
+                self.links.len()
+            );
+            assert!(!seen[hop.0], "flow path visits link {} twice", hop.0);
+            seen[hop.0] = true;
+        }
         let id = FlowId(self.flows.len());
         let start = config.start_time.max(self.now);
         let stop = config.stop_time;
@@ -90,9 +132,42 @@ impl Simulator {
         self.flows.len()
     }
 
-    /// Read access to the bottleneck link (queue occupancy, drop counters).
-    pub fn link(&self) -> &Link {
-        &self.link
+    /// Number of links in the topology.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Read access to one link (queue occupancy, drop counters, bytes
+    /// served).
+    pub fn link_at(&self, l: LinkId) -> &Link {
+        &self.links[l.0].link
+    }
+
+    /// The sequence of links a flow's data packets traverse.
+    pub fn flow_path(&self, f: FlowId) -> &[LinkId] {
+        &self.flows[f.0].config.path
+    }
+
+    /// The flow's bottleneck: the path link with the lowest long-run
+    /// average rate, breaking ties toward the later hop (where the queue
+    /// actually forms once upstream hops pass traffic through).
+    pub fn bottleneck_of(&self, f: FlowId) -> LinkId {
+        let path = &self.flows[f.0].config.path;
+        let avg = |l: LinkId| {
+            let trace = &self.links[l.0].link.trace;
+            let cycle = trace.cycle_duration().max(Time::from_millis(1));
+            trace.avg_rate(Time::ZERO, cycle)
+        };
+        let mut best = path[0];
+        let mut best_rate = avg(best);
+        for &hop in &path[1..] {
+            let rate = avg(hop);
+            if rate <= best_rate {
+                best = hop;
+                best_rate = rate;
+            }
+        }
+        best
     }
 
     /// Read access to a flow's congestion controller.
@@ -186,7 +261,8 @@ impl Simulator {
                 flow.rto_armed = false;
                 flow.rto_generation += 1;
             }
-            Event::LinkDeparture => self.on_departure(),
+            Event::LinkDeparture(l) => self.on_departure(l),
+            Event::HopArrival { link, packet } => self.on_hop_arrival(link, packet),
             Event::AckArrival(ack) => self.on_ack(ack),
             Event::RtoTimer { flow, generation } => self.on_rto(flow, generation),
         }
@@ -226,9 +302,12 @@ impl Simulator {
                 sent_at: now,
                 retransmit,
                 delivered_at_send: meta.delivered_at_send,
+                hop: 0,
+                accrued_queue_delay: Time::ZERO,
             };
-            if self.link.queue.enqueue(packet, now) {
-                self.maybe_start_transmission();
+            let first = self.flows[f.0].config.path[0];
+            if self.links[first.0].link.queue.enqueue(packet, now) {
+                self.maybe_start_transmission(first);
             } else {
                 // Tail drop: the sender does not learn about this until
                 // duplicate ACKs or the retransmission timer reveal it.
@@ -237,64 +316,99 @@ impl Simulator {
         }
     }
 
-    /// Starts serializing the head-of-line packet if the link is idle.
-    fn maybe_start_transmission(&mut self) {
-        if self.link.busy || self.link.queue.is_empty() {
+    /// Starts serializing `l`'s head-of-line packet if that link is idle.
+    fn maybe_start_transmission(&mut self, l: LinkId) {
+        let link = &mut self.links[l.0].link;
+        if link.busy || link.queue.is_empty() {
             return;
         }
-        match self.link.head_transmit_end(self.now) {
+        match link.head_transmit_end(self.now) {
             Some(end) => {
-                self.link.busy = true;
-                self.link.stalled = false;
-                self.events.schedule(end, Event::LinkDeparture);
+                link.busy = true;
+                link.stalled = false;
+                self.events.schedule(end, Event::LinkDeparture(l));
             }
             None => {
                 // Permanent outage: packets sit in the queue; flows recover
                 // through their retransmission timers if the trace resumes
                 // via an external reconfiguration.
-                self.link.stalled = true;
+                link.stalled = true;
             }
         }
     }
 
-    fn on_departure(&mut self) {
-        self.link.busy = false;
-        let qp = self
+    fn on_departure(&mut self, l: LinkId) {
+        let now = self.now;
+        let lr = &mut self.links[l.0];
+        lr.link.busy = false;
+        let qp = lr
             .link
             .queue
-            .dequeue()
+            .dequeue(now)
             .expect("departure event implies a packet in service");
+        lr.link.served_bytes += qp.packet.size as u64;
         let f = qp.packet.flow;
         // Non-congestive impairments after transmission, under whichever
-        // phase of the impairment program is active right now.
+        // phase of this link's impairment program is active right now.
         let mut jitter = Time::ZERO;
-        if let Some((sched, rng)) = self.impair.as_mut() {
-            let (random_loss, max_jitter) = sched.at(self.now);
+        if let Some((sched, rng)) = lr.impair.as_mut() {
+            let (random_loss, max_jitter) = sched.at(now);
             if random_loss > 0.0 && rng.random::<f64>() < random_loss {
                 // Corrupted on the wire: no delivery, no ACK; the sender
                 // discovers this like any other loss.
                 self.flows[f.0].stats.random_losses += 1;
-                self.maybe_start_transmission();
+                self.maybe_start_transmission(l);
                 return;
             }
             if max_jitter > Time::ZERO {
                 jitter = Time::from_nanos(rng.random_range(0..=max_jitter.as_nanos()));
             }
         }
-        let queue_delay = self.now - qp.enqueued_at;
-        let cum = self.flows[f.0].receiver.on_data(qp.packet.seq);
-        let ack = Ack {
-            flow: f,
-            cum_ack: cum,
-            echo_seq: qp.packet.seq,
-            echo_sent_at: qp.packet.sent_at,
-            echo_retransmit: qp.packet.retransmit,
-            queue_delay,
-            delivered_at_send: qp.packet.delivered_at_send,
-        };
-        let arrival = self.now + self.flows[f.0].config.min_rtt + jitter;
-        self.events.schedule(arrival, Event::AckArrival(ack));
-        self.maybe_start_transmission();
+        let hop = qp.packet.hop as usize;
+        let path = &self.flows[f.0].config.path;
+        debug_assert_eq!(path[hop], l, "packet departed a link off its path");
+        if hop + 1 == path.len() {
+            // Final hop: deliver to the receiver; the echoed queueing delay
+            // is the total across every hop of the path.
+            let queue_delay = qp.packet.accrued_queue_delay + (now - qp.enqueued_at);
+            let cum = self.flows[f.0].receiver.on_data(qp.packet.seq);
+            let ack = Ack {
+                flow: f,
+                cum_ack: cum,
+                echo_seq: qp.packet.seq,
+                echo_sent_at: qp.packet.sent_at,
+                echo_retransmit: qp.packet.retransmit,
+                queue_delay,
+                delivered_at_send: qp.packet.delivered_at_send,
+            };
+            let arrival = now + self.flows[f.0].config.min_rtt + jitter;
+            self.events.schedule(arrival, Event::AckArrival(ack));
+        } else {
+            // Forward toward the next hop after this link's propagation
+            // delay, accumulating the queueing delay spent here.
+            let next = path[hop + 1];
+            let mut packet = qp.packet;
+            packet.hop += 1;
+            packet.accrued_queue_delay += now - qp.enqueued_at;
+            let forward = now + self.links[l.0].link.delay + jitter;
+            self.events
+                .schedule(forward, Event::HopArrival { link: next, packet });
+        }
+        self.maybe_start_transmission(l);
+    }
+
+    /// A packet reaches the ingress queue of the next link on its path.
+    fn on_hop_arrival(&mut self, l: LinkId, packet: Packet) {
+        let now = self.now;
+        let f = packet.flow;
+        if self.links[l.0].link.queue.enqueue(packet, now) {
+            self.maybe_start_transmission(l);
+        } else {
+            // Mid-path tail drop: the sender discovers it through
+            // duplicate ACKs or the retransmission timer, like any other
+            // congestive loss.
+            self.flows[f.0].stats.dropped_packets += 1;
+        }
     }
 
     fn on_ack(&mut self, ack: Ack) {
@@ -1021,6 +1135,210 @@ mod tests {
             (s.sent_packets, s.acked_packets, s.random_losses)
         };
         assert_eq!(run(link), run(back));
+    }
+
+    #[test]
+    fn parking_lot_short_hop_flows_beat_the_long_flow() {
+        use crate::topology::Topology;
+        // 3 hops; the long flow crosses all three queues and carries a
+        // longer propagation RTT, each cross flow exactly one: classic RTT
+        // unfairness must appear.
+        let hop = LinkConfig::with_bdp_buffer(
+            BandwidthTrace::constant("hop", 16e6),
+            Time::from_millis(20),
+            1.0,
+        )
+        .with_delay(Time::from_millis(10));
+        let mut sim = Simulator::with_topology(Topology::parking_lot(hop, 3));
+        let long = sim.add_flow(
+            FlowConfig::new(Time::from_millis(20))
+                .without_samples()
+                .on_path(Topology::parking_lot_long_path(3)),
+            Box::new(FixedWindow::new(200.0)),
+        );
+        let mut crosses = Vec::new();
+        for i in 0..3 {
+            crosses.push(
+                sim.add_flow(
+                    FlowConfig::new(Time::from_millis(20))
+                        .without_samples()
+                        .on_path(Topology::parking_lot_hop_path(i, 3)),
+                    Box::new(FixedWindow::new(200.0)),
+                ),
+            );
+        }
+        sim.run_until(Time::from_secs(10));
+        let long_bytes = sim.flow_stats(long).acked_bytes;
+        let min_cross = crosses
+            .iter()
+            .map(|&c| sim.flow_stats(c).acked_bytes)
+            .min()
+            .unwrap();
+        assert!(long_bytes > 0, "long flow must make progress");
+        assert!(
+            min_cross > long_bytes,
+            "every one-hop flow should outrun the {}-hop flow: cross {min_cross} vs long {long_bytes}",
+            3
+        );
+        // The long flow's RTT floor includes two forwarding delays.
+        let floor = sim.flow_stats(long).min_rtt;
+        assert!(
+            floor >= Time::from_millis(40),
+            "2 hop delays + 20 ms propagation, got {floor:?}"
+        );
+    }
+
+    #[test]
+    fn incast_fan_in_congests_the_root() {
+        use crate::topology::Topology;
+        // 4 fast leaves into one slow root: drops concentrate at the root.
+        let root = LinkConfig::with_bdp_buffer(
+            BandwidthTrace::constant("root", 12e6),
+            Time::from_millis(20),
+            0.5,
+        );
+        let leaf = LinkConfig::new(BandwidthTrace::constant("leaf", 48e6), 200 * 1448);
+        let mut sim = Simulator::with_topology(Topology::incast(root, leaf, 4));
+        for i in 0..4 {
+            sim.add_flow(
+                FlowConfig::new(Time::from_millis(20))
+                    .without_samples()
+                    .on_path(Topology::incast_path(i, 4)),
+                Box::new(FixedWindow::new(120.0)),
+            );
+        }
+        sim.run_until(Time::from_secs(5));
+        let root_link = sim.link_at(LinkId(0));
+        assert!(root_link.queue.drops() > 0, "root queue must tail-drop");
+        assert!(root_link.served_bytes > 0);
+        for l in 1..=4 {
+            assert_eq!(
+                sim.link_at(LinkId(l)).queue.drops(),
+                0,
+                "leaf {l} must stay uncongested"
+            );
+        }
+        // Total root goodput is capacity-bound.
+        let thr = root_link.served_bytes as f64 * 8.0 / 5.0;
+        assert!(thr > 0.85 * 12e6 && thr < 1.05 * 12e6, "{thr}");
+        // Per-link occupancy metrics are live: the root holds a standing
+        // queue, the leaves barely any.
+        let now = sim.now();
+        assert!(root_link.queue.mean_bytes(now) > sim.link_at(LinkId(1)).queue.mean_bytes(now));
+    }
+
+    #[test]
+    fn multi_hop_queue_delay_accumulates_across_hops() {
+        use crate::topology::Topology;
+        // Two equal-rate hops in series with a window big enough to queue:
+        // the echoed queue delay must cover both queues, so p95 RTT sits
+        // above what a single queue of this depth could produce.
+        let hop = LinkConfig::with_bdp_buffer(
+            BandwidthTrace::constant("hop", 8e6),
+            Time::from_millis(20),
+            4.0,
+        );
+        let mut sim = Simulator::with_topology(Topology::parking_lot(hop, 2));
+        let f = sim.add_flow(
+            FlowConfig::new(Time::from_millis(20)).on_path(Topology::parking_lot_long_path(2)),
+            Box::new(FixedWindow::new(100.0)),
+        );
+        sim.run_until(Time::from_secs(5));
+        let stats = sim.flow_stats(f);
+        assert!(stats.acked_packets > 0);
+        // Mean queueing delay echoed through ACKs matches the sum of the
+        // two per-hop standing queues to within a loose factor.
+        let qd: f64 = stats
+            .samples
+            .iter()
+            .map(|s| s.queue_delay.as_secs_f64())
+            .sum::<f64>()
+            / stats.samples.len().max(1) as f64;
+        let single_hop_floor = 0.9 * sim.link_at(LinkId(0)).queue.mean_bytes(sim.now()) * 8.0 / 8e6;
+        assert!(
+            qd > single_hop_floor,
+            "accumulated delay {qd} vs one-hop floor {single_hop_floor}"
+        );
+    }
+
+    #[test]
+    fn multi_hop_runs_are_deterministic() {
+        use crate::link::Impairments;
+        use crate::topology::Topology;
+        let run = || {
+            let hop = LinkConfig::with_bdp_buffer(
+                BandwidthTrace::constant("hop", 16e6),
+                Time::from_millis(20),
+                1.0,
+            )
+            .with_delay(Time::from_millis(5));
+            let root = hop.clone().with_impairments(Impairments {
+                random_loss: 0.01,
+                max_jitter: Time::from_millis(2),
+                seed: 9,
+            });
+            let mut sim =
+                Simulator::with_topology(Topology::new(vec![root, hop.clone(), hop.clone()]));
+            let f = sim.add_flow(
+                FlowConfig::new(Time::from_millis(20))
+                    .without_samples()
+                    .on_path(Topology::parking_lot_long_path(3)),
+                Box::new(FixedWindow::new(60.0)),
+            );
+            let g = sim.add_flow(
+                FlowConfig::new(Time::from_millis(30))
+                    .without_samples()
+                    .on_path(vec![LinkId(1)]),
+                Box::new(FixedWindow::new(60.0)),
+            );
+            sim.run_until(Time::from_secs(5));
+            let s = sim.flow_stats(f);
+            let t = sim.flow_stats(g);
+            (
+                s.sent_packets,
+                s.acked_packets,
+                s.random_losses,
+                s.dropped_packets,
+                t.acked_packets,
+                sim.link_at(LinkId(0)).served_bytes,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "names link 2")]
+    fn path_outside_topology_is_rejected() {
+        let mut sim = basic_sim(12e6, 20, 1.0);
+        sim.add_flow(
+            FlowConfig::new(Time::from_millis(20)).on_path(vec![LinkId(2)]),
+            Box::new(FixedWindow::new(5.0)),
+        );
+    }
+
+    #[test]
+    fn bottleneck_selection_prefers_slowest_then_latest_hop() {
+        use crate::topology::Topology;
+        let mk = |rate: f64| {
+            LinkConfig::with_bdp_buffer(
+                BandwidthTrace::constant("l", rate),
+                Time::from_millis(20),
+                1.0,
+            )
+        };
+        let mut sim =
+            Simulator::with_topology(Topology::new(vec![mk(16e6), mk(8e6), mk(16e6), mk(8e6)]));
+        let f = sim.add_flow(
+            FlowConfig::new(Time::from_millis(20)).on_path(vec![
+                LinkId(0),
+                LinkId(1),
+                LinkId(2),
+                LinkId(3),
+            ]),
+            Box::new(FixedWindow::new(10.0)),
+        );
+        // Two 8 Mbps hops tie: the later one wins.
+        assert_eq!(sim.bottleneck_of(f), LinkId(3));
     }
 
     #[test]

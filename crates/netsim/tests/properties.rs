@@ -1,6 +1,6 @@
 //! Property-based tests for the simulator's core invariants.
 
-use canopy_netsim::{BandwidthTrace, FixedWindow, FlowConfig, LinkConfig, Simulator, Time};
+use canopy_netsim::{BandwidthTrace, FixedWindow, FlowConfig, LinkConfig, LinkId, Simulator, Time};
 use proptest::prelude::*;
 
 proptest! {
@@ -95,6 +95,56 @@ proptest! {
         prop_assert_eq!(run(), run());
     }
 
+    /// A dumbbell run through the topology API is bitwise identical to
+    /// one through the legacy single-link constructor, for arbitrary
+    /// configurations including the RNG-bearing impairments (random loss
+    /// and jitter draw from the same per-link stream in both). This pins
+    /// the pre-refactor contract: `Simulator::new` semantics — and with
+    /// them every committed single-bottleneck artifact — survive the
+    /// multi-hop engine unchanged.
+    #[test]
+    fn dumbbell_topology_matches_the_legacy_single_link_engine(
+        rate_mbps in 2.0f64..60.0,
+        rtt_ms in 4u64..100,
+        w1 in 2.0f64..300.0,
+        w2 in 2.0f64..300.0,
+        loss in 0.0f64..0.05,
+        jitter_ms in 0u64..8,
+        seed in 0u64..1000,
+    ) {
+        use canopy_netsim::{Impairments, Topology};
+        let link = || {
+            let trace = BandwidthTrace::constant("pair", rate_mbps * 1e6);
+            LinkConfig::with_bdp_buffer(trace, Time::from_millis(rtt_ms), 1.5)
+                .with_impairments(Impairments {
+                    random_loss: loss,
+                    max_jitter: Time::from_millis(jitter_ms),
+                    seed,
+                })
+        };
+        let run = |mut sim: Simulator, explicit_path: bool| {
+            let flow = |rtt: u64| {
+                let config = FlowConfig::new(Time::from_millis(rtt));
+                if explicit_path {
+                    config.on_path(vec![LinkId(0)])
+                } else {
+                    config
+                }
+            };
+            let a = sim.add_flow(flow(rtt_ms), Box::new(FixedWindow::new(w1)));
+            let b = sim.add_flow(flow(rtt_ms + 10), Box::new(FixedWindow::new(w2)));
+            sim.run_until(Time::from_secs(2));
+            (
+                format!("{:?}", sim.flow_stats(a)),
+                format!("{:?}", sim.flow_stats(b)),
+                sim.link_at(LinkId(0)).served_bytes,
+            )
+        };
+        let legacy = run(Simulator::new(link()), false);
+        let topo = run(Simulator::with_topology(Topology::dumbbell(link())), true);
+        prop_assert_eq!(legacy, topo);
+    }
+
     /// Queue occupancy respects its capacity for any traffic pattern.
     #[test]
     fn queue_never_overflows(
@@ -113,9 +163,9 @@ proptest! {
         // Step in small increments, checking occupancy along the way.
         for step in 1..=40u64 {
             sim.run_until(Time::from_millis(step * 50));
-            prop_assert!(sim.link().queue.bytes() <= cap);
+            prop_assert!(sim.link_at(LinkId(0)).queue.bytes() <= cap);
         }
-        prop_assert!(sim.link().queue.peak_bytes() <= cap);
+        prop_assert!(sim.link_at(LinkId(0)).queue.peak_bytes() <= cap);
     }
 }
 

@@ -7,10 +7,11 @@
 //! uses — so any scenario the fuzzer ever produced can be recreated (and
 //! committed as a regression fixture) from two integers, and every
 //! search-found counterexample lives in the same parameter space as the
-//! fuzzed suite. The six families are adversarial compositions the paper's
+//! fuzzed suite. The families are adversarial compositions the paper's
 //! fixed 21-trace suite never exercises: flash crowds, bandwidth cliffs,
-//! jitter storms, lossy wireless links, buffer-depth sweeps, and
-//! cross-traffic churn.
+//! jitter storms, lossy wireless links, buffer-depth sweeps, cross-traffic
+//! churn, incast fan-in bursts, and parking-lot RTT unfairness — the last
+//! two on multi-hop topologies.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -34,17 +35,24 @@ pub enum Family {
     BufferSweep,
     /// Competitors of mixed kernels continually arriving and departing.
     CrossTrafficChurn,
+    /// A synchronized burst of senders fanning into one incast root.
+    IncastBurst,
+    /// A multi-hop parking lot where one-hop competitors squeeze the
+    /// long flow.
+    ParkingLotUnfairness,
 }
 
 impl Family {
     /// Every family, in canonical order.
-    pub const ALL: [Family; 6] = [
+    pub const ALL: [Family; 8] = [
         Family::FlashCrowd,
         Family::BandwidthCliff,
         Family::JitterStorm,
         Family::LossyWireless,
         Family::BufferSweep,
         Family::CrossTrafficChurn,
+        Family::IncastBurst,
+        Family::ParkingLotUnfairness,
     ];
 
     /// The family's canonical kebab-case name.
@@ -56,6 +64,8 @@ impl Family {
             Family::LossyWireless => "lossy-wireless",
             Family::BufferSweep => "buffer-sweep",
             Family::CrossTrafficChurn => "cross-traffic-churn",
+            Family::IncastBurst => "incast-burst",
+            Family::ParkingLotUnfairness => "parking-lot-unfairness",
         }
     }
 
@@ -132,11 +142,11 @@ mod tests {
     #[test]
     fn suite_is_distinct_and_covers_arrival_departure() {
         let suite = fuzz_suite(&Family::ALL, 8);
-        assert_eq!(suite.len(), 48);
+        assert_eq!(suite.len(), 64);
         let mut names: Vec<&str> = suite.iter().map(|s| s.name.as_str()).collect();
         names.sort();
         names.dedup();
-        assert_eq!(names.len(), 48, "scenario names must be unique");
+        assert_eq!(names.len(), 64, "scenario names must be unique");
         // Multi-flow scenarios with both arrivals and departures exist.
         let churny = suite
             .iter()
@@ -151,6 +161,30 @@ mod tests {
         for s in &suite {
             let back = ScenarioSpec::from_json(&s.to_json()).expect("parses");
             assert_eq!(back.to_json(), s.to_json());
+        }
+    }
+
+    #[test]
+    fn multi_hop_families_generate_multi_hop_topologies() {
+        use crate::spec::TopologySpec;
+        for seed in 0..4 {
+            let burst = generate(Family::IncastBurst, seed);
+            assert!(
+                matches!(burst.topology, TopologySpec::Incast { fan_in } if fan_in >= 2),
+                "{:?}",
+                burst.topology
+            );
+            assert!(burst.cross_traffic.len() >= 2, "a burst needs a crowd");
+
+            let lot = generate(Family::ParkingLotUnfairness, seed);
+            assert!(
+                matches!(lot.topology, TopologySpec::ParkingLot { hops, .. } if hops >= 2),
+                "{:?}",
+                lot.topology
+            );
+            assert!(!lot.cross_traffic.is_empty());
+            // Competitors stay to the end so the unfairness is sustained.
+            assert!(lot.cross_traffic.iter().all(|c| c.stop.is_none()));
         }
     }
 

@@ -9,12 +9,16 @@
 //!   experiment: a bandwidth *program* composed from combinators over
 //!   [`canopy_netsim::BandwidthTrace`] (scale, shift, clamp, concat,
 //!   splice, periodic repeat), buffer depth, a time-scheduled impairment
-//!   program, observation noise, and a multi-flow schedule with staggered
-//!   arrivals/departures and baseline cross-traffic.
-//! * [`gen`] — seeded generators for six named stress families
+//!   program, observation noise, a multi-flow schedule with staggered
+//!   arrivals/departures and baseline cross-traffic, and a
+//!   [`TopologySpec`] selecting the network shape (dumbbell,
+//!   parking-lot, or incast).
+//! * [`gen`] — seeded generators for eight named stress families
 //!   (flash-crowd, bandwidth-cliff, jitter-storm, lossy-wireless,
-//!   buffer-sweep, cross-traffic-churn); any scenario reproduces from
-//!   `(family, seed)` alone and round-trips through JSON.
+//!   buffer-sweep, cross-traffic-churn, incast-burst,
+//!   parking-lot-unfairness — the last two on multi-hop topologies); any
+//!   scenario reproduces from `(family, seed)` alone and round-trips
+//!   through JSON.
 //! * [`runner`] — a `Scheme × Scenario` matrix executor fanned over the
 //!   `canopy_core::pool` worker pool, emitting per-scenario metrics
 //!   (throughput, p95 queuing delay, loss, Jain fairness, `QC_sat`,
@@ -41,4 +45,4 @@ pub use runner::{
     run_matrix, run_matrix_with_threads, run_scenario, ScenarioMetrics, ScenarioReport,
     REPORT_SCHEMA,
 };
-pub use spec::{CrossFlow, ScenarioSpec, SpecError, TraceProgram};
+pub use spec::{CompiledTopology, CrossFlow, ScenarioSpec, SpecError, TopologySpec, TraceProgram};

@@ -23,7 +23,7 @@ use canopy_netsim::link::{ImpairmentPhase, ImpairmentSchedule};
 use canopy_netsim::Time;
 
 use crate::gen::Family;
-use crate::spec::{CrossFlow, ScenarioSpec, TraceProgram};
+use crate::spec::{CrossFlow, ScenarioSpec, TopologySpec, TraceProgram};
 
 /// How a parameter's real-valued slot is interpreted on decode.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -93,6 +93,11 @@ const FLASH_CROWD_MAX_FLOWS: u64 = 6;
 const CHURN_MAX_FLOWS: u64 = 5;
 /// Maximum storm slots carried by the jitter-storm vector.
 const STORM_MAX: u64 = 2;
+/// Maximum sender slots carried by the incast-burst vector.
+const INCAST_MAX_SENDERS: u64 = 6;
+/// Maximum hop count (and thus competitor slots: one per hop) carried by
+/// the parking-lot vector.
+const LOT_MAX_HOPS: u64 = 5;
 
 /// The parameter template shared by every family: propagation RTT and
 /// experiment horizon.
@@ -213,6 +218,46 @@ pub fn param_defs(family: Family) -> Vec<ParamDef> {
                 });
             }
         }
+        Family::IncastBurst => {
+            defs.extend([
+                ParamDef::int("fan_in", 2, 8),
+                ParamDef::cont("root_mbps", 12.0, 48.0),
+                ParamDef::cont("buffer_bdp", 0.5, 2.0),
+                ParamDef::cont("arrive_frac", 0.1, 0.4),
+                ParamDef::cont("dwell_frac", 0.3, 0.6),
+                ParamDef::int("n_senders", 2, INCAST_MAX_SENDERS),
+            ]);
+            for i in 0..INCAST_MAX_SENDERS {
+                defs.push(ParamDef {
+                    name: flow_param_name("stagger_ms", i),
+                    lo: 0.0,
+                    hi: 50.0,
+                    kind: ParamKind::Int,
+                });
+                defs.push(ParamDef {
+                    name: flow_param_name("rtt_ms", i),
+                    lo: 10.0,
+                    hi: 80.0,
+                    kind: ParamKind::Int,
+                });
+            }
+        }
+        Family::ParkingLotUnfairness => {
+            defs.extend([
+                ParamDef::int("hops", 2, LOT_MAX_HOPS),
+                ParamDef::int("hop_delay_ms", 2, 15),
+                ParamDef::cont("rate_mbps", 16.0, 64.0),
+                ParamDef::cont("buffer_bdp", 0.5, 2.0),
+            ]);
+            for i in 0..LOT_MAX_HOPS {
+                defs.push(ParamDef {
+                    name: flow_param_name("start_frac", i),
+                    lo: 0.0,
+                    hi: 0.1,
+                    kind: ParamKind::Continuous,
+                });
+            }
+        }
     }
     defs
 }
@@ -236,6 +281,7 @@ fn flow_param_name(prefix: &'static str, i: u64) -> &'static str {
         "calm_frac" => [0, 1],
         "start_frac" => [0, 1, 2, 3, 4],
         "dwell_frac" => [0, 1, 2, 3, 4],
+        "stagger_ms" => [0, 1, 2, 3, 4, 5],
     )
 }
 
@@ -329,6 +375,8 @@ pub fn decode(family: Family, seed: u64, x: &[f64], max_duration: Option<Time>) 
         Family::LossyWireless => lossy_wireless(&mut p, &mut spec),
         Family::BufferSweep => buffer_sweep(&mut p, &mut spec),
         Family::CrossTrafficChurn => cross_traffic_churn(&mut p, &mut spec),
+        Family::IncastBurst => incast_burst(&mut p, &mut spec),
+        Family::ParkingLotUnfairness => parking_lot_unfairness(&mut p, &mut spec),
     }
     debug_assert_eq!(p.i, defs.len(), "{}: unconsumed parameters", family.name());
     debug_assert!(spec.validate().is_ok(), "{:?}", spec.validate());
@@ -517,6 +565,69 @@ fn cross_traffic_churn(p: &mut Params<'_>, spec: &mut ScenarioSpec) {
             start: Time::from_secs_f64(start),
             stop: Some(Time::from_secs_f64(stop)),
             min_rtt: Time::from_millis(rtt_ms),
+        });
+    }
+}
+
+/// A synchronized burst: the primary flow owns its incast leaf, then a
+/// crowd of senders on the other leaves arrives almost at once and hammers
+/// the shared root — the fan-in collapse regime.
+fn incast_burst(p: &mut Params<'_>, spec: &mut ScenarioSpec) {
+    let fan_in = p.next_usize();
+    spec.topology = TopologySpec::Incast { fan_in };
+    spec.trace = TraceProgram::Constant {
+        rate_bps: p.next() * MBPS,
+    };
+    spec.buffer_bdp = p.next();
+    let d = spec.duration.as_secs_f64();
+    let arrive = p.next() * d;
+    let dwell = p.next() * d;
+    let n = p.next_usize();
+    for i in 0..INCAST_MAX_SENDERS as usize {
+        // Senders arrive within tens of milliseconds of each other;
+        // inactive slots still consume their parameters so the vector
+        // layout is fixed.
+        let stagger_ms = p.next_u64();
+        let rtt_ms = p.next_u64();
+        if i >= n {
+            continue;
+        }
+        let start = arrive + stagger_ms as f64 / 1e3;
+        spec.cross_traffic.push(CrossFlow {
+            cc: "cubic".into(),
+            start: Time::from_secs_f64(start),
+            stop: Some(Time::from_secs_f64((start + dwell).min(0.95 * d))),
+            min_rtt: Time::from_millis(rtt_ms),
+        });
+    }
+}
+
+/// The classic RTT-unfairness construction: the primary flow crosses every
+/// hop of a parking lot while one-hop competitors (same propagation RTT)
+/// each squeeze a single queue. Every hop gets exactly one competitor —
+/// the canonical shape — and competitors arrive early and stay to the end,
+/// so any throughput gap is the path length's doing alone.
+fn parking_lot_unfairness(p: &mut Params<'_>, spec: &mut ScenarioSpec) {
+    let hops = p.next_usize();
+    let hop_delay = Time::from_millis(p.next_u64());
+    spec.topology = TopologySpec::ParkingLot { hops, hop_delay };
+    spec.trace = TraceProgram::Constant {
+        rate_bps: p.next() * MBPS,
+    };
+    spec.buffer_bdp = p.next();
+    let d = spec.duration.as_secs_f64();
+    for i in 0..LOT_MAX_HOPS as usize {
+        // Inactive hop slots still consume their parameter so the vector
+        // layout is fixed.
+        let start_frac = p.next();
+        if i >= hops {
+            continue;
+        }
+        spec.cross_traffic.push(CrossFlow {
+            cc: "cubic".into(),
+            start: Time::from_secs_f64(start_frac * d),
+            stop: None,
+            min_rtt: spec.primary_min_rtt,
         });
     }
 }

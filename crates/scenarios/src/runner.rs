@@ -7,11 +7,15 @@
 //! all of its state (simulator, RNG streams, verifier) and the pool
 //! preserves job order.
 
+use std::collections::BTreeMap;
+
 use serde::{Deserialize, Serialize};
 
 use canopy_cc::Cubic;
 use canopy_core::driver::{DriverConfig, DriverPolicy, OrcaDriver};
-use canopy_core::eval::{flow_metrics, jain_index, QcEval, RunMetrics, Scheme};
+use canopy_core::eval::{
+    flow_metrics, jain_index, link_metrics, LinkMetrics, QcEval, RunMetrics, Scheme,
+};
 use canopy_core::pool;
 use canopy_core::runtime::FallbackController;
 use canopy_netsim::{FlowConfig, FlowId, Simulator, Time};
@@ -29,17 +33,27 @@ pub struct ScenarioMetrics {
     pub seed: u64,
     /// The scheme under test.
     pub scheme: String,
+    /// The topology label (`dumbbell`, `parking-lot-3`, `incast-8`).
+    pub topology: String,
     /// Total flows that took part (primary + cross traffic).
     pub flows: usize,
     /// The primary flow's metrics, normalized to its active interval.
     pub primary: RunMetrics,
     /// Jain fairness over all flows' active-interval throughputs — only
     /// meaningful when the scenario actually shares the bottleneck, so
-    /// single-flow scenarios report `None` instead of a trivial 1.0
-    /// (schema `canopy-scenarios-report/v2`).
+    /// single-flow scenarios report `None` instead of a trivial 1.0.
     pub jain_fairness: Option<f64>,
+    /// Jain fairness *across hop counts*: flows are grouped by how many
+    /// links their path crosses, each group contributes its mean
+    /// throughput, and the index is taken over the group means. `1.0`
+    /// means path length costs nothing; a parking lot's RTT unfairness
+    /// shows up as a value well below it. Present only when at least two
+    /// distinct hop counts actually ran (so dumbbells report `None`).
+    pub hop_fairness: Option<f64>,
     /// Each cross flow's active-interval throughput, Mbps (spec order).
     pub cross_throughput_mbps: Vec<f64>,
+    /// Per-link utilization and queue occupancy, in topology order.
+    pub links: Vec<LinkMetrics>,
 }
 
 /// Runs one scheme over one scenario.
@@ -56,8 +70,8 @@ pub fn run_scenario(
     qc: Option<&QcEval>,
 ) -> Result<ScenarioMetrics, SpecError> {
     spec.validate()?;
-    let link = spec.link()?;
-    let mut sim = Simulator::new(link.clone());
+    let compiled = spec.compile_topology()?;
+    let mut sim = Simulator::with_topology(compiled.topology.clone());
 
     let primary_cc: Box<dyn canopy_netsim::CongestionControl> = match scheme {
         Scheme::Baseline(name) => canopy_cc::by_name(name)
@@ -65,20 +79,28 @@ pub fn run_scenario(
         // Learned controllers steer a Cubic kernel, exactly as in training.
         Scheme::Learned(_) | Scheme::LearnedFallback { .. } => Box::new(Cubic::new()),
     };
-    let primary = sim.add_flow(FlowConfig::new(spec.primary_min_rtt), primary_cc);
+    let primary = sim.add_flow(
+        FlowConfig::new(spec.primary_min_rtt).on_path(compiled.primary_path.clone()),
+        primary_cc,
+    );
 
     let mut cross_ids: Vec<FlowId> = Vec::with_capacity(spec.cross_traffic.len());
-    for cf in &spec.cross_traffic {
+    for (cf, path) in spec.cross_traffic.iter().zip(&compiled.cross_paths) {
         let cc = canopy_cc::by_name(&cf.cc)
             .ok_or_else(|| SpecError(format!("unknown cross kernel `{}`", cf.cc)))?;
         let mut cfg = FlowConfig::new(cf.min_rtt)
             .starting_at(cf.start)
-            .without_samples();
+            .without_samples()
+            .on_path(path.clone());
         if let Some(stop) = cf.stop {
             cfg = cfg.stopping_at(stop);
         }
         cross_ids.push(sim.add_flow(cfg, cc));
     }
+
+    // The learned driver is parameterized by the link it regulates: on a
+    // multi-hop path that is the primary flow's bottleneck hop.
+    let link = compiled.topology.link(sim.bottleneck_of(primary)).clone();
 
     // The learned decision loop is the shared `OrcaDriver` — the same
     // runtime every other harness uses, bitwise — configured from the
@@ -155,15 +177,43 @@ pub fn run_scenario(
         jain_index(&shares)
     });
 
+    // Cross-hop fairness: group every flow that ran by its path length and
+    // score Jain over the per-group mean throughputs. Only meaningful when
+    // path lengths actually differ (a dumbbell has one group).
+    let mut by_hops: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+    for &f in std::iter::once(&primary).chain(&cross_ids) {
+        if f == primary || sim.flow_stats(f).active_duration(now) > Time::ZERO {
+            let share = if f == primary {
+                metrics.throughput_mbps
+            } else {
+                sim.flow_stats(f).throughput_mbps(now)
+            };
+            by_hops
+                .entry(sim.flow_path(f).len())
+                .or_default()
+                .push(share);
+        }
+    }
+    let hop_fairness = (by_hops.len() >= 2).then(|| {
+        let means: Vec<f64> = by_hops
+            .values()
+            .map(|g| g.iter().sum::<f64>() / g.len() as f64)
+            .collect();
+        jain_index(&means)
+    });
+
     Ok(ScenarioMetrics {
         scenario: spec.name.clone(),
         family: spec.family.clone(),
         seed: spec.seed,
         scheme: scheme.name(),
+        topology: spec.topology.label(),
         flows: 1 + spec.cross_traffic.len(),
         primary: metrics,
         jain_fairness,
+        hop_fairness,
         cross_throughput_mbps,
+        links: link_metrics(&sim),
     })
 }
 
@@ -202,7 +252,12 @@ pub fn run_matrix_with_threads(
 /// The report schema tag; bump when [`ScenarioMetrics`] fields change.
 /// v2: `jain_fairness` became nullable (present exactly for multi-flow
 /// scenarios) and the primary metrics gained `acked_packets`.
-pub const REPORT_SCHEMA: &str = "canopy-scenarios-report/v2";
+/// v3: cells gained a `topology` label, per-link `links` columns
+/// (utilization, mean/peak queue bytes, drops — one row per link in
+/// topology order), and nullable `hop_fairness` (Jain over per-hop-count
+/// mean throughputs, present exactly when ≥ 2 distinct path lengths ran).
+/// Dumbbell cells keep their v2 metric values unchanged.
+pub const REPORT_SCHEMA: &str = "canopy-scenarios-report/v3";
 
 /// The aggregate output of a matrix run (`SCENARIOS_report.json`).
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -290,6 +345,29 @@ impl ScenarioReport {
                     return Err(format!("{tag}: multi-flow scenario missing Jain index"));
                 }
                 _ => {}
+            }
+            if r.topology.is_empty() {
+                return Err(format!("{tag}: empty topology label"));
+            }
+            if let Some(h) = r.hop_fairness {
+                if !(0.0..=1.0).contains(&h) {
+                    return Err(format!("{tag}: hop fairness {h} outside [0,1]"));
+                }
+                if r.topology == "dumbbell" {
+                    return Err(format!("{tag}: hop fairness on a single-hop topology"));
+                }
+            }
+            if r.links.is_empty() {
+                return Err(format!("{tag}: no per-link columns"));
+            }
+            for lm in &r.links {
+                let ok = lm.utilization.is_finite()
+                    && lm.utilization >= 0.0
+                    && lm.mean_queue_bytes.is_finite()
+                    && lm.mean_queue_bytes >= 0.0;
+                if !ok {
+                    return Err(format!("{tag}: link {} has a bad column", lm.link));
+                }
             }
         }
         // A duplicated cell means the same (scheme, scenario) ran twice —
@@ -380,6 +458,59 @@ mod tests {
         // Scheme-major order.
         assert!(seq[..specs.len()].iter().all(|m| m.scheme == "cubic"));
         assert!(seq[specs.len()..].iter().all(|m| m.scheme == "bbr"));
+    }
+
+    /// Generates `(family, seed)` with the experiment horizon capped at
+    /// decode time, so fractional arrival times stay inside the run —
+    /// unlike [`short`], which truncates after the schedule is resolved.
+    fn capped(family: Family, seed: u64, secs: u64) -> ScenarioSpec {
+        let mut rng = crate::gen::rng_for(family, seed);
+        let x = crate::params::sample_point(family, &mut rng);
+        crate::params::decode(family, seed, &x, Some(Time::from_secs(secs)))
+    }
+
+    #[test]
+    fn multi_hop_scenarios_fill_the_new_columns() {
+        // A parking lot: the long flow crosses every hop against per-hop
+        // competitors, so hop fairness must exist and sit below 1, and the
+        // short-hop flows must outrun the long one (RTT unfairness).
+        let spec = capped(Family::ParkingLotUnfairness, 0, 6);
+        let m = run_scenario(&Scheme::Baseline("cubic".into()), &spec, None).expect("runs");
+        assert!(m.topology.starts_with("parking-lot-"), "{}", m.topology);
+        assert!(m.links.len() >= 2, "one column per hop: {:?}", m.links);
+        let hop = m.hop_fairness.expect("distinct hop counts ran");
+        assert!((0.0..=1.0).contains(&hop));
+        let best_cross = m
+            .cross_throughput_mbps
+            .iter()
+            .cloned()
+            .fold(f64::NAN, f64::max);
+        assert!(
+            best_cross > m.primary.throughput_mbps,
+            "short-hop {best_cross} vs long-hop {}",
+            m.primary.throughput_mbps
+        );
+
+        // An incast burst: the root (link 0) is where the pain lands.
+        let spec = capped(Family::IncastBurst, 0, 6);
+        let m = run_scenario(&Scheme::Baseline("cubic".into()), &spec, None).expect("runs");
+        assert!(m.topology.starts_with("incast-"), "{}", m.topology);
+        assert!(m.links.len() >= 3);
+        let root = &m.links[0];
+        assert!(
+            m.links[1..]
+                .iter()
+                .all(|l| root.mean_queue_bytes >= l.mean_queue_bytes),
+            "root must queue hardest: {:?}",
+            m.links
+        );
+
+        // Dumbbell cells keep the columns trivial: one link, no hop split.
+        let spec = short(generate(Family::FlashCrowd, 0));
+        let m = run_scenario(&Scheme::Baseline("cubic".into()), &spec, None).expect("runs");
+        assert_eq!(m.topology, "dumbbell");
+        assert_eq!(m.links.len(), 1);
+        assert!(m.hop_fairness.is_none());
     }
 
     #[test]

@@ -8,10 +8,10 @@
 //! reproduced from the spec alone, and a fuzzer-found regression can be
 //! committed as a fixture.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use canopy_core::env::NoiseConfig;
-use canopy_netsim::{BandwidthTrace, ImpairmentSchedule, LinkConfig, Time};
+use canopy_netsim::{BandwidthTrace, ImpairmentSchedule, LinkConfig, LinkId, Time, Topology};
 
 /// A failure to interpret a scenario specification.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -167,6 +167,135 @@ impl TraceProgram {
     }
 }
 
+/// Which topology a scenario runs over.
+///
+/// The spec's [`TraceProgram`] always describes the *bottleneck* link; the
+/// topology decides how many copies of it exist and how flows route across
+/// them. The scenario layer fixes the routing conventions (below) so a
+/// topology is fully determined by one or two integers, which keeps it
+/// fuzzable and searchable:
+///
+/// * [`Dumbbell`](TopologySpec::Dumbbell) — the classic single bottleneck,
+///   every flow on it. The default; runs are bit-for-bit identical to the
+///   pre-topology engine.
+/// * [`ParkingLot`](TopologySpec::ParkingLot) — `hops` copies of the
+///   bottleneck in series, each adding `hop_delay` of forwarding delay.
+///   The primary flow crosses every hop; cross flow `i` crosses only hop
+///   `i % hops`. Impairments apply to the first hop only.
+/// * [`Incast`](TopologySpec::Incast) — `fan_in` leaf uplinks (the
+///   bottleneck trace scaled ×2) fanning into one root bottleneck.
+///   Sender `i` (primary is sender 0, cross flow `j` is sender `j + 1`)
+///   routes leaf `1 + i % fan_in` → root. Impairments apply to the root.
+///
+/// Serialized as `"dumbbell"`, `{"parking-lot": {...}}`, or
+/// `{"incast": {...}}`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// One bottleneck link shared by every flow (the historical model).
+    #[default]
+    Dumbbell,
+    /// `hops` bottlenecks in series; the primary crosses all of them.
+    ParkingLot {
+        /// Number of hops in series (2–8).
+        hops: usize,
+        /// Forwarding delay added per hop crossed (on top of the flow's
+        /// `min_rtt`, which models the ACK return path).
+        hop_delay: Time,
+    },
+    /// `fan_in` leaf uplinks feeding one shared root bottleneck.
+    Incast {
+        /// Number of leaf uplinks (2–16).
+        fan_in: usize,
+    },
+}
+
+impl TopologySpec {
+    /// A short identity label for report columns (`dumbbell`,
+    /// `parking-lot-3`, `incast-8`).
+    pub fn label(&self) -> String {
+        match self {
+            TopologySpec::Dumbbell => "dumbbell".to_string(),
+            TopologySpec::ParkingLot { hops, .. } => format!("parking-lot-{hops}"),
+            TopologySpec::Incast { fan_in } => format!("incast-{fan_in}"),
+        }
+    }
+
+    /// Rejects degenerate shapes (hop counts and fan-ins outside the
+    /// ranges the builders support). Public so front-ends (`scenario_lab
+    /// --topology`) can fail at parse time with the same bounds the spec
+    /// enforces.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        match self {
+            TopologySpec::Dumbbell => Ok(()),
+            TopologySpec::ParkingLot { hops, .. } => {
+                if !(2..=8).contains(hops) {
+                    return Err(err(format!("parking-lot hops {hops} outside 2..=8")));
+                }
+                Ok(())
+            }
+            TopologySpec::Incast { fan_in } => {
+                if !(2..=16).contains(fan_in) {
+                    return Err(err(format!("incast fan_in {fan_in} outside 2..=16")));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+// The serde shim's derive cannot express kebab-case variant names, so the
+// wire format (`"dumbbell"` / `{"parking-lot": {...}}` / `{"incast":
+// {...}}`) is implemented by hand over its value tree.
+impl Serialize for TopologySpec {
+    fn to_value(&self) -> Value {
+        match self {
+            TopologySpec::Dumbbell => Value::String("dumbbell".to_string()),
+            TopologySpec::ParkingLot { hops, hop_delay } => {
+                let mut inner = serde::Map::new();
+                inner.insert("hop_delay".to_string(), hop_delay.to_value());
+                inner.insert("hops".to_string(), Value::U64(*hops as u64));
+                let mut outer = serde::Map::new();
+                outer.insert("parking-lot".to_string(), Value::Object(inner));
+                Value::Object(outer)
+            }
+            TopologySpec::Incast { fan_in } => {
+                let mut inner = serde::Map::new();
+                inner.insert("fan_in".to_string(), Value::U64(*fan_in as u64));
+                let mut outer = serde::Map::new();
+                outer.insert("incast".to_string(), Value::Object(inner));
+                Value::Object(outer)
+            }
+        }
+    }
+}
+
+impl Deserialize for TopologySpec {
+    fn from_value(v: &Value) -> Result<TopologySpec, serde::Error> {
+        let bad = || {
+            serde::Error::custom(
+                "expected \"dumbbell\", {\"parking-lot\": ...}, or {\"incast\": ...}",
+            )
+        };
+        match v {
+            Value::String(s) if s == "dumbbell" => Ok(TopologySpec::Dumbbell),
+            Value::Object(m) if m.len() == 1 => {
+                let (variant, inner) = m.iter().next().expect("len == 1");
+                match variant.as_str() {
+                    "parking-lot" => Ok(TopologySpec::ParkingLot {
+                        hops: usize::from_value(&inner["hops"])?,
+                        hop_delay: Time::from_value(&inner["hop_delay"])?,
+                    }),
+                    "incast" => Ok(TopologySpec::Incast {
+                        fan_in: usize::from_value(&inner["fan_in"])?,
+                    }),
+                    _ => Err(bad()),
+                }
+            }
+            _ => Err(bad()),
+        }
+    }
+}
+
 /// One competitor flow sharing the bottleneck with the scheme under test.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct CrossFlow {
@@ -205,6 +334,23 @@ pub struct ScenarioSpec {
     pub noise: Option<NoiseConfig>,
     /// Baseline cross-traffic with staggered arrivals/departures.
     pub cross_traffic: Vec<CrossFlow>,
+    /// The topology the scenario runs over. Defaults to the dumbbell, so
+    /// specs predating the topology field (and hand-written ones that
+    /// never think about routing) keep their historical meaning.
+    #[serde(default)]
+    pub topology: TopologySpec,
+}
+
+/// The concrete network a spec compiles to: the topology plus the routing
+/// the scenario layer's conventions assign to each flow.
+#[derive(Clone, Debug)]
+pub struct CompiledTopology {
+    /// The links, ready for [`canopy_netsim::Simulator::with_topology`].
+    pub topology: Topology,
+    /// The primary (scheme-under-test) flow's path.
+    pub primary_path: Vec<LinkId>,
+    /// One path per cross flow, in spec order.
+    pub cross_paths: Vec<Vec<LinkId>>,
 }
 
 impl ScenarioSpec {
@@ -222,6 +368,7 @@ impl ScenarioSpec {
             impairments: None,
             noise: None,
             cross_traffic: Vec::new(),
+            topology: TopologySpec::Dumbbell,
         }
     }
 
@@ -242,6 +389,7 @@ impl ScenarioSpec {
             impairments: None,
             noise: None,
             cross_traffic: Vec::new(),
+            topology: TopologySpec::Dumbbell,
         }
     }
 
@@ -260,6 +408,7 @@ impl ScenarioSpec {
         if self.primary_min_rtt == Time::ZERO {
             return Err(err("primary_min_rtt must be positive"));
         }
+        self.topology.validate()?;
         let trace = self.trace.compile()?;
         if trace.peak_rate() <= 0.0 {
             return Err(err("bandwidth program is a permanent outage"));
@@ -301,16 +450,58 @@ impl ScenarioSpec {
         Ok(())
     }
 
-    /// Compiles the link this scenario runs over (trace, BDP-sized buffer,
-    /// impairment program). Does not re-run [`validate`](Self::validate);
-    /// callers interpreting untrusted specs should validate first.
-    pub fn link(&self) -> Result<LinkConfig, SpecError> {
+    /// Compiles the network this scenario runs over: the bandwidth program
+    /// becomes the bottleneck link (trace, BDP-sized buffer, impairment
+    /// program), the [`topology`](Self::topology) decides how many copies
+    /// of it exist and where impairments attach, and the scenario layer's
+    /// routing conventions (see [`TopologySpec`]) assign every flow its
+    /// path. Does not re-run [`validate`](Self::validate); callers
+    /// interpreting untrusted specs should validate first.
+    pub fn compile_topology(&self) -> Result<CompiledTopology, SpecError> {
         let trace = self.trace.compile()?;
-        let mut link = LinkConfig::with_bdp_buffer(trace, self.primary_min_rtt, self.buffer_bdp);
-        if let Some(sched) = &self.impairments {
-            link = link.with_impairment_schedule(sched.clone());
-        }
-        Ok(link)
+        let plain = LinkConfig::with_bdp_buffer(trace, self.primary_min_rtt, self.buffer_bdp);
+        let impaired = match &self.impairments {
+            Some(sched) => plain.clone().with_impairment_schedule(sched.clone()),
+            None => plain.clone(),
+        };
+        let n_cross = self.cross_traffic.len();
+        Ok(match self.topology {
+            TopologySpec::Dumbbell => CompiledTopology {
+                topology: Topology::dumbbell(impaired),
+                primary_path: vec![LinkId(0)],
+                cross_paths: vec![vec![LinkId(0)]; n_cross],
+            },
+            TopologySpec::ParkingLot { hops, hop_delay } => {
+                // Impairments live on the first hop only; cloning the
+                // schedule onto every hop would multiply the loss rate and
+                // replay one RNG stream per copy.
+                let mut links = vec![impaired.with_delay(hop_delay)];
+                links.extend(std::iter::repeat_n(plain.with_delay(hop_delay), hops - 1));
+                CompiledTopology {
+                    topology: Topology::new(links),
+                    primary_path: Topology::parking_lot_long_path(hops),
+                    cross_paths: (0..n_cross)
+                        .map(|i| Topology::parking_lot_hop_path(i, hops))
+                        .collect(),
+                }
+            }
+            TopologySpec::Incast { fan_in } => {
+                // Leaf uplinks run the bottleneck program at 2× so the
+                // root is where fan-in congestion concentrates.
+                let leaf = LinkConfig::with_bdp_buffer(
+                    plain.trace.scaled(2.0),
+                    self.primary_min_rtt,
+                    self.buffer_bdp,
+                );
+                CompiledTopology {
+                    topology: Topology::incast(impaired, leaf, fan_in),
+                    primary_path: Topology::incast_path(0, fan_in),
+                    cross_paths: (0..n_cross)
+                        .map(|i| Topology::incast_path(i + 1, fan_in))
+                        .collect(),
+                }
+            }
+        })
     }
 
     /// Serializes the spec to deterministic JSON (sorted keys).
@@ -455,6 +646,100 @@ mod tests {
             min_rtt: Time::from_millis(20),
         });
         assert!(inverted.validate().is_err());
+    }
+
+    #[test]
+    fn topologies_round_trip_and_compile() {
+        let base = ScenarioSpec::simple("topo", 24e6, Time::from_millis(30), Time::from_secs(6));
+        let lot = TopologySpec::ParkingLot {
+            hops: 3,
+            hop_delay: Time::from_millis(5),
+        };
+        let tree = TopologySpec::Incast { fan_in: 4 };
+        for topology in [TopologySpec::Dumbbell, lot, tree] {
+            let mut spec = base.clone();
+            spec.topology = topology;
+            spec.cross_traffic.push(CrossFlow {
+                cc: "cubic".into(),
+                start: Time::ZERO,
+                stop: None,
+                min_rtt: Time::from_millis(30),
+            });
+            let text = spec.to_json();
+            let back = ScenarioSpec::from_json(&text).expect("parses");
+            assert_eq!(back.topology, topology);
+            assert_eq!(back.to_json(), text);
+            assert!(back.validate().is_ok());
+
+            let compiled = back.compile_topology().expect("compiles");
+            assert_eq!(compiled.cross_paths.len(), 1);
+            let topo = &compiled.topology;
+            assert!(topo.validate_path(&compiled.primary_path).is_ok());
+            assert!(topo.validate_path(&compiled.cross_paths[0]).is_ok());
+            match topology {
+                TopologySpec::Dumbbell => {
+                    assert_eq!(topo.len(), 1);
+                    assert_eq!(compiled.primary_path, vec![LinkId(0)]);
+                }
+                TopologySpec::ParkingLot { hops, hop_delay } => {
+                    assert_eq!(topo.len(), hops);
+                    assert_eq!(compiled.primary_path.len(), hops);
+                    assert_eq!(compiled.cross_paths[0], vec![LinkId(0)]);
+                    for l in 0..hops {
+                        assert_eq!(topo.link(LinkId(l)).delay, hop_delay);
+                    }
+                    // Impairments (none here) would attach to hop 0 only.
+                    assert!(topo.link(LinkId(1)).schedule.is_none());
+                }
+                TopologySpec::Incast { fan_in } => {
+                    assert_eq!(topo.len(), 1 + fan_in);
+                    assert_eq!(compiled.primary_path.last(), Some(&LinkId(0)));
+                    // Leaves carry 2× the root's rate.
+                    let root = topo.link(LinkId(0)).trace.rate_at(Time::ZERO);
+                    let leaf = topo.link(LinkId(1)).trace.rate_at(Time::ZERO);
+                    assert_eq!(leaf, 2.0 * root);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn specs_without_a_topology_field_default_to_dumbbell() {
+        let spec = ScenarioSpec::simple("old", 24e6, Time::from_millis(30), Time::from_secs(6));
+        let text = spec.to_json();
+        assert!(text.contains("\"topology\":\"dumbbell\""));
+        // A pre-topology spec (no `topology` key at all) still parses.
+        let legacy = text.replace(",\"topology\":\"dumbbell\"", "");
+        assert_ne!(legacy, text, "key must have been removed");
+        let back = ScenarioSpec::from_json(&legacy).expect("legacy specs parse");
+        assert_eq!(back.topology, TopologySpec::Dumbbell);
+    }
+
+    #[test]
+    fn topology_validation_rejects_degenerate_shapes() {
+        let base = ScenarioSpec::simple("bad", 24e6, Time::from_millis(30), Time::from_secs(6));
+        for (topology, what) in [
+            (
+                TopologySpec::ParkingLot {
+                    hops: 1,
+                    hop_delay: Time::ZERO,
+                },
+                "1-hop parking lot",
+            ),
+            (
+                TopologySpec::ParkingLot {
+                    hops: 9,
+                    hop_delay: Time::ZERO,
+                },
+                "9-hop parking lot",
+            ),
+            (TopologySpec::Incast { fan_in: 1 }, "1-leaf incast"),
+            (TopologySpec::Incast { fan_in: 17 }, "17-leaf incast"),
+        ] {
+            let mut spec = base.clone();
+            spec.topology = topology;
+            assert!(spec.validate().is_err(), "{what} must be rejected");
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     #[test]
-    fn spec_json_round_trip_is_lossless(family_idx in 0usize..6, seed in 0u64..1000) {
+    fn spec_json_round_trip_is_lossless(family_idx in 0usize..8, seed in 0u64..1000) {
         let spec = generate(Family::ALL[family_idx], seed);
         let text = spec.to_json();
         let back = ScenarioSpec::from_json(&text).expect("generated specs parse");
@@ -39,7 +39,7 @@ proptest! {
 
     #[test]
     fn rerun_from_reparsed_spec_is_bitwise_identical(
-        family_idx in 0usize..6,
+        family_idx in 0usize..8,
         seed in 0u64..500,
     ) {
         let spec = shorten(generate(Family::ALL[family_idx], seed));

@@ -1,0 +1,147 @@
+//! Pre-refactor golden values: the topology engine must reproduce the
+//! single-link engine bitwise on dumbbells.
+//!
+//! Every value below was recorded from the committed
+//! `canopy-scenarios-report/v2` matrix, which was generated *before*
+//! `canopy_netsim` grew the multi-hop topology graph (per-link calendar
+//! lanes, HopArrival forwarding, per-link queues). A dumbbell run takes
+//! none of the new code paths — single lane, hop 0, no accrued forwarding
+//! delay, identical RNG draw order — so the refactored engine must hit
+//! these f64s exactly, not approximately. Any drift here means the
+//! refactor changed single-bottleneck behaviour, which invalidates every
+//! committed (family, seed) reference and fixture.
+
+use canopy_core::eval::Scheme;
+use canopy_scenarios::{generate, run_scenario, Family};
+
+struct GoldenCell {
+    family: Family,
+    seed: u64,
+    throughput_mbps: f64,
+    utilization: f64,
+    avg_rtt_ms: f64,
+    p95_qdelay_ms: f64,
+    losses: u64,
+    acked_packets: u64,
+    retransmits: u64,
+    jain_fairness: Option<f64>,
+    cross_throughput_mbps: &'static [f64],
+}
+
+/// One cell per pre-refactor family, spanning the RNG-bearing code paths
+/// (jitter, random loss, multi-flow churn) where a draw-order change
+/// would show up first.
+const GOLDEN: &[GoldenCell] = &[
+    GoldenCell {
+        family: Family::FlashCrowd,
+        seed: 0,
+        throughput_mbps: 107.43435897966066,
+        utilization: 0.9771166270878564,
+        avg_rtt_ms: 68.28350849086297,
+        p95_qdelay_ms: 89.23136,
+        losses: 1105,
+        acked_packets: 115269,
+        retransmits: 182,
+        jain_fairness: Some(0.210300969333391),
+        cross_throughput_mbps: &[
+            0.5397010521271307,
+            1.1406249637488144,
+            0.4258732920055301,
+            0.6361555762809843,
+        ],
+    },
+    GoldenCell {
+        family: Family::BandwidthCliff,
+        seed: 3,
+        throughput_mbps: 41.56773602354063,
+        utilization: 0.4472183619604367,
+        avg_rtt_ms: 74.00826762939901,
+        p95_qdelay_ms: 28.20681,
+        losses: 1076,
+        acked_packets: 49757,
+        retransmits: 2054,
+        jain_fairness: Some(0.9867699598423584),
+        cross_throughput_mbps: &[32.94040700621434],
+    },
+    GoldenCell {
+        family: Family::JitterStorm,
+        seed: 5,
+        throughput_mbps: 35.27321525830542,
+        utilization: 0.9987327645383202,
+        avg_rtt_ms: 98.58184064870404,
+        p95_qdelay_ms: 283.285924,
+        losses: 413,
+        acked_packets: 37412,
+        retransmits: 68,
+        jain_fairness: None,
+        cross_throughput_mbps: &[],
+    },
+    GoldenCell {
+        family: Family::LossyWireless,
+        seed: 2,
+        throughput_mbps: 13.87352116781868,
+        utilization: 0.6596874846211591,
+        avg_rtt_ms: 71.99018688426557,
+        p95_qdelay_ms: 120.386533,
+        losses: 431,
+        acked_packets: 14047,
+        retransmits: 42,
+        jain_fairness: None,
+        cross_throughput_mbps: &[],
+    },
+    GoldenCell {
+        family: Family::BufferSweep,
+        seed: 7,
+        throughput_mbps: 42.766188784155055,
+        utilization: 0.9702346267561718,
+        avg_rtt_ms: 55.375551175091964,
+        p95_qdelay_ms: 43.382848,
+        losses: 428,
+        acked_packets: 43402,
+        retransmits: 103,
+        jain_fairness: None,
+        cross_throughput_mbps: &[],
+    },
+    GoldenCell {
+        family: Family::CrossTrafficChurn,
+        seed: 1,
+        throughput_mbps: 63.7002062553926,
+        utilization: 0.8480080553915994,
+        avg_rtt_ms: 153.80461134238251,
+        p95_qdelay_ms: 264.320971,
+        losses: 1986,
+        acked_packets: 83586,
+        retransmits: 31,
+        jain_fairness: Some(0.3149482843083171),
+        cross_throughput_mbps: &[
+            18.46345372940764,
+            0.971731473673897,
+            6.713307022911762,
+            1.2299980014735772,
+            0.5863274256537334,
+        ],
+    },
+];
+
+#[test]
+fn dumbbell_cells_reproduce_the_pre_refactor_engine_bitwise() {
+    let cubic = Scheme::Baseline("cubic".into());
+    for g in GOLDEN {
+        let spec = generate(g.family, g.seed);
+        let m = run_scenario(&cubic, &spec, None).expect("runs");
+        let tag = format!("{}-s{}", g.family.name(), g.seed);
+        assert_eq!(m.topology, "dumbbell", "{tag}");
+        assert_eq!(m.primary.throughput_mbps, g.throughput_mbps, "{tag}");
+        assert_eq!(m.primary.utilization, g.utilization, "{tag}");
+        assert_eq!(m.primary.avg_rtt_ms, g.avg_rtt_ms, "{tag}");
+        assert_eq!(m.primary.p95_qdelay_ms, g.p95_qdelay_ms, "{tag}");
+        assert_eq!(m.primary.losses, g.losses, "{tag}");
+        assert_eq!(m.primary.acked_packets, g.acked_packets, "{tag}");
+        assert_eq!(m.primary.retransmits, g.retransmits, "{tag}");
+        assert_eq!(m.jain_fairness, g.jain_fairness, "{tag}");
+        assert_eq!(m.cross_throughput_mbps, g.cross_throughput_mbps, "{tag}");
+        // The v2 schema had no hop-fairness column: dumbbells must keep
+        // it empty in v3 so old cells stay value-identical.
+        assert_eq!(m.hop_fairness, None, "{tag}");
+    }
+}
