@@ -1,0 +1,649 @@
+//! The closed adversarial loop: fixture-driven hardening rounds with a
+//! committed robustness ledger.
+//!
+//! ```text
+//! cargo run -p canopy_bench --release --bin harden -- \
+//!     [--scheme canopy-shallow] [--objective reward_gap] [--seed N] \
+//!     [--model-seed N] [--rounds N] [--budget N] [--population N] \
+//!     [--fraction F] [--smoke] [--check] \
+//!     [--ledger ROBUSTNESS_ledger.json] [--fixture-out fixtures/adversarial]
+//! ```
+//!
+//! Each round: (1) train a model whose episode sampler mixes a seeded
+//! fraction of adversarial episodes — fuzz-family scenarios plus every
+//! fixture in the committed corpus plus this run's earlier finds —
+//! into the standard training pool; (2) gate it on a certification
+//! probe (a collapsed-`QC_sat` model is rejected and the previous
+//! round's model keeps searching); (3) re-run adversarial search over
+//! every fuzz family against the admitted model; (4) append one ledger
+//! entry per family with the worst case's `reward_gap` / `QC_sat` /
+//! `fallback_rate`; (5) minimize the round's worst find and, when it
+//! also violates against the *base* model, commit it to the fixture
+//! corpus so the corpus grows monotonically. Round 0 records the
+//! unhardened base model. The loop stops when the round's violation
+//! mass (total badness in excess of the objective threshold) stops
+//! shrinking, hits zero, or the round budget runs out.
+//!
+//! The whole run is deterministic in its flags and the corpus snapshot,
+//! and bitwise invariant to `CANOPY_THREADS`; `--check` proves it by
+//! re-running every round from scratch and diffing ledger entries and
+//! fixtures byte for byte.
+
+use std::process::ExitCode;
+
+use canopy_bench::{f3, header, model, row, HarnessOpts, DEFAULT_SEED};
+use canopy_core::models::{trainer_config, ModelKind, TrainedModel};
+use canopy_core::trainer::{EpisodeMix, Trainer};
+use canopy_netsim::Time;
+use canopy_scenarios::{episode_spec, generate, Family, ScenarioSpec};
+use canopy_search::{
+    search, AdversarialFixture, Objective, ObjectiveKind, OptimizerKind, RobustnessLedger,
+    SearchConfig, SearchSpace, ShrinkConfig, FIXTURE_SCHEMA, LEDGER_SCHEMA,
+};
+
+struct HardenOpts {
+    scheme: ModelKind,
+    objective: ObjectiveKind,
+    seed: u64,
+    model_seed: Option<u64>,
+    rounds: usize,
+    budget: usize,
+    population: usize,
+    fraction: f64,
+    smoke: bool,
+    check: bool,
+    ledger: String,
+    fixture_out: String,
+}
+
+fn parse_opts(args: &[String]) -> Result<HardenOpts, String> {
+    let mut opts = HardenOpts {
+        scheme: ModelKind::Shallow,
+        objective: ObjectiveKind::RewardGap,
+        seed: DEFAULT_SEED,
+        model_seed: None,
+        rounds: 2,
+        budget: 16,
+        population: 8,
+        fraction: 0.5,
+        smoke: false,
+        check: false,
+        ledger: "ROBUSTNESS_ledger.json".to_string(),
+        fixture_out: "fixtures/adversarial".to_string(),
+    };
+    let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scheme" => {
+                let v = value(args, i, "--scheme")?;
+                opts.scheme = ModelKind::parse(v.trim())
+                    .ok_or_else(|| format!("unknown scheme `{v}` (expected a model name)"))?;
+                i += 1;
+            }
+            "--objective" => {
+                let v = value(args, i, "--objective")?;
+                opts.objective = ObjectiveKind::parse(v.trim())
+                    .ok_or_else(|| format!("unknown objective `{v}`"))?;
+                i += 1;
+            }
+            "--seed" => {
+                let v = value(args, i, "--seed")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+                i += 1;
+            }
+            "--model-seed" => {
+                let v = value(args, i, "--model-seed")?;
+                opts.model_seed = Some(v.parse().map_err(|_| format!("bad model seed `{v}`"))?);
+                i += 1;
+            }
+            "--rounds" => {
+                let v = value(args, i, "--rounds")?;
+                let n: usize = v.parse().map_err(|_| format!("bad rounds `{v}`"))?;
+                if n == 0 {
+                    return Err("--rounds must be at least 1".into());
+                }
+                opts.rounds = n;
+                i += 1;
+            }
+            "--budget" => {
+                let v = value(args, i, "--budget")?;
+                let n: usize = v.parse().map_err(|_| format!("bad budget `{v}`"))?;
+                if n == 0 {
+                    return Err("--budget must be at least 1".into());
+                }
+                opts.budget = n;
+                i += 1;
+            }
+            "--population" => {
+                let v = value(args, i, "--population")?;
+                let n: usize = v.parse().map_err(|_| format!("bad population `{v}`"))?;
+                if n == 0 {
+                    return Err("--population must be at least 1".into());
+                }
+                opts.population = n;
+                i += 1;
+            }
+            "--fraction" => {
+                let v = value(args, i, "--fraction")?;
+                let f: f64 = v.parse().map_err(|_| format!("bad fraction `{v}`"))?;
+                if !(0.0..=1.0).contains(&f) {
+                    return Err("--fraction must be in [0, 1]".into());
+                }
+                opts.fraction = f;
+                i += 1;
+            }
+            "--ledger" => {
+                opts.ledger = value(args, i, "--ledger")?;
+                i += 1;
+            }
+            "--fixture-out" => {
+                opts.fixture_out = value(args, i, "--fixture-out")?;
+                i += 1;
+            }
+            "--smoke" => opts.smoke = true,
+            "--check" => opts.check = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+/// Explicit override, else seed 3 in smoke mode (the test suite's shared
+/// smoke controller, so committed fixtures replay against a model the
+/// tests rebuild in seconds), else the harness default.
+fn model_seed(opts: &HardenOpts) -> u64 {
+    opts.model_seed
+        .unwrap_or(if opts.smoke { 3 } else { DEFAULT_SEED })
+}
+
+/// The horizon cap for decoded search scenarios (the scenario_search
+/// smoke convention, so committed fixtures replay at the same horizon).
+fn duration_cap(opts: &HardenOpts) -> Time {
+    if opts.smoke {
+        Time::from_secs(4)
+    } else {
+        Time::from_secs(6)
+    }
+}
+
+/// The horizon cap for mix-pool *episodes*. Shorter than the search cap:
+/// the sampler only redraws at episode boundaries, so episodes must be
+/// short relative to the round's training budget or one adversarial draw
+/// would swallow the whole run.
+fn mix_episode_cap(opts: &HardenOpts) -> Time {
+    if opts.smoke {
+        Time::from_millis(1500)
+    } else {
+        Time::from_secs(3)
+    }
+}
+
+/// The dedicated mix-RNG seed for one round (any deterministic mixing of
+/// lineage identity and round index works; this one keeps distinct rounds
+/// on well-separated streams).
+fn mix_seed(model_seed: u64, round: usize) -> u64 {
+    model_seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(round as u64)
+}
+
+/// Reads and validates every fixture in the corpus directory, sorted by
+/// file name so pool order (and therefore training) is independent of
+/// directory iteration order. A missing directory is an empty corpus.
+fn load_corpus(dir: &str) -> Result<Vec<AdversarialFixture>, String> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return Ok(Vec::new()),
+    };
+    let mut names: Vec<String> = entries
+        .map(|e| {
+            e.map(|e| e.file_name().to_string_lossy().into_owned())
+                .map_err(|e| format!("cannot list {dir}: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    names.sort();
+    let mut corpus = Vec::new();
+    for name in names {
+        let path = format!("{dir}/{name}");
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let fixture = AdversarialFixture::from_json(&text)
+            .map_err(|e| format!("{path}: not a fixture: {e}"))?;
+        fixture.validate().map_err(|e| format!("{path}: {e}"))?;
+        corpus.push(fixture);
+    }
+    Ok(corpus)
+}
+
+/// The adversarial episode pool for one round: two seeded scenarios per
+/// fuzz family, plus the whole fixture corpus, plus every violating
+/// scenario earlier rounds of this run found. Specs that cannot compile
+/// into an episode are dropped (the trainer would reject them anyway).
+fn build_pool(
+    specs_from_rounds: &[ScenarioSpec],
+    corpus: &[AdversarialFixture],
+    k: usize,
+    cap: Time,
+) -> Vec<canopy_core::env::EpisodeSpec> {
+    let mut pool = Vec::new();
+    for family in Family::ALL {
+        for gen_seed in [11u64, 12] {
+            let spec = generate(family, gen_seed);
+            if let Ok(e) = episode_spec(&spec, k, Some(cap)) {
+                pool.push(e);
+            }
+        }
+    }
+    for fixture in corpus {
+        if let Ok(e) = episode_spec(&fixture.spec, k, Some(cap)) {
+            pool.push(e);
+        }
+    }
+    for spec in specs_from_rounds {
+        if let Ok(e) = episode_spec(spec, k, Some(cap)) {
+            pool.push(e);
+        }
+    }
+    pool
+}
+
+/// Trains round `round`'s hardened model: the base recipe with the
+/// adversarial episode mix spliced into its sampler.
+fn train_hardened(
+    opts: &HardenOpts,
+    pool: Vec<canopy_core::env::EpisodeSpec>,
+    round: usize,
+) -> TrainedModel {
+    let seed = model_seed(opts);
+    let mut cfg = trainer_config(opts.scheme, seed, HarnessOpts { seed, smoke: opts.smoke }.budget());
+    if opts.smoke {
+        // The stock smoke budget (a few hundred steps over 6 s episodes)
+        // never reaches an episode boundary, so the mix would never draw.
+        // Hardened smoke rounds instead train longer on shortened
+        // episodes, crossing many boundaries per run.
+        cfg.epochs = 6;
+        cfg.steps_per_epoch = 200;
+        for env in &mut cfg.envs {
+            env.episode = mix_episode_cap(opts);
+        }
+    }
+    cfg.name = format!("{}+hard-r{round}", opts.scheme.name());
+    cfg.mix = Some(EpisodeMix {
+        fraction: opts.fraction,
+        seed: mix_seed(seed, round),
+        pool,
+    });
+    Trainer::new(cfg).train().model
+}
+
+/// Mean `QC_sat` of the certification gate: the admitted model must keep
+/// its runtime certificate alive on a fixed probe scenario.
+fn gate_qc_sat(objective: &Objective, probe: &ScenarioSpec) -> Result<f64, String> {
+    let gate = Objective {
+        kind: ObjectiveKind::QcSat,
+        ..objective.clone()
+    };
+    Ok(1.0 - gate.badness(probe).map_err(|e| e.to_string())?)
+}
+
+/// A hardened model whose probe `QC_sat` drops below this is rejected.
+const GATE_FLOOR: f64 = 0.25;
+
+struct RoundsResult {
+    entries: Vec<canopy_search::LedgerEntry>,
+    fixtures: Vec<AdversarialFixture>,
+}
+
+fn run_rounds(
+    opts: &HardenOpts,
+    base: &TrainedModel,
+    corpus_snapshot: &[AdversarialFixture],
+    first_round: usize,
+    quiet: bool,
+) -> Result<RoundsResult, String> {
+    let cap = duration_cap(opts);
+    let threshold = opts.objective.violation_threshold();
+    let probe = ScenarioSpec::simple("harden-gate", 24e6, Time::from_millis(40), cap);
+    let base_objective = Objective::new(opts.objective, base.clone());
+    let k = base.k;
+
+    let mut corpus: Vec<AdversarialFixture> = corpus_snapshot.to_vec();
+    let mut found_specs: Vec<ScenarioSpec> = Vec::new();
+    let mut result = RoundsResult {
+        entries: Vec::new(),
+        fixtures: Vec::new(),
+    };
+    let mut current = base.clone();
+    let mut prev_mass: Option<f64> = None;
+    let last_round = first_round + opts.rounds;
+
+    for round in first_round..=last_round {
+        // Round 0 measures the unhardened base; every later round
+        // retrains with the corpus accumulated so far mixed in.
+        if round > first_round || first_round > 0 {
+            let pool = build_pool(&found_specs, &corpus, k, mix_episode_cap(opts));
+            let hardened = train_hardened(opts, pool, round);
+            let hardened_obj = Objective::new(opts.objective, hardened.clone());
+            let gate = gate_qc_sat(&hardened_obj, &probe)?;
+            if gate < GATE_FLOOR {
+                if !quiet {
+                    println!(
+                        "round {round}: hardened model REJECTED (gate QC_sat {gate:.3} < {GATE_FLOOR}); keeping {}",
+                        current.name
+                    );
+                }
+            } else {
+                current = hardened;
+            }
+        }
+        let objective = Objective::new(opts.objective, current.clone());
+        let gate = gate_qc_sat(&objective, &probe)?;
+
+        if !quiet {
+            println!("\n## Round {round} — {}\n", current.name);
+            header(&["family", "badness", "reward gap", "qc_sat", "fallback"]);
+        }
+
+        let search_seed = opts.seed + round as u64;
+        let mut worst: Option<(Family, f64, ScenarioSpec)> = None;
+        for family in Family::ALL {
+            let space = SearchSpace::new(family, search_seed).with_duration_cap(Some(cap));
+            let config = SearchConfig {
+                optimizer: OptimizerKind::Cem,
+                budget: opts.budget,
+                population: opts.population,
+                elite_frac: 0.25,
+                seed: search_seed,
+                threads: None,
+            };
+            let outcome = search(&space, &objective, &config).map_err(|e| e.to_string())?;
+            let scores = objective
+                .score_all(&outcome.best_spec)
+                .map_err(|e| e.to_string())?;
+            let violation = outcome.best_badness >= threshold;
+            if !quiet {
+                row(&[
+                    family.name().to_string(),
+                    f3(outcome.best_badness),
+                    f3(scores.reward_gap),
+                    f3(scores.qc_sat),
+                    f3(scores.fallback_rate),
+                ]);
+            }
+            if violation {
+                found_specs.push(outcome.best_spec.clone());
+                if worst.as_ref().is_none_or(|(_, b, _)| outcome.best_badness > *b) {
+                    worst = Some((family, outcome.best_badness, outcome.best_spec.clone()));
+                }
+            }
+            result.entries.push(canopy_search::LedgerEntry {
+                round,
+                model: current.name.clone(),
+                family: family.name().to_string(),
+                objective: opts.objective.name().to_string(),
+                search_seed,
+                evaluations: outcome.evaluations,
+                badness: outcome.best_badness,
+                reward_gap: scores.reward_gap,
+                qc_sat: scores.qc_sat,
+                fallback_rate: scores.fallback_rate,
+                gate_qc_sat: gate,
+                violation,
+                fixture: None,
+            });
+        }
+
+        // Minimize the round's worst find and grow the corpus with it —
+        // but only when it also violates against the *base* model, so
+        // every committed fixture replays from the file alone (the
+        // regression suite can only rebuild base models).
+        if round > 0 {
+            if let Some((family, badness, spec)) = worst {
+                let base_badness = base_objective.badness(&spec).map_err(|e| e.to_string())?;
+                if base_badness >= threshold {
+                    let shrunk = canopy_search::shrink(
+                        &spec,
+                        base_badness,
+                        threshold,
+                        &ShrinkConfig {
+                            budget: 64,
+                            min_duration: Time::from_secs(2),
+                        },
+                        |s| base_objective.badness(s),
+                    )
+                    .map_err(|e| e.to_string())?;
+                    let mut min_spec = shrunk.spec;
+                    min_spec.name = format!(
+                        "{}-{}-r{round}-s{search_seed}-min",
+                        family.name(),
+                        opts.objective.name().replace('_', "-")
+                    );
+                    let fixture = AdversarialFixture {
+                        schema: FIXTURE_SCHEMA.to_string(),
+                        family: family.name().to_string(),
+                        objective: opts.objective.name().to_string(),
+                        scheme: base.name.clone(),
+                        model_seed: model_seed(opts),
+                        smoke_model: opts.smoke,
+                        n_components: base_objective.n_components,
+                        fallback_threshold: base_objective.fallback_threshold,
+                        optimizer: OptimizerKind::Cem.name().to_string(),
+                        search_seed,
+                        replay_threshold: threshold.max(0.9 * shrunk.badness),
+                        recorded_badness: shrunk.badness,
+                        spec: min_spec,
+                    };
+                    fixture.validate().map_err(|e| format!("round {round} fixture: {e}"))?;
+                    let name = fixture.file_name();
+                    let fresh = !corpus.iter().any(|f| f.file_name() == name);
+                    if fresh {
+                        for e in result.entries.iter_mut().rev() {
+                            if e.round == round && e.family == family.name() {
+                                e.fixture = Some(name.clone());
+                                break;
+                            }
+                        }
+                        if !quiet {
+                            println!(
+                                "\nround {round}: committed {} (badness {badness:.3} vs {}, {:.3} minimized vs base)",
+                                name, current.name, shrunk.badness
+                            );
+                        }
+                        corpus.push(fixture.clone());
+                        result.fixtures.push(fixture);
+                    }
+                }
+            }
+        }
+
+        let mass: f64 = result
+            .entries
+            .iter()
+            .filter(|e| e.round == round)
+            .map(|e| (e.badness - threshold).max(0.0))
+            .sum();
+        if !quiet {
+            println!("\nround {round}: violation mass {mass:.3}");
+        }
+        if round > first_round {
+            if mass == 0.0 {
+                if !quiet {
+                    println!("fully hardened — no family violates; stopping");
+                }
+                break;
+            }
+            if prev_mass.is_some_and(|p| mass >= p) {
+                if !quiet {
+                    println!("violation mass stopped shrinking; stopping");
+                }
+                break;
+            }
+        }
+        prev_mass = Some(mass);
+    }
+    Ok(result)
+}
+
+fn rounds_digest(r: &RoundsResult) -> String {
+    let entries = serde_json::to_string(&r.entries).expect("entries serialize");
+    let fixtures: Vec<String> = r.fixtures.iter().map(AdversarialFixture::to_json).collect();
+    format!("{entries}\n{}", fixtures.join("\n"))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_opts(&args)?;
+    let harness = HarnessOpts {
+        seed: model_seed(&opts),
+        smoke: opts.smoke,
+    };
+    let (base, _) = model(opts.scheme, &harness);
+    println!(
+        "# Hardening loop — {} × {} ({} rounds max, budget {}, population {}, fraction {}, seed {})",
+        base.name,
+        opts.objective.name(),
+        opts.rounds,
+        opts.budget,
+        opts.population,
+        opts.fraction,
+        opts.seed
+    );
+
+    // Resume an existing ledger (append-only: new rounds continue past
+    // its last round) or start a fresh lineage at round 0.
+    let mut ledger = match std::fs::read_to_string(&opts.ledger) {
+        Ok(text) => {
+            let l = RobustnessLedger::from_json(&text)
+                .map_err(|e| format!("{}: not a ledger: {e}", opts.ledger))?;
+            l.validate().map_err(|e| format!("{}: {e}", opts.ledger))?;
+            if l.scheme != opts.scheme.name()
+                || l.model_seed != model_seed(&opts)
+                || l.smoke != opts.smoke
+            {
+                return Err(format!(
+                    "{}: existing ledger is for {}/seed {}/smoke {}, not this run's lineage",
+                    opts.ledger, l.scheme, l.model_seed, l.smoke
+                ));
+            }
+            l
+        }
+        Err(_) => RobustnessLedger::new(opts.scheme.name(), model_seed(&opts), opts.smoke),
+    };
+    let first_round = ledger.last_round().map_or(0, |r| r + 1);
+
+    let corpus = load_corpus(&opts.fixture_out)?;
+    println!(
+        "corpus: {} fixtures in {}; ledger {} starts at round {first_round}",
+        corpus.len(),
+        opts.fixture_out,
+        opts.ledger
+    );
+
+    let result = run_rounds(&opts, &base, &corpus, first_round, false)?;
+
+    if opts.check {
+        // Reproducibility gate: replay every round from the same corpus
+        // snapshot and require bitwise-identical entries and fixtures.
+        let again = run_rounds(&opts, &base, &corpus, first_round, true)?;
+        if rounds_digest(&again) != rounds_digest(&result) {
+            return Err("--check FAILED: re-run diverged from the recorded rounds".into());
+        }
+        println!("--check OK: re-run is bitwise identical");
+    }
+
+    ledger.entries.extend(result.entries);
+    ledger
+        .validate()
+        .map_err(|e| format!("refusing to write invalid ledger: {e}"))?;
+    std::fs::write(&opts.ledger, ledger.to_json())
+        .map_err(|e| format!("cannot write {}: {e}", opts.ledger))?;
+    println!(
+        "wrote {} (schema {LEDGER_SCHEMA}, {} entries)",
+        opts.ledger,
+        ledger.entries.len()
+    );
+    std::fs::create_dir_all(&opts.fixture_out)
+        .map_err(|e| format!("cannot create {}: {e}", opts.fixture_out))?;
+    for fixture in &result.fixtures {
+        let path = format!("{}/{}", opts.fixture_out, fixture.file_name());
+        std::fs::write(&path, fixture.to_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote fixture {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("harden: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_and_flags_parse() {
+        let opts = parse_opts(&argv(&[])).unwrap();
+        assert_eq!(opts.rounds, 2);
+        assert_eq!(opts.fraction, 0.5);
+        assert_eq!(opts.ledger, "ROBUSTNESS_ledger.json");
+        assert_eq!(model_seed(&opts), DEFAULT_SEED);
+
+        let opts = parse_opts(&argv(&[
+            "--scheme",
+            "canopy-robust",
+            "--objective",
+            "qc_sat",
+            "--rounds",
+            "3",
+            "--fraction",
+            "0.25",
+            "--smoke",
+        ]))
+        .unwrap();
+        assert_eq!(opts.scheme, ModelKind::Robust);
+        assert_eq!(opts.objective, ObjectiveKind::QcSat);
+        assert_eq!(opts.rounds, 3);
+        assert_eq!(opts.fraction, 0.25);
+        assert_eq!(model_seed(&opts), 3);
+    }
+
+    #[test]
+    fn bad_flags_fail_loudly() {
+        assert!(parse_opts(&argv(&["--rounds", "0"])).is_err());
+        assert!(parse_opts(&argv(&["--fraction", "1.5"])).is_err());
+        assert!(parse_opts(&argv(&["--scheme", "cubic"])).is_err());
+        assert!(parse_opts(&argv(&["--objective", "latency"])).is_err());
+        assert!(parse_opts(&argv(&["--mystery"])).is_err());
+    }
+
+    #[test]
+    fn mix_seeds_separate_rounds() {
+        assert_ne!(mix_seed(3, 1), mix_seed(3, 2));
+        assert_ne!(mix_seed(3, 1), mix_seed(4, 1));
+    }
+
+    #[test]
+    fn pool_builds_from_families_alone() {
+        let pool = build_pool(&[], &[], 3, Time::from_secs(4));
+        // Two seeds per family, and every generated spec must compile.
+        assert_eq!(pool.len(), 2 * Family::ALL.len());
+        assert!(pool.iter().all(|e| e.k == 3));
+    }
+}

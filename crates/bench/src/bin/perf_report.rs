@@ -34,6 +34,11 @@
 //!   second multi-hop runs (an 8-flow incast tree and a 3-hop parking
 //!   lot with per-hop competitors): the HopArrival forwarding path and
 //!   per-link calendar lanes the topology graph added.
+//! * `episode_sampler/base_env` vs `episode_sampler/episode_dumbbell` and
+//!   `episode_sampler/episode_multihop` — environment construction on the
+//!   trainer's episode boundary: the plain link env rebuild against the
+//!   `EpisodeSpec → CcEnv` adapter the adversarial mix draws through
+//!   (`speedups.episode_sampling_overhead` is the dumbbell ratio).
 //!
 //! `--write-baseline` records the current medians to
 //! `BENCH_baseline.json`; `--check` compares against that file and exits
@@ -813,6 +818,91 @@ fn bench_topology(opts: &Opts, out: &mut Vec<(String, f64)>) {
     ));
 }
 
+// --- Episode-sampling overhead --------------------------------------------
+
+fn bench_episode_sampler(opts: &Opts, out: &mut Vec<(String, f64)>) {
+    use canopy_core::env::{CcEnv, EnvConfig, EpisodeCrossFlow, EpisodeSpec};
+    use canopy_core::orca::RewardConfig;
+    use canopy_netsim::{LinkId, Topology};
+    let (samples, iters) = if opts.smoke { (5, 50) } else { (9, 300) };
+
+    // What the trainer pays per episode boundary today: rebuilding the
+    // plain single-link environment.
+    let config = EnvConfig::new(
+        BandwidthTrace::constant("bench-episode", 24e6),
+        Time::from_millis(40),
+        1.0,
+    )
+    .with_episode(Time::from_secs(2));
+    out.push((
+        "episode_sampler/base_env".into(),
+        median_ns(samples, iters, || {
+            std::hint::black_box(CcEnv::new(config.clone()));
+        }),
+    ));
+
+    // What an adversarial mix draw pays instead: path validation plus
+    // topology construction through the `EpisodeSpec` adapter.
+    let dumbbell = EpisodeSpec {
+        name: "bench-episode-dumbbell".into(),
+        topology: Topology::dumbbell(LinkConfig::with_bdp_buffer(
+            BandwidthTrace::constant("bench-episode", 24e6),
+            Time::from_millis(40),
+            1.0,
+        )),
+        primary_path: vec![LinkId(0)],
+        primary_min_rtt: Time::from_millis(40),
+        monitor_interval: Time::ZERO,
+        episode: Time::from_secs(2),
+        k: 3,
+        reward: RewardConfig::default(),
+        noise: None,
+        cross: Vec::new(),
+    };
+    out.push((
+        "episode_sampler/episode_dumbbell".into(),
+        median_ns(samples, iters, || {
+            std::hint::black_box(CcEnv::from_episode(dumbbell.clone()).expect("valid episode"));
+        }),
+    ));
+
+    // The expensive end of the pool: a parking lot with per-hop cross
+    // flows, the shape fixture-corpus episodes typically take.
+    let hops = 3;
+    let hop = LinkConfig::with_bdp_buffer(
+        BandwidthTrace::constant("bench-episode-hop", 48e6),
+        Time::from_millis(20),
+        1.0,
+    )
+    .with_delay(Time::from_millis(5));
+    let multihop = EpisodeSpec {
+        name: "bench-episode-multihop".into(),
+        topology: Topology::parking_lot(hop, hops),
+        primary_path: Topology::parking_lot_long_path(hops),
+        primary_min_rtt: Time::from_millis(40),
+        monitor_interval: Time::ZERO,
+        episode: Time::from_secs(2),
+        k: 3,
+        reward: RewardConfig::default(),
+        noise: None,
+        cross: (0..hops)
+            .map(|i| EpisodeCrossFlow {
+                cc: "cubic".into(),
+                start: Time::from_millis(200 * i as u64),
+                stop: None,
+                min_rtt: Time::from_millis(20),
+                path: Topology::parking_lot_hop_path(i, hops),
+            })
+            .collect(),
+    };
+    out.push((
+        "episode_sampler/episode_multihop".into(),
+        median_ns(samples, iters, || {
+            std::hint::black_box(CcEnv::from_episode(multihop.clone()).expect("valid episode"));
+        }),
+    ));
+}
+
 // --- Report assembly -----------------------------------------------------
 
 fn find(benches: &[(String, f64)], name: &str) -> Option<f64> {
@@ -868,6 +958,10 @@ fn main() {
         eprintln!("perf_report: multi-hop topologies…");
         bench_topology(&opts, &mut benches);
     }
+    if opts.runs("episode_sampler") {
+        eprintln!("perf_report: episode-sampling overhead…");
+        bench_episode_sampler(&opts, &mut benches);
+    }
 
     // In-run speedups (both sides measured this invocation).
     let mut speedups = serde_json::Map::new();
@@ -892,6 +986,13 @@ fn main() {
             "certify_adaptive_1thread_vs_seed",
             "certify_adaptive/seed",
             "certify_adaptive/batched_threads1",
+        ),
+        // Overhead ratio, not a speedup: >1 means an adversarial-mix draw
+        // costs more than the plain episode rebuild it replaces.
+        (
+            "episode_sampling_overhead",
+            "episode_sampler/episode_dumbbell",
+            "episode_sampler/base_env",
         ),
     ] {
         if let (Some(n), Some(d)) = (find(&benches, num), find(&benches, den)) {

@@ -7,7 +7,8 @@
 //!     --family flash-crowd --seed 7 --objective qc_sat --budget 64 \
 //!     [--scheme canopy-shallow] [--optimizer cem|hill] [--population N] \
 //!     [--model-seed N] [--max-duration SECS] [--shrink-budget N] \
-//!     [--smoke] [--check] [--out SEARCH_report.json] [--fixture-out DIR]
+//!     [--min-gap BADNESS] [--smoke] [--check] \
+//!     [--out SEARCH_report.json] [--fixture-out DIR]
 //! ```
 //!
 //! Objectives: `qc_sat` (minimize the runtime certificate), `fallback_rate`
@@ -22,6 +23,12 @@
 //! threshold, it is delta-debugged down to a minimal spec; `--fixture-out`
 //! additionally writes that spec as a self-contained
 //! `canopy-adversarial-fixture/v1` JSON replayed by the regression suite.
+//!
+//! `--min-gap BADNESS` turns the run into a hardening gate: if the search
+//! never reaches that badness the binary exits with status 3 and the
+//! report records `below_min_gap: true` — "hardened" (search failed to
+//! find a weakness of the required size) is reported distinctly from an
+//! ordinary run and from operational errors (status 1).
 
 use std::process::ExitCode;
 
@@ -45,6 +52,7 @@ struct SearchOpts {
     population: usize,
     shrink_budget: usize,
     max_duration: Option<Time>,
+    min_gap: Option<f64>,
     smoke: bool,
     check: bool,
     out: String,
@@ -63,6 +71,7 @@ fn parse_opts(args: &[String]) -> Result<SearchOpts, String> {
         population: 16,
         shrink_budget: 64,
         max_duration: None,
+        min_gap: None,
         smoke: false,
         check: false,
         out: "SEARCH_report.json".to_string(),
@@ -146,6 +155,15 @@ fn parse_opts(args: &[String]) -> Result<SearchOpts, String> {
                 opts.max_duration = Some(Time::from_secs_f64(s));
                 i += 1;
             }
+            "--min-gap" => {
+                let v = value(args, i, "--min-gap")?;
+                let g: f64 = v.parse().map_err(|_| format!("bad min gap `{v}`"))?;
+                if !g.is_finite() || g <= 0.0 {
+                    return Err("--min-gap must be positive badness".into());
+                }
+                opts.min_gap = Some(g);
+                i += 1;
+            }
             "--out" => {
                 opts.out = value(args, i, "--out")?;
                 i += 1;
@@ -174,7 +192,8 @@ fn model_seed(opts: &SearchOpts) -> u64 {
         .unwrap_or(if opts.smoke { 3 } else { DEFAULT_SEED })
 }
 
-fn run() -> Result<(), String> {
+/// `Ok(true)` means the `--min-gap` hardening gate tripped (exit 3).
+fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = parse_opts(&args)?;
     let harness = HarnessOpts {
@@ -264,6 +283,8 @@ fn run() -> Result<(), String> {
         evaluations: outcome.evaluations,
         duration_cap_s: opts.max_duration.map(Time::as_secs_f64),
         violation_threshold: threshold,
+        min_gap: opts.min_gap,
+        below_min_gap: opts.min_gap.is_some_and(|g| outcome.best_badness < g),
         best_badness: outcome.best_badness,
         trajectory: outcome.trajectory.clone(),
         best_spec: outcome.best_spec.clone(),
@@ -317,12 +338,28 @@ fn run() -> Result<(), String> {
         }
         println!("--check OK: re-run is bitwise identical");
     }
-    Ok(())
+
+    if report.below_min_gap {
+        let gap = opts.min_gap.expect("flag implies a gap");
+        println!(
+            "hardened: search failed to reach --min-gap {gap} (best badness {:.3})",
+            report.best_badness
+        );
+    } else if let Some(gap) = opts.min_gap {
+        println!(
+            "search succeeded: best badness {:.3} ≥ --min-gap {gap}",
+            report.best_badness
+        );
+    }
+    Ok(report.below_min_gap)
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::SUCCESS,
+        // Distinct status for "the gate tripped": callers can tell a
+        // hardened scheme (3) apart from an operational failure (1).
+        Ok(true) => ExitCode::from(3),
         Err(e) => {
             eprintln!("scenario_search: {e}");
             ExitCode::FAILURE
@@ -366,6 +403,17 @@ mod tests {
         assert_eq!(model_seed(&opts), 3);
         let explicit = parse_opts(&argv(&["--smoke", "--max-duration", "2.5"])).unwrap();
         assert_eq!(explicit.max_duration, Some(Time::from_secs_f64(2.5)));
+    }
+
+    #[test]
+    fn min_gap_parses_and_rejects_nonsense() {
+        let opts = parse_opts(&argv(&["--min-gap", "0.35"])).unwrap();
+        assert_eq!(opts.min_gap, Some(0.35));
+        assert_eq!(parse_opts(&argv(&[])).unwrap().min_gap, None);
+        assert!(parse_opts(&argv(&["--min-gap", "0"])).is_err());
+        assert!(parse_opts(&argv(&["--min-gap", "-1"])).is_err());
+        assert!(parse_opts(&argv(&["--min-gap", "inf"])).is_err());
+        assert!(parse_opts(&argv(&["--min-gap"])).is_err());
     }
 
     #[test]

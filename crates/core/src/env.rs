@@ -13,7 +13,8 @@ use serde::{Deserialize, Serialize};
 use canopy_cc::Cubic;
 use canopy_netsim::link::Impairments;
 use canopy_netsim::{
-    BandwidthTrace, FlowConfig, FlowId, LinkConfig, MonitorSample, Simulator, Time,
+    BandwidthTrace, FlowConfig, FlowId, LinkConfig, LinkId, MonitorSample, Simulator, Time,
+    Topology,
 };
 
 use crate::driver::{DriverConfig, OrcaDriver};
@@ -110,6 +111,55 @@ impl EnvConfig {
     }
 }
 
+/// A baseline competitor inside a scenario-backed training episode,
+/// identified by kernel *name* so the episode can be rebuilt identically
+/// on every reset.
+#[derive(Clone, Debug)]
+pub struct EpisodeCrossFlow {
+    /// Classic kernel driving the competitor (`cubic`, `bbr`, ...).
+    pub cc: String,
+    /// Arrival time.
+    pub start: Time,
+    /// Departure time (`None` stays to the end).
+    pub stop: Option<Time>,
+    /// Propagation RTT of the competitor's path.
+    pub min_rtt: Time,
+    /// The links the competitor crosses.
+    pub path: Vec<LinkId>,
+}
+
+/// Everything needed to build — and rebuild, bit-for-bit, on every reset —
+/// one scenario-backed training episode: an arbitrary topology, the
+/// controlled flow's path, and scheduled baseline cross traffic.
+///
+/// This is the `ScenarioSpec → CcEnv` bridge's core half: the scenario
+/// layer compiles its declarative specs down to this shape (see
+/// `canopy_scenarios::episode`), and the trainer mixes such episodes into
+/// its curriculum without knowing anything about scenario families.
+#[derive(Clone, Debug)]
+pub struct EpisodeSpec {
+    /// Episode name (provenance; shows up in panics only).
+    pub name: String,
+    /// The network the episode runs over.
+    pub topology: Topology,
+    /// The controlled flow's path.
+    pub primary_path: Vec<LinkId>,
+    /// Propagation RTT of the controlled flow.
+    pub primary_min_rtt: Time,
+    /// Monitor interval; [`Time::ZERO`] selects `max(min_rtt, 20 ms)`.
+    pub monitor_interval: Time,
+    /// Episode length in simulated time.
+    pub episode: Time,
+    /// History depth `k`.
+    pub k: usize,
+    /// Reward hyperparameters.
+    pub reward: RewardConfig,
+    /// Optional observation noise.
+    pub noise: Option<NoiseConfig>,
+    /// Baseline cross-traffic with staggered arrivals/departures.
+    pub cross: Vec<EpisodeCrossFlow>,
+}
+
 /// The outcome of one environment step.
 #[derive(Clone, Debug)]
 pub struct StepResult {
@@ -127,28 +177,96 @@ pub struct StepResult {
     pub done: bool,
 }
 
+/// What an environment rebuilds itself from: the historical single-link
+/// configuration, or a scenario-backed multi-hop episode.
+enum EnvSource {
+    Link(EnvConfig),
+    Episode(EpisodeSpec),
+}
+
+impl EnvSource {
+    fn episode(&self) -> Time {
+        match self {
+            EnvSource::Link(c) => c.episode,
+            EnvSource::Episode(s) => s.episode,
+        }
+    }
+
+    fn min_rtt(&self) -> Time {
+        match self {
+            EnvSource::Link(c) => c.min_rtt,
+            EnvSource::Episode(s) => s.primary_min_rtt,
+        }
+    }
+
+    fn reward(&self) -> &RewardConfig {
+        match self {
+            EnvSource::Link(c) => &c.reward,
+            EnvSource::Episode(s) => &s.reward,
+        }
+    }
+}
+
 /// A single-flow congestion-control environment: a thin episode wrapper
 /// around one [`OrcaDriver`] (which owns the decision mechanics — state,
 /// noise, window application) plus the Orca reward and the episode clock.
 pub struct CcEnv {
-    config: EnvConfig,
+    source: EnvSource,
     sim: Simulator,
     flow: FlowId,
     driver: OrcaDriver,
     steps: u64,
 }
 
+/// Builds the simulator for a link-backed environment and adds the
+/// controlled flow. Shared by construction and reset so both are
+/// bit-for-bit identical.
+fn build_link_sim(config: &EnvConfig) -> (Simulator, FlowId) {
+    let mut sim = Simulator::new(config.link());
+    let flow_config = if config.record_samples {
+        FlowConfig::new(config.min_rtt)
+    } else {
+        FlowConfig::new(config.min_rtt).without_samples()
+    };
+    let flow = sim.add_flow(flow_config, Box::new(Cubic::new()));
+    (sim, flow)
+}
+
+/// Builds the simulator for a scenario-backed episode: the topology, the
+/// controlled (Cubic-steered) primary flow on its path, and every cross
+/// flow on the spec's schedule. Errors on an unknown cross kernel name.
+fn build_episode_sim(spec: &EpisodeSpec) -> Result<(Simulator, FlowId), String> {
+    let mut sim = Simulator::with_topology(spec.topology.clone());
+    let flow = sim.add_flow(
+        FlowConfig::new(spec.primary_min_rtt)
+            .without_samples()
+            .on_path(spec.primary_path.clone()),
+        Box::new(Cubic::new()),
+    );
+    for (i, cf) in spec.cross.iter().enumerate() {
+        let cc = canopy_cc::by_name(&cf.cc).ok_or_else(|| {
+            format!(
+                "episode `{}`: cross flow {i}: unknown kernel `{}`",
+                spec.name, cf.cc
+            )
+        })?;
+        let mut cfg = FlowConfig::new(cf.min_rtt)
+            .starting_at(cf.start)
+            .without_samples()
+            .on_path(cf.path.clone());
+        if let Some(stop) = cf.stop {
+            cfg = cfg.stopping_at(stop);
+        }
+        sim.add_flow(cfg, cc);
+    }
+    Ok((sim, flow))
+}
+
 impl CcEnv {
     /// Builds the environment and its simulator.
     pub fn new(config: EnvConfig) -> CcEnv {
         let link = config.link();
-        let mut sim = Simulator::new(link.clone());
-        let flow_config = if config.record_samples {
-            FlowConfig::new(config.min_rtt)
-        } else {
-            FlowConfig::new(config.min_rtt).without_samples()
-        };
-        let flow = sim.add_flow(flow_config, Box::new(Cubic::new()));
+        let (sim, flow) = build_link_sim(&config);
         let driver_config = DriverConfig {
             min_rtt: config.min_rtt,
             k: config.k,
@@ -159,12 +277,49 @@ impl CcEnv {
         };
         let driver = OrcaDriver::new(&driver_config, &link, flow);
         CcEnv {
-            config,
+            source: EnvSource::Link(config),
             sim,
             flow,
             driver,
             steps: 0,
         }
+    }
+
+    /// Builds a scenario-backed episode environment: an arbitrary topology
+    /// with scheduled cross traffic, stepped through exactly the same
+    /// state/action/reward interface as the single-link environment. The
+    /// learned driver is parameterized by the primary flow's bottleneck
+    /// hop, mirroring `canopy_scenarios`' matrix cell.
+    ///
+    /// Errors when the spec references an unknown cross kernel or an
+    /// invalid path.
+    pub fn from_episode(spec: EpisodeSpec) -> Result<CcEnv, String> {
+        spec.topology
+            .validate_path(&spec.primary_path)
+            .map_err(|e| format!("episode `{}`: primary path: {e}", spec.name))?;
+        for (i, cf) in spec.cross.iter().enumerate() {
+            spec.topology
+                .validate_path(&cf.path)
+                .map_err(|e| format!("episode `{}`: cross flow {i}: {e}", spec.name))?;
+        }
+        let (sim, flow) = build_episode_sim(&spec)?;
+        let link = spec.topology.link(sim.bottleneck_of(flow)).clone();
+        let driver_config = DriverConfig {
+            min_rtt: spec.primary_min_rtt,
+            k: spec.k,
+            monitor_interval: spec.monitor_interval,
+            noise: spec.noise,
+            start: Time::ZERO,
+            stop: None,
+        };
+        let driver = OrcaDriver::new(&driver_config, &link, flow);
+        Ok(CcEnv {
+            source: EnvSource::Episode(spec),
+            sim,
+            flow,
+            driver,
+            steps: 0,
+        })
     }
 
     /// The environment's state layout.
@@ -177,9 +332,13 @@ impl CcEnv {
         self.driver.normalizer()
     }
 
-    /// The configuration.
-    pub fn config(&self) -> &EnvConfig {
-        &self.config
+    /// The single-link configuration, when this environment was built from
+    /// one (`None` for scenario-backed episodes).
+    pub fn config(&self) -> Option<&EnvConfig> {
+        match &self.source {
+            EnvSource::Link(c) => Some(c),
+            EnvSource::Episode(_) => None,
+        }
     }
 
     /// The current flat state vector.
@@ -205,15 +364,16 @@ impl CcEnv {
     /// Restarts the episode with a fresh simulator (deterministic: the
     /// noise stream continues, everything else rebuilds identically).
     pub fn reset(&mut self) {
-        let link = self.config.link();
-        let mut sim = Simulator::new(link);
-        let flow_config = if self.config.record_samples {
-            FlowConfig::new(self.config.min_rtt)
-        } else {
-            FlowConfig::new(self.config.min_rtt).without_samples()
+        let (sim, flow) = match &self.source {
+            EnvSource::Link(config) => build_link_sim(config),
+            // The spec was validated at construction, so the rebuild is
+            // infallible.
+            EnvSource::Episode(spec) => {
+                build_episode_sim(spec).expect("validated episode rebuilds")
+            }
         };
-        self.flow = sim.add_flow(flow_config, Box::new(Cubic::new()));
         self.sim = sim;
+        self.flow = flow;
         self.driver.reset_episode();
         self.driver.rebind(self.flow);
         self.steps = 0;
@@ -245,18 +405,18 @@ impl CcEnv {
         let thr_norm =
             (sample.throughput_bps / self.normalizer().max_throughput_bps).clamp(0.0, 1.0);
         let min_rtt_ms = if sample.min_rtt == Time::MAX {
-            self.config.min_rtt.as_millis_f64()
+            self.source.min_rtt().as_millis_f64()
         } else {
             sample.min_rtt.as_millis_f64()
         };
         let srtt_ms = sample.srtt.as_millis_f64();
         let reward = self
-            .config
-            .reward
+            .source
+            .reward()
             .reward(thr_norm, sample.loss_rate, srtt_ms, min_rtt_ms);
 
         self.steps += 1;
-        let done = self.sim.now() >= self.config.episode;
+        let done = self.sim.now() >= self.source.episode();
         StepResult {
             state: self.driver.state(),
             reward,
@@ -375,6 +535,112 @@ mod tests {
             }
         }
         assert!(saw_state_difference, "noise must perturb the state");
+    }
+
+    fn episode_of(config: &EnvConfig) -> EpisodeSpec {
+        EpisodeSpec {
+            name: "dumbbell-episode".into(),
+            topology: Topology::dumbbell(config.link()),
+            primary_path: vec![LinkId(0)],
+            primary_min_rtt: config.min_rtt,
+            monitor_interval: config.monitor_interval,
+            episode: config.episode,
+            k: config.k,
+            reward: config.reward,
+            noise: config.noise,
+            cross: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn dumbbell_episode_matches_link_env_bitwise() {
+        // A single-flow dumbbell episode is the legacy environment by
+        // another construction path — stepping must agree bit-for-bit,
+        // across resets too.
+        let trace = BandwidthTrace::constant("c", 24e6);
+        let config = EnvConfig::new(trace, Time::from_millis(40), 1.0)
+            .with_episode(Time::from_millis(600));
+        let mut legacy = CcEnv::new(config.clone());
+        let mut episode = CcEnv::from_episode(episode_of(&config)).expect("builds");
+        assert_eq!(legacy.state(), episode.state());
+        for i in 0..40 {
+            let a = ((i % 5) as f64 - 2.0) / 2.0;
+            let x = legacy.step(a);
+            let y = episode.step(a);
+            assert_eq!(x.reward.to_bits(), y.reward.to_bits(), "step {i}");
+            assert_eq!(x.state, y.state, "step {i}");
+            assert_eq!(x.done, y.done, "step {i}");
+            if x.done {
+                legacy.reset();
+                episode.reset();
+            }
+        }
+    }
+
+    #[test]
+    fn multi_hop_episode_runs_and_resets_deterministically() {
+        let link = LinkConfig::with_bdp_buffer(
+            BandwidthTrace::constant("hop", 24e6),
+            Time::from_millis(30),
+            1.0,
+        );
+        let spec = EpisodeSpec {
+            name: "lot".into(),
+            topology: Topology::new(vec![link.clone(), link]),
+            primary_path: vec![LinkId(0), LinkId(1)],
+            primary_min_rtt: Time::from_millis(30),
+            monitor_interval: Time::ZERO,
+            episode: Time::from_secs(1),
+            k: 3,
+            reward: RewardConfig::default(),
+            noise: None,
+            cross: vec![EpisodeCrossFlow {
+                cc: "cubic".into(),
+                start: Time::from_millis(100),
+                stop: Some(Time::from_millis(700)),
+                min_rtt: Time::from_millis(30),
+                path: vec![LinkId(1)],
+            }],
+        };
+        let mut env = CcEnv::from_episode(spec).expect("builds");
+        assert!(env.config().is_none(), "episode envs have no link config");
+        let run = |env: &mut CcEnv| {
+            let mut acc = 0.0;
+            let mut acked = 0;
+            loop {
+                let r = env.step(0.0);
+                acc += r.reward;
+                acked += r.sample.acked_packets;
+                if r.done {
+                    break;
+                }
+            }
+            (acc, acked)
+        };
+        let (first, acked) = run(&mut env);
+        assert!(acked > 0, "primary made progress across both hops");
+        env.reset();
+        assert_eq!(env.steps(), 0);
+        let (second, _) = run(&mut env);
+        assert_eq!(first.to_bits(), second.to_bits(), "reset must replay");
+    }
+
+    #[test]
+    fn episode_rejects_unknown_kernels_and_bad_paths() {
+        let trace = BandwidthTrace::constant("c", 24e6);
+        let config = EnvConfig::new(trace, Time::from_millis(40), 1.0);
+        let mut bad_cc = episode_of(&config);
+        bad_cc.cross.push(EpisodeCrossFlow {
+            cc: "quic-magic".into(),
+            start: Time::ZERO,
+            stop: None,
+            min_rtt: Time::from_millis(40),
+            path: vec![LinkId(0)],
+        });
+        assert!(CcEnv::from_episode(bad_cc).is_err());
+        let mut bad_path = episode_of(&config);
+        bad_path.primary_path = vec![LinkId(3)];
+        assert!(CcEnv::from_episode(bad_path).is_err());
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod trainer;
 pub mod verifier;
 
 pub use driver::{DriverConfig, DriverPolicy, DriverPool, OrcaDriver};
-pub use env::{CcEnv, EnvConfig, NoiseConfig, StepResult};
+pub use env::{CcEnv, EnvConfig, EpisodeCrossFlow, EpisodeSpec, NoiseConfig, StepResult};
 pub use models::{ModelKind, TrainedModel};
 pub use obs::{Normalizer, Observation, StateBuilder, StateLayout};
 pub use property::{Postcondition, Property, PropertyParams};

@@ -206,6 +206,8 @@ pub fn trainer_config(kind: ModelKind, seed: u64, budget: TrainBudget) -> Traine
         replay_capacity: 60_000,
         name: kind.name().to_string(),
         qc_grad_weight: if kind.lambda() > 0.0 { 1.0 } else { 0.0 },
+        mix: None,
+        threads: None,
     }
 }
 

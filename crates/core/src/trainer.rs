@@ -13,14 +13,14 @@
 //! Figure 17 without letting them influence the reward.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use canopy_absint::diff_ibp::{backward_bounds_pre, forward_bounds};
 use canopy_nn::Mlp;
 use canopy_rl::{ReplayBuffer, Td3, Td3Config, Transition};
 
-use crate::env::{CcEnv, EnvConfig};
+use crate::env::{CcEnv, EnvConfig, EpisodeSpec};
 use crate::models::TrainedModel;
 use crate::obs::StateLayout;
 use crate::property::{Postcondition, Property};
@@ -99,6 +99,27 @@ pub fn accumulate_qc_gradient(
     loss
 }
 
+/// A pool of scenario-backed episodes mixed into the training curriculum
+/// (the adversarial-hardening loop's feedback path).
+///
+/// Whenever an environment slot finishes an episode, the sampler draws
+/// from a *dedicated* RNG stream (seeded by [`seed`](Self::seed), fully
+/// separate from the trainer's master stream): with probability
+/// [`fraction`](Self::fraction) the slot restarts as a pool episode,
+/// otherwise it returns to its stock single-link configuration. Because
+/// the mix stream never touches the master stream, a zero fraction — or
+/// no mix at all — trains bit-for-bit identically to the plain trainer,
+/// and the whole loop stays invariant to `CANOPY_THREADS`.
+#[derive(Clone, Debug)]
+pub struct EpisodeMix {
+    /// Fraction of episode restarts drawn from the pool, in `[0, 1]`.
+    pub fraction: f64,
+    /// Seed of the dedicated mix RNG stream.
+    pub seed: u64,
+    /// The adversarial episode pool (uniformly sampled).
+    pub pool: Vec<EpisodeSpec>,
+}
+
 /// Complete training configuration.
 #[derive(Clone, Debug)]
 pub struct TrainerConfig {
@@ -132,6 +153,14 @@ pub struct TrainerConfig {
     /// on — reward shaping alone cannot attribute the (action-independent)
     /// certificate feedback to actions through an off-policy critic.
     pub qc_grad_weight: f64,
+    /// Optional adversarial episode mix (`None` trains on the stock
+    /// curriculum alone, bitwise identical to the pre-mix trainer).
+    pub mix: Option<EpisodeMix>,
+    /// Verifier worker-count override for in-loop certification (`None`
+    /// consults `CANOPY_THREADS`). Certificates are thread-count
+    /// invariant, so this only affects wall-clock — it exists so tests can
+    /// compare thread counts inside one process.
+    pub threads: Option<usize>,
 }
 
 /// Per-epoch training telemetry (the series of Figure 17).
@@ -178,6 +207,25 @@ impl Trainer {
             (0.0..=1.0).contains(&config.lambda),
             "lambda must be in [0, 1]"
         );
+        if let Some(mix) = &config.mix {
+            assert!(
+                (0.0..=1.0).contains(&mix.fraction),
+                "mix fraction must be in [0, 1]"
+            );
+            let k = config.envs[0].k;
+            for (i, e) in mix.pool.iter().enumerate() {
+                assert_eq!(
+                    e.k, k,
+                    "mix episode {i} (`{}`) has k = {} but the trainer uses k = {k}",
+                    e.name, e.k
+                );
+                // Fail at construction, not mid-training: every pool
+                // episode must actually build (known kernels, legal paths).
+                if let Err(err) = CcEnv::from_episode(e.clone()) {
+                    panic!("mix episode {i}: {err}");
+                }
+            }
+        }
         Trainer { config }
     }
 
@@ -188,9 +236,18 @@ impl Trainer {
         let layout = StateLayout::new(cfg.envs[0].k);
         let mut agent = Td3::new(&mut rng, layout.dim(), 1, cfg.td3.clone());
         let mut replay = ReplayBuffer::new(cfg.replay_capacity);
-        let verifier = Verifier::new(cfg.n_components);
+        let verifier = match cfg.threads {
+            Some(t) => Verifier::new(cfg.n_components).with_threads(t),
+            None => Verifier::new(cfg.n_components),
+        };
         let mut envs: Vec<CcEnv> = cfg.envs.iter().cloned().map(CcEnv::new).collect();
         let needs_qc = cfg.lambda > 0.0 || cfg.monitor_qc;
+
+        // The adversarial episode sampler draws from its own RNG stream so
+        // the master stream (exploration, batch sampling) is untouched: a
+        // disabled mix is bitwise indistinguishable from no mix.
+        let mut mix_rng = cfg.mix.as_ref().map(|m| StdRng::seed_from_u64(m.seed));
+        let mut slot_is_adversarial = vec![false; cfg.envs.len()];
 
         let mut history = Vec::with_capacity(cfg.epochs);
         let mut env_cursor = 0usize;
@@ -201,8 +258,9 @@ impl Trainer {
             let mut critic_sum = 0.0;
             let mut critic_count = 0u64;
             for _ in 0..cfg.steps_per_epoch {
-                let env = &mut envs[env_cursor];
+                let slot = env_cursor;
                 env_cursor = (env_cursor + 1) % cfg.envs.len();
+                let env = &mut envs[slot];
 
                 let state = env.state();
                 let action = agent.act_explore(&state, cfg.explore_noise, &mut rng);
@@ -227,7 +285,35 @@ impl Trainer {
                     done: result.done,
                 });
                 if result.done {
-                    env.reset();
+                    // Episode boundary: the mix sampler decides what the
+                    // slot restarts as. With probability `fraction` it
+                    // becomes a pool episode; otherwise it returns to (or
+                    // stays on) its stock configuration. `env`'s borrow
+                    // ended above, so the slot can be rebuilt in place.
+                    let draw = match (&cfg.mix, &mut mix_rng) {
+                        (Some(mix), Some(rng)) if !mix.pool.is_empty() => {
+                            if rng.random::<f64>() < mix.fraction {
+                                Some(rng.random_range(0..mix.pool.len()))
+                            } else {
+                                None
+                            }
+                        }
+                        _ => None,
+                    };
+                    match draw {
+                        Some(pick) => {
+                            let spec = cfg.mix.as_ref().expect("drawn from a mix").pool[pick]
+                                .clone();
+                            envs[slot] =
+                                CcEnv::from_episode(spec).expect("mix episodes are validated");
+                            slot_is_adversarial[slot] = true;
+                        }
+                        None if slot_is_adversarial[slot] => {
+                            envs[slot] = CcEnv::new(cfg.envs[slot].clone());
+                            slot_is_adversarial[slot] = false;
+                        }
+                        None => envs[slot].reset(),
+                    }
                 }
                 let update = if cfg.qc_grad_weight > 0.0 && !cfg.properties.is_empty() {
                     let properties = &cfg.properties;
@@ -304,6 +390,8 @@ mod tests {
             replay_capacity: 4096,
             name: "test".into(),
             qc_grad_weight: 1.0,
+            mix: None,
+            threads: None,
         }
     }
 

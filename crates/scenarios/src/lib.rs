@@ -34,11 +34,13 @@
 //! assert!(metrics.primary.throughput_mbps > 0.0);
 //! ```
 
+pub mod episode;
 pub mod gen;
 pub mod params;
 pub mod runner;
 pub mod spec;
 
+pub use episode::{episode_env, episode_spec};
 pub use gen::{fuzz_suite, fuzz_suite_seeds, generate, Family};
 pub use params::{decode, param_defs, sample_point, ParamDef, ParamKind};
 pub use runner::{

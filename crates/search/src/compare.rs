@@ -1,0 +1,111 @@
+//! Multi-model blind-spot comparison: scoring the same scenarios against
+//! two models to show where hardening actually moved the needle.
+//!
+//! The hardening loop uses this to contrast a round's model with its
+//! predecessor over the accumulated counterexample corpus: a *blind spot*
+//! is a scenario still violating against model A but not against model B
+//! — scenario-level evidence that retraining closed (or failed to close)
+//! a specific hole rather than shifting aggregate averages.
+
+use serde::{Deserialize, Serialize};
+
+use canopy_core::pool;
+use canopy_scenarios::ScenarioSpec;
+
+use crate::objective::Objective;
+
+/// One scenario scored against both models.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ModelComparison {
+    /// Scenario name.
+    pub scenario: String,
+    /// Badness against model A.
+    pub badness_a: f64,
+    /// Badness against model B.
+    pub badness_b: f64,
+    /// `badness_a − badness_b`: positive when B is more robust here.
+    pub gap: f64,
+    /// A violates the objective threshold here and B does not.
+    pub blind_spot: bool,
+}
+
+/// Scores every scenario against both objectives' models and flags A's
+/// blind spots relative to B.
+///
+/// Both objectives must share an [`ObjectiveKind`](crate::ObjectiveKind)
+/// (the comparison is meaningless across different failure modes); the
+/// threshold is that kind's violation threshold. Scenarios that fail to
+/// score (invalid specs) are dropped. Work fans out over the core worker
+/// pool with order-preserving results, so output order and values are
+/// independent of `threads`.
+pub fn compare_models(
+    specs: &[ScenarioSpec],
+    model_a: &Objective,
+    model_b: &Objective,
+    threads: Option<usize>,
+) -> Vec<ModelComparison> {
+    assert_eq!(
+        model_a.kind, model_b.kind,
+        "comparing different failure modes is meaningless"
+    );
+    let threshold = model_a.kind.violation_threshold();
+    let jobs: Vec<(&ScenarioSpec, &Objective)> = specs
+        .iter()
+        .flat_map(|s| [(s, model_a), (s, model_b)])
+        .collect();
+    let scores = pool::parallel_map(&jobs, pool::resolve_threads(threads), |(spec, objective)| {
+        objective.badness(spec).ok()
+    });
+    specs
+        .iter()
+        .zip(scores.chunks(2))
+        .filter_map(|(spec, pair)| {
+            let (badness_a, badness_b) = (pair[0]?, pair[1]?);
+            Some(ModelComparison {
+                scenario: spec.name.clone(),
+                badness_a,
+                badness_b,
+                gap: badness_a - badness_b,
+                blind_spot: badness_a >= threshold && badness_b < threshold,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::ObjectiveKind;
+    use canopy_core::models::{train_model, ModelKind, TrainBudget};
+    use canopy_netsim::Time;
+
+    #[test]
+    fn comparison_is_thread_invariant_and_flags_gaps() {
+        let a = train_model(ModelKind::Shallow, 3, TrainBudget::smoke()).model;
+        let b = train_model(ModelKind::Shallow, 4, TrainBudget::smoke()).model;
+        let obj_a = Objective::new(ObjectiveKind::QcSat, a);
+        let obj_b = Objective::new(ObjectiveKind::QcSat, b);
+        let specs = vec![
+            ScenarioSpec::simple("s0", 24e6, Time::from_millis(40), Time::from_secs(2)),
+            ScenarioSpec::simple("s1", 12e6, Time::from_millis(20), Time::from_secs(2)),
+        ];
+        let one = compare_models(&specs, &obj_a, &obj_b, Some(1));
+        let four = compare_models(&specs, &obj_a, &obj_b, Some(4));
+        assert_eq!(one.len(), 2);
+        for (x, y) in one.iter().zip(&four) {
+            assert_eq!(x.scenario, y.scenario);
+            assert_eq!(x.badness_a.to_bits(), y.badness_a.to_bits());
+            assert_eq!(x.badness_b.to_bits(), y.badness_b.to_bits());
+            assert_eq!(x.blind_spot, y.blind_spot);
+            assert_eq!(
+                x.blind_spot,
+                x.badness_a >= 0.5 && x.badness_b < 0.5,
+                "{}",
+                x.scenario
+            );
+        }
+        // Self-comparison never has blind spots and gap is exactly zero.
+        let same = compare_models(&specs, &obj_a, &obj_a, Some(2));
+        assert!(same.iter().all(|c| !c.blind_spot && c.gap == 0.0));
+    }
+}

@@ -25,13 +25,17 @@
 //! println!("worst QC_sat badness: {}", outcome.best_badness);
 //! ```
 
+pub mod compare;
+pub mod ledger;
 pub mod objective;
 pub mod optimize;
 pub mod report;
 pub mod shrink;
 pub mod space;
 
-pub use objective::{Objective, ObjectiveKind};
+pub use compare::{compare_models, ModelComparison};
+pub use ledger::{LedgerEntry, RobustnessLedger, LEDGER_SCHEMA};
+pub use objective::{Objective, ObjectiveKind, ScenarioScores};
 pub use optimize::{search, OptimizerKind, SearchConfig, SearchOutcome};
 pub use report::{AdversarialFixture, Minimized, SearchReport, FIXTURE_SCHEMA, SEARCH_SCHEMA};
 pub use shrink::{shrink, ShrinkConfig, ShrinkOutcome};

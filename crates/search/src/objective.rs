@@ -62,6 +62,20 @@ impl ObjectiveKind {
     }
 }
 
+/// The three robustness metrics of one scenario against one model, as
+/// recorded in ledger entries: every hardening round reports the full
+/// triple regardless of which objective steered the search.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioScores {
+    /// Cubic's run-reward minus the learned scheme's (positive = worse
+    /// than Cubic).
+    pub reward_gap: f64,
+    /// Mean per-decision `QC_sat` (1 when no decision fired).
+    pub qc_sat: f64,
+    /// Fraction of decisions the QC monitor overrode.
+    pub fallback_rate: f64,
+}
+
 /// A fully configured objective: the failure mode plus the model under
 /// test and its certification setup.
 #[derive(Clone, Debug)]
@@ -125,6 +139,26 @@ impl Objective {
             }
         }
     }
+
+    /// Scores the scenario under all three failure modes at once,
+    /// reusing this objective's model and certification setup. Each
+    /// metric is bitwise identical to what [`badness`](Self::badness)
+    /// under the corresponding kind would report (`qc_sat` is the raw
+    /// satisfaction, i.e. `1 − badness`).
+    pub fn score_all(&self, spec: &ScenarioSpec) -> Result<ScenarioScores, SpecError> {
+        let with = |kind| {
+            Objective {
+                kind,
+                ..self.clone()
+            }
+            .badness(spec)
+        };
+        Ok(ScenarioScores {
+            qc_sat: 1.0 - with(ObjectiveKind::QcSat)?,
+            fallback_rate: with(ObjectiveKind::FallbackRate)?,
+            reward_gap: with(ObjectiveKind::RewardGap)?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +194,18 @@ mod tests {
                 assert!((0.0..=1.0).contains(&a), "{}: {a}", kind.name());
             }
         }
+        // The combined scorer must agree bitwise with the per-kind runs.
+        let obj = Objective::new(ObjectiveKind::QcSat, model);
+        let scores = obj.score_all(&spec).expect("scores");
+        let qc = obj.badness(&spec).unwrap();
+        assert_eq!((1.0 - qc).to_bits(), scores.qc_sat.to_bits());
+        let gap = Objective {
+            kind: ObjectiveKind::RewardGap,
+            ..obj.clone()
+        }
+        .badness(&spec)
+        .unwrap();
+        assert_eq!(gap.to_bits(), scores.reward_gap.to_bits());
     }
 
     #[test]

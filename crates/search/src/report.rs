@@ -11,7 +11,9 @@ use serde::{Deserialize, Serialize};
 use canopy_scenarios::ScenarioSpec;
 
 /// The search-report schema tag; bump when [`SearchReport`] changes.
-pub const SEARCH_SCHEMA: &str = "canopy-search-report/v1";
+///
+/// v2 added the hardening-gate fields `min_gap` / `below_min_gap`.
+pub const SEARCH_SCHEMA: &str = "canopy-search-report/v2";
 
 /// The fixture schema tag; bump when [`AdversarialFixture`] changes.
 pub const FIXTURE_SCHEMA: &str = "canopy-adversarial-fixture/v1";
@@ -56,6 +58,15 @@ pub struct SearchReport {
     pub duration_cap_s: Option<f64>,
     /// Badness level that counts as a violation.
     pub violation_threshold: f64,
+    /// Hardening gate (`--min-gap`): the badness the search was required
+    /// to reach for the run to count as "search succeeded".
+    #[serde(default)]
+    pub min_gap: Option<f64>,
+    /// Whether the gate tripped: a `min_gap` was set and the search never
+    /// reached it — evidence the scheme is hardened against this family,
+    /// reported distinctly from an ordinary no-violation run.
+    #[serde(default)]
+    pub below_min_gap: bool,
     /// Worst badness found.
     pub best_badness: f64,
     /// Best badness after each batch.
@@ -106,6 +117,21 @@ impl SearchReport {
                 "trajectory peak {max_seen} disagrees with best badness {}",
                 self.best_badness
             ));
+        }
+        match self.min_gap {
+            Some(gap) if !gap.is_finite() || gap <= 0.0 => {
+                return Err(format!("non-positive min gap {gap}"));
+            }
+            Some(gap) if (self.best_badness < gap) != self.below_min_gap => {
+                return Err(format!(
+                    "below_min_gap {} inconsistent with best badness {} vs gap {gap}",
+                    self.below_min_gap, self.best_badness
+                ));
+            }
+            None if self.below_min_gap => {
+                return Err("below_min_gap set without a min gap".into());
+            }
+            _ => {}
         }
         self.best_spec.validate().map_err(|e| e.to_string())?;
         if let Some(min) = &self.minimized {
@@ -234,6 +260,8 @@ mod tests {
             evaluations: 64,
             duration_cap_s: None,
             violation_threshold: 0.5,
+            min_gap: None,
+            below_min_gap: false,
             best_badness: 0.75,
             trajectory: vec![0.4, 0.75],
             best_spec: ScenarioSpec::simple("cx", 24e6, Time::from_millis(40), Time::from_secs(4)),
@@ -259,6 +287,35 @@ mod tests {
         let mut overspent = sample_report();
         overspent.evaluations = 65;
         assert!(overspent.validate().is_err());
+    }
+
+    #[test]
+    fn min_gap_fields_validate_and_default() {
+        let mut gated = sample_report();
+        gated.min_gap = Some(0.9);
+        gated.below_min_gap = true;
+        gated.validate().expect("hardened outcome is consistent");
+
+        gated.below_min_gap = false;
+        assert!(gated.validate().is_err(), "0.75 < 0.9 must set the flag");
+
+        let mut reached = sample_report();
+        reached.min_gap = Some(0.5);
+        reached.validate().expect("gap reached, flag clear");
+
+        let mut orphan = sample_report();
+        orphan.below_min_gap = true;
+        assert!(orphan.validate().is_err(), "flag without a gap");
+
+        // v1 reports (no gate fields) must still parse, defaulting off.
+        let text = sample_report().to_json().replace(
+            "\"min_gap\":null,",
+            "",
+        );
+        let back = SearchReport::from_json(&text.replace("\"below_min_gap\":false,", ""))
+            .expect("v1-shaped report parses");
+        assert_eq!(back.min_gap, None);
+        assert!(!back.below_min_gap);
     }
 
     #[test]

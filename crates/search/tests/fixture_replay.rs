@@ -15,15 +15,61 @@ fn workspace_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
 
-fn fixture_paths() -> Vec<PathBuf> {
-    let dir = workspace_root().join("fixtures/adversarial");
-    let mut paths: Vec<PathBuf> = fs::read_dir(&dir)
+/// Discovers the committed corpus. Discovery is strict: anything in the
+/// directory that is not a readable `.json` fixture fails the suite, so a
+/// stray or corrupted file can never be silently skipped — the corpus the
+/// tests replay is exactly the corpus the hardening loop trains on.
+fn fixture_paths_in(dir: &std::path::Path) -> Vec<PathBuf> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)
         .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
         .map(|e| e.expect("dir entry").path())
-        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .inspect(|p| {
+            assert!(
+                p.is_file() && p.extension().is_some_and(|x| x == "json"),
+                "{}: non-fixture entry in the corpus directory",
+                p.display()
+            );
+        })
         .collect();
     paths.sort();
     paths
+}
+
+fn fixture_paths() -> Vec<PathBuf> {
+    fixture_paths_in(&workspace_root().join("fixtures/adversarial"))
+}
+
+#[test]
+fn discovery_rejects_stray_corpus_entries() {
+    let dir = std::env::temp_dir().join("canopy-corpus-stray-test");
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("temp corpus dir");
+    fs::write(dir.join("notes.txt"), "scratch").expect("stray file");
+    let strayed = std::panic::catch_unwind(|| fixture_paths_in(&dir));
+    assert!(strayed.is_err(), "a non-.json entry must fail discovery");
+
+    fs::remove_file(dir.join("notes.txt")).expect("cleanup stray");
+    fs::create_dir_all(dir.join("nested.json")).expect("dir with json name");
+    let nested = std::panic::catch_unwind(|| fixture_paths_in(&dir));
+    assert!(nested.is_err(), "a directory must fail discovery");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn schema_mismatches_fail_loudly() {
+    // A file that parses as JSON but not as a fixture must be an error,
+    // not a skip: the canonicality test runs `from_json` + `validate` on
+    // every discovered path, so this asserts the failure mode directly.
+    assert!(AdversarialFixture::from_json("{\"schema\":\"other/v1\"}").is_err());
+    let paths = fixture_paths();
+    for path in &paths {
+        let text = fs::read_to_string(path).expect("readable fixture");
+        let fixture = AdversarialFixture::from_json(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        fixture
+            .validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    }
 }
 
 #[test]
