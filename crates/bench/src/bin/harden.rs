@@ -6,7 +6,8 @@
 //!     [--scheme canopy-shallow] [--objective reward_gap] [--seed N] \
 //!     [--model-seed N] [--rounds N] [--budget N] [--population N] \
 //!     [--fraction F] [--smoke] [--check] \
-//!     [--ledger ROBUSTNESS_ledger.json] [--fixture-out fixtures/adversarial]
+//!     [--ledger ROBUSTNESS_ledger.json] [--fixture-out fixtures/adversarial] \
+//!     [--trace-out TELEMETRY_report.json]
 //! ```
 //!
 //! Each round: (1) train a model whose episode sampler mixes a seeded
@@ -28,18 +29,34 @@
 //! and bitwise invariant to `CANOPY_THREADS`; `--check` proves it by
 //! re-running every round from scratch and diffing ledger entries and
 //! fixtures byte for byte.
+//!
+//! `--trace-out PATH` attaches a flight recorder to the (non-check)
+//! hardening run: the optimizers record one search event per generation
+//! and the report lands at PATH with a Chrome-trace twin. Independently
+//! of that flag, every *committed* fixture gets a decision-trace
+//! artifact at `{fixture-out}/traces/{fixture}.trace.json` — the
+//! minimized scenario replayed once against the base model behind the
+//! QC fallback monitor, so the regression corpus carries the decision
+//! timeline that exhibits each violation. `--retrace` skips the rounds
+//! entirely and (re-)emits those trace artifacts for every fixture
+//! already in the corpus, rebuilding each fixture's recorded model from
+//! its own metadata.
 
+use std::cell::RefCell;
 use std::process::ExitCode;
+use std::rc::Rc;
 
-use canopy_bench::{f3, header, model, row, HarnessOpts, DEFAULT_SEED};
-use canopy_core::models::{trainer_config, ModelKind, TrainedModel};
+use canopy_bench::{f3, header, model, model_dir, row, write_trace, HarnessOpts, DEFAULT_SEED};
+use canopy_core::eval::Scheme;
+use canopy_core::models::{self, trainer_config, ModelKind, TrainBudget, TrainedModel};
 use canopy_core::trainer::{EpisodeMix, Trainer};
 use canopy_netsim::Time;
-use canopy_scenarios::{episode_spec, generate, Family, ScenarioSpec};
+use canopy_scenarios::{episode_spec, generate, run_scenario_recorded, Family, ScenarioSpec};
 use canopy_search::{
-    search, AdversarialFixture, Objective, ObjectiveKind, OptimizerKind, RobustnessLedger,
-    SearchConfig, SearchSpace, ShrinkConfig, FIXTURE_SCHEMA, LEDGER_SCHEMA,
+    search_with_recorder, AdversarialFixture, Objective, ObjectiveKind, OptimizerKind,
+    RobustnessLedger, SearchConfig, SearchSpace, ShrinkConfig, FIXTURE_SCHEMA, LEDGER_SCHEMA,
 };
+use canopy_telemetry::{FlightRecorder, RecorderConfig, SharedRecorder, TelemetryReport};
 
 struct HardenOpts {
     scheme: ModelKind,
@@ -54,6 +71,8 @@ struct HardenOpts {
     check: bool,
     ledger: String,
     fixture_out: String,
+    trace_out: Option<String>,
+    retrace: bool,
 }
 
 fn parse_opts(args: &[String]) -> Result<HardenOpts, String> {
@@ -70,6 +89,8 @@ fn parse_opts(args: &[String]) -> Result<HardenOpts, String> {
         check: false,
         ledger: "ROBUSTNESS_ledger.json".to_string(),
         fixture_out: "fixtures/adversarial".to_string(),
+        trace_out: None,
+        retrace: false,
     };
     let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
         args.get(i + 1)
@@ -145,8 +166,13 @@ fn parse_opts(args: &[String]) -> Result<HardenOpts, String> {
                 opts.fixture_out = value(args, i, "--fixture-out")?;
                 i += 1;
             }
+            "--trace-out" => {
+                opts.trace_out = Some(value(args, i, "--trace-out")?);
+                i += 1;
+            }
             "--smoke" => opts.smoke = true,
             "--check" => opts.check = true,
+            "--retrace" => opts.retrace = true,
             other => return Err(format!("unknown argument `{other}`")),
         }
         i += 1;
@@ -196,17 +222,21 @@ fn mix_seed(model_seed: u64, round: usize) -> u64 {
 /// Reads and validates every fixture in the corpus directory, sorted by
 /// file name so pool order (and therefore training) is independent of
 /// directory iteration order. A missing directory is an empty corpus.
+/// Subdirectories are skipped — decision-trace artifacts live under
+/// `traces/`, next to the fixtures but outside the corpus.
 fn load_corpus(dir: &str) -> Result<Vec<AdversarialFixture>, String> {
     let entries = match std::fs::read_dir(dir) {
         Ok(e) => e,
         Err(_) => return Ok(Vec::new()),
     };
-    let mut names: Vec<String> = entries
-        .map(|e| {
-            e.map(|e| e.file_name().to_string_lossy().into_owned())
-                .map_err(|e| format!("cannot list {dir}: {e}"))
-        })
-        .collect::<Result<_, _>>()?;
+    let mut names: Vec<String> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot list {dir}: {e}"))?;
+        if entry.path().is_dir() {
+            continue;
+        }
+        names.push(entry.file_name().to_string_lossy().into_owned());
+    }
     names.sort();
     let mut corpus = Vec::new();
     for name in names {
@@ -261,7 +291,15 @@ fn train_hardened(
     round: usize,
 ) -> TrainedModel {
     let seed = model_seed(opts);
-    let mut cfg = trainer_config(opts.scheme, seed, HarnessOpts { seed, smoke: opts.smoke }.budget());
+    let mut cfg = trainer_config(
+        opts.scheme,
+        seed,
+        HarnessOpts {
+            seed,
+            smoke: opts.smoke,
+        }
+        .budget(),
+    );
     if opts.smoke {
         // The stock smoke budget (a few hundred steps over 6 s episodes)
         // never reaches an episode boundary, so the mix would never draw.
@@ -306,6 +344,7 @@ fn run_rounds(
     corpus_snapshot: &[AdversarialFixture],
     first_round: usize,
     quiet: bool,
+    recorder: Option<&SharedRecorder>,
 ) -> Result<RoundsResult, String> {
     let cap = duration_cap(opts);
     let threshold = opts.objective.violation_threshold();
@@ -362,7 +401,8 @@ fn run_rounds(
                 seed: search_seed,
                 threads: None,
             };
-            let outcome = search(&space, &objective, &config).map_err(|e| e.to_string())?;
+            let outcome = search_with_recorder(&space, &objective, &config, recorder.cloned())
+                .map_err(|e| e.to_string())?;
             let scores = objective
                 .score_all(&outcome.best_spec)
                 .map_err(|e| e.to_string())?;
@@ -378,7 +418,10 @@ fn run_rounds(
             }
             if violation {
                 found_specs.push(outcome.best_spec.clone());
-                if worst.as_ref().is_none_or(|(_, b, _)| outcome.best_badness > *b) {
+                if worst
+                    .as_ref()
+                    .is_none_or(|(_, b, _)| outcome.best_badness > *b)
+                {
                     worst = Some((family, outcome.best_badness, outcome.best_spec.clone()));
                 }
             }
@@ -439,7 +482,9 @@ fn run_rounds(
                         recorded_badness: shrunk.badness,
                         spec: min_spec,
                     };
-                    fixture.validate().map_err(|e| format!("round {round} fixture: {e}"))?;
+                    fixture
+                        .validate()
+                        .map_err(|e| format!("round {round} fixture: {e}"))?;
                     let name = fixture.file_name();
                     let fresh = !corpus.iter().any(|f| f.file_name() == name);
                     if fresh {
@@ -499,6 +544,21 @@ fn rounds_digest(r: &RoundsResult) -> String {
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = parse_opts(&args)?;
+    if opts.retrace {
+        let corpus = load_corpus(&opts.fixture_out)?;
+        if corpus.is_empty() {
+            return Err(format!("--retrace: no fixtures in {}", opts.fixture_out));
+        }
+        println!(
+            "retracing {} fixtures in {}",
+            corpus.len(),
+            opts.fixture_out
+        );
+        for fixture in &corpus {
+            write_fixture_trace(&opts.fixture_out, fixture)?;
+        }
+        return Ok(());
+    }
     let harness = HarnessOpts {
         seed: model_seed(&opts),
         smoke: opts.smoke,
@@ -545,12 +605,20 @@ fn run() -> Result<(), String> {
         opts.ledger
     );
 
-    let result = run_rounds(&opts, &base, &corpus, first_round, false)?;
+    // The recorder rides only the recorded run: recording is observation,
+    // never input, so the quiet `--check` replay stays digest-comparable
+    // without one.
+    let recorder = opts
+        .trace_out
+        .as_ref()
+        .map(|_| Rc::new(RefCell::new(FlightRecorder::default())));
+    let handle: Option<SharedRecorder> = recorder.as_ref().map(|r| r.clone() as SharedRecorder);
+    let result = run_rounds(&opts, &base, &corpus, first_round, false, handle.as_ref())?;
 
     if opts.check {
         // Reproducibility gate: replay every round from the same corpus
         // snapshot and require bitwise-identical entries and fixtures.
-        let again = run_rounds(&opts, &base, &corpus, first_round, true)?;
+        let again = run_rounds(&opts, &base, &corpus, first_round, true, None)?;
         if rounds_digest(&again) != rounds_digest(&result) {
             return Err("--check FAILED: re-run diverged from the recorded rounds".into());
         }
@@ -575,7 +643,71 @@ fn run() -> Result<(), String> {
         std::fs::write(&path, fixture.to_json())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("wrote fixture {path}");
+        write_fixture_trace(&opts.fixture_out, fixture)?;
     }
+
+    if let (Some(path), Some(recorder)) = (&opts.trace_out, &recorder) {
+        let label = format!(
+            "harden {} × {} rounds {first_round}..",
+            base.name,
+            opts.objective.name()
+        );
+        let telemetry = TelemetryReport::from_recorder(&recorder.borrow(), &label, &base.name);
+        write_trace(path, &telemetry)?;
+    }
+    Ok(())
+}
+
+/// Replays one committed fixture's minimized scenario against its own
+/// recorded model behind the QC fallback monitor with a fresh flight
+/// recorder, and writes the decision trace next to the fixture under
+/// `traces/`. Everything is rebuilt from the fixture's metadata, so the
+/// trace — like the fixture — reproduces from the repository alone.
+fn write_fixture_trace(fixture_out: &str, fixture: &AdversarialFixture) -> Result<(), String> {
+    let kind = ModelKind::parse(&fixture.scheme).ok_or_else(|| {
+        format!(
+            "{}: unknown scheme `{}`",
+            fixture.file_name(),
+            fixture.scheme
+        )
+    })?;
+    let budget = if fixture.smoke_model {
+        TrainBudget::smoke()
+    } else {
+        TrainBudget::standard()
+    };
+    let (base, _) = models::load_or_train(&model_dir(), kind, fixture.model_seed, budget);
+    let okind = ObjectiveKind::parse(&fixture.objective).ok_or_else(|| {
+        format!(
+            "{}: unknown objective `{}`",
+            fixture.file_name(),
+            fixture.objective
+        )
+    })?;
+    let objective = Objective::new(okind, base.clone());
+    let scheme = Scheme::LearnedFallback {
+        model: base.clone(),
+        properties: objective.properties.clone(),
+        threshold: fixture.fallback_threshold,
+        n_components: fixture.n_components,
+    };
+    let rec = Rc::new(RefCell::new(FlightRecorder::default()));
+    let handle: SharedRecorder = rec.clone();
+    let cadence = Time::from_nanos(RecorderConfig::default().link_cadence_ns);
+    run_scenario_recorded(&scheme, &fixture.spec, None, &handle, cadence)
+        .map_err(|e| e.to_string())?;
+    let name = fixture.file_name();
+    let stem = name.strip_suffix(".json").unwrap_or(&name);
+    let label = format!("harden fixture {name}");
+    let report = TelemetryReport::from_recorder(&rec.borrow(), &label, &base.name);
+    report
+        .validate()
+        .map_err(|e| format!("refusing to write invalid trace for {name}: {e}"))?;
+    let dir = format!("{fixture_out}/traces");
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let path = format!("{dir}/{stem}.trace.json");
+    std::fs::write(&path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("wrote decision trace {path}");
     Ok(())
 }
 
@@ -622,6 +754,14 @@ mod tests {
         assert_eq!(opts.rounds, 3);
         assert_eq!(opts.fraction, 0.25);
         assert_eq!(model_seed(&opts), 3);
+    }
+
+    #[test]
+    fn trace_out_parses() {
+        let opts = parse_opts(&argv(&["--trace-out", "trace.json"])).unwrap();
+        assert_eq!(opts.trace_out.as_deref(), Some("trace.json"));
+        assert_eq!(parse_opts(&argv(&[])).unwrap().trace_out, None);
+        assert!(parse_opts(&argv(&["--trace-out"])).is_err());
     }
 
     #[test]

@@ -34,6 +34,12 @@
 //!   second multi-hop runs (an 8-flow incast tree and a 3-hop parking
 //!   lot with per-hop competitors): the HopArrival forwarding path and
 //!   per-link calendar lanes the topology graph added.
+//! * `decision_latency/p50`/`p95`/`p99` — per-decision wall-clock latency
+//!   percentiles of the deployment decision loop (state assembly + policy
+//!   forward + clamp at the deep model's k = 10 shape), measured through
+//!   `canopy_telemetry::LogHistogram` — the tail the flight recorder's
+//!   sim-time histograms deliberately cannot see, gated by `--check` like
+//!   every other bench.
 //! * `episode_sampler/base_env` vs `episode_sampler/episode_dumbbell` and
 //!   `episode_sampler/episode_multihop` — environment construction on the
 //!   trainer's episode boundary: the plain link env rebuild against the
@@ -818,6 +824,55 @@ fn bench_topology(opts: &Opts, out: &mut Vec<(String, f64)>) {
     ));
 }
 
+// --- Decision-loop latency -------------------------------------------------
+
+/// Per-decision wall-clock latency through the deployment decision loop
+/// (state assembly + policy forward + clamp), fed into the telemetry
+/// layer's log-scale histogram and reported as p50/p95/p99 ns. This is
+/// the one sanctioned wall-clock use of [`LogHistogram`] — everywhere
+/// else the telemetry layer records sim time only, to stay deterministic.
+fn bench_decision_latency(opts: &Opts, out: &mut Vec<(String, f64)>) {
+    use canopy_core::env::{CcEnv, EnvConfig};
+    use canopy_telemetry::LogHistogram;
+    let decisions = if opts.smoke { 500 } else { 4000 };
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    // The deep model's deployment shape: k = 10 monitor intervals → a
+    // 50-feature state through a 64×64 tanh policy.
+    let k = 10;
+    let mut config = EnvConfig::new(
+        BandwidthTrace::constant("bench-decision", 24e6),
+        Time::from_millis(40),
+        1.0,
+    );
+    config.k = k;
+    let policy = Mlp::new(
+        &mut rng,
+        &[StateLayout::new(k).dim(), 64, 64, 1],
+        Activation::Tanh,
+    );
+    let mut env = CcEnv::new(config);
+    let mut hist = LogHistogram::new();
+    // Warm up caches and the env history window before timing.
+    for _ in 0..decisions.min(50) {
+        let action = policy.forward(&env.state())[0].clamp(-1.0, 1.0);
+        if env.step(action).done {
+            env.reset();
+        }
+    }
+    for _ in 0..decisions {
+        let t = Instant::now();
+        let state = env.state();
+        let action = policy.forward(&state)[0].clamp(-1.0, 1.0);
+        hist.record(t.elapsed().as_nanos() as u64);
+        if env.step(action).done {
+            env.reset();
+        }
+    }
+    out.push(("decision_latency/p50".into(), hist.p50() as f64));
+    out.push(("decision_latency/p95".into(), hist.p95() as f64));
+    out.push(("decision_latency/p99".into(), hist.p99() as f64));
+}
+
 // --- Episode-sampling overhead --------------------------------------------
 
 fn bench_episode_sampler(opts: &Opts, out: &mut Vec<(String, f64)>) {
@@ -961,6 +1016,10 @@ fn main() {
     if opts.runs("episode_sampler") {
         eprintln!("perf_report: episode-sampling overhead…");
         bench_episode_sampler(&opts, &mut benches);
+    }
+    if opts.runs("decision_latency") {
+        eprintln!("perf_report: decision-loop latency…");
+        bench_decision_latency(&opts, &mut benches);
     }
 
     // In-run speedups (both sides measured this invocation).

@@ -10,7 +10,7 @@
 //!     [--family all|<name>[,<name>...]] [--seeds N | --seeds a,b,c] \
 //!     [--schemes cubic,bbr,canopy-shallow,...] \
 //!     [--topology dumbbell|parking-lot:H|incast:K] \
-//!     [--check] [--smoke] [--out PATH]
+//!     [--check] [--smoke] [--out PATH] [--trace-out PATH]
 //! ```
 //!
 //! `--family` accepts `all` (default) or a comma list of
@@ -30,15 +30,24 @@
 //! `orca`), which are loaded from the model cache (training on first
 //! use; `--smoke` shrinks the budget). `--check` re-runs the entire
 //! matrix from re-parsed specs and fails unless the report is
-//! schema-valid and bitwise reproducible.
+//! schema-valid and bitwise reproducible. `--trace-out PATH` additionally
+//! replays the first scheme over each family's first scenario with a
+//! flight recorder attached and writes the `canopy-telemetry/v1` report
+//! (plus a Chrome-trace twin next to it); under `--check` the trace
+//! replay is re-recorded and must also be bitwise identical.
 
+use std::cell::RefCell;
 use std::process::ExitCode;
+use std::rc::Rc;
 
-use canopy_bench::{f1, f3, header, model, row, HarnessOpts};
+use canopy_bench::{f1, f3, header, model, row, write_trace, HarnessOpts};
 use canopy_core::eval::Scheme;
 use canopy_core::models::ModelKind;
 use canopy_netsim::Time;
-use canopy_scenarios::{fuzz_suite_seeds, Family, ScenarioReport, ScenarioSpec, TopologySpec};
+use canopy_scenarios::{
+    fuzz_suite_seeds, run_scenario_recorded, Family, ScenarioReport, ScenarioSpec, TopologySpec,
+};
+use canopy_telemetry::{FlightRecorder, RecorderConfig, SharedRecorder, TelemetryReport};
 
 struct LabOpts {
     families: Vec<Family>,
@@ -47,6 +56,7 @@ struct LabOpts {
     topology: Option<TopologySpec>,
     check: bool,
     out: String,
+    trace_out: Option<String>,
 }
 
 /// Per-hop propagation delay used when `--topology parking-lot:H` does
@@ -143,6 +153,7 @@ fn parse_lab_args(args: &[String]) -> Result<LabOpts, String> {
         topology: None,
         check: false,
         out: "SCENARIOS_report.json".to_string(),
+        trace_out: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -179,6 +190,10 @@ fn parse_lab_args(args: &[String]) -> Result<LabOpts, String> {
                 opts.out = args.get(i + 1).ok_or("--out needs a value")?.clone();
                 i += 1;
             }
+            "--trace-out" => {
+                opts.trace_out = Some(args.get(i + 1).ok_or("--trace-out needs a value")?.clone());
+                i += 1;
+            }
             // Consumed by HarnessOpts, skipped here.
             "--smoke" => {}
             "--seed" => i += 1,
@@ -187,6 +202,35 @@ fn parse_lab_args(args: &[String]) -> Result<LabOpts, String> {
         i += 1;
     }
     Ok(opts)
+}
+
+/// Replays the first scheme over each family's first generated scenario
+/// with one shared flight recorder and exports the recording. Scenarios
+/// replay sequentially on this thread, so the event order is a pure
+/// function of the selected specs — re-recording is bitwise identical.
+fn record_traces(
+    scheme: &Scheme,
+    scheme_name: &str,
+    families: &[Family],
+    specs: &[ScenarioSpec],
+) -> Result<TelemetryReport, String> {
+    let recorder = Rc::new(RefCell::new(FlightRecorder::default()));
+    let handle: SharedRecorder = recorder.clone();
+    let cadence = Time::from_nanos(RecorderConfig::default().link_cadence_ns);
+    let mut origin = 0u64;
+    for family in families {
+        let spec = specs
+            .iter()
+            .find(|s| s.family == family.name())
+            .ok_or_else(|| format!("no generated scenario for family `{}`", family.name()))?;
+        // Each replay's sim clock restarts at zero; shifting the origin
+        // lays the scenarios end to end on one monotone timeline.
+        recorder.borrow_mut().set_origin(origin);
+        run_scenario_recorded(scheme, spec, None, &handle, cadence).map_err(|e| e.to_string())?;
+        origin += spec.duration.as_nanos();
+    }
+    let report = TelemetryReport::from_recorder(&recorder.borrow(), "scenario_lab", scheme_name);
+    Ok(report)
 }
 
 /// Resolves a scheme name: a classic kernel, or a trained model by name.
@@ -313,6 +357,22 @@ fn main() -> ExitCode {
         report.schema
     );
 
+    let mut trace_report = None;
+    if let Some(path) = &lab.trace_out {
+        let report = match record_traces(&schemes[0], &lab.schemes[0], &lab.families, &specs) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("scenario_lab: trace recording failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = write_trace(path, &report) {
+            eprintln!("scenario_lab: {e}");
+            return ExitCode::FAILURE;
+        }
+        trace_report = Some(report);
+    }
+
     if lab.check {
         // Reproducibility gate: rebuild every spec from its (family, seed)
         // identity, round-trip it through JSON, re-run the whole matrix,
@@ -333,6 +393,23 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("--check OK: re-run from re-parsed specs is bitwise identical");
+
+        if let Some(report) = &trace_report {
+            // The recording is part of the contract: re-record the same
+            // replays and require the identical telemetry bytes.
+            let again = match record_traces(&schemes[0], &lab.schemes[0], &lab.families, &specs) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("scenario_lab: --check trace re-record failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if again.to_json() != report.to_json() {
+                eprintln!("scenario_lab: --check FAILED: trace re-record diverged");
+                return ExitCode::FAILURE;
+            }
+            println!("--check OK: trace re-record is bitwise identical");
+        }
     }
     ExitCode::SUCCESS
 }
@@ -416,6 +493,14 @@ mod tests {
         assert_eq!(default.topology, None);
         assert!(parse_lab_args(&argv(&["--topology", "incast:99"])).is_err());
         assert!(parse_lab_args(&argv(&["--topology"])).is_err());
+    }
+
+    #[test]
+    fn trace_out_parses() {
+        let opts = parse_lab_args(&argv(&["--trace-out", "TELEMETRY_report.json"])).unwrap();
+        assert_eq!(opts.trace_out.as_deref(), Some("TELEMETRY_report.json"));
+        assert_eq!(parse_lab_args(&argv(&[])).unwrap().trace_out, None);
+        assert!(parse_lab_args(&argv(&["--trace-out"])).is_err());
     }
 
     #[test]

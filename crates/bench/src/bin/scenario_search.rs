@@ -8,8 +8,14 @@
 //!     [--scheme canopy-shallow] [--optimizer cem|hill] [--population N] \
 //!     [--model-seed N] [--max-duration SECS] [--shrink-budget N] \
 //!     [--min-gap BADNESS] [--smoke] [--check] \
-//!     [--out SEARCH_report.json] [--fixture-out DIR]
+//!     [--out SEARCH_report.json] [--fixture-out DIR] [--trace-out PATH]
 //! ```
+//!
+//! `--trace-out PATH` attaches a flight recorder: the optimizer records
+//! one event per generation and the worst case found is replayed once
+//! more behind the QC fallback monitor to capture its decision timeline.
+//! The `canopy-telemetry/v1` report lands at PATH with a Chrome-trace
+//! twin next to it.
 //!
 //! Objectives: `qc_sat` (minimize the runtime certificate), `fallback_rate`
 //! (maximize QC-monitor overrides), `reward_gap` (maximize reward conceded
@@ -30,16 +36,21 @@
 //! find a weakness of the required size) is reported distinctly from an
 //! ordinary run and from operational errors (status 1).
 
+use std::cell::RefCell;
 use std::process::ExitCode;
+use std::rc::Rc;
 
-use canopy_bench::{f3, header, model, row, HarnessOpts, DEFAULT_SEED};
+use canopy_bench::{f3, header, model, row, write_trace, HarnessOpts, DEFAULT_SEED};
+use canopy_core::eval::Scheme;
 use canopy_core::models::ModelKind;
 use canopy_netsim::Time;
-use canopy_scenarios::Family;
+use canopy_scenarios::{run_scenario_recorded, Family};
 use canopy_search::{
-    search, AdversarialFixture, Minimized, Objective, ObjectiveKind, OptimizerKind, SearchConfig,
-    SearchReport, SearchSpace, ShrinkConfig, FIXTURE_SCHEMA, SEARCH_SCHEMA,
+    search, search_with_recorder, AdversarialFixture, Minimized, Objective, ObjectiveKind,
+    OptimizerKind, SearchConfig, SearchReport, SearchSpace, ShrinkConfig, FIXTURE_SCHEMA,
+    SEARCH_SCHEMA,
 };
+use canopy_telemetry::{FlightRecorder, RecorderConfig, SharedRecorder, TelemetryReport};
 
 struct SearchOpts {
     family: Family,
@@ -57,6 +68,7 @@ struct SearchOpts {
     check: bool,
     out: String,
     fixture_out: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Result<SearchOpts, String> {
@@ -76,6 +88,7 @@ fn parse_opts(args: &[String]) -> Result<SearchOpts, String> {
         check: false,
         out: "SEARCH_report.json".to_string(),
         fixture_out: None,
+        trace_out: None,
     };
     let mut i = 0;
     let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
@@ -172,6 +185,10 @@ fn parse_opts(args: &[String]) -> Result<SearchOpts, String> {
                 opts.fixture_out = Some(value(args, i, "--fixture-out")?);
                 i += 1;
             }
+            "--trace-out" => {
+                opts.trace_out = Some(value(args, i, "--trace-out")?);
+                i += 1;
+            }
             "--smoke" => opts.smoke = true,
             "--check" => opts.check = true,
             other => return Err(format!("unknown argument `{other}`")),
@@ -222,7 +239,13 @@ fn run() -> Result<bool, String> {
         seed: opts.seed,
         threads: None,
     };
-    let outcome = search(&space, &objective, &config).map_err(|e| e.to_string())?;
+    let recorder = opts
+        .trace_out
+        .as_ref()
+        .map(|_| Rc::new(RefCell::new(FlightRecorder::default())));
+    let handle: Option<SharedRecorder> = recorder.as_ref().map(|r| r.clone() as SharedRecorder);
+    let outcome = search_with_recorder(&space, &objective, &config, handle.clone())
+        .map_err(|e| e.to_string())?;
 
     header(&["batch", "best badness"]);
     for (i, b) in outcome.trajectory.iter().enumerate() {
@@ -327,6 +350,27 @@ fn run() -> Result<bool, String> {
         println!("wrote fixture {path}");
     }
 
+    if let (Some(path), Some(recorder), Some(handle)) = (&opts.trace_out, &recorder, &handle) {
+        // Replay the worst case behind the QC fallback monitor so the
+        // decision timeline carries QC_sat and fallback engagement.
+        let scheme = Scheme::LearnedFallback {
+            model: trained.clone(),
+            properties: objective.properties.clone(),
+            threshold: objective.fallback_threshold,
+            n_components: objective.n_components,
+        };
+        let cadence = Time::from_nanos(RecorderConfig::default().link_cadence_ns);
+        run_scenario_recorded(&scheme, &outcome.best_spec, None, handle, cadence)
+            .map_err(|e| e.to_string())?;
+        let label = format!(
+            "scenario_search {} × {}",
+            opts.family.name(),
+            opts.objective.name()
+        );
+        let telemetry = TelemetryReport::from_recorder(&recorder.borrow(), &label, &trained.name);
+        write_trace(path, &telemetry)?;
+    }
+
     if opts.check {
         // Reproducibility gate: re-run the optimizer from scratch and
         // require a bitwise-identical trajectory and best spec.
@@ -414,6 +458,14 @@ mod tests {
         assert!(parse_opts(&argv(&["--min-gap", "-1"])).is_err());
         assert!(parse_opts(&argv(&["--min-gap", "inf"])).is_err());
         assert!(parse_opts(&argv(&["--min-gap"])).is_err());
+    }
+
+    #[test]
+    fn trace_out_parses() {
+        let opts = parse_opts(&argv(&["--trace-out", "trace.json"])).unwrap();
+        assert_eq!(opts.trace_out.as_deref(), Some("trace.json"));
+        assert_eq!(parse_opts(&argv(&[])).unwrap().trace_out, None);
+        assert!(parse_opts(&argv(&["--trace-out"])).is_err());
     }
 
     #[test]

@@ -137,6 +137,35 @@ pub fn fig11_specs(seed: u64, smoke: bool) -> Vec<ScenarioSpec> {
     specs
 }
 
+/// The Chrome-trace twin of a telemetry report path: `X.json` becomes
+/// `X.chrome.json` (any other name just gets the suffix appended), so
+/// `--trace-out` always yields both the canonical report and something a
+/// Perfetto / `chrome://tracing` viewer opens directly.
+pub fn chrome_trace_path(path: &str) -> String {
+    match path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.chrome.json"),
+        None => format!("{path}.chrome.json"),
+    }
+}
+
+/// Validates and writes one telemetry report to `path`, plus its
+/// Chrome-trace export next to it. Every `--trace-out` flag funnels here
+/// so the two artifacts never drift apart.
+pub fn write_trace(path: &str, report: &canopy_telemetry::TelemetryReport) -> Result<(), String> {
+    report
+        .validate()
+        .map_err(|e| format!("refusing to write invalid telemetry: {e}"))?;
+    std::fs::write(path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    let chrome = chrome_trace_path(path);
+    std::fs::write(&chrome, canopy_telemetry::chrome_trace(report))
+        .map_err(|e| format!("cannot write {chrome}: {e}"))?;
+    println!(
+        "wrote {path} (schema {}) and {chrome}",
+        canopy_telemetry::TELEMETRY_SCHEMA
+    );
+    Ok(())
+}
+
 /// Prints a Markdown-style table row.
 pub fn row(cells: &[String]) {
     println!("| {} |", cells.join(" | "));

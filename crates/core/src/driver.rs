@@ -29,6 +29,7 @@ use rand::{Rng, SeedableRng};
 
 use canopy_netsim::{FlowId, LinkConfig, MonitorSample, Simulator, Time};
 use canopy_nn::Mlp;
+use canopy_telemetry::{DecisionRecord, SharedRecorder};
 
 use crate::env::NoiseConfig;
 use crate::models::TrainedModel;
@@ -165,6 +166,7 @@ pub struct OrcaDriver {
     decisions: u64,
     qc_values: Vec<f64>,
     fallback_qc: Vec<f64>,
+    recorder: Option<SharedRecorder>,
 }
 
 impl OrcaDriver {
@@ -191,6 +193,7 @@ impl OrcaDriver {
             decisions: 0,
             qc_values: Vec::new(),
             fallback_qc: Vec::new(),
+            recorder: None,
         }
     }
 
@@ -198,6 +201,62 @@ impl OrcaDriver {
     pub fn with_policy(mut self, policy: DriverPolicy) -> OrcaDriver {
         self.policy = Some(policy);
         self
+    }
+
+    /// Attaches a telemetry recorder: every decision (self-driven or
+    /// training-loop) emits one [`DecisionRecord`] timestamped in
+    /// simulation time. Recording only reads decision state, so an inert
+    /// recorder leaves the run bitwise unchanged.
+    pub fn with_recorder(mut self, recorder: SharedRecorder) -> OrcaDriver {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Attaches or detaches the telemetry recorder in place.
+    pub fn set_recorder(&mut self, recorder: Option<SharedRecorder>) {
+        self.recorder = recorder;
+    }
+
+    /// Emits one decision record when a recorder is attached. `t_ns` is
+    /// the decision instant, `state` the vector the policy acted on,
+    /// `sample` the monitor sample paired with the decision, `action` the
+    /// raw actor output, `applied` the action actually enforced through
+    /// Eq. (1) (0 on fallback), `cwnd` the resulting window.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_decision(
+        &self,
+        t_ns: u64,
+        state: &[f64],
+        sample: &MonitorSample,
+        action: f64,
+        applied: f64,
+        cwnd: f64,
+        qc_sat: Option<f64>,
+        fallback: bool,
+    ) {
+        let Some(recorder) = &self.recorder else {
+            return;
+        };
+        let n = state.len().max(1) as f64;
+        let record = DecisionRecord {
+            t_ns,
+            flow: self.flow.0 as u64,
+            state_mean: state.iter().sum::<f64>() / n,
+            state_min: state.iter().copied().fold(f64::INFINITY, f64::min),
+            state_max: state.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            action,
+            action_clamped: applied.clamp(-1.0, 1.0),
+            cwnd,
+            qdelay_ns: sample.avg_queue_delay.as_nanos(),
+            qc_sat,
+            fallback,
+        };
+        recorder.borrow_mut().record_decision(&record);
+    }
+
+    /// Whether a telemetry recorder is attached.
+    pub fn has_recorder(&self) -> bool {
+        self.recorder.is_some()
     }
 
     // --- Primitives (the pieces every harness shares) --------------------
@@ -285,33 +344,49 @@ impl OrcaDriver {
             self.next_decision = Time::MAX;
             return;
         }
-        self.observe(sim);
+        let sample = self.observe(sim);
         let ctx = self.step_context(sim);
         let mut policy = self
             .policy
             .take()
             .expect("self-driving decisions require a policy");
+        let mut qc_sat = None;
         if let Some((verifier, properties)) = &policy.qc {
             let (_, agg) = verifier.certify_all(&policy.actor, properties, self.layout, &ctx);
             self.qc_values.push(agg);
+            qc_sat = Some(agg);
         }
         let action = policy.actor.forward(&ctx.state)[0];
         let use_agent = match policy.fallback.as_mut() {
             Some(fb) => {
                 let decision = fb.decide(&policy.actor, self.layout, &ctx);
                 self.fallback_qc.push(decision.qc_sat);
+                qc_sat = Some(decision.qc_sat);
                 decision.use_agent
             }
             None => true,
         };
-        if use_agent {
-            self.apply_agent(sim, action);
+        let cwnd = if use_agent {
+            self.apply_agent(sim, action)
         } else {
-            self.apply_kernel(sim);
-        }
+            self.apply_kernel(sim)
+        };
         self.policy = Some(policy);
         self.decisions += 1;
         self.next_decision += self.mi;
+        if self.recorder.is_some() {
+            let applied = if use_agent { action } else { 0.0 };
+            self.record_decision(
+                sim.now().as_nanos(),
+                &ctx.state,
+                &sample,
+                action,
+                applied,
+                cwnd,
+                qc_sat,
+                !use_agent,
+            );
+        }
     }
 
     /// Runs the simulator to `horizon`, executing every decision scheduled
@@ -386,6 +461,12 @@ impl OrcaDriver {
     pub fn fallback_rate(&self) -> Option<f64> {
         self.fallback().map(FallbackController::fallback_rate)
     }
+
+    /// How many times the fallback monitor engaged (agent → Cubic
+    /// transitions), when present.
+    pub fn fallback_engagements(&self) -> Option<u64> {
+        self.fallback().map(FallbackController::engagements)
+    }
 }
 
 /// Multiplexes any number of self-driving drivers over one simulator by
@@ -426,6 +507,15 @@ impl DriverPool {
     /// The drivers, in insertion order.
     pub fn drivers(&self) -> &[OrcaDriver] {
         &self.drivers
+    }
+
+    /// Attaches (or detaches) one shared recorder on every pooled driver.
+    /// Records stay `CANOPY_THREADS`-invariant: the pool dispatches
+    /// decisions on the coordinator thread in deterministic order.
+    pub fn set_recorder(&mut self, recorder: Option<SharedRecorder>) {
+        for driver in &mut self.drivers {
+            driver.set_recorder(recorder.clone());
+        }
     }
 
     /// The earliest pending decision across the pool ([`Time::MAX`] when

@@ -379,18 +379,53 @@ impl CcEnv {
         self.steps = 0;
     }
 
+    /// Attaches or detaches a telemetry recorder: every step emits one
+    /// decision record (timestamped at the decision instant, paired with
+    /// the interval sample the decision produced). Recording only reads
+    /// step state, so an inert recorder leaves the episode bitwise
+    /// unchanged.
+    pub fn set_recorder(&mut self, recorder: Option<canopy_telemetry::SharedRecorder>) {
+        self.driver.set_recorder(recorder);
+    }
+
     /// Applies an agent action and advances one monitor interval.
     pub fn step(&mut self, action: f64) -> StepResult {
+        let recorded = self
+            .driver
+            .has_recorder()
+            .then(|| (self.sim.now().as_nanos(), self.driver.state()));
         let cwnd = self.driver.apply_agent(&mut self.sim, action);
-        self.advance(cwnd)
+        let result = self.advance(cwnd);
+        if let Some((t_ns, state)) = recorded {
+            self.driver.record_decision(
+                t_ns,
+                &state,
+                &result.sample,
+                action,
+                action,
+                cwnd,
+                None,
+                false,
+            );
+        }
+        result
     }
 
     /// Advances one monitor interval *without* overriding the window —
     /// Cubic rules alone (used by the runtime fallback and by baseline
     /// evaluation through the same code path).
     pub fn step_without_agent(&mut self) -> StepResult {
+        let recorded = self
+            .driver
+            .has_recorder()
+            .then(|| (self.sim.now().as_nanos(), self.driver.state()));
         let cwnd = self.driver.apply_kernel(&mut self.sim);
-        self.advance(cwnd)
+        let result = self.advance(cwnd);
+        if let Some((t_ns, state)) = recorded {
+            self.driver
+                .record_decision(t_ns, &state, &result.sample, 0.0, 0.0, cwnd, None, true);
+        }
+        result
     }
 
     fn advance(&mut self, cwnd_applied: f64) -> StepResult {
@@ -558,8 +593,8 @@ mod tests {
         // another construction path — stepping must agree bit-for-bit,
         // across resets too.
         let trace = BandwidthTrace::constant("c", 24e6);
-        let config = EnvConfig::new(trace, Time::from_millis(40), 1.0)
-            .with_episode(Time::from_millis(600));
+        let config =
+            EnvConfig::new(trace, Time::from_millis(40), 1.0).with_episode(Time::from_millis(600));
         let mut legacy = CcEnv::new(config.clone());
         let mut episode = CcEnv::from_episode(episode_of(&config)).expect("builds");
         assert_eq!(legacy.state(), episode.state());

@@ -92,6 +92,16 @@ pub struct RunMetrics {
     pub qc_sat_std: Option<f64>,
     /// Fraction of decisions that fell back to Cubic (fallback runs only).
     pub fallback_rate: Option<f64>,
+    /// Peak queue occupancy at the flow's bottleneck link over the whole
+    /// run, bytes. Defaults to 0 when parsing pre-v4 reports.
+    #[serde(default)]
+    pub peak_queue_bytes: u64,
+    /// How many times the fallback monitor *engaged* — transitions from
+    /// agent control into Cubic fallback, not fallback decisions (a single
+    /// sustained excursion counts once). Fallback runs only; absent when
+    /// parsing pre-v4 reports.
+    #[serde(default)]
+    pub fallback_engagements: Option<u64>,
 }
 
 /// One decision-step record for time-series figures (Figs. 1, 2).
@@ -256,14 +266,16 @@ fn run_learned(
     }
 
     let (qc_sat, qc_sat_std) = mean_std(&qc_values);
-    metrics_from_sim(
+    let mut metrics = metrics_from_sim(
         env.sim(),
         env.flow(),
         &scheme.name(),
         qc_sat,
         qc_sat_std,
-        fallback.map(|f| f.fallback_rate()),
-    )
+        fallback.as_ref().map(FallbackController::fallback_rate),
+    );
+    metrics.fallback_engagements = fallback.as_ref().map(FallbackController::engagements);
+    metrics
 }
 
 /// Per-flow metrics from any simulator the caller drove itself, normalized
@@ -294,6 +306,8 @@ pub fn flow_metrics(sim: &Simulator, flow: FlowId, scheme: &str) -> RunMetrics {
         qc_sat: None,
         qc_sat_std: None,
         fallback_rate: None,
+        peak_queue_bytes: sim.link_at(sim.bottleneck_of(flow)).queue.peak_bytes(),
+        fallback_engagements: None,
     }
 }
 
@@ -521,7 +535,24 @@ pub fn run_multiflow(
     duration: Time,
     bin: Time,
 ) -> Vec<Vec<f64>> {
+    run_multiflow_recorded(link, flows, duration, bin, None)
+}
+
+/// [`run_multiflow`] with an optional flight recorder: every pooled agent
+/// driver records its decisions and the simulator emits link samples on
+/// the recorder's cadence. A no-op recorder leaves the series bitwise
+/// identical to [`run_multiflow`].
+pub fn run_multiflow_recorded(
+    link: LinkConfig,
+    flows: &[FlowSpec],
+    duration: Time,
+    bin: Time,
+    recording: Option<(canopy_telemetry::SharedRecorder, Time)>,
+) -> Vec<Vec<f64>> {
     let mut sim = Simulator::new(link.clone());
+    if let Some((_, cadence)) = &recording {
+        sim.enable_link_sampling(*cadence);
+    }
     let mut pool = DriverPool::new();
     let mut ids = Vec::new();
     for spec in flows {
@@ -559,6 +590,10 @@ pub fn run_multiflow(
         }
     }
 
+    if let Some((recorder, _)) = &recording {
+        pool.set_recorder(Some(recorder.clone()));
+    }
+
     let bins = (duration.as_nanos() / bin.as_nanos().max(1)) as usize;
     let mut series = vec![Vec::with_capacity(bins); flows.len()];
     let mut last_bytes = vec![0u64; flows.len()];
@@ -577,6 +612,12 @@ pub fn run_multiflow(
         }
         if sim.now() >= duration {
             break;
+        }
+    }
+    if let Some((recorder, _)) = &recording {
+        let mut rec = recorder.borrow_mut();
+        for sample in sim.take_link_samples() {
+            rec.record_link(&sample);
         }
     }
     series

@@ -44,6 +44,7 @@ pub mod runtime;
 pub mod trainer;
 pub mod verifier;
 
+pub use canopy_telemetry as telemetry;
 pub use driver::{DriverConfig, DriverPolicy, DriverPool, OrcaDriver};
 pub use env::{CcEnv, EnvConfig, EpisodeCrossFlow, EpisodeSpec, NoiseConfig, StepResult};
 pub use models::{ModelKind, TrainedModel};

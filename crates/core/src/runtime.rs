@@ -29,6 +29,8 @@ pub struct FallbackController {
     threshold: f64,
     decisions: u64,
     fallbacks: u64,
+    engagements: u64,
+    engaged: bool,
 }
 
 impl FallbackController {
@@ -40,6 +42,8 @@ impl FallbackController {
             threshold,
             decisions: 0,
             fallbacks: 0,
+            engagements: 0,
+            engaged: false,
         }
     }
 
@@ -63,7 +67,11 @@ impl FallbackController {
         self.decisions += 1;
         if !use_agent {
             self.fallbacks += 1;
+            if !self.engaged {
+                self.engagements += 1;
+            }
         }
+        self.engaged = !use_agent;
         FallbackDecision { qc_sat, use_agent }
     }
 
@@ -79,6 +87,12 @@ impl FallbackController {
     /// Total decisions made.
     pub fn decisions(&self) -> u64 {
         self.decisions
+    }
+
+    /// How many times the monitor *engaged* fallback: transitions from
+    /// agent control into Cubic, counting a sustained excursion once.
+    pub fn engagements(&self) -> u64 {
+        self.engagements
     }
 }
 
@@ -135,6 +149,20 @@ mod tests {
         assert_eq!(d.qc_sat, 0.0);
         assert_eq!(fb.fallback_rate(), 1.0);
         assert_eq!(fb.decisions(), 1);
+        assert_eq!(fb.engagements(), 1);
+    }
+
+    #[test]
+    fn engagements_count_transitions_not_decisions() {
+        let p = PropertyParams::default();
+        let mut fb = FallbackController::new(vec![Property::p1(&p)], 0.9, 5);
+        // agent, fallback, fallback, agent, fallback: two excursions.
+        for v in [0.5, -0.5, -0.5, 0.5, -0.5] {
+            fb.decide(&constant_actor(v), layout(), &ctx());
+        }
+        assert_eq!(fb.decisions(), 5);
+        assert_eq!(fb.engagements(), 2);
+        assert!((fb.fallback_rate() - 0.6).abs() < 1e-12);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use serde::{Deserialize, Serialize};
 use canopy_absint::diff_ibp::{backward_bounds_pre, forward_bounds};
 use canopy_nn::Mlp;
 use canopy_rl::{ReplayBuffer, Td3, Td3Config, Transition};
+use canopy_telemetry::{SharedRecorder, TrainerEvent};
 
 use crate::env::{CcEnv, EnvConfig, EpisodeSpec};
 use crate::models::TrainedModel;
@@ -231,6 +232,21 @@ impl Trainer {
 
     /// Runs the full training loop.
     pub fn train(&self) -> TrainingResult {
+        self.train_with_recorder(None)
+    }
+
+    /// Runs the full training loop, emitting [`TrainerEvent`]s (episode-mix
+    /// draws, TD losses, certification probes, epoch summaries) into the
+    /// recorder when one is attached. Events are indexed by the global
+    /// interaction step, so recordings are deterministic and unaffected by
+    /// `CANOPY_THREADS`. Recording reads loop state only: `train()` is
+    /// bitwise identical with or without a recorder.
+    pub fn train_with_recorder(&self, recorder: Option<SharedRecorder>) -> TrainingResult {
+        let record = |e: TrainerEvent| {
+            if let Some(r) = &recorder {
+                r.borrow_mut().record_trainer(&e);
+            }
+        };
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let layout = StateLayout::new(cfg.envs[0].k);
@@ -257,7 +273,8 @@ impl Trainer {
             let mut total_sum = 0.0;
             let mut critic_sum = 0.0;
             let mut critic_count = 0u64;
-            for _ in 0..cfg.steps_per_epoch {
+            for step_in_epoch in 0..cfg.steps_per_epoch {
+                let step = (epoch * cfg.steps_per_epoch + step_in_epoch) as u64;
                 let slot = env_cursor;
                 env_cursor = (env_cursor + 1) % cfg.envs.len();
                 let env = &mut envs[slot];
@@ -266,9 +283,14 @@ impl Trainer {
                 let action = agent.act_explore(&state, cfg.explore_noise, &mut rng);
                 let r_verifier = if needs_qc {
                     let ctx = env.step_context();
-                    verifier
+                    let agg = verifier
                         .certify_all(agent.actor(), &cfg.properties, layout, &ctx)
-                        .1
+                        .1;
+                    record(TrainerEvent::CertProbe {
+                        step,
+                        r_verifier: agg,
+                    });
+                    agg
                 } else {
                     0.0
                 };
@@ -302,8 +324,12 @@ impl Trainer {
                     };
                     match draw {
                         Some(pick) => {
-                            let spec = cfg.mix.as_ref().expect("drawn from a mix").pool[pick]
-                                .clone();
+                            let spec =
+                                cfg.mix.as_ref().expect("drawn from a mix").pool[pick].clone();
+                            record(TrainerEvent::MixDraw {
+                                step,
+                                episode: spec.name.clone(),
+                            });
                             envs[slot] =
                                 CcEnv::from_episode(spec).expect("mix episodes are validated");
                             slot_is_adversarial[slot] = true;
@@ -331,10 +357,14 @@ impl Trainer {
                 if let Some(stats) = update {
                     critic_sum += stats.critic_loss;
                     critic_count += 1;
+                    record(TrainerEvent::TdLoss {
+                        step,
+                        critic_loss: stats.critic_loss,
+                    });
                 }
             }
             let n = cfg.steps_per_epoch.max(1) as f64;
-            history.push(EpochStats {
+            let stats = EpochStats {
                 epoch,
                 raw_reward: raw_sum / n,
                 verifier_reward: ver_sum / n,
@@ -344,7 +374,14 @@ impl Trainer {
                 } else {
                     0.0
                 },
+            };
+            record(TrainerEvent::Epoch {
+                epoch: epoch as u64,
+                raw_reward: stats.raw_reward,
+                verifier_reward: stats.verifier_reward,
+                critic_loss: stats.critic_loss,
             });
+            history.push(stats);
         }
 
         TrainingResult {

@@ -4,7 +4,7 @@
 //! the thread count, and bitwise *identical* to today's trainer when the
 //! mix draws nothing.
 
-use canopy_core::env::{EpisodeCrossFlow, EpisodeSpec, EnvConfig};
+use canopy_core::env::{EnvConfig, EpisodeCrossFlow, EpisodeSpec};
 use canopy_core::orca::RewardConfig;
 use canopy_core::property::{Property, PropertyParams};
 use canopy_core::trainer::{EpisodeMix, Trainer, TrainerConfig, TrainingResult};
@@ -14,7 +14,8 @@ use canopy_rl::Td3Config;
 
 fn base_config() -> TrainerConfig {
     let trace = BandwidthTrace::constant("train", 12e6);
-    let env = EnvConfig::new(trace, Time::from_millis(20), 0.5).with_episode(Time::from_millis(400));
+    let env =
+        EnvConfig::new(trace, Time::from_millis(20), 0.5).with_episode(Time::from_millis(400));
     TrainerConfig {
         properties: Property::shallow_set(&PropertyParams::default()),
         lambda: 0.25,

@@ -41,6 +41,7 @@ pub mod time;
 pub mod topology;
 pub mod trace;
 
+pub use canopy_telemetry::LinkSample;
 pub use cc::{AckInfo, CongestionControl, FixedWindow, LossInfo};
 pub use flow::{FlowConfig, FlowId};
 pub use link::{ImpairmentPhase, ImpairmentSchedule, Impairments, LinkConfig};

@@ -7,6 +7,7 @@
 //! mutating flow state — exactly the way Orca's agent wakes up once per
 //! monitor interval.
 
+use canopy_telemetry::LinkSample;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -40,6 +41,21 @@ impl LinkRuntime {
     }
 }
 
+/// Periodic per-link telemetry sampling state (see
+/// [`Simulator::enable_link_sampling`]). Sampling only *reads* link
+/// state on a fixed simulated-time grid, so enabling it can never
+/// perturb the event sequence.
+struct LinkSampling {
+    cadence: Time,
+    /// Next grid instant to sample at.
+    next: Time,
+    /// Previous grid instant (utilization is measured per interval).
+    last_at: Time,
+    /// `served_bytes` per link at `last_at`.
+    last_served: Vec<u64>,
+    samples: Vec<LinkSample>,
+}
+
 /// A deterministic packet-level network simulator over a multi-hop
 /// [`Topology`] (a single-link dumbbell by default).
 ///
@@ -65,6 +81,7 @@ pub struct Simulator {
     events: EventQueue,
     links: Vec<LinkRuntime>,
     flows: Vec<FlowState>,
+    sampling: Option<LinkSampling>,
 }
 
 impl Simulator {
@@ -88,6 +105,7 @@ impl Simulator {
             events: EventQueue::with_links(links.len()),
             links,
             flows: Vec::new(),
+            sampling: None,
         }
     }
 
@@ -230,10 +248,78 @@ impl Simulator {
         }
         while let Some(scheduled) = self.events.pop_due(t) {
             debug_assert!(scheduled.at >= self.now, "time went backwards");
+            if self.sampling.is_some() {
+                self.sample_links_until(scheduled.at, false);
+            }
             self.now = scheduled.at;
             self.dispatch(scheduled.event);
         }
         self.now = t;
+        if self.sampling.is_some() {
+            self.sample_links_until(t, true);
+        }
+    }
+
+    /// Enables periodic per-link telemetry sampling every `cadence` of
+    /// *simulated* time, starting one cadence from now. Each tick captures
+    /// every link's queue depth, cumulative drops, and utilization over the
+    /// elapsed interval. Samples accumulate until drained with
+    /// [`Simulator::take_link_samples`].
+    pub fn enable_link_sampling(&mut self, cadence: Time) {
+        assert!(cadence > Time::ZERO, "sampling cadence must be positive");
+        self.sampling = Some(LinkSampling {
+            cadence,
+            next: self.now + cadence,
+            last_at: self.now,
+            last_served: self.links.iter().map(|lr| lr.link.served_bytes).collect(),
+            samples: Vec::new(),
+        });
+    }
+
+    /// Drains accumulated link samples (always empty when sampling was
+    /// never enabled).
+    pub fn take_link_samples(&mut self) -> Vec<LinkSample> {
+        match self.sampling.as_mut() {
+            Some(s) => std::mem::take(&mut s.samples),
+            None => Vec::new(),
+        }
+    }
+
+    /// Emits link samples at every grid instant strictly before `t`
+    /// (`inclusive` adds an instant at exactly `t`). Called before each
+    /// event dispatch and at the end of [`Simulator::run_until`], so a
+    /// sample at grid time `s` always reflects the state after every event
+    /// at or before `s` — regardless of how callers partition their
+    /// `run_until` horizons.
+    fn sample_links_until(&mut self, t: Time, inclusive: bool) {
+        let Some(s) = self.sampling.as_mut() else {
+            return;
+        };
+        while s.next < t || (inclusive && s.next == t) {
+            let at = s.next;
+            let interval = (at - s.last_at).as_secs_f64();
+            for (i, lr) in self.links.iter().enumerate() {
+                let link = &lr.link;
+                let served = link.served_bytes;
+                let delta_bits = (served - s.last_served[i]) as f64 * 8.0;
+                let ideal_bits = link.trace.avg_rate(s.last_at, at) * interval;
+                let utilization = if ideal_bits > 0.0 {
+                    delta_bits / ideal_bits
+                } else {
+                    0.0
+                };
+                s.samples.push(LinkSample {
+                    t_ns: at.as_nanos(),
+                    link: i as u64,
+                    queue_bytes: link.queue.bytes(),
+                    drops: link.queue.drops(),
+                    utilization,
+                });
+                s.last_served[i] = served;
+            }
+            s.last_at = at;
+            s.next = at + s.cadence;
+        }
     }
 
     /// Runs the event loop for a span of simulated time.
@@ -1363,5 +1449,82 @@ mod tests {
         };
         assert_eq!(run(3), run(3));
         assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn link_sampling_is_inert_and_on_grid() {
+        let run = |sample: bool| {
+            let mut sim = basic_sim(12e6, 40, 1.0);
+            if sample {
+                sim.enable_link_sampling(Time::from_millis(10));
+            }
+            let f = sim.add_flow(
+                FlowConfig::new(Time::from_millis(40)).without_samples(),
+                Box::new(FixedWindow::new(150.0)),
+            );
+            sim.run_until(Time::from_secs(3));
+            let s = sim.flow_stats(f);
+            (
+                (
+                    s.sent_packets,
+                    s.acked_packets,
+                    s.dropped_packets,
+                    s.declared_losses,
+                ),
+                sim.take_link_samples(),
+            )
+        };
+        let (stats_off, samples_off) = run(false);
+        let (stats_on, samples_on) = run(true);
+        // Sampling reads state only: flow dynamics are bitwise unchanged.
+        assert_eq!(stats_off, stats_on);
+        assert!(samples_off.is_empty());
+        // One sample per link per 10 ms tick over 3 s.
+        assert_eq!(samples_on.len(), 300);
+        for (i, s) in samples_on.iter().enumerate() {
+            assert_eq!(s.t_ns, (i as u64 + 1) * 10_000_000);
+            assert_eq!(s.link, 0);
+            assert!(s.utilization.is_finite() && s.utilization >= 0.0);
+        }
+        // The saturated link runs near full utilization mid-run.
+        let mid = &samples_on[150];
+        assert!(mid.utilization > 0.8, "utilization {}", mid.utilization);
+        assert!(samples_on.last().unwrap().drops > 0);
+        // Draining leaves the buffer empty until more time passes.
+        let mut sim = basic_sim(12e6, 40, 1.0);
+        sim.enable_link_sampling(Time::from_millis(10));
+        sim.run_until(Time::from_millis(25));
+        assert_eq!(sim.take_link_samples().len(), 2);
+        assert!(sim.take_link_samples().is_empty());
+    }
+
+    #[test]
+    fn link_sampling_is_invariant_to_run_until_partitioning() {
+        let run = |steps_ms: u64| {
+            let mut sim = basic_sim(24e6, 30, 1.0);
+            sim.enable_link_sampling(Time::from_millis(15));
+            sim.add_flow(
+                FlowConfig::new(Time::from_millis(30)).without_samples(),
+                Box::new(FixedWindow::new(150.0)),
+            );
+            let mut t = Time::ZERO;
+            while t < Time::from_secs(2) {
+                t += Time::from_millis(steps_ms);
+                sim.run_until(t);
+            }
+            sim.run_until(Time::from_secs(2));
+            sim.take_link_samples()
+        };
+        // Coarse and fine horizons see identical samples (bitwise: the
+        // utilization f64s must match exactly, not approximately).
+        let coarse = run(500);
+        let fine = run(7);
+        assert_eq!(coarse.len(), fine.len());
+        for (a, b) in coarse.iter().zip(&fine) {
+            assert_eq!(a.t_ns, b.t_ns);
+            assert_eq!(a.queue_bytes, b.queue_bytes);
+            assert_eq!(a.drops, b.drops);
+            assert_eq!(a.utilization.to_bits(), b.utilization.to_bits());
+        }
     }
 }

@@ -78,11 +78,13 @@ mod tests {
     fn every_family_replays_as_an_episode() {
         for family in Family::ALL {
             let spec = generate(family, 0);
-            let episode = episode_spec(&spec, 3, Some(Time::from_secs(4))).expect(family.name());
+            let episode = episode_spec(&spec, 3, Some(Time::from_secs(4)))
+                .unwrap_or_else(|e| panic!("{}: {e}", family.name()));
             assert_eq!(episode.k, 3);
             assert!(episode.episode <= Time::from_secs(4));
             assert_eq!(episode.cross.len(), spec.cross_traffic.len());
-            let mut env = episode_env(&spec, 3, Some(Time::from_secs(4))).expect(family.name());
+            let mut env = episode_env(&spec, 3, Some(Time::from_secs(4)))
+                .unwrap_or_else(|e| panic!("{}: {e}", family.name()));
             let mut done = false;
             let mut steps = 0;
             while !done && steps < 400 {

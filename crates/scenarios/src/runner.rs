@@ -19,6 +19,7 @@ use canopy_core::eval::{
 use canopy_core::pool;
 use canopy_core::runtime::FallbackController;
 use canopy_netsim::{FlowConfig, FlowId, Simulator, Time};
+use canopy_telemetry::SharedRecorder;
 
 use crate::spec::{ScenarioSpec, SpecError};
 
@@ -69,9 +70,36 @@ pub fn run_scenario(
     spec: &ScenarioSpec,
     qc: Option<&QcEval>,
 ) -> Result<ScenarioMetrics, SpecError> {
+    run_scenario_inner(scheme, spec, qc, None)
+}
+
+/// [`run_scenario`] with a flight recorder attached: the simulator emits
+/// per-link samples on `cadence` and the learned driver (when the scheme
+/// has one) records every decision. With a no-op recorder the metrics are
+/// bitwise identical to [`run_scenario`] — sampling only reads link state
+/// and recording happens after each decision is applied.
+pub fn run_scenario_recorded(
+    scheme: &Scheme,
+    spec: &ScenarioSpec,
+    qc: Option<&QcEval>,
+    recorder: &SharedRecorder,
+    cadence: Time,
+) -> Result<ScenarioMetrics, SpecError> {
+    run_scenario_inner(scheme, spec, qc, Some((recorder, cadence)))
+}
+
+fn run_scenario_inner(
+    scheme: &Scheme,
+    spec: &ScenarioSpec,
+    qc: Option<&QcEval>,
+    recording: Option<(&SharedRecorder, Time)>,
+) -> Result<ScenarioMetrics, SpecError> {
     spec.validate()?;
     let compiled = spec.compile_topology()?;
     let mut sim = Simulator::with_topology(compiled.topology.clone());
+    if let Some((_, cadence)) = recording {
+        sim.enable_link_sampling(cadence);
+    }
 
     let primary_cc: Box<dyn canopy_netsim::CongestionControl> = match scheme {
         Scheme::Baseline(name) => canopy_cc::by_name(name)
@@ -108,6 +136,7 @@ pub fn run_scenario(
     let driver_config = DriverConfig::new(spec.primary_min_rtt, 0).with_noise(spec.noise);
     let mut qc_values: Vec<f64> = Vec::new();
     let mut fallback_rate = None;
+    let mut fallback_engagements = None;
 
     match scheme {
         Scheme::Baseline(_) => sim.run_until(spec.duration),
@@ -121,6 +150,7 @@ pub fn run_scenario(
                 ..driver_config
             };
             let mut driver = OrcaDriver::new(&config, &link, primary).with_policy(policy);
+            driver.set_recorder(recording.map(|(r, _)| r.clone()));
             driver.run_until(&mut sim, spec.duration);
             qc_values.extend_from_slice(driver.qc_values());
         }
@@ -137,9 +167,18 @@ pub fn run_scenario(
             };
             let mut driver = OrcaDriver::new(&config, &link, primary)
                 .with_policy(DriverPolicy::for_model(model).with_fallback(fb));
+            driver.set_recorder(recording.map(|(r, _)| r.clone()));
             driver.run_until(&mut sim, spec.duration);
             qc_values.extend_from_slice(driver.fallback_qc_values());
             fallback_rate = driver.fallback_rate();
+            fallback_engagements = driver.fallback_engagements();
+        }
+    }
+
+    if let Some((recorder, _)) = recording {
+        let mut rec = recorder.borrow_mut();
+        for sample in sim.take_link_samples() {
+            rec.record_link(&sample);
         }
     }
 
@@ -156,6 +195,7 @@ pub fn run_scenario(
         metrics.qc_sat_std = Some(var.sqrt());
     }
     metrics.fallback_rate = fallback_rate;
+    metrics.fallback_engagements = fallback_engagements;
 
     // Fairness over every flow that actually ran, each share normalized to
     // its own active interval by the shared FlowStats rule. A scenario
@@ -257,7 +297,16 @@ pub fn run_matrix_with_threads(
 /// topology order), and nullable `hop_fairness` (Jain over per-hop-count
 /// mean throughputs, present exactly when ≥ 2 distinct path lengths ran).
 /// Dumbbell cells keep their v2 metric values unchanged.
-pub const REPORT_SCHEMA: &str = "canopy-scenarios-report/v3";
+/// v4: primary metrics gained `peak_queue_bytes` (peak bottleneck-queue
+/// occupancy over the run) and nullable `fallback_engagements` (agent →
+/// Cubic transitions, present exactly for fallback schemes). Both default
+/// when parsing older reports, so v3 files still load and validate.
+pub const REPORT_SCHEMA: &str = "canopy-scenarios-report/v4";
+
+/// Older schema tags [`ScenarioReport::validate`] still accepts: every
+/// field added since defaults on parse, so a stored v3 report loads
+/// losslessly into the current structs.
+pub const LEGACY_REPORT_SCHEMAS: &[&str] = &["canopy-scenarios-report/v3"];
 
 /// The aggregate output of a matrix run (`SCENARIOS_report.json`).
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -306,9 +355,9 @@ impl ScenarioReport {
     /// Validates the schema tag and basic metric invariants — the gate the
     /// CI smoke job runs against freshly generated reports.
     pub fn validate(&self) -> Result<(), String> {
-        if self.schema != REPORT_SCHEMA {
+        if self.schema != REPORT_SCHEMA && !LEGACY_REPORT_SCHEMAS.contains(&self.schema.as_str()) {
             return Err(format!(
-                "schema mismatch: `{}` (expected `{REPORT_SCHEMA}`)",
+                "schema mismatch: `{}` (expected `{REPORT_SCHEMA}` or a legacy tag)",
                 self.schema
             ));
         }
@@ -575,5 +624,34 @@ mod tests {
         let mut broken = back;
         broken.schema = "other/v9".into();
         assert!(broken.validate().is_err());
+    }
+
+    #[test]
+    fn v3_reports_parse_with_defaulted_v4_columns() {
+        // A stored v3 report has neither `peak_queue_bytes` nor
+        // `fallback_engagements`; both must default rather than fail.
+        let spec = short(generate(Family::BufferSweep, 2));
+        let results = run_matrix(&[Scheme::Baseline("cubic".into())], &[spec], None).expect("runs");
+        let report = ScenarioReport::new(results);
+        let peak = report.results[0].primary.peak_queue_bytes;
+        assert!(peak > 0, "a droptail run queues something");
+        // Rewind the JSON to what a v3 writer emitted: the old tag and
+        // neither of the new keys. `peak_queue_bytes` also lives in the
+        // per-link columns (since v3), so anchor on the neighbouring key
+        // that only `RunMetrics` has.
+        let v3 = report
+            .to_json()
+            .replace(REPORT_SCHEMA, LEGACY_REPORT_SCHEMAS[0])
+            .replace("\"fallback_engagements\":null,", "")
+            .replace(
+                &format!("\"peak_queue_bytes\":{peak},\"qc_sat\""),
+                "\"qc_sat\"",
+            );
+        assert!(!v3.contains("fallback_engagements"), "key really stripped");
+        let back = ScenarioReport::from_json(&v3).expect("v3 reports parse");
+        assert_eq!(back.schema, LEGACY_REPORT_SCHEMAS[0]);
+        assert_eq!(back.results[0].primary.peak_queue_bytes, 0);
+        assert_eq!(back.results[0].primary.fallback_engagements, None);
+        back.validate().expect("parsed legacy report validates");
     }
 }

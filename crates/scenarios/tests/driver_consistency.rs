@@ -116,6 +116,7 @@ fn fallback_scenario_matches_ccenv_step_for_step() {
     emulated.qc_sat = Some(mean);
     emulated.qc_sat_std = Some(var.sqrt());
     emulated.fallback_rate = Some(fb.fallback_rate());
+    emulated.fallback_engagements = Some(fb.engagements());
     assert_eq!(
         metrics_json(&through_runner.primary),
         metrics_json(&emulated),

@@ -53,9 +53,11 @@ pub fn compare_models(
         .iter()
         .flat_map(|s| [(s, model_a), (s, model_b)])
         .collect();
-    let scores = pool::parallel_map(&jobs, pool::resolve_threads(threads), |(spec, objective)| {
-        objective.badness(spec).ok()
-    });
+    let scores = pool::parallel_map(
+        &jobs,
+        pool::resolve_threads(threads),
+        |(spec, objective)| objective.badness(spec).ok(),
+    );
     specs
         .iter()
         .zip(scores.chunks(2))

@@ -218,8 +218,10 @@ mod tests {
 
     fn sample() -> RobustnessLedger {
         let mut l = RobustnessLedger::new("canopy-shallow", 3, true);
-        l.entries.push(entry(0, "canopy-shallow", "flash-crowd", 0.4));
-        l.entries.push(entry(0, "canopy-shallow", "jitter-storm", 0.05));
+        l.entries
+            .push(entry(0, "canopy-shallow", "flash-crowd", 0.4));
+        l.entries
+            .push(entry(0, "canopy-shallow", "jitter-storm", 0.05));
         l.entries
             .push(entry(1, "canopy-shallow+hard-r1", "flash-crowd", 0.2));
         l
@@ -247,7 +249,8 @@ mod tests {
     #[test]
     fn rejects_regressing_rounds() {
         let mut l = sample();
-        l.entries.push(entry(0, "canopy-shallow", "buffer-sweep", 0.0));
+        l.entries
+            .push(entry(0, "canopy-shallow", "buffer-sweep", 0.0));
         let err = l.validate().unwrap_err();
         assert!(err.contains("non-decreasing"), "{err}");
     }

@@ -36,7 +36,7 @@ pub mod space;
 pub use compare::{compare_models, ModelComparison};
 pub use ledger::{LedgerEntry, RobustnessLedger, LEDGER_SCHEMA};
 pub use objective::{Objective, ObjectiveKind, ScenarioScores};
-pub use optimize::{search, OptimizerKind, SearchConfig, SearchOutcome};
+pub use optimize::{search, search_with_recorder, OptimizerKind, SearchConfig, SearchOutcome};
 pub use report::{AdversarialFixture, Minimized, SearchReport, FIXTURE_SCHEMA, SEARCH_SCHEMA};
 pub use shrink::{shrink, ShrinkConfig, ShrinkOutcome};
 pub use space::SearchSpace;

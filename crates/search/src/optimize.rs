@@ -20,6 +20,7 @@ use rand::{Rng, SeedableRng};
 
 use canopy_core::pool;
 use canopy_scenarios::{ScenarioSpec, SpecError};
+use canopy_telemetry::{SearchEvent, SharedRecorder};
 
 use crate::objective::Objective;
 use crate::space::SearchSpace;
@@ -136,10 +137,43 @@ pub fn search(
     objective: &Objective,
     config: &SearchConfig,
 ) -> Result<SearchOutcome, SpecError> {
+    search_with_recorder(space, objective, config, None)
+}
+
+/// [`search`], emitting one [`SearchEvent`] per optimizer generation into
+/// the recorder when one is attached. All evaluation happens on the worker
+/// pool but recording stays on the coordinator thread, so a recording is
+/// bitwise identical at any `CANOPY_THREADS` — and an inert recorder
+/// leaves the search outcome bitwise unchanged.
+pub fn search_with_recorder(
+    space: &SearchSpace,
+    objective: &Objective,
+    config: &SearchConfig,
+    recorder: Option<SharedRecorder>,
+) -> Result<SearchOutcome, SpecError> {
     let mut rng = StdRng::seed_from_u64(config.seed);
+    let recorder = recorder.as_ref();
     match config.optimizer {
-        OptimizerKind::Cem => cem(space, objective, config, &mut rng),
-        OptimizerKind::HillClimb => hill_climb(space, objective, config, &mut rng),
+        OptimizerKind::Cem => cem(space, objective, config, &mut rng, recorder),
+        OptimizerKind::HillClimb => hill_climb(space, objective, config, &mut rng, recorder),
+    }
+}
+
+/// Emits one generation event when a recorder is attached.
+fn record_generation(
+    recorder: Option<&SharedRecorder>,
+    generation: u64,
+    evaluations: usize,
+    batch_best: f64,
+    best_badness: f64,
+) {
+    if let Some(r) = recorder {
+        r.borrow_mut().record_search(&SearchEvent {
+            generation,
+            evaluations: evaluations as u64,
+            batch_best,
+            best_badness,
+        });
     }
 }
 
@@ -148,6 +182,7 @@ fn cem(
     objective: &Objective,
     config: &SearchConfig,
     rng: &mut StdRng,
+    recorder: Option<&SharedRecorder>,
 ) -> Result<SearchOutcome, SpecError> {
     let d = space.dims();
     let mut mean = vec![0.5; d];
@@ -174,6 +209,13 @@ fn cem(
             best_badness = values[top];
             best_unit = points[top].clone();
         }
+        record_generation(
+            recorder,
+            trajectory.len() as u64,
+            evaluations,
+            values[top],
+            best_badness,
+        );
         trajectory.push(best_badness);
 
         // Refit to the elite set: stable sort by badness descending, index
@@ -215,11 +257,13 @@ fn hill_climb(
     objective: &Objective,
     config: &SearchConfig,
     rng: &mut StdRng,
+    recorder: Option<&SharedRecorder>,
 ) -> Result<SearchOutcome, SpecError> {
     let d = space.dims();
     let mut current = vec![0.5; d];
     let mut current_badness = objective.badness(&space.decode_unit(&current))?;
     let mut evaluations = 1usize;
+    record_generation(recorder, 0, evaluations, current_badness, current_badness);
     let mut trajectory = vec![current_badness];
     let mut step = 0.35;
 
@@ -244,6 +288,13 @@ fn hill_climb(
             // The whole batch failed to improve: contract the step.
             step = (step * 0.5).max(0.02);
         }
+        record_generation(
+            recorder,
+            trajectory.len() as u64,
+            evaluations,
+            values[top],
+            current_badness,
+        );
         trajectory.push(current_badness);
     }
 

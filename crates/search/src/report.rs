@@ -308,10 +308,7 @@ mod tests {
         assert!(orphan.validate().is_err(), "flag without a gap");
 
         // v1 reports (no gate fields) must still parse, defaulting off.
-        let text = sample_report().to_json().replace(
-            "\"min_gap\":null,",
-            "",
-        );
+        let text = sample_report().to_json().replace("\"min_gap\":null,", "");
         let back = SearchReport::from_json(&text.replace("\"below_min_gap\":false,", ""))
             .expect("v1-shaped report parses");
         assert_eq!(back.min_gap, None);

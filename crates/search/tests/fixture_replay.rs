@@ -18,11 +18,14 @@ fn workspace_root() -> PathBuf {
 /// Discovers the committed corpus. Discovery is strict: anything in the
 /// directory that is not a readable `.json` fixture fails the suite, so a
 /// stray or corrupted file can never be silently skipped — the corpus the
-/// tests replay is exactly the corpus the hardening loop trains on.
+/// tests replay is exactly the corpus the hardening loop trains on. The
+/// one sanctioned neighbor is the `traces/` directory, where `harden`
+/// parks each committed fixture's decision-trace artifact.
 fn fixture_paths_in(dir: &std::path::Path) -> Vec<PathBuf> {
     let mut paths: Vec<PathBuf> = fs::read_dir(dir)
         .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
         .map(|e| e.expect("dir entry").path())
+        .filter(|p| !(p.is_dir() && p.file_name().is_some_and(|n| n == "traces")))
         .inspect(|p| {
             assert!(
                 p.is_file() && p.extension().is_some_and(|x| x == "json"),
@@ -52,6 +55,12 @@ fn discovery_rejects_stray_corpus_entries() {
     fs::create_dir_all(dir.join("nested.json")).expect("dir with json name");
     let nested = std::panic::catch_unwind(|| fixture_paths_in(&dir));
     assert!(nested.is_err(), "a directory must fail discovery");
+
+    // The sanctioned traces/ subdirectory is invisible to discovery.
+    fs::remove_dir_all(dir.join("nested.json")).expect("cleanup nested");
+    fs::create_dir_all(dir.join("traces")).expect("traces dir");
+    fs::write(dir.join("traces/x.trace.json"), "{}").expect("trace file");
+    assert!(fixture_paths_in(&dir).is_empty(), "traces/ must be skipped");
     let _ = fs::remove_dir_all(&dir);
 }
 

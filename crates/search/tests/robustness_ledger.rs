@@ -17,12 +17,16 @@ fn workspace_root() -> PathBuf {
 
 fn committed_ledger() -> RobustnessLedger {
     let path = workspace_root().join("ROBUSTNESS_ledger.json");
-    let text = fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let text =
+        fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
     let ledger = RobustnessLedger::from_json(&text).expect("committed ledger parses");
     ledger.validate().expect("committed ledger validates");
     // The committed file is canonical serde output, like the fixtures.
-    assert_eq!(ledger.to_json(), text, "ROBUSTNESS_ledger.json is not canonical");
+    assert_eq!(
+        ledger.to_json(),
+        text,
+        "ROBUSTNESS_ledger.json is not canonical"
+    );
     ledger
 }
 

@@ -1,0 +1,49 @@
+//! Deterministic flight recorder and metrics layer.
+//!
+//! Every subsystem of the reproduction — the Orca decision loop, the
+//! network simulator, the trainer, the adversarial search — can explain
+//! *what* happened only through end-of-run aggregates. This crate adds the
+//! missing middle layer: structured, bounded, bitwise-deterministic event
+//! recordings plus a metrics registry, with near-zero overhead when no
+//! recorder is attached.
+//!
+//! Design rules, in order:
+//!
+//! 1. **Determinism.** Events are timestamped in *simulation* time
+//!    (nanoseconds), recorded on coordinator threads only, and sampled by
+//!    deterministic counters — never wall clocks or RNGs — so a recording
+//!    is bitwise identical across runs and at any `CANOPY_THREADS`.
+//!    Wall-clock measurements exist only in the perf harness's own
+//!    histograms.
+//! 2. **Zero cost when disabled.** Instrumented hot paths hold an
+//!    `Option<SharedRecorder>`; disabled means one `None` branch per
+//!    decision. The [`NoopRecorder`] exists for equivalence tests proving
+//!    that an attached-but-inert recorder changes nothing bitwise.
+//! 3. **Bounded.** The [`FlightRecorder`] keeps each event category in a
+//!    ring of fixed capacity with a per-category 1-in-N sampling rate, so
+//!    long runs cannot grow memory without bound; totals are still counted
+//!    exactly.
+//!
+//! Two exporters turn a recording into artifacts: the canonical-JSON
+//! [`TelemetryReport`] (`TELEMETRY_report.json`, schema
+//! [`TELEMETRY_SCHEMA`]) and a Chrome-trace/Perfetto JSON view
+//! ([`chrome_trace`]) so a decision timeline can be opened in
+//! `ui.perfetto.dev` or `chrome://tracing`.
+//!
+//! This crate sits below `canopy_netsim` in the dependency order, so it
+//! speaks raw nanoseconds and integer ids rather than the simulator's
+//! `Time`/`FlowId`/`LinkId` newtypes.
+
+pub mod chrome;
+pub mod event;
+pub mod metrics;
+pub mod recorder;
+pub mod report;
+
+pub use chrome::chrome_trace;
+pub use event::{DecisionRecord, LinkSample, SearchEvent, TrainerEvent};
+pub use metrics::{HistogramSummary, LogHistogram, Registry};
+pub use recorder::{
+    shared, FlightRecorder, NoopRecorder, Recorder, RecorderConfig, SharedRecorder,
+};
+pub use report::{CounterEntry, TelemetryReport, TELEMETRY_SCHEMA};

@@ -1,0 +1,343 @@
+//! Counters and fixed-bucket log-scale histograms.
+//!
+//! The histogram buckets are fixed at construction (eight sub-buckets per
+//! power of two across the whole `u64` range, ~9 % relative resolution),
+//! so merging, quantiles, and serialization never depend on the order
+//! values arrived in — a histogram is a pure function of the multiset of
+//! recorded values, which keeps every telemetry artifact deterministic.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Sub-buckets per power of two.
+const SUB: u64 = 8;
+/// Bucket count: one zero bucket plus `SUB` per octave over `u64`.
+const BUCKETS: usize = 1 + 64 * SUB as usize;
+
+/// A fixed-bucket base-2 log-scale histogram over `u64` values
+/// (nanoseconds, bytes, packets — the unit is the caller's).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket(v: u64) -> usize {
+        if v == 0 {
+            return 0;
+        }
+        let octave = 63 - v.leading_zeros() as u64;
+        let base = 1u64 << octave;
+        // Position of `v` inside its octave, in eighths of the octave
+        // width (shift instead of multiply: `v - base` can be 2^63 − 1).
+        let offset = if octave >= 3 {
+            (v - base) >> (octave - 3)
+        } else {
+            ((v - base) * SUB) >> octave
+        };
+        1 + (octave * SUB + offset) as usize
+    }
+
+    /// Inclusive lower bound of bucket `i`.
+    fn bucket_low(i: usize) -> u64 {
+        if i == 0 {
+            return 0;
+        }
+        let i = (i - 1) as u64;
+        let octave = i / SUB;
+        let offset = i % SUB;
+        let base = 1u64 << octave;
+        // u128 keeps the top octave from overflowing; for octaves < 3 the
+        // sub-bucket boundaries are fractional and floor-divide, so a few
+        // low buckets share a bound (and never receive counts).
+        base + ((base as u128 * offset as u128) / SUB as u128) as u64
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (0..=1): the representative value of the bucket
+    /// holding the rank-`round(q·(n−1))` observation, clamped to the
+    /// observed min/max so single-bucket histograms report exactly.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * (self.count - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen > rank {
+                // Geometric-ish midpoint of the bucket, clamped to the
+                // exact extremes actually observed.
+                let low = Self::bucket_low(i);
+                let high = if i + 1 < BUCKETS {
+                    Self::bucket_low(i + 1).saturating_sub(1).max(low)
+                } else {
+                    u64::MAX
+                };
+                let mid = low + (high - low) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+/// A named registry of counters and histograms, fed by the same hooks
+/// that fill the flight recorder's event rings.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, LogHistogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds `by` to the named counter, creating it at zero.
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Records `v` into the named histogram, creating it empty.
+    pub fn observe(&mut self, name: &str, v: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(v);
+    }
+
+    /// The named counter's value (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named histogram, if any value was recorded under it.
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &LogHistogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+/// The five-number summary a report carries per histogram. Values are in
+/// the histogram's own unit (the name says which).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Registry name.
+    pub name: String,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Mean of recorded values.
+    pub mean: f64,
+    /// Smallest recorded value.
+    pub min: u64,
+    /// Median (bucket representative).
+    pub p50: u64,
+    /// 95th percentile (bucket representative).
+    pub p95: u64,
+    /// 99th percentile (bucket representative).
+    pub p99: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl HistogramSummary {
+    /// Summarizes one named histogram.
+    pub fn of(name: &str, h: &LogHistogram) -> HistogramSummary {
+        HistogramSummary {
+            name: name.to_string(),
+            count: h.count(),
+            mean: h.mean(),
+            min: h.min(),
+            p50: h.p50(),
+            p95: h.p95(),
+            p99: h.p99(),
+            max: h.max(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_cover_u64() {
+        let mut prev = 0;
+        for i in 1..BUCKETS {
+            let low = LogHistogram::bucket_low(i);
+            assert!(low >= prev, "bucket {i}: {low} < {prev}");
+            prev = low;
+        }
+        for v in [0, 1, 2, 3, 7, 8, 9, 1000, u64::MAX / 2, u64::MAX] {
+            let b = LogHistogram::bucket(v);
+            assert!(b < BUCKETS, "{v} -> {b}");
+            assert!(LogHistogram::bucket_low(b) <= v, "{v} below bucket {b}");
+            // The next *distinct* bucket bound lies above `v`.
+            let next = (b + 1..BUCKETS)
+                .map(LogHistogram::bucket_low)
+                .find(|&low| low > LogHistogram::bucket_low(b));
+            if let Some(next) = next {
+                assert!(v < next, "{v} beyond bucket {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_track_known_distributions() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        // Log-bucket representatives are within one bucket (~9 %) of truth.
+        let p50 = h.p50() as f64;
+        let p99 = h.p99() as f64;
+        assert!((p50 / 500.0 - 1.0).abs() < 0.15, "p50 {p50}");
+        assert!((p99 / 990.0 - 1.0).abs() < 0.15, "p99 {p99}");
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_value_histogram_is_exact() {
+        let mut h = LogHistogram::new();
+        for _ in 0..10 {
+            h.record(1234);
+        }
+        assert_eq!(h.p50(), 1234);
+        assert_eq!(h.p99(), 1234);
+        assert_eq!(h.min(), 1234);
+        assert_eq!(h.max(), 1234);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn order_invariance() {
+        let values = [5u64, 0, 1 << 40, 77, 77, 12345, 3, u64::MAX];
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for v in values {
+            a.record(v);
+        }
+        for v in values.iter().rev() {
+            b.record(*v);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn registry_counts_and_observes() {
+        let mut r = Registry::new();
+        r.inc("decisions_total", 1);
+        r.inc("decisions_total", 2);
+        r.observe("qdelay_ns", 1_000_000);
+        assert_eq!(r.counter("decisions_total"), 3);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.histogram("qdelay_ns").unwrap().count(), 1);
+        assert_eq!(r.counters().count(), 1);
+        let s = HistogramSummary::of("qdelay_ns", r.histogram("qdelay_ns").unwrap());
+        assert_eq!(s.p50, 1_000_000);
+    }
+}

@@ -1,0 +1,391 @@
+//! The recorder trait, the inert recorder, and the flight recorder.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::event::{DecisionRecord, LinkSample, SearchEvent, TrainerEvent};
+use crate::metrics::Registry;
+
+/// The instrumentation sink the hot paths call into.
+///
+/// Every method has an empty default body, so a recorder implements only
+/// the categories it cares about and [`NoopRecorder`] implements none.
+/// `Debug` is a supertrait so instrumented hosts (drivers, environments)
+/// can keep deriving `Debug` around a `SharedRecorder`.
+pub trait Recorder: std::fmt::Debug {
+    /// One Orca decision fired.
+    fn record_decision(&mut self, _r: &DecisionRecord) {}
+
+    /// One per-link cadence sample.
+    fn record_link(&mut self, _s: &LinkSample) {}
+
+    /// One trainer-loop event.
+    fn record_trainer(&mut self, _e: &TrainerEvent) {}
+
+    /// One optimizer generation.
+    fn record_search(&mut self, _e: &SearchEvent) {}
+}
+
+/// A recorder that drops everything — attached in equivalence tests to
+/// prove instrumented code paths change nothing bitwise.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// The shared handle instrumented subsystems hold. Recording always
+/// happens on the coordinator thread of a run (cells, episodes, and
+/// optimizer batches each own their recorder), so a single-threaded
+/// `Rc<RefCell<…>>` suffices and keeps the hot path free of atomics.
+pub type SharedRecorder = Rc<RefCell<dyn Recorder>>;
+
+/// Wraps a recorder into the [`SharedRecorder`] handle the hot paths take.
+pub fn shared<R: Recorder + 'static>(recorder: R) -> SharedRecorder {
+    Rc::new(RefCell::new(recorder))
+}
+
+/// Capacities and deterministic 1-in-N sampling rates, per category.
+///
+/// Sampling is counter-based — event `i` (0-indexed, per category) is
+/// kept iff `i % every == 0` — so what a recording contains is a pure
+/// function of the event sequence, never of timing or thread count.
+#[derive(Clone, Copy, Debug)]
+pub struct RecorderConfig {
+    /// Ring capacity for decision records.
+    pub decision_capacity: usize,
+    /// Keep every Nth decision (1 = all).
+    pub decision_every: u64,
+    /// Ring capacity for link samples.
+    pub link_capacity: usize,
+    /// Keep every Nth link sample (1 = all).
+    pub link_every: u64,
+    /// Simulator link-sampling cadence in nanoseconds.
+    pub link_cadence_ns: u64,
+    /// Ring capacity for trainer events.
+    pub trainer_capacity: usize,
+    /// Keep every Nth trainer event (1 = all).
+    pub trainer_every: u64,
+    /// Ring capacity for search events.
+    pub search_capacity: usize,
+    /// Keep every Nth search event (1 = all).
+    pub search_every: u64,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> RecorderConfig {
+        RecorderConfig {
+            decision_capacity: 4096,
+            decision_every: 1,
+            link_capacity: 4096,
+            link_every: 1,
+            link_cadence_ns: 10_000_000, // 10 ms
+            trainer_capacity: 2048,
+            trainer_every: 1,
+            search_capacity: 1024,
+            search_every: 1,
+        }
+    }
+}
+
+/// A bounded ring with exact totals: `seen` counts every offered event,
+/// sampling keeps 1-in-`every`, capacity evicts the oldest kept event.
+#[derive(Clone, Debug)]
+struct Ring<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    every: u64,
+    seen: u64,
+    evicted: u64,
+}
+
+impl<T> Ring<T> {
+    fn new(capacity: usize, every: u64) -> Ring<T> {
+        Ring {
+            buf: VecDeque::with_capacity(capacity.min(1024)),
+            capacity: capacity.max(1),
+            every: every.max(1),
+            seen: 0,
+            evicted: 0,
+        }
+    }
+
+    fn push(&mut self, item: T) {
+        let keep = self.seen.is_multiple_of(self.every);
+        self.seen += 1;
+        if !keep {
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back(item);
+    }
+
+    fn items(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+}
+
+/// The bounded, deterministic event recorder behind `TELEMETRY_report.json`
+/// and the Perfetto traces.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    config: RecorderConfig,
+    origin_ns: u64,
+    decisions: Ring<DecisionRecord>,
+    links: Ring<LinkSample>,
+    trainer: Ring<TrainerEvent>,
+    search: Ring<SearchEvent>,
+    registry: Registry,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder::new(RecorderConfig::default())
+    }
+}
+
+impl FlightRecorder {
+    /// An empty recorder with the given bounds.
+    pub fn new(config: RecorderConfig) -> FlightRecorder {
+        FlightRecorder {
+            config,
+            origin_ns: 0,
+            decisions: Ring::new(config.decision_capacity, config.decision_every),
+            links: Ring::new(config.link_capacity, config.link_every),
+            trainer: Ring::new(config.trainer_capacity, config.trainer_every),
+            search: Ring::new(config.search_capacity, config.search_every),
+            registry: Registry::new(),
+        }
+    }
+
+    /// The recorder's configuration (harnesses read the link cadence).
+    pub fn config(&self) -> &RecorderConfig {
+        &self.config
+    }
+
+    /// Shifts the sim-time origin: every timestamped event recorded after
+    /// the call gets `origin_ns` added to its `t_ns`. Harnesses that
+    /// replay several runs into one recorder advance the origin between
+    /// replays (each run's sim clock restarts at zero), keeping the
+    /// merged timeline monotone — a pure relabeling, so determinism and
+    /// no-op equivalence are untouched.
+    pub fn set_origin(&mut self, origin_ns: u64) {
+        self.origin_ns = origin_ns;
+    }
+
+    /// The current sim-time origin.
+    pub fn origin_ns(&self) -> u64 {
+        self.origin_ns
+    }
+
+    /// The metrics registry fed by the event hooks.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Kept decision records, oldest first.
+    pub fn decisions(&self) -> Vec<DecisionRecord> {
+        self.decisions.items().cloned().collect()
+    }
+
+    /// Total decisions offered (kept or not).
+    pub fn decisions_seen(&self) -> u64 {
+        self.decisions.seen
+    }
+
+    /// Decisions lost to sampling or capacity.
+    pub fn decisions_dropped(&self) -> u64 {
+        self.decisions.seen - self.decisions.buf.len() as u64
+    }
+
+    /// Kept link samples, oldest first.
+    pub fn links(&self) -> Vec<LinkSample> {
+        self.links.items().copied().collect()
+    }
+
+    /// Total link samples offered.
+    pub fn links_seen(&self) -> u64 {
+        self.links.seen
+    }
+
+    /// Link samples lost to sampling or capacity.
+    pub fn links_dropped(&self) -> u64 {
+        self.links.seen - self.links.buf.len() as u64
+    }
+
+    /// Kept trainer events, oldest first.
+    pub fn trainer_events(&self) -> Vec<TrainerEvent> {
+        self.trainer.items().cloned().collect()
+    }
+
+    /// Total trainer events offered.
+    pub fn trainer_seen(&self) -> u64 {
+        self.trainer.seen
+    }
+
+    /// Trainer events lost to sampling or capacity.
+    pub fn trainer_dropped(&self) -> u64 {
+        self.trainer.seen - self.trainer.buf.len() as u64
+    }
+
+    /// Kept search events, oldest first.
+    pub fn search_events(&self) -> Vec<SearchEvent> {
+        self.search.items().copied().collect()
+    }
+
+    /// Total search events offered.
+    pub fn search_seen(&self) -> u64 {
+        self.search.seen
+    }
+
+    /// Search events lost to sampling or capacity.
+    pub fn search_dropped(&self) -> u64 {
+        self.search.seen - self.search.buf.len() as u64
+    }
+}
+
+impl Recorder for FlightRecorder {
+    fn record_decision(&mut self, r: &DecisionRecord) {
+        self.registry.inc("decisions_total", 1);
+        if r.qc_sat.is_some() {
+            self.registry.inc("decisions_certified_total", 1);
+        }
+        if r.fallback {
+            self.registry.inc("decisions_fallback_total", 1);
+        }
+        self.registry.observe("decision_qdelay_ns", r.qdelay_ns);
+        let mut r = r.clone();
+        r.t_ns += self.origin_ns;
+        self.decisions.push(r);
+    }
+
+    fn record_link(&mut self, s: &LinkSample) {
+        self.registry.inc("link_samples_total", 1);
+        self.registry.observe("link_queue_bytes", s.queue_bytes);
+        let mut s = *s;
+        s.t_ns += self.origin_ns;
+        self.links.push(s);
+    }
+
+    fn record_trainer(&mut self, e: &TrainerEvent) {
+        self.registry.inc("trainer_events_total", 1);
+        self.trainer.push(e.clone());
+    }
+
+    fn record_search(&mut self, e: &SearchEvent) {
+        self.registry.inc("search_generations_total", 1);
+        self.search.push(*e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decision(t_ns: u64) -> DecisionRecord {
+        DecisionRecord {
+            t_ns,
+            flow: 0,
+            state_mean: 0.1,
+            state_min: -1.0,
+            state_max: 1.0,
+            action: 0.3,
+            action_clamped: 0.3,
+            cwnd: 10.0,
+            qdelay_ns: 2_000_000,
+            qc_sat: Some(0.9),
+            fallback: false,
+        }
+    }
+
+    #[test]
+    fn rings_bound_capacity_and_count_exactly() {
+        let mut rec = FlightRecorder::new(RecorderConfig {
+            decision_capacity: 4,
+            ..RecorderConfig::default()
+        });
+        for i in 0..10 {
+            rec.record_decision(&decision(i));
+        }
+        assert_eq!(rec.decisions_seen(), 10);
+        assert_eq!(rec.decisions_dropped(), 6);
+        let kept = rec.decisions();
+        assert_eq!(kept.len(), 4);
+        // Oldest evicted first: the ring holds the most recent events.
+        assert_eq!(kept[0].t_ns, 6);
+        assert_eq!(kept[3].t_ns, 9);
+        assert_eq!(rec.registry().counter("decisions_total"), 10);
+        assert_eq!(rec.registry().counter("decisions_certified_total"), 10);
+        assert_eq!(rec.registry().counter("decisions_fallback_total"), 0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_one_in_n() {
+        let mut rec = FlightRecorder::new(RecorderConfig {
+            decision_every: 3,
+            ..RecorderConfig::default()
+        });
+        for i in 0..9 {
+            rec.record_decision(&decision(i));
+        }
+        let kept: Vec<u64> = rec.decisions().iter().map(|d| d.t_ns).collect();
+        assert_eq!(kept, vec![0, 3, 6]);
+        assert_eq!(rec.decisions_seen(), 9);
+        assert_eq!(rec.decisions_dropped(), 6);
+        // Counters still count every event.
+        assert_eq!(rec.registry().counter("decisions_total"), 9);
+    }
+
+    #[test]
+    fn origin_offsets_timestamped_events_only() {
+        let mut rec = FlightRecorder::default();
+        rec.record_decision(&decision(5));
+        rec.set_origin(1_000);
+        rec.record_decision(&decision(5));
+        rec.record_link(&LinkSample {
+            t_ns: 7,
+            link: 0,
+            queue_bytes: 1,
+            drops: 0,
+            utilization: 0.5,
+        });
+        let kept: Vec<u64> = rec.decisions().iter().map(|d| d.t_ns).collect();
+        assert_eq!(kept, vec![5, 1_005]);
+        assert_eq!(rec.links()[0].t_ns, 1_007);
+        // Counters and histograms are origin-independent.
+        assert_eq!(rec.registry().counter("decisions_total"), 2);
+    }
+
+    #[test]
+    fn noop_recorder_records_nothing() {
+        let handle = shared(NoopRecorder);
+        handle.borrow_mut().record_decision(&decision(1));
+        handle.borrow_mut().record_link(&LinkSample {
+            t_ns: 1,
+            link: 0,
+            queue_bytes: 0,
+            drops: 0,
+            utilization: 0.0,
+        });
+    }
+
+    #[test]
+    fn shared_flight_recorder_round_trips() {
+        let rec = Rc::new(RefCell::new(FlightRecorder::default()));
+        let handle: SharedRecorder = rec.clone();
+        handle.borrow_mut().record_search(&SearchEvent {
+            generation: 0,
+            evaluations: 8,
+            batch_best: 0.4,
+            best_badness: 0.4,
+        });
+        assert_eq!(rec.borrow().search_events().len(), 1);
+        assert_eq!(
+            rec.borrow().registry().counter("search_generations_total"),
+            1
+        );
+    }
+}

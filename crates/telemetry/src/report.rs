@@ -1,0 +1,282 @@
+//! The canonical-JSON telemetry report (`TELEMETRY_report.json`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{DecisionRecord, LinkSample, SearchEvent, TrainerEvent};
+use crate::metrics::HistogramSummary;
+use crate::recorder::FlightRecorder;
+
+/// Schema tag of [`TelemetryReport`].
+pub const TELEMETRY_SCHEMA: &str = "canopy-telemetry/v1";
+
+/// One named counter (the registry serialized in name order).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CounterEntry {
+    /// Registry name.
+    pub name: String,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// Everything one flight recording exports: exact counters, histogram
+/// summaries, and the kept event rings with their exact totals — enough
+/// to tell "the ring wrapped" apart from "nothing happened".
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryReport {
+    /// Schema tag, [`TELEMETRY_SCHEMA`].
+    pub schema: String,
+    /// What was recorded (scenario name, bench name, …).
+    pub label: String,
+    /// The scheme under instrumentation (`cubic`, a model name, …).
+    pub scheme: String,
+    /// Counters in name order.
+    pub counters: Vec<CounterEntry>,
+    /// Histogram summaries in name order.
+    pub histograms: Vec<HistogramSummary>,
+    /// Kept decision records, oldest first.
+    pub decisions: Vec<DecisionRecord>,
+    /// Total decisions offered to the recorder.
+    pub decisions_seen: u64,
+    /// Decisions lost to sampling or ring capacity.
+    pub decisions_dropped: u64,
+    /// Kept link samples, oldest first.
+    pub links: Vec<LinkSample>,
+    /// Total link samples offered.
+    pub links_seen: u64,
+    /// Link samples lost to sampling or ring capacity.
+    pub links_dropped: u64,
+    /// Kept trainer events, oldest first.
+    pub trainer: Vec<TrainerEvent>,
+    /// Total trainer events offered.
+    pub trainer_seen: u64,
+    /// Trainer events lost to sampling or ring capacity.
+    pub trainer_dropped: u64,
+    /// Kept search events, oldest first.
+    pub search: Vec<SearchEvent>,
+    /// Total search events offered.
+    pub search_seen: u64,
+    /// Search events lost to sampling or ring capacity.
+    pub search_dropped: u64,
+}
+
+impl TelemetryReport {
+    /// Exports a recording.
+    pub fn from_recorder(recorder: &FlightRecorder, label: &str, scheme: &str) -> TelemetryReport {
+        let registry = recorder.registry();
+        TelemetryReport {
+            schema: TELEMETRY_SCHEMA.to_string(),
+            label: label.to_string(),
+            scheme: scheme.to_string(),
+            counters: registry
+                .counters()
+                .map(|(name, value)| CounterEntry {
+                    name: name.to_string(),
+                    value,
+                })
+                .collect(),
+            histograms: registry
+                .histograms()
+                .map(|(name, h)| HistogramSummary::of(name, h))
+                .collect(),
+            decisions: recorder.decisions(),
+            decisions_seen: recorder.decisions_seen(),
+            decisions_dropped: recorder.decisions_dropped(),
+            links: recorder.links(),
+            links_seen: recorder.links_seen(),
+            links_dropped: recorder.links_dropped(),
+            trainer: recorder.trainer_events(),
+            trainer_seen: recorder.trainer_seen(),
+            trainer_dropped: recorder.trainer_dropped(),
+            search: recorder.search_events(),
+            search_seen: recorder.search_seen(),
+            search_dropped: recorder.search_dropped(),
+        }
+    }
+
+    /// Canonical JSON (the vendored writer emits sorted keys).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("telemetry report serializes")
+    }
+
+    /// Parses a report.
+    pub fn from_json(text: &str) -> Result<TelemetryReport, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+
+    /// Structural validation: the schema tag, exact-total accounting per
+    /// category, nondecreasing sim-time within the decision and link
+    /// streams, and finite floats everywhere.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != TELEMETRY_SCHEMA {
+            return Err(format!(
+                "schema `{}` is not `{TELEMETRY_SCHEMA}`",
+                self.schema
+            ));
+        }
+        let streams: [(&str, usize, u64, u64); 4] = [
+            (
+                "decisions",
+                self.decisions.len(),
+                self.decisions_seen,
+                self.decisions_dropped,
+            ),
+            (
+                "links",
+                self.links.len(),
+                self.links_seen,
+                self.links_dropped,
+            ),
+            (
+                "trainer",
+                self.trainer.len(),
+                self.trainer_seen,
+                self.trainer_dropped,
+            ),
+            (
+                "search",
+                self.search.len(),
+                self.search_seen,
+                self.search_dropped,
+            ),
+        ];
+        for (name, kept, seen, dropped) in streams {
+            if kept as u64 + dropped != seen {
+                return Err(format!(
+                    "{name}: kept {kept} + dropped {dropped} != seen {seen}"
+                ));
+            }
+        }
+        let mut prev = 0u64;
+        for (i, d) in self.decisions.iter().enumerate() {
+            if d.t_ns < prev {
+                return Err(format!("decision {i} goes back in time"));
+            }
+            prev = d.t_ns;
+            for x in [
+                d.state_mean,
+                d.state_min,
+                d.state_max,
+                d.action,
+                d.action_clamped,
+                d.cwnd,
+            ] {
+                if !x.is_finite() {
+                    return Err(format!("decision {i} carries a non-finite value"));
+                }
+            }
+            if let Some(q) = d.qc_sat {
+                if !q.is_finite() || !(0.0..=1.0).contains(&q) {
+                    return Err(format!("decision {i}: qc_sat {q} outside [0, 1]"));
+                }
+            }
+        }
+        let mut prev = 0u64;
+        for (i, s) in self.links.iter().enumerate() {
+            if s.t_ns < prev {
+                return Err(format!("link sample {i} goes back in time"));
+            }
+            prev = s.t_ns;
+            if !s.utilization.is_finite() || s.utilization < 0.0 {
+                return Err(format!(
+                    "link sample {i}: bad utilization {}",
+                    s.utilization
+                ));
+            }
+        }
+        for (i, e) in self.trainer.iter().enumerate() {
+            if e.floats().iter().any(|x| !x.is_finite()) {
+                return Err(format!("trainer event {i} carries a non-finite value"));
+            }
+        }
+        for (i, e) in self.search.iter().enumerate() {
+            if !e.batch_best.is_finite() || !e.best_badness.is_finite() {
+                return Err(format!("search event {i} carries a non-finite value"));
+            }
+        }
+        for h in &self.histograms {
+            if !h.mean.is_finite() {
+                return Err(format!("histogram `{}`: non-finite mean", h.name));
+            }
+            if !(h.min <= h.p50 && h.p50 <= h.p95 && h.p95 <= h.p99 && h.p99 <= h.max) {
+                return Err(format!("histogram `{}`: quantiles out of order", h.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::DecisionRecord;
+    use crate::recorder::{Recorder, RecorderConfig};
+
+    fn recorded() -> FlightRecorder {
+        let mut rec = FlightRecorder::new(RecorderConfig::default());
+        for i in 0..5u64 {
+            rec.record_decision(&DecisionRecord {
+                t_ns: i * 20_000_000,
+                flow: 0,
+                state_mean: 0.0,
+                state_min: -0.5,
+                state_max: 0.5,
+                action: 0.1,
+                action_clamped: 0.1,
+                cwnd: 12.0,
+                qdelay_ns: 1_500_000,
+                qc_sat: Some(0.8),
+                fallback: i == 3,
+            });
+            rec.record_link(&LinkSample {
+                t_ns: i * 10_000_000,
+                link: 0,
+                queue_bytes: 14_480,
+                drops: 0,
+                utilization: 0.9,
+            });
+        }
+        rec.record_trainer(&TrainerEvent::TdLoss {
+            step: 10,
+            critic_loss: 0.02,
+        });
+        rec.record_search(&SearchEvent {
+            generation: 0,
+            evaluations: 16,
+            batch_best: 0.3,
+            best_badness: 0.3,
+        });
+        rec
+    }
+
+    #[test]
+    fn report_round_trips_and_validates() {
+        let report = TelemetryReport::from_recorder(&recorded(), "unit", "cubic");
+        report.validate().expect("valid");
+        let text = report.to_json();
+        let back = TelemetryReport::from_json(&text).expect("parses");
+        assert_eq!(report, back);
+        assert_eq!(back.to_json(), text, "canonical round trip");
+        assert_eq!(back.decisions_seen, 5);
+        assert_eq!(back.counters.len(), 6);
+    }
+
+    #[test]
+    fn validation_rejects_broken_reports() {
+        let good = TelemetryReport::from_recorder(&recorded(), "unit", "cubic");
+        let mut bad = good.clone();
+        bad.schema = "canopy-telemetry/v0".into();
+        assert!(bad.validate().is_err());
+        let mut bad = good.clone();
+        bad.decisions_seen = 99;
+        assert!(bad.validate().is_err());
+        let mut bad = good.clone();
+        bad.decisions[0].t_ns = u64::MAX;
+        assert!(bad.validate().is_err(), "time went backwards");
+        let mut bad = good.clone();
+        bad.decisions[1].qc_sat = Some(1.5);
+        assert!(bad.validate().is_err());
+        let mut bad = good;
+        bad.links[0].utilization = f64::NAN;
+        assert!(bad.validate().is_err());
+    }
+}
