@@ -27,9 +27,16 @@
 //!   worker pool vs the seed's scalar `propagate_mlp` stack loop
 //!   (replicated here from the pre-batching implementation).
 //! * `simulator/cubic_2s` — a 2-simulated-second single-flow Cubic run.
-//! * `run_multiflow/32flows_2s` — a 2-simulated-second, 32-Cubic-flow
-//!   shared-bottleneck `run_multiflow` — the multi-flow event-path
-//!   workload the per-flow calendar sharding targets.
+//! * `run_multiflow/32flows_2s` — a 2-simulated-second, 32-agent-flow
+//!   shared-bottleneck `run_multiflow` with one shared deployment-shaped
+//!   policy (k = 10, 64×64 tanh) and synchronized decision instants — the
+//!   fleet workload the `DriverPool`'s cross-flow batched dispatch
+//!   targets (every monitor interval is one 32-deep actor batch).
+//! * `serve/fleet256_1s`, `serve/fleet256_ns_per_decision`, and
+//!   `serve/fleet256_p99_ns` — the `canopy_serve` runtime: a 256-flow
+//!   dumbbell fleet run flat-out for one simulated second (median wall
+//!   time, per-decision cost, p99 decision latency); the report's `serve`
+//!   block carries the non-gated decisions/sec and real-time factor.
 //! * `topology/incast8_2s` and `topology/parkinglot3_2s` — 2-simulated-
 //!   second multi-hop runs (an 8-flow incast tree and a 3-hop parking
 //!   lot with per-hop competitors): the HopArrival forwarding path and
@@ -720,22 +727,41 @@ fn bench_simulator(opts: &Opts, out: &mut Vec<(String, f64)>) {
 
 // --- Multi-flow event path ------------------------------------------------
 
+/// A deployment-shaped policy (k = 10 history → 64×64 tanh) wrapped as a
+/// [`TrainedModel`] so agent `FlowSpec`s can carry it; no training runs —
+/// the bench measures inference dispatch, not policy quality.
+fn synthetic_model(seed: u64) -> canopy_core::models::TrainedModel {
+    let k = 10;
+    let mut rng = StdRng::seed_from_u64(seed);
+    canopy_core::models::TrainedModel {
+        name: "bench-synthetic".into(),
+        actor: Mlp::new(
+            &mut rng,
+            &[StateLayout::new(k).dim(), 64, 64, 1],
+            Activation::Tanh,
+        ),
+        k,
+        lambda: 0.0,
+        n_components: 1,
+        property_names: Vec::new(),
+        seed,
+    }
+}
+
 fn bench_multiflow(opts: &Opts, out: &mut Vec<(String, f64)>) {
     use canopy_core::eval::{run_multiflow, FlowScheme, FlowSpec};
     let (samples, iters) = if opts.smoke { (3, 1) } else { (7, 2) };
-    // 32 Cubic flows with staggered arrivals and spread RTTs on a shared
-    // 192 Mbps bottleneck: the dozens-of-flows scenario-matrix workload.
-    // Cubic keeps the queue saturated, so the run is event-path bound.
+    // 32 *agent* flows sharing one deployment-shaped policy on a 192 Mbps
+    // bottleneck, arriving together on a uniform 20 ms RTT so all 32
+    // decide at identical instants: every monitor interval is one full
+    // 32-deep batch through the pool's grouped actor path. This is the
+    // workload cross-flow batching targets — before batching it paid 32
+    // scalar forwards (plus 32 pool scans) per instant.
     let trace = BandwidthTrace::constant("bench32", 192e6);
     let link = LinkConfig::with_bdp_buffer(trace, Time::from_millis(20), 1.0);
+    let model = synthetic_model(opts.seed);
     let flows: Vec<FlowSpec> = (0..32)
-        .map(|i| {
-            FlowSpec::new(
-                FlowScheme::Classic("cubic".into()),
-                Time::from_millis(10 + (i % 8) * 5),
-            )
-            .starting_at(Time::from_millis(25 * i))
-        })
+        .map(|_| FlowSpec::new(FlowScheme::Agent(model.clone()), Time::from_millis(20)))
         .collect();
     out.push((
         "run_multiflow/32flows_2s".into(),
@@ -749,6 +775,50 @@ fn bench_multiflow(opts: &Opts, out: &mut Vec<(String, f64)>) {
             std::hint::black_box(series[0].len());
         }),
     ));
+}
+
+// --- Fleet serving ---------------------------------------------------------
+
+/// The `canopy_serve` sustained-throughput runtime: a 256-flow dumbbell
+/// fleet run flat-out for one simulated second. Gated benches record the
+/// median wall time, per-decision cost, and p99 decision latency; the
+/// returned JSON block carries the non-gated sustained-throughput figures
+/// (decisions/sec, real-time factor) for the committed report.
+fn bench_serve(opts: &Opts, out: &mut Vec<(String, f64)>) -> Value {
+    use canopy_serve::{Fleet, FleetConfig};
+    let samples = if opts.smoke { 3 } else { 5 };
+    let model = synthetic_model(opts.seed);
+    let config = FleetConfig::dumbbell(256, 512e6, model.k);
+    let duration = Time::from_secs(1);
+
+    let mut reports = Vec::with_capacity(samples + 1);
+    for _ in 0..=samples {
+        let mut fleet = Fleet::new(&config, model.actor.clone());
+        reports.push(fleet.run(duration));
+    }
+    reports.remove(0); // warmup
+    reports.sort_by_key(|r| r.wall_ns);
+    let median = reports[reports.len() / 2];
+
+    out.push(("serve/fleet256_1s".into(), median.wall_ns as f64));
+    out.push((
+        "serve/fleet256_ns_per_decision".into(),
+        median.wall_ns as f64 / median.decisions.max(1) as f64,
+    ));
+    out.push((
+        "serve/fleet256_p99_ns".into(),
+        median.p99_decision_ns as f64,
+    ));
+    json!({
+        "flows": (median.flows),
+        "sim_ns": (median.sim_ns),
+        "decisions": (median.decisions),
+        "batches": (median.batches),
+        "mean_batch": (median.mean_batch),
+        "decisions_per_sec": (median.decisions_per_sec),
+        "realtime_factor": (median.realtime_factor),
+        "sustains_realtime": (median.sustains_realtime()),
+    })
 }
 
 // --- Multi-hop topologies -------------------------------------------------
@@ -1009,6 +1079,11 @@ fn main() {
         eprintln!("perf_report: multi-flow event path…");
         bench_multiflow(&opts, &mut benches);
     }
+    let mut serve_info = Value::Null;
+    if opts.runs("serve") {
+        eprintln!("perf_report: fleet serving…");
+        serve_info = bench_serve(&opts, &mut benches);
+    }
     if opts.runs("topology") {
         eprintln!("perf_report: multi-hop topologies…");
         bench_topology(&opts, &mut benches);
@@ -1084,6 +1159,10 @@ fn main() {
         "benches": (Value::Object(bench_map.clone())),
         "speedups": (speedups.clone()),
         "vs_baseline": (Value::Object(vs_baseline)),
+        // Sustained-throughput context for the serve benches (not gated —
+        // decisions/sec and the real-time factor are hardware figures, not
+        // regressions to trip on).
+        "serve": (serve_info),
     });
     let report_text = serde_json::to_string(&report).expect("serialize report");
     std::fs::write(REPORT_PATH, report_text + "\n").expect("write BENCH_report.json");

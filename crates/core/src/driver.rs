@@ -24,12 +24,16 @@
 //! [`apply_agent`](OrcaDriver::apply_agent)/[`observe`](OrcaDriver::observe)
 //! primitives directly, as [`CcEnv`](crate::env::CcEnv) does.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::hash::{Hash, Hasher};
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use canopy_netsim::{FlowId, LinkConfig, MonitorSample, Simulator, Time};
-use canopy_nn::Mlp;
-use canopy_telemetry::{DecisionRecord, SharedRecorder};
+use canopy_nn::{BatchScratch, Matrix, Mlp};
+use canopy_telemetry::{BatchRecord, DecisionRecord, SharedRecorder};
 
 use crate::env::NoiseConfig;
 use crate::models::TrainedModel;
@@ -142,6 +146,61 @@ impl DriverPolicy {
         self.qc = Some((Verifier::new(n_components), properties));
         self
     }
+
+    /// The actor network.
+    pub fn actor(&self) -> &Mlp {
+        &self.actor
+    }
+
+    /// A fingerprint of everything decision-relevant about this policy:
+    /// the actor's architecture and exact parameter bits, the QC request,
+    /// and the fallback monitor's verifier/properties/threshold. Two
+    /// drivers with equal keys produce bitwise-identical compute for equal
+    /// inputs, so the pool may stack their decisions through one batched
+    /// actor pass.
+    fn key(&self, layout: StateLayout) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        layout.dim().hash(&mut h);
+        for layer in self.actor.layers() {
+            layer.fan_in().hash(&mut h);
+            layer.fan_out().hash(&mut h);
+            format!("{:?}", layer.activation).hash(&mut h);
+        }
+        for p in self.actor.params_flat() {
+            p.to_bits().hash(&mut h);
+        }
+        match &self.qc {
+            Some((verifier, properties)) => {
+                1u8.hash(&mut h);
+                format!("{verifier:?}").hash(&mut h);
+                format!("{properties:?}").hash(&mut h);
+            }
+            None => 0u8.hash(&mut h),
+        }
+        match &self.fallback {
+            Some(fb) => {
+                1u8.hash(&mut h);
+                fb.threshold().to_bits().hash(&mut h);
+                format!("{:?}", fb.verifier()).hash(&mut h);
+                format!("{:?}", fb.properties()).hash(&mut h);
+            }
+            None => 0u8.hash(&mut h),
+        }
+        h.finish()
+    }
+}
+
+/// The observation half of one decision, produced by
+/// [`OrcaDriver::prepare_decision`]: the drained monitor sample and the
+/// decision-point context (state *after* the history push). Feeding it
+/// back through [`OrcaDriver::apply_decision`] with the computed action
+/// completes the decision.
+#[derive(Clone, Debug)]
+pub struct PreparedDecision {
+    /// The noise-free monitor sample paired with the decision.
+    pub sample: MonitorSample,
+    /// The verifier's (and actor's) view of the decision point.
+    pub ctx: StepContext,
 }
 
 /// The shared per-flow decision loop (see the module docs).
@@ -163,6 +222,7 @@ pub struct OrcaDriver {
     prev_action: f64,
     prev_cwnd: f64,
     policy: Option<DriverPolicy>,
+    policy_key: u64,
     decisions: u64,
     qc_values: Vec<f64>,
     fallback_qc: Vec<f64>,
@@ -190,6 +250,7 @@ impl OrcaDriver {
             prev_action: 0.0,
             prev_cwnd: canopy_cc::cubic::INITIAL_CWND,
             policy: None,
+            policy_key: 0,
             decisions: 0,
             qc_values: Vec::new(),
             fallback_qc: Vec::new(),
@@ -199,8 +260,30 @@ impl OrcaDriver {
 
     /// Attaches a self-driving policy.
     pub fn with_policy(mut self, policy: DriverPolicy) -> OrcaDriver {
+        self.policy_key = policy.key(self.layout);
         self.policy = Some(policy);
         self
+    }
+
+    /// The attached policy, when self-driving.
+    pub fn policy(&self) -> Option<&DriverPolicy> {
+        self.policy.as_ref()
+    }
+
+    /// Replaces the policy's actor in place — the model hot-swap path.
+    /// Scheduling state is untouched; the batching fingerprint is
+    /// recomputed so the pool regroups the driver correctly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no policy is attached.
+    pub fn swap_actor(&mut self, actor: Mlp) {
+        let policy = self
+            .policy
+            .as_mut()
+            .expect("swap_actor requires an attached policy");
+        policy.actor = actor;
+        self.policy_key = policy.key(self.layout);
     }
 
     /// Attaches a telemetry recorder: every decision (self-driven or
@@ -332,34 +415,61 @@ impl OrcaDriver {
         self.next_decision
     }
 
-    /// Executes the decision scheduled at the current simulation time:
-    /// observe → (certify) → actor → (fallback) → apply.
+    /// The observation half of the decision scheduled at the current
+    /// simulation time: drains the monitor sample and pushes the state
+    /// history, returning everything the policy evaluation needs. Returns
+    /// `None` (and deactivates the driver) when the flow has departed.
     ///
-    /// # Panics
-    ///
-    /// Panics if no policy is attached.
-    pub fn on_decision(&mut self, sim: &mut Simulator) {
+    /// Preparing touches only this flow's accumulators and advances no
+    /// simulation time, so a pool may prepare every same-instant decision
+    /// before computing or applying any of them — bitwise identical to the
+    /// serial interleaving.
+    pub fn prepare_decision(&mut self, sim: &mut Simulator) -> Option<PreparedDecision> {
         if self.stop.is_some_and(|s| sim.now() >= s) {
             // The flow departed; stop waking up for it.
             self.next_decision = Time::MAX;
-            return;
+            return None;
         }
         let sample = self.observe(sim);
         let ctx = self.step_context(sim);
+        Some(PreparedDecision { sample, ctx })
+    }
+
+    /// The application half: arbitrates an already-computed decision and
+    /// enforces it. `action` is the actor output for `prepared.ctx.state`;
+    /// `qc_agg` carries the certificate aggregate when the policy requests
+    /// per-step QC evaluation; `fallback_qc` carries the fallback
+    /// monitor's aggregate when one is attached (the threshold comparison
+    /// and bookkeeping happen here, via
+    /// [`FallbackController::decide_with_qc`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no policy is attached, or if a required aggregate is
+    /// missing.
+    pub fn apply_decision(
+        &mut self,
+        sim: &mut Simulator,
+        prepared: &PreparedDecision,
+        action: f64,
+        qc_agg: Option<f64>,
+        fallback_qc: Option<f64>,
+    ) {
         let mut policy = self
             .policy
             .take()
             .expect("self-driving decisions require a policy");
         let mut qc_sat = None;
-        if let Some((verifier, properties)) = &policy.qc {
-            let (_, agg) = verifier.certify_all(&policy.actor, properties, self.layout, &ctx);
+        if policy.qc.is_some() {
+            let agg = qc_agg.expect("policy requests QC evaluation but no aggregate was supplied");
             self.qc_values.push(agg);
             qc_sat = Some(agg);
         }
-        let action = policy.actor.forward(&ctx.state)[0];
         let use_agent = match policy.fallback.as_mut() {
             Some(fb) => {
-                let decision = fb.decide(&policy.actor, self.layout, &ctx);
+                let agg =
+                    fallback_qc.expect("fallback monitor attached but no aggregate was supplied");
+                let decision = fb.decide_with_qc(agg);
                 self.fallback_qc.push(decision.qc_sat);
                 qc_sat = Some(decision.qc_sat);
                 decision.use_agent
@@ -378,8 +488,8 @@ impl OrcaDriver {
             let applied = if use_agent { action } else { 0.0 };
             self.record_decision(
                 sim.now().as_nanos(),
-                &ctx.state,
-                &sample,
+                &prepared.ctx.state,
+                &prepared.sample,
                 action,
                 applied,
                 cwnd,
@@ -387,6 +497,37 @@ impl OrcaDriver {
                 !use_agent,
             );
         }
+    }
+
+    /// Executes the decision scheduled at the current simulation time:
+    /// observe → (certify) → actor → (fallback) → apply. Composition of
+    /// [`prepare_decision`](Self::prepare_decision) and
+    /// [`apply_decision`](Self::apply_decision) around the per-sample
+    /// compute path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no policy is attached.
+    pub fn on_decision(&mut self, sim: &mut Simulator) {
+        let Some(prepared) = self.prepare_decision(sim) else {
+            return;
+        };
+        let policy = self
+            .policy
+            .take()
+            .expect("self-driving decisions require a policy");
+        let qc_agg = policy.qc.as_ref().map(|(verifier, properties)| {
+            verifier
+                .certify_all(&policy.actor, properties, self.layout, &prepared.ctx)
+                .1
+        });
+        let action = policy.actor.forward(&prepared.ctx.state)[0];
+        let fallback_qc = policy
+            .fallback
+            .as_ref()
+            .map(|fb| fb.certify(&policy.actor, self.layout, &prepared.ctx));
+        self.policy = Some(policy);
+        self.apply_decision(sim, &prepared, action, qc_agg, fallback_qc);
     }
 
     /// Runs the simulator to `horizon`, executing every decision scheduled
@@ -469,19 +610,69 @@ impl OrcaDriver {
     }
 }
 
+/// Summary of one pooled dispatch instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchDispatch {
+    /// The simulation instant the batch fired at.
+    pub at: Time,
+    /// Decisions executed (drivers due, minus any that departed).
+    pub decisions: usize,
+    /// Distinct policy groups the batch split into (each group paid one
+    /// batched actor pass and at most one batched certification pass).
+    pub groups: usize,
+}
+
 /// Multiplexes any number of self-driving drivers over one simulator by
 /// next-decision time: the pool repeatedly runs the simulator to the
-/// earliest pending decision and dispatches every driver due at that
-/// instant in insertion order (the deterministic tie-break).
-#[derive(Debug, Default)]
+/// earliest pending decision (a min-heap, not an `O(N)` scan) and
+/// dispatches every driver due at that instant in insertion order (the
+/// deterministic tie-break).
+///
+/// Same-instant decisions are **batched**: the pool prepares every due
+/// driver, groups the prepared states by policy fingerprint, runs one
+/// [`Mlp::forward_batch`] per group (and one
+/// [`Verifier::certify_all_many`] pass per group for QC/fallback
+/// policies), then applies the results in insertion order. The batched
+/// paths are bitwise identical to the per-sample paths and same-instant
+/// decisions are independent across flows, so a batched run is bitwise
+/// identical to the pre-batching serial dispatch — which remains
+/// available as [`run_until_serial`](Self::run_until_serial) (or fleet
+/// wide via `CANOPY_POOL_SERIAL=1`) and is proven equivalent in
+/// `tests/batched_pool.rs`.
+#[derive(Debug)]
 pub struct DriverPool {
     drivers: Vec<OrcaDriver>,
+    /// Min-heap of `(next_decision, index)` with exactly one live entry
+    /// per active driver — the pool is the only mutator of pooled
+    /// drivers' schedules, so entries never go stale. `Reverse` pops
+    /// ascending `(time, index)`, which *is* the insertion-order
+    /// tie-break for equal times.
+    queue: BinaryHeap<Reverse<(Time, usize)>>,
+    recorder: Option<SharedRecorder>,
+    /// `CANOPY_POOL_SERIAL=1` (read at construction) forces the
+    /// pre-batching per-driver dispatch everywhere.
+    serial: bool,
+    states: Matrix,
+    scratch: BatchScratch,
+}
+
+impl Default for DriverPool {
+    fn default() -> DriverPool {
+        DriverPool::new()
+    }
 }
 
 impl DriverPool {
     /// An empty pool.
     pub fn new() -> DriverPool {
-        DriverPool::default()
+        DriverPool {
+            drivers: Vec::new(),
+            queue: BinaryHeap::new(),
+            recorder: None,
+            serial: std::env::var("CANOPY_POOL_SERIAL").is_ok_and(|v| v == "1"),
+            states: Matrix::zeros(0, 0),
+            scratch: BatchScratch::default(),
+        }
     }
 
     /// Adds a driver (it must carry a policy) and returns its index.
@@ -490,8 +681,12 @@ impl DriverPool {
             driver.policy.is_some(),
             "pooled drivers must be self-driving (attach a DriverPolicy)"
         );
+        let index = self.drivers.len();
+        if driver.next_decision < Time::MAX {
+            self.queue.push(Reverse((driver.next_decision, index)));
+        }
         self.drivers.push(driver);
-        self.drivers.len() - 1
+        index
     }
 
     /// Number of drivers in the pool.
@@ -509,41 +704,193 @@ impl DriverPool {
         &self.drivers
     }
 
-    /// Attaches (or detaches) one shared recorder on every pooled driver.
-    /// Records stay `CANOPY_THREADS`-invariant: the pool dispatches
-    /// decisions on the coordinator thread in deterministic order.
+    /// Replaces the actor of driver `index`'s policy in place — the
+    /// certificate-checked hot-swap path. Scheduling state is untouched,
+    /// so the heap invariant holds across swaps.
+    pub fn swap_actor(&mut self, index: usize, actor: Mlp) {
+        self.drivers[index].swap_actor(actor);
+    }
+
+    /// Attaches (or detaches) one shared recorder on every pooled driver
+    /// and on the pool itself (batch-dispatch records). Records stay
+    /// `CANOPY_THREADS`-invariant: the pool dispatches decisions on the
+    /// coordinator thread in deterministic order.
     pub fn set_recorder(&mut self, recorder: Option<SharedRecorder>) {
         for driver in &mut self.drivers {
             driver.set_recorder(recorder.clone());
         }
+        self.recorder = recorder;
     }
 
     /// The earliest pending decision across the pool ([`Time::MAX`] when
     /// idle).
     pub fn next_decision(&self) -> Time {
-        self.drivers
-            .iter()
-            .map(OrcaDriver::next_decision)
-            .fold(Time::MAX, Time::min)
+        self.queue.peek().map_or(Time::MAX, |Reverse((t, _))| *t)
+    }
+
+    /// Advances the simulator to the earliest pending decision strictly
+    /// before `horizon` and dispatches every driver due at that instant
+    /// as one batch. Returns `None` without touching the simulator when
+    /// no decision is due — the single-step API `canopy_serve` paces its
+    /// wall-clock loop around.
+    pub fn dispatch_next(&mut self, sim: &mut Simulator, horizon: Time) -> Option<BatchDispatch> {
+        self.step(sim, horizon, self.serial)
     }
 
     /// Runs the simulator to `horizon`, dispatching every pooled decision
-    /// scheduled strictly before it (ties in insertion order), and lands
-    /// the clock exactly on `horizon`.
+    /// scheduled strictly before it (ties in insertion order, same-instant
+    /// decisions batched per policy group), and lands the clock exactly on
+    /// `horizon`.
     pub fn run_until(&mut self, sim: &mut Simulator, horizon: Time) {
-        loop {
-            let next = self.next_decision();
-            if next >= horizon {
+        while self.dispatch_next(sim, horizon).is_some() {}
+        sim.run_until(horizon);
+    }
+
+    /// [`run_until`](Self::run_until) on the pre-batching engine: every
+    /// due driver runs its own full [`OrcaDriver::on_decision`]. The
+    /// batched path is bitwise identical to this one; equivalence tests
+    /// and pre-batching baselines call it directly.
+    pub fn run_until_serial(&mut self, sim: &mut Simulator, horizon: Time) {
+        while self.step(sim, horizon, true).is_some() {}
+        sim.run_until(horizon);
+    }
+
+    fn step(&mut self, sim: &mut Simulator, horizon: Time, serial: bool) -> Option<BatchDispatch> {
+        let next = self.next_decision();
+        if next >= horizon {
+            return None;
+        }
+        sim.run_until(next);
+        // Pop everything due at this instant; the heap yields equal-time
+        // entries in ascending index order, i.e. insertion order.
+        let mut due = Vec::new();
+        while let Some(&Reverse((t, i))) = self.queue.peek() {
+            if t > next {
                 break;
             }
-            sim.run_until(next);
-            for driver in &mut self.drivers {
-                if driver.next_decision <= sim.now() {
-                    driver.on_decision(sim);
+            self.queue.pop();
+            due.push(i);
+        }
+        let dispatch = if serial {
+            let mut fired = 0;
+            for &i in &due {
+                let before = self.drivers[i].decisions;
+                self.drivers[i].on_decision(sim);
+                fired += (self.drivers[i].decisions > before) as usize;
+            }
+            BatchDispatch {
+                at: next,
+                decisions: fired,
+                groups: fired,
+            }
+        } else {
+            self.dispatch_batched(sim, &due)
+        };
+        for &i in &due {
+            let nd = self.drivers[i].next_decision;
+            if nd < Time::MAX {
+                self.queue.push(Reverse((nd, i)));
+            }
+        }
+        if !serial && dispatch.decisions > 0 {
+            if let Some(recorder) = &self.recorder {
+                recorder.borrow_mut().record_batch(&BatchRecord {
+                    t_ns: dispatch.at.as_nanos(),
+                    size: dispatch.decisions as u64,
+                    groups: dispatch.groups as u64,
+                });
+            }
+        }
+        Some(dispatch)
+    }
+
+    /// One batched dispatch: prepare all due drivers in insertion order,
+    /// group by policy fingerprint, one batched actor/certification pass
+    /// per group, apply in insertion order.
+    fn dispatch_batched(&mut self, sim: &mut Simulator, due: &[usize]) -> BatchDispatch {
+        let DriverPool {
+            drivers,
+            states,
+            scratch,
+            ..
+        } = self;
+        let mut items: Vec<(usize, PreparedDecision)> = Vec::with_capacity(due.len());
+        for &i in due {
+            if let Some(prepared) = drivers[i].prepare_decision(sim) {
+                items.push((i, prepared));
+            }
+        }
+        if items.is_empty() {
+            return BatchDispatch {
+                at: sim.now(),
+                decisions: 0,
+                groups: 0,
+            };
+        }
+        // Group positions by policy fingerprint, preserving first-seen
+        // order. A linear scan beats a hash map at realistic group counts
+        // (fleets share a handful of policies).
+        let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
+        for (pos, (i, _)) in items.iter().enumerate() {
+            let key = drivers[*i].policy_key;
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, members)) => members.push(pos),
+                None => groups.push((key, vec![pos])),
+            }
+        }
+        let mut actions = vec![0.0f64; items.len()];
+        let mut qc_aggs: Vec<Option<f64>> = vec![None; items.len()];
+        let mut fb_aggs: Vec<Option<f64>> = vec![None; items.len()];
+        for (_, members) in &groups {
+            let lead = &drivers[items[members[0]].0];
+            let layout = lead.layout;
+            let policy = lead.policy.as_ref().expect("pooled drivers carry a policy");
+            if let [pos] = members[..] {
+                // A group of one: the per-sample path, no stacking cost.
+                actions[pos] = policy.actor.forward(&items[pos].1.ctx.state)[0];
+            } else {
+                states.reshape(members.len(), policy.actor.input_dim());
+                for (r, &pos) in members.iter().enumerate() {
+                    states.set_row(r, &items[pos].1.ctx.state);
+                }
+                let out = policy.actor.forward_batch(states, scratch);
+                for (r, &pos) in members.iter().enumerate() {
+                    actions[pos] = out.get(r, 0);
+                }
+            }
+            let ctxs_of = |members: &[usize]| -> Vec<StepContext> {
+                members
+                    .iter()
+                    .map(|&pos| items[pos].1.ctx.clone())
+                    .collect()
+            };
+            if let Some((verifier, properties)) = &policy.qc {
+                let results =
+                    verifier.certify_all_many(&policy.actor, properties, layout, &ctxs_of(members));
+                for (&pos, (_, agg)) in members.iter().zip(results) {
+                    qc_aggs[pos] = Some(agg);
+                }
+            }
+            if let Some(fb) = &policy.fallback {
+                let results = fb.verifier().certify_all_many(
+                    &policy.actor,
+                    fb.properties(),
+                    layout,
+                    &ctxs_of(members),
+                );
+                for (&pos, (_, agg)) in members.iter().zip(results) {
+                    fb_aggs[pos] = Some(agg);
                 }
             }
         }
-        sim.run_until(horizon);
+        for (pos, (i, prepared)) in items.iter().enumerate() {
+            drivers[*i].apply_decision(sim, prepared, actions[pos], qc_aggs[pos], fb_aggs[pos]);
+        }
+        BatchDispatch {
+            at: sim.now(),
+            decisions: items.len(),
+            groups: groups.len(),
+        }
     }
 }
 

@@ -45,7 +45,9 @@ pub mod trainer;
 pub mod verifier;
 
 pub use canopy_telemetry as telemetry;
-pub use driver::{DriverConfig, DriverPolicy, DriverPool, OrcaDriver};
+pub use driver::{
+    BatchDispatch, DriverConfig, DriverPolicy, DriverPool, OrcaDriver, PreparedDecision,
+};
 pub use env::{CcEnv, EnvConfig, EpisodeCrossFlow, EpisodeSpec, NoiseConfig, StepResult};
 pub use models::{ModelKind, TrainedModel};
 pub use obs::{Normalizer, Observation, StateBuilder, StateLayout};

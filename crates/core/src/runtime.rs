@@ -52,17 +52,29 @@ impl FallbackController {
         self.threshold
     }
 
-    /// Evaluates the certificate at the current decision point and decides
-    /// whether the agent's action may be applied.
-    pub fn decide(
-        &mut self,
-        actor: &Mlp,
-        layout: StateLayout,
-        ctx: &StepContext,
-    ) -> FallbackDecision {
-        let (_certs, qc_sat) = self
-            .verifier
-            .certify_all(actor, &self.properties, layout, ctx);
+    /// The verifier that extracts the runtime certificate.
+    pub fn verifier(&self) -> &Verifier {
+        &self.verifier
+    }
+
+    /// The properties monitored at runtime.
+    pub fn properties(&self) -> &[Property] {
+        &self.properties
+    }
+
+    /// The certificate-extraction half of [`decide`](Self::decide): pure
+    /// (no counters touched), so a batched dispatcher can evaluate many
+    /// decision points together and feed each aggregate through
+    /// [`decide_with_qc`](Self::decide_with_qc) afterwards.
+    pub fn certify(&self, actor: &Mlp, layout: StateLayout, ctx: &StepContext) -> f64 {
+        self.verifier
+            .certify_all(actor, &self.properties, layout, ctx)
+            .1
+    }
+
+    /// The arbitration half of [`decide`](Self::decide): thresholds an
+    /// already-extracted `QC_sat` and updates the monitor's bookkeeping.
+    pub fn decide_with_qc(&mut self, qc_sat: f64) -> FallbackDecision {
         let use_agent = qc_sat >= self.threshold;
         self.decisions += 1;
         if !use_agent {
@@ -73,6 +85,20 @@ impl FallbackController {
         }
         self.engaged = !use_agent;
         FallbackDecision { qc_sat, use_agent }
+    }
+
+    /// Evaluates the certificate at the current decision point and decides
+    /// whether the agent's action may be applied. Equivalent to
+    /// [`certify`](Self::certify) followed by
+    /// [`decide_with_qc`](Self::decide_with_qc).
+    pub fn decide(
+        &mut self,
+        actor: &Mlp,
+        layout: StateLayout,
+        ctx: &StepContext,
+    ) -> FallbackDecision {
+        let qc_sat = self.certify(actor, layout, ctx);
+        self.decide_with_qc(qc_sat)
     }
 
     /// Fraction of decisions that fell back to Cubic.

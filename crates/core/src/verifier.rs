@@ -468,65 +468,101 @@ impl Verifier {
         layout: StateLayout,
         ctx: &StepContext,
     ) -> (Vec<Certificate>, f64) {
+        self.certify_all_many(actor, properties, layout, std::slice::from_ref(ctx))
+            .pop()
+            .expect("one context in, one certification out")
+    }
+
+    /// [`certify_all`](Self::certify_all) across many decision points of
+    /// the *same* actor at once — the batched-pool path: every
+    /// (context × property × component) box is flattened into a single
+    /// [`PreparedMlp`] batched-IBP pass, so a fleet of flows sharing one
+    /// policy pays the propagator setup once per dispatch instead of once
+    /// per flow. Per-box bounds are independent of how boxes are batched
+    /// or chunked, so entry `i` of the result is bitwise identical to
+    /// `certify_all(actor, properties, layout, &ctxs[i])`.
+    pub fn certify_all_many(
+        &self,
+        actor: &Mlp,
+        properties: &[Property],
+        layout: StateLayout,
+        ctxs: &[StepContext],
+    ) -> Vec<(Vec<Certificate>, f64)> {
         struct Prep {
             parts: Vec<BoxState>,
             axis: usize,
             allowed: Interval,
             concrete_cwnd: f64,
         }
-        let preps: Vec<Prep> = properties
+        // One prep per (context, property); robustness postconditions
+        // compare against the context's own unperturbed concrete output,
+        // exactly as the per-context path does.
+        let preps: Vec<Vec<Prep>> = ctxs
             .iter()
-            .map(|property| {
-                let region = property.input_region(&ctx.state, layout);
-                let axis = property.split_axis(layout);
-                let concrete_cwnd = match property.post {
-                    Postcondition::BoundedChange { .. } => {
-                        f_cwnd(actor.forward(&ctx.state)[0], ctx.cwnd_tcp)
-                    }
-                    _ => 0.0,
-                };
-                Prep {
-                    parts: region.split_dim(axis, self.n_components),
-                    axis,
-                    allowed: property.allowed_output(),
-                    concrete_cwnd,
-                }
+            .map(|ctx| {
+                properties
+                    .iter()
+                    .map(|property| {
+                        let region = property.input_region(&ctx.state, layout);
+                        let axis = property.split_axis(layout);
+                        let concrete_cwnd = match property.post {
+                            Postcondition::BoundedChange { .. } => {
+                                f_cwnd(actor.forward(&ctx.state)[0], ctx.cwnd_tcp)
+                            }
+                            _ => 0.0,
+                        };
+                        Prep {
+                            parts: region.split_dim(axis, self.n_components),
+                            axis,
+                            allowed: property.allowed_output(),
+                            concrete_cwnd,
+                        }
+                    })
+                    .collect()
             })
             .collect();
 
         // The action interval depends only on the input box, not the
-        // property, so every property's components batch through the
-        // propagator (and the pool) together.
-        let flat_parts: Vec<BoxState> =
-            preps.iter().flat_map(|p| p.parts.iter().cloned()).collect();
+        // property or the context, so every context's components batch
+        // through the propagator (and the pool) together.
+        let flat_parts: Vec<BoxState> = preps
+            .iter()
+            .flatten()
+            .flat_map(|p| p.parts.iter().cloned())
+            .collect();
         let threads = pool::resolve_threads(self.threads);
         let actions = self.action_intervals(actor, &flat_parts, threads);
 
         let mut remaining = flat_parts.iter().zip(actions);
-        let certs: Vec<Certificate> = properties
-            .iter()
+        ctxs.iter()
             .zip(&preps)
-            .map(|(property, p)| {
-                let comps: Vec<ComponentResult> = remaining
-                    .by_ref()
-                    .take(p.parts.len())
-                    .map(|(part, action)| {
-                        self.component_from_action(
-                            property,
-                            part,
-                            p.axis,
-                            ctx,
-                            p.allowed,
-                            p.concrete_cwnd,
-                            action,
-                        )
+            .map(|(ctx, ctx_preps)| {
+                let certs: Vec<Certificate> = properties
+                    .iter()
+                    .zip(ctx_preps)
+                    .map(|(property, p)| {
+                        let comps: Vec<ComponentResult> = remaining
+                            .by_ref()
+                            .take(p.parts.len())
+                            .map(|(part, action)| {
+                                self.component_from_action(
+                                    property,
+                                    part,
+                                    p.axis,
+                                    ctx,
+                                    p.allowed,
+                                    p.concrete_cwnd,
+                                    action,
+                                )
+                            })
+                            .collect();
+                        Certificate::from_components(&property.name, comps)
                     })
                     .collect();
-                Certificate::from_components(&property.name, comps)
+                let agg = crate::qc::aggregate_feedback(&certs);
+                (certs, agg)
             })
-            .collect();
-        let agg = crate::qc::aggregate_feedback(&certs);
-        (certs, agg)
+            .collect()
     }
 }
 

@@ -1,0 +1,331 @@
+//! Equivalence suite for the batched `DriverPool` dispatch engine.
+//!
+//! The pool's batched path (prepare every same-instant decision, group by
+//! policy fingerprint, one `forward_batch`/`certify_all_many` pass per
+//! group, apply in insertion order) must be **bitwise** identical to the
+//! pre-batching engine (each due driver runs its own full `on_decision`),
+//! which survives as `DriverPool::run_until_serial`. The suite races the
+//! two engines over noise × QC × fallback × topology × arrival-pattern
+//! combinations and compares every observable bit: decision counts,
+//! bookkeeping windows, per-decision certificate streams, fallback
+//! monitor statistics, state vectors, and simulator flow stats.
+//!
+//! Thread invariance: this binary runs in CI under a `CANOPY_THREADS`
+//! matrix (1 and 4), so the equivalences here are also pinned at both
+//! thread counts — batching must not introduce any thread-count
+//! sensitivity.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use canopy_core::driver::{DriverConfig, DriverPolicy, DriverPool, OrcaDriver};
+use canopy_core::env::NoiseConfig;
+use canopy_core::obs::StateLayout;
+use canopy_core::property::{Property, PropertyParams};
+use canopy_core::runtime::FallbackController;
+use canopy_netsim::{BandwidthTrace, FlowConfig, LinkConfig, Simulator, Time, Topology};
+use canopy_nn::{Activation, Mlp};
+
+const K: usize = 3;
+
+#[derive(Clone, Copy, Debug)]
+enum Topo {
+    Single,
+    ParkingLot,
+    Incast,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum PolicyKind {
+    Plain,
+    Qc,
+    Fallback,
+}
+
+#[derive(Clone, Debug)]
+struct Scenario {
+    flows: usize,
+    topo: Topo,
+    policy: PolicyKind,
+    noisy: bool,
+    /// Synchronized arrivals (every decision instant is a full batch) vs
+    /// staggered arrivals and mixed RTTs (partial overlaps).
+    aligned: bool,
+    /// Two distinct actors instead of one shared policy — exercises the
+    /// per-batch grouping.
+    mixed_actors: bool,
+    /// One flow departs mid-run — exercises heap entry retirement.
+    departing: bool,
+    duration: Time,
+}
+
+fn actor(seed: u64) -> Mlp {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Mlp::new(
+        &mut rng,
+        &[StateLayout::new(K).dim(), 8, 1],
+        Activation::Tanh,
+    )
+}
+
+fn link(name: &str, rate_bps: f64) -> LinkConfig {
+    LinkConfig::with_bdp_buffer(
+        BandwidthTrace::constant(name, rate_bps),
+        Time::from_millis(20),
+        1.0,
+    )
+}
+
+fn build(s: &Scenario) -> (Simulator, DriverPool) {
+    let bottleneck = link("bp", 96e6);
+    let mut sim = match s.topo {
+        Topo::Single => Simulator::new(bottleneck.clone()),
+        Topo::ParkingLot => Simulator::with_topology(Topology::parking_lot(bottleneck.clone(), 3)),
+        Topo::Incast => {
+            Simulator::with_topology(Topology::incast(bottleneck.clone(), link("leaf", 48e6), 3))
+        }
+    };
+    let mut pool = DriverPool::new();
+    for i in 0..s.flows {
+        let (start, min_rtt) = if s.aligned {
+            (Time::ZERO, Time::from_millis(20))
+        } else {
+            (
+                Time::from_millis(7 * i as u64),
+                Time::from_millis(20 + 10 * (i % 2) as u64),
+            )
+        };
+        let stop = (s.departing && i == 0).then(|| Time::from_millis(300));
+        let mut flow_cfg = FlowConfig::new(min_rtt)
+            .starting_at(start)
+            .without_samples();
+        if let Some(t) = stop {
+            flow_cfg = flow_cfg.stopping_at(t);
+        }
+        flow_cfg = match s.topo {
+            Topo::Single => flow_cfg,
+            Topo::ParkingLot => flow_cfg.on_path(if i % 2 == 0 {
+                Topology::parking_lot_long_path(3)
+            } else {
+                Topology::parking_lot_hop_path(i, 3)
+            }),
+            Topo::Incast => flow_cfg.on_path(Topology::incast_path(i, 3)),
+        };
+        let flow = sim.add_flow(flow_cfg, Box::new(canopy_cc::Cubic::new()));
+        let mut cfg = DriverConfig::new(min_rtt, K)
+            .starting_at(start)
+            .stopping_at(stop);
+        if s.noisy {
+            cfg = cfg.with_noise(Some(NoiseConfig {
+                mu: 0.2,
+                seed: 40 + i as u64,
+            }));
+        }
+        let actor_seed = if s.mixed_actors {
+            100 + (i % 2) as u64
+        } else {
+            100
+        };
+        let mut policy = DriverPolicy::new(actor(actor_seed));
+        let props = || Property::shallow_set(&PropertyParams::default());
+        match s.policy {
+            PolicyKind::Plain => {}
+            PolicyKind::Qc => policy = policy.with_qc(3, props()),
+            PolicyKind::Fallback => {
+                policy = policy.with_fallback(FallbackController::new(props(), 0.6, 3));
+            }
+        }
+        pool.push(OrcaDriver::new(&cfg, &bottleneck, flow).with_policy(policy));
+    }
+    (sim, pool)
+}
+
+/// Every observable bit of a finished run.
+type Fingerprint = Vec<(
+    u64,         // decisions
+    u64,         // prev_cwnd bits
+    u64,         // prev_action bits
+    Vec<u64>,    // explicit QC_sat stream, bitwise
+    Vec<u64>,    // fallback QC_sat stream, bitwise
+    Option<u64>, // fallback rate bits
+    Option<u64>, // fallback engagements
+    Vec<u64>,    // final state vector, bitwise
+    u64,         // acked packets
+    u64,         // acked bytes
+)>;
+
+fn fingerprint(sim: &Simulator, pool: &DriverPool) -> Fingerprint {
+    pool.drivers()
+        .iter()
+        .map(|d| {
+            let stats = sim.flow_stats(d.flow());
+            (
+                d.decisions(),
+                d.prev_cwnd().to_bits(),
+                d.prev_action().to_bits(),
+                d.qc_values().iter().map(|v| v.to_bits()).collect(),
+                d.fallback_qc_values().iter().map(|v| v.to_bits()).collect(),
+                d.fallback_rate().map(f64::to_bits),
+                d.fallback_engagements(),
+                d.state().iter().map(|v| v.to_bits()).collect(),
+                stats.acked_packets,
+                stats.acked_bytes,
+            )
+        })
+        .collect()
+}
+
+fn run_batched(s: &Scenario) -> Fingerprint {
+    let (mut sim, mut pool) = build(s);
+    pool.run_until(&mut sim, s.duration);
+    assert_eq!(sim.now(), s.duration);
+    fingerprint(&sim, &pool)
+}
+
+fn run_serial(s: &Scenario) -> Fingerprint {
+    let (mut sim, mut pool) = build(s);
+    pool.run_until_serial(&mut sim, s.duration);
+    assert_eq!(sim.now(), s.duration);
+    fingerprint(&sim, &pool)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn batched_dispatch_is_bitwise_identical_to_serial(
+        flows in 2usize..5,
+        topo_pick in 0usize..3,
+        policy_pick in 0usize..3,
+        noisy in [false, true],
+        aligned in [false, true],
+        mixed_actors in [false, true],
+        departing in [false, true],
+    ) {
+        let s = Scenario {
+            flows,
+            topo: [Topo::Single, Topo::ParkingLot, Topo::Incast][topo_pick],
+            policy: [PolicyKind::Plain, PolicyKind::Qc, PolicyKind::Fallback][policy_pick],
+            noisy,
+            aligned,
+            mixed_actors,
+            departing,
+            duration: Time::from_millis(600),
+        };
+        prop_assert_eq!(run_batched(&s), run_serial(&s), "engines diverged on {:?}", s);
+    }
+}
+
+/// The densest regime — one shared policy, synchronized arrivals, QC on
+/// every decision — pinned as a plain test so it always runs.
+#[test]
+fn synchronized_qc_fleet_matches_serial_bitwise() {
+    let s = Scenario {
+        flows: 6,
+        topo: Topo::Single,
+        policy: PolicyKind::Qc,
+        noisy: false,
+        aligned: true,
+        mixed_actors: false,
+        departing: false,
+        duration: Time::from_secs(1),
+    };
+    let batched = run_batched(&s);
+    assert_eq!(batched, run_serial(&s));
+    // Sanity: decisions actually fired (49 per flow at a 20 ms MI less
+    // the strict-horizon boundary).
+    assert!(batched.iter().all(|d| d.0 == 49));
+}
+
+#[test]
+fn fallback_arbitration_matches_serial_bitwise() {
+    let s = Scenario {
+        flows: 4,
+        topo: Topo::ParkingLot,
+        policy: PolicyKind::Fallback,
+        noisy: true,
+        aligned: true,
+        mixed_actors: true,
+        departing: true,
+        duration: Time::from_millis(800),
+    };
+    assert_eq!(run_batched(&s), run_serial(&s));
+}
+
+/// Batched runs narrate their dispatches: sizes recorded per batch sum to
+/// the total decision count, and the `decisions_per_batch` histogram in
+/// the registry sees one observation per batch.
+#[test]
+fn batched_runs_emit_consistent_batch_telemetry() {
+    use canopy_telemetry::FlightRecorder;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    if std::env::var("CANOPY_POOL_SERIAL").is_ok_and(|v| v == "1") {
+        // The kill switch forces the serial engine, which (by design)
+        // emits no batch records; nothing to assert here.
+        return;
+    }
+    let s = Scenario {
+        flows: 5,
+        topo: Topo::Single,
+        policy: PolicyKind::Plain,
+        noisy: false,
+        aligned: true,
+        mixed_actors: true,
+        departing: false,
+        duration: Time::from_millis(400),
+    };
+    let (mut sim, mut pool) = build(&s);
+    let recorder = Rc::new(RefCell::new(FlightRecorder::default()));
+    pool.set_recorder(Some(recorder.clone()));
+    pool.run_until(&mut sim, s.duration);
+
+    let rec = recorder.borrow();
+    let batches = rec.batches();
+    assert!(!batches.is_empty());
+    let recorded: u64 = batches.iter().map(|b| b.size).sum();
+    let executed: u64 = pool.drivers().iter().map(|d| d.decisions()).sum();
+    assert_eq!(recorded, executed, "batch sizes must cover every decision");
+    // Two distinct actors among five synchronized flows: every full batch
+    // splits into exactly two policy groups.
+    assert!(batches.iter().all(|b| b.groups == 2 && b.size == 5));
+    let hist = rec
+        .registry()
+        .histogram("decisions_per_batch")
+        .expect("histogram registered");
+    assert_eq!(hist.count(), batches.len() as u64);
+    assert_eq!(
+        rec.registry().counter("batches_total"),
+        batches.len() as u64
+    );
+}
+
+/// The serial engine keeps the pre-batching telemetry shape: per-decision
+/// records, no batch records.
+#[test]
+fn serial_runs_emit_no_batch_records() {
+    use canopy_telemetry::FlightRecorder;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let s = Scenario {
+        flows: 3,
+        topo: Topo::Single,
+        policy: PolicyKind::Plain,
+        noisy: false,
+        aligned: true,
+        mixed_actors: false,
+        departing: false,
+        duration: Time::from_millis(200),
+    };
+    let (mut sim, mut pool) = build(&s);
+    let recorder = Rc::new(RefCell::new(FlightRecorder::default()));
+    pool.set_recorder(Some(recorder.clone()));
+    pool.run_until_serial(&mut sim, s.duration);
+
+    let rec = recorder.borrow();
+    assert_eq!(rec.batches_seen(), 0);
+    assert!(rec.decisions_seen() > 0, "decision records still flow");
+}

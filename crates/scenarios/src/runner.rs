@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use canopy_cc::Cubic;
-use canopy_core::driver::{DriverConfig, DriverPolicy, OrcaDriver};
+use canopy_core::driver::{DriverConfig, DriverPolicy, DriverPool, OrcaDriver};
 use canopy_core::eval::{
     flow_metrics, jain_index, link_metrics, LinkMetrics, QcEval, RunMetrics, Scheme,
 };
@@ -149,10 +149,13 @@ fn run_scenario_inner(
                 k: model.k,
                 ..driver_config
             };
-            let mut driver = OrcaDriver::new(&config, &link, primary).with_policy(policy);
-            driver.set_recorder(recording.map(|(r, _)| r.clone()));
-            driver.run_until(&mut sim, spec.duration);
-            qc_values.extend_from_slice(driver.qc_values());
+            // Even one learned flow dispatches through the pool, so every
+            // harness shares the batched engine (and its telemetry).
+            let mut pool = DriverPool::new();
+            let slot = pool.push(OrcaDriver::new(&config, &link, primary).with_policy(policy));
+            pool.set_recorder(recording.map(|(r, _)| r.clone()));
+            pool.run_until(&mut sim, spec.duration);
+            qc_values.extend_from_slice(pool.drivers()[slot].qc_values());
         }
         Scheme::LearnedFallback {
             model,
@@ -165,10 +168,14 @@ fn run_scenario_inner(
                 k: model.k,
                 ..driver_config
             };
-            let mut driver = OrcaDriver::new(&config, &link, primary)
-                .with_policy(DriverPolicy::for_model(model).with_fallback(fb));
-            driver.set_recorder(recording.map(|(r, _)| r.clone()));
-            driver.run_until(&mut sim, spec.duration);
+            let mut pool = DriverPool::new();
+            let slot = pool.push(
+                OrcaDriver::new(&config, &link, primary)
+                    .with_policy(DriverPolicy::for_model(model).with_fallback(fb)),
+            );
+            pool.set_recorder(recording.map(|(r, _)| r.clone()));
+            pool.run_until(&mut sim, spec.duration);
+            let driver = &pool.drivers()[slot];
             qc_values.extend_from_slice(driver.fallback_qc_values());
             fallback_rate = driver.fallback_rate();
             fallback_engagements = driver.fallback_engagements();

@@ -1,0 +1,488 @@
+//! Fleet-scale serving: hundreds-to-thousands of self-driving flows on
+//! one simulator, paced against the wall clock.
+//!
+//! The training and evaluation harnesses ask "what does this policy do to
+//! the network?"; this crate asks the deployment question instead: **can
+//! one process sustain an entire fleet's decision loops in real time?** A
+//! [`Fleet`] owns a simulator (dumbbell or incast), one
+//! [`OrcaDriver`](canopy_core::driver::OrcaDriver) per flow, and drives
+//! them through the [`DriverPool`]'s batched dispatch — flows sharing one
+//! policy that decide at the same instant cost one batched actor pass, not
+//! N scalar ones. [`Fleet::run`] measures sustained decisions/sec and
+//! per-decision latency quantiles; [`Fleet::run_realtime`] additionally
+//! paces dispatch so simulation time never runs ahead of the wall clock,
+//! which is how a live serving process would tick.
+//!
+//! Model hot-swap is certificate-gated: [`Fleet::promote`] certifies the
+//! candidate actor against every flow's *current* decision context (one
+//! batched [`Verifier::certify_all_many`] pass) and swaps only if every
+//! aggregate clears the gate's threshold — a rollout never replaces a
+//! policy with one that is uncertified on live state.
+//!
+//! Wall-clock readings appear **only** in the returned [`FleetReport`];
+//! the simulation itself stays bitwise deterministic (pacing changes when
+//! work happens, never what it computes).
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use canopy_cc::Cubic;
+use canopy_core::driver::{DriverConfig, DriverPolicy, DriverPool, OrcaDriver};
+use canopy_core::obs::StateLayout;
+use canopy_core::property::Property;
+use canopy_core::verifier::{StepContext, Verifier};
+use canopy_netsim::{BandwidthTrace, FlowConfig, LinkConfig, Simulator, Time, Topology};
+use canopy_nn::Mlp;
+use canopy_telemetry::{LogHistogram, SharedRecorder};
+
+/// The network the fleet runs over.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FleetTopology {
+    /// All flows share one bottleneck link.
+    Dumbbell {
+        /// Bottleneck rate, bits/second.
+        rate_bps: f64,
+    },
+    /// `fan_in` leaf links converging on one root bottleneck; flow `i`
+    /// enters through leaf `i % fan_in`.
+    Incast {
+        /// Root (bottleneck) rate, bits/second.
+        root_bps: f64,
+        /// Per-leaf rate, bits/second.
+        leaf_bps: f64,
+        /// Number of leaf links.
+        fan_in: usize,
+    },
+}
+
+/// Static configuration of a [`Fleet`].
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Number of self-driving flows.
+    pub flows: usize,
+    /// The network they share.
+    pub topology: FleetTopology,
+    /// Propagation RTT of every flow (also the normalizer's anchor).
+    pub min_rtt: Time,
+    /// History depth `k` (must match the actor's input layout).
+    pub k: usize,
+    /// Arrival spacing between consecutive flows. [`Time::ZERO`] starts
+    /// everyone together, aligning all decision instants — the maximal
+    /// batching (and maximal load) regime.
+    pub stagger: Time,
+}
+
+impl FleetConfig {
+    /// A dumbbell fleet with a 20 ms RTT and synchronized arrivals.
+    pub fn dumbbell(flows: usize, rate_bps: f64, k: usize) -> FleetConfig {
+        FleetConfig {
+            flows,
+            topology: FleetTopology::Dumbbell { rate_bps },
+            min_rtt: Time::from_millis(20),
+            k,
+            stagger: Time::ZERO,
+        }
+    }
+
+    /// An incast fleet with a 20 ms RTT and synchronized arrivals.
+    pub fn incast(
+        flows: usize,
+        root_bps: f64,
+        leaf_bps: f64,
+        fan_in: usize,
+        k: usize,
+    ) -> FleetConfig {
+        FleetConfig {
+            flows,
+            topology: FleetTopology::Incast {
+                root_bps,
+                leaf_bps,
+                fan_in,
+            },
+            min_rtt: Time::from_millis(20),
+            k,
+            stagger: Time::ZERO,
+        }
+    }
+
+    /// Sets the arrival spacing.
+    pub fn with_stagger(mut self, stagger: Time) -> FleetConfig {
+        self.stagger = stagger;
+        self
+    }
+}
+
+/// What one [`Fleet::run`] sustained.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Fleet size.
+    pub flows: usize,
+    /// Simulated duration, nanoseconds.
+    pub sim_ns: u64,
+    /// Wall-clock duration of the run, nanoseconds.
+    pub wall_ns: u64,
+    /// Decisions executed.
+    pub decisions: u64,
+    /// Batched dispatches executed.
+    pub batches: u64,
+    /// Sustained decision throughput (decisions per wall-clock second).
+    pub decisions_per_sec: f64,
+    /// How much faster than real time the fleet ran (`sim_ns / wall_ns`);
+    /// at least 1.0 means the fleet sustains real time.
+    pub realtime_factor: f64,
+    /// Median per-decision latency (batch wall time ÷ batch size), ns.
+    pub p50_decision_ns: u64,
+    /// 99th-percentile per-decision latency, ns.
+    pub p99_decision_ns: u64,
+    /// Mean decisions per batched dispatch.
+    pub mean_batch: f64,
+}
+
+impl FleetReport {
+    /// Whether the fleet kept up with the wall clock.
+    pub fn sustains_realtime(&self) -> bool {
+        self.realtime_factor >= 1.0
+    }
+}
+
+/// The certification gate a candidate model must clear to be promoted.
+#[derive(Clone, Debug)]
+pub struct PromotionGate {
+    /// Properties certified on every flow's live decision context.
+    pub properties: Vec<Property>,
+    /// Minimum acceptable `QC_sat` aggregate, per flow.
+    pub threshold: f64,
+    /// Verifier split count.
+    pub n_components: usize,
+}
+
+/// The outcome of one [`Fleet::promote`] attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PromoteOutcome {
+    /// Whether the candidate replaced the deployed actor.
+    pub promoted: bool,
+    /// The weakest per-flow `QC_sat` aggregate observed.
+    pub min_qc: f64,
+    /// How many live contexts were certified.
+    pub flows: usize,
+}
+
+/// A self-driving fleet: one simulator, one pooled driver per flow, one
+/// shared policy (until a [`promote`](Fleet::promote) swaps it).
+pub struct Fleet {
+    sim: Simulator,
+    pool: DriverPool,
+    layout: StateLayout,
+    flows: usize,
+    actor: Mlp,
+}
+
+impl Fleet {
+    /// Builds the fleet: the topology, one Cubic-kerneled flow per slot,
+    /// and one pooled driver per flow, all cloning `actor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the actor's input width does not match `config.k`.
+    pub fn new(config: &FleetConfig, actor: Mlp) -> Fleet {
+        let layout = StateLayout::new(config.k);
+        assert_eq!(
+            actor.input_dim(),
+            layout.dim(),
+            "actor input width must match the k={} state layout",
+            config.k
+        );
+        let link_of = |name: &str, rate_bps: f64| {
+            LinkConfig::with_bdp_buffer(
+                BandwidthTrace::constant(name, rate_bps),
+                config.min_rtt,
+                1.0,
+            )
+        };
+        // The bottleneck link parameterizes every driver's normalizer, so
+        // states stay on the same scale the policy was trained on.
+        let (topology, bottleneck, fan_in) = match config.topology {
+            FleetTopology::Dumbbell { rate_bps } => {
+                let link = link_of("fleet", rate_bps);
+                (Topology::dumbbell(link.clone()), link, 0)
+            }
+            FleetTopology::Incast {
+                root_bps,
+                leaf_bps,
+                fan_in,
+            } => {
+                let root = link_of("fleet-root", root_bps);
+                let leaf = link_of("fleet-leaf", leaf_bps);
+                (Topology::incast(root.clone(), leaf, fan_in), root, fan_in)
+            }
+        };
+        let mut sim = Simulator::with_topology(topology);
+        let mut pool = DriverPool::new();
+        for i in 0..config.flows {
+            let start = Time::from_nanos(config.stagger.as_nanos() * i as u64);
+            let mut flow_cfg = FlowConfig::new(config.min_rtt)
+                .starting_at(start)
+                .without_samples();
+            if fan_in > 0 {
+                flow_cfg = flow_cfg.on_path(Topology::incast_path(i, fan_in));
+            }
+            let flow = sim.add_flow(flow_cfg, Box::new(Cubic::new()));
+            let driver_cfg = DriverConfig::new(config.min_rtt, config.k).starting_at(start);
+            pool.push(
+                OrcaDriver::new(&driver_cfg, &bottleneck, flow)
+                    .with_policy(DriverPolicy::new(actor.clone())),
+            );
+        }
+        Fleet {
+            sim,
+            pool,
+            layout,
+            flows: config.flows,
+            actor,
+        }
+    }
+
+    /// The simulator (current clock, flow stats).
+    pub fn sim(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// The pooled drivers.
+    pub fn pool(&self) -> &DriverPool {
+        &self.pool
+    }
+
+    /// The deployed actor.
+    pub fn actor(&self) -> &Mlp {
+        &self.actor
+    }
+
+    /// Attaches (or detaches) a telemetry recorder on the pool.
+    pub fn set_recorder(&mut self, recorder: Option<SharedRecorder>) {
+        self.pool.set_recorder(recorder);
+    }
+
+    /// Runs the fleet flat out for `duration` of simulation time,
+    /// measuring sustained throughput and per-decision latency.
+    pub fn run(&mut self, duration: Time) -> FleetReport {
+        self.run_inner(duration, false)
+    }
+
+    /// [`run`](Self::run), but paced: each dispatch waits until the wall
+    /// clock has caught up with its simulation instant, the way a live
+    /// serving tick loop would. Throughput then reads as real-time rate,
+    /// and `realtime_factor` hovers near 1.0 when the fleet keeps up.
+    pub fn run_realtime(&mut self, duration: Time) -> FleetReport {
+        self.run_inner(duration, true)
+    }
+
+    fn run_inner(&mut self, duration: Time, pace: bool) -> FleetReport {
+        let sim_start = self.sim.now();
+        let horizon = sim_start + duration;
+        let wall_start = Instant::now();
+        let mut latency = LogHistogram::new();
+        let mut decisions = 0u64;
+        let mut batches = 0u64;
+        loop {
+            if pace {
+                let next = self.pool.next_decision();
+                if next >= horizon {
+                    break;
+                }
+                let due_ns = next.saturating_sub(sim_start).as_nanos();
+                let elapsed_ns = wall_start.elapsed().as_nanos() as u64;
+                if due_ns > elapsed_ns {
+                    std::thread::sleep(std::time::Duration::from_nanos(due_ns - elapsed_ns));
+                }
+            }
+            let t0 = Instant::now();
+            let Some(batch) = self.pool.dispatch_next(&mut self.sim, horizon) else {
+                break;
+            };
+            if batch.decisions > 0 {
+                let per = t0.elapsed().as_nanos() as u64 / batch.decisions as u64;
+                latency.record(per.max(1));
+                decisions += batch.decisions as u64;
+                batches += 1;
+            }
+        }
+        self.sim.run_until(horizon);
+        let wall_ns = (wall_start.elapsed().as_nanos() as u64).max(1);
+        FleetReport {
+            flows: self.flows,
+            sim_ns: duration.as_nanos(),
+            wall_ns,
+            decisions,
+            batches,
+            decisions_per_sec: decisions as f64 / (wall_ns as f64 / 1e9),
+            realtime_factor: duration.as_nanos() as f64 / wall_ns as f64,
+            p50_decision_ns: latency.p50(),
+            p99_decision_ns: latency.p99(),
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                decisions as f64 / batches as f64
+            },
+        }
+    }
+
+    /// Certificate-gated model hot-swap: certifies `candidate` against
+    /// every flow's current decision context in one batched pass and
+    /// deploys it only if the weakest aggregate clears the gate. On
+    /// rejection the running fleet is untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the candidate's input width does not match the fleet's
+    /// state layout.
+    pub fn promote(&mut self, candidate: Mlp, gate: &PromotionGate) -> PromoteOutcome {
+        assert_eq!(
+            candidate.input_dim(),
+            self.layout.dim(),
+            "candidate input width must match the fleet's state layout"
+        );
+        let verifier = Verifier::new(gate.n_components);
+        let ctxs: Vec<StepContext> = self
+            .pool
+            .drivers()
+            .iter()
+            .map(|d| d.step_context(&self.sim))
+            .collect();
+        let results = verifier.certify_all_many(&candidate, &gate.properties, self.layout, &ctxs);
+        let min_qc = results
+            .iter()
+            .map(|(_, agg)| *agg)
+            .fold(f64::INFINITY, f64::min);
+        let promoted = min_qc >= gate.threshold;
+        if promoted {
+            for i in 0..self.pool.len() {
+                self.pool.swap_actor(i, candidate.clone());
+            }
+            self.actor = candidate;
+        }
+        PromoteOutcome {
+            promoted,
+            min_qc,
+            flows: ctxs.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canopy_core::property::PropertyParams;
+    use canopy_nn::Activation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn actor(k: usize, seed: u64) -> Mlp {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Mlp::new(
+            &mut rng,
+            &[StateLayout::new(k).dim(), 16, 1],
+            Activation::Tanh,
+        )
+    }
+
+    /// An actor that always outputs `value` (zero weights, biased output).
+    fn constant_actor(k: usize, value: f64) -> Mlp {
+        let mut net = actor(k, 0);
+        for layer in net.layers_mut() {
+            layer.weights.fill_zero();
+            layer.bias.fill(0.0);
+        }
+        let last = net.layers_mut().len() - 1;
+        net.layers_mut()[last].bias[0] = value.clamp(-0.999, 0.999).atanh();
+        net
+    }
+
+    #[test]
+    fn dumbbell_fleet_batches_synchronized_decisions() {
+        let config = FleetConfig::dumbbell(32, 192e6, 3);
+        let mut fleet = Fleet::new(&config, actor(3, 1));
+        let report = fleet.run(Time::from_millis(200));
+        // 20 ms MI over 200 ms: decisions at 20..=180 ms, 9 per flow.
+        assert_eq!(report.decisions, 32 * 9);
+        assert_eq!(
+            report.batches, 9,
+            "synchronized fleet fills one batch per MI"
+        );
+        assert!((report.mean_batch - 32.0).abs() < 1e-9);
+        assert!(report.decisions_per_sec > 0.0);
+        assert!(report.p50_decision_ns <= report.p99_decision_ns);
+        assert_eq!(fleet.sim().now(), Time::from_millis(200));
+    }
+
+    #[test]
+    fn incast_fleet_runs_and_reports() {
+        let config = FleetConfig::incast(24, 120e6, 40e6, 8, 3);
+        let mut fleet = Fleet::new(&config, actor(3, 2));
+        let report = fleet.run(Time::from_millis(100));
+        assert_eq!(report.flows, 24);
+        assert_eq!(report.decisions, 24 * 4);
+        assert!(report.sustains_realtime() || report.realtime_factor > 0.0);
+    }
+
+    #[test]
+    fn staggered_arrivals_split_batches() {
+        let config = FleetConfig::dumbbell(4, 48e6, 3).with_stagger(Time::from_millis(5));
+        let mut fleet = Fleet::new(&config, actor(3, 3));
+        let report = fleet.run(Time::from_millis(100));
+        // Starts at 0/5/10/15 ms with a 20 ms MI never coincide.
+        assert!((report.mean_batch - 1.0).abs() < 1e-9);
+        assert!(report.batches > 0);
+    }
+
+    #[test]
+    fn realtime_pacing_does_not_outrun_the_wall_clock() {
+        let config = FleetConfig::dumbbell(2, 24e6, 3);
+        let mut fleet = Fleet::new(&config, actor(3, 4));
+        let report = fleet.run_realtime(Time::from_millis(50));
+        // Paced: the run takes at least as long as the last decision's
+        // instant (40 ms), so the factor cannot blow past real time.
+        assert!(
+            report.realtime_factor <= 1.5,
+            "paced run stayed near real time"
+        );
+        assert_eq!(report.decisions, 2 * 2);
+    }
+
+    #[test]
+    fn promote_rejects_uncertified_and_deploys_certified_models() {
+        let p = PropertyParams::default();
+        let gate = PromotionGate {
+            properties: vec![Property::p1(&p)],
+            threshold: 0.9,
+            n_components: 4,
+        };
+        // A fresh fleet: every context has cwnd_tcp == cwnd_prev (the
+        // initial window), so the P1 Δcwnd sign is exactly the action
+        // sign and both verdicts below are deterministic.
+        let config = FleetConfig::dumbbell(8, 96e6, 3);
+        let mut fleet = Fleet::new(&config, constant_actor(3, 0.5));
+
+        // A decrease-everywhere candidate violates P1 on every context.
+        let before = fleet.actor().params_flat();
+        let rejected = fleet.promote(constant_actor(3, -0.5), &gate);
+        assert!(!rejected.promoted);
+        assert_eq!(rejected.flows, 8);
+        assert_eq!(rejected.min_qc, 0.0);
+        assert_eq!(fleet.actor().params_flat(), before, "rejection is a no-op");
+
+        // An increase-everywhere candidate certifies with QC_sat = 1.
+        let candidate = constant_actor(3, 0.25);
+        let accepted = fleet.promote(candidate.clone(), &gate);
+        assert!(accepted.promoted);
+        assert_eq!(accepted.min_qc, 1.0);
+        assert_eq!(fleet.actor().params_flat(), candidate.params_flat());
+        for d in fleet.pool().drivers() {
+            let deployed = d.policy().expect("pooled driver has a policy").actor();
+            assert_eq!(deployed.params_flat(), candidate.params_flat());
+        }
+        // The swapped fleet keeps running.
+        let report = fleet.run(Time::from_millis(60));
+        assert!(report.decisions > 0);
+    }
+}

@@ -17,6 +17,7 @@ const PID_FLOWS: u64 = 1;
 const PID_LINKS: u64 = 2;
 const PID_TRAINER: u64 = 3;
 const PID_SEARCH: u64 = 4;
+const PID_BATCHES: u64 = 5;
 
 fn obj(entries: Vec<(&str, Value)>) -> Value {
     let mut m = Map::new();
@@ -47,6 +48,7 @@ pub fn chrome_trace(report: &TelemetryReport) -> String {
         meta(PID_LINKS, 0, "process_name", "links"),
         meta(PID_TRAINER, 0, "process_name", "trainer"),
         meta(PID_SEARCH, 0, "process_name", "search"),
+        meta(PID_BATCHES, 0, "process_name", "batching"),
     ];
 
     let mut named_flows: Vec<u64> = Vec::new();
@@ -109,6 +111,26 @@ pub fn chrome_trace(report: &TelemetryReport) -> String {
         ]));
     }
 
+    // The batched pool's dispatch sizes as a counter track: how many
+    // decisions each simulation instant stacked through one actor call,
+    // and how many distinct policy groups the batch split into.
+    for b in &report.batches {
+        events.push(obj(vec![
+            ("ph", Value::String("C".into())),
+            ("pid", Value::U64(PID_BATCHES)),
+            ("tid", Value::U64(0)),
+            ("ts", us(b.t_ns)),
+            ("name", Value::String("decisions per batch".into())),
+            (
+                "args",
+                obj(vec![
+                    ("decisions", Value::U64(b.size)),
+                    ("groups", Value::U64(b.groups)),
+                ]),
+            ),
+        ]));
+    }
+
     // Trainer and search events have no simulation clock; index them by
     // step/generation on a millisecond-spaced synthetic timeline.
     for e in &report.trainer {
@@ -158,7 +180,7 @@ pub fn chrome_trace(report: &TelemetryReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::{DecisionRecord, LinkSample};
+    use crate::event::{BatchRecord, DecisionRecord, LinkSample};
     use crate::recorder::{FlightRecorder, Recorder};
 
     #[test]
@@ -184,6 +206,11 @@ mod tests {
             drops: 3,
             utilization: 0.75,
         });
+        rec.record_batch(&BatchRecord {
+            t_ns: 20_000_000,
+            size: 4,
+            groups: 1,
+        });
         let report = TelemetryReport::from_recorder(&rec, "unit", "cubic");
         let a = chrome_trace(&report);
         let b = chrome_trace(&report);
@@ -192,6 +219,7 @@ mod tests {
         assert!(a.contains("\"fallback\""));
         assert!(a.contains("\"link 1\""));
         assert!(a.contains("\"flow 2\""));
+        assert!(a.contains("\"decisions per batch\""));
         let parsed: serde::Value = serde_json::from_str(&a).expect("valid JSON");
         assert!(parsed["traceEvents"].as_array().unwrap().len() >= 6);
     }

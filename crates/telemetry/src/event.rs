@@ -51,6 +51,19 @@ pub struct LinkSample {
     pub utilization: f64,
 }
 
+/// One batched pool dispatch: every decision due at one simulation
+/// instant, stacked through the batched actor path together.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BatchRecord {
+    /// Simulation time of the dispatch, in nanoseconds.
+    pub t_ns: u64,
+    /// Decisions executed in this batch.
+    pub size: u64,
+    /// Distinct policy groups the batch split into (one forward call per
+    /// group of drivers sharing actor weights and certification config).
+    pub groups: u64,
+}
+
 /// One trainer-loop event.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum TrainerEvent {

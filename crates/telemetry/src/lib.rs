@@ -41,7 +41,7 @@ pub mod recorder;
 pub mod report;
 
 pub use chrome::chrome_trace;
-pub use event::{DecisionRecord, LinkSample, SearchEvent, TrainerEvent};
+pub use event::{BatchRecord, DecisionRecord, LinkSample, SearchEvent, TrainerEvent};
 pub use metrics::{HistogramSummary, LogHistogram, Registry};
 pub use recorder::{
     shared, FlightRecorder, NoopRecorder, Recorder, RecorderConfig, SharedRecorder,

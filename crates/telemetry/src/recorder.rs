@@ -4,7 +4,7 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use crate::event::{DecisionRecord, LinkSample, SearchEvent, TrainerEvent};
+use crate::event::{BatchRecord, DecisionRecord, LinkSample, SearchEvent, TrainerEvent};
 use crate::metrics::Registry;
 
 /// The instrumentation sink the hot paths call into.
@@ -19,6 +19,9 @@ pub trait Recorder: std::fmt::Debug {
 
     /// One per-link cadence sample.
     fn record_link(&mut self, _s: &LinkSample) {}
+
+    /// One batched pool dispatch (all decisions due at one sim instant).
+    fn record_batch(&mut self, _b: &BatchRecord) {}
 
     /// One trainer-loop event.
     fn record_trainer(&mut self, _e: &TrainerEvent) {}
@@ -62,6 +65,10 @@ pub struct RecorderConfig {
     pub link_every: u64,
     /// Simulator link-sampling cadence in nanoseconds.
     pub link_cadence_ns: u64,
+    /// Ring capacity for batch-dispatch records.
+    pub batch_capacity: usize,
+    /// Keep every Nth batch record (1 = all).
+    pub batch_every: u64,
     /// Ring capacity for trainer events.
     pub trainer_capacity: usize,
     /// Keep every Nth trainer event (1 = all).
@@ -80,6 +87,8 @@ impl Default for RecorderConfig {
             link_capacity: 4096,
             link_every: 1,
             link_cadence_ns: 10_000_000, // 10 ms
+            batch_capacity: 4096,
+            batch_every: 1,
             trainer_capacity: 2048,
             trainer_every: 1,
             search_capacity: 1024,
@@ -136,6 +145,7 @@ pub struct FlightRecorder {
     origin_ns: u64,
     decisions: Ring<DecisionRecord>,
     links: Ring<LinkSample>,
+    batches: Ring<BatchRecord>,
     trainer: Ring<TrainerEvent>,
     search: Ring<SearchEvent>,
     registry: Registry,
@@ -155,6 +165,7 @@ impl FlightRecorder {
             origin_ns: 0,
             decisions: Ring::new(config.decision_capacity, config.decision_every),
             links: Ring::new(config.link_capacity, config.link_every),
+            batches: Ring::new(config.batch_capacity, config.batch_every),
             trainer: Ring::new(config.trainer_capacity, config.trainer_every),
             search: Ring::new(config.search_capacity, config.search_every),
             registry: Registry::new(),
@@ -216,6 +227,21 @@ impl FlightRecorder {
         self.links.seen - self.links.buf.len() as u64
     }
 
+    /// Kept batch-dispatch records, oldest first.
+    pub fn batches(&self) -> Vec<BatchRecord> {
+        self.batches.items().copied().collect()
+    }
+
+    /// Total batch dispatches offered.
+    pub fn batches_seen(&self) -> u64 {
+        self.batches.seen
+    }
+
+    /// Batch records lost to sampling or capacity.
+    pub fn batches_dropped(&self) -> u64 {
+        self.batches.seen - self.batches.buf.len() as u64
+    }
+
     /// Kept trainer events, oldest first.
     pub fn trainer_events(&self) -> Vec<TrainerEvent> {
         self.trainer.items().cloned().collect()
@@ -268,6 +294,14 @@ impl Recorder for FlightRecorder {
         let mut s = *s;
         s.t_ns += self.origin_ns;
         self.links.push(s);
+    }
+
+    fn record_batch(&mut self, b: &BatchRecord) {
+        self.registry.inc("batches_total", 1);
+        self.registry.observe("decisions_per_batch", b.size);
+        let mut b = *b;
+        b.t_ns += self.origin_ns;
+        self.batches.push(b);
     }
 
     fn record_trainer(&mut self, e: &TrainerEvent) {
@@ -357,6 +391,28 @@ mod tests {
         assert_eq!(rec.links()[0].t_ns, 1_007);
         // Counters and histograms are origin-independent.
         assert_eq!(rec.registry().counter("decisions_total"), 2);
+    }
+
+    #[test]
+    fn batch_records_feed_the_size_histogram() {
+        let mut rec = FlightRecorder::default();
+        for (t, size) in [(0u64, 1u64), (20, 8), (40, 32)] {
+            rec.record_batch(&BatchRecord {
+                t_ns: t * 1_000_000,
+                size,
+                groups: 1,
+            });
+        }
+        assert_eq!(rec.batches_seen(), 3);
+        assert_eq!(rec.batches_dropped(), 0);
+        assert_eq!(rec.registry().counter("batches_total"), 3);
+        let hist = rec
+            .registry()
+            .histogram("decisions_per_batch")
+            .expect("histogram recorded");
+        assert_eq!(hist.count(), 3);
+        assert_eq!(hist.min(), 1);
+        assert!(hist.max() >= 32);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::event::{DecisionRecord, LinkSample, SearchEvent, TrainerEvent};
+use crate::event::{BatchRecord, DecisionRecord, LinkSample, SearchEvent, TrainerEvent};
 use crate::metrics::HistogramSummary;
 use crate::recorder::FlightRecorder;
 
@@ -45,6 +45,16 @@ pub struct TelemetryReport {
     pub links_seen: u64,
     /// Link samples lost to sampling or ring capacity.
     pub links_dropped: u64,
+    /// Kept batch-dispatch records, oldest first. Absent from reports
+    /// recorded before cross-flow batching landed, hence defaulted.
+    #[serde(default)]
+    pub batches: Vec<BatchRecord>,
+    /// Total batch dispatches offered.
+    #[serde(default)]
+    pub batches_seen: u64,
+    /// Batch records lost to sampling or ring capacity.
+    #[serde(default)]
+    pub batches_dropped: u64,
     /// Kept trainer events, oldest first.
     pub trainer: Vec<TrainerEvent>,
     /// Total trainer events offered.
@@ -84,6 +94,9 @@ impl TelemetryReport {
             links: recorder.links(),
             links_seen: recorder.links_seen(),
             links_dropped: recorder.links_dropped(),
+            batches: recorder.batches(),
+            batches_seen: recorder.batches_seen(),
+            batches_dropped: recorder.batches_dropped(),
             trainer: recorder.trainer_events(),
             trainer_seen: recorder.trainer_seen(),
             trainer_dropped: recorder.trainer_dropped(),
@@ -113,7 +126,7 @@ impl TelemetryReport {
                 self.schema
             ));
         }
-        let streams: [(&str, usize, u64, u64); 4] = [
+        let streams: [(&str, usize, u64, u64); 5] = [
             (
                 "decisions",
                 self.decisions.len(),
@@ -125,6 +138,12 @@ impl TelemetryReport {
                 self.links.len(),
                 self.links_seen,
                 self.links_dropped,
+            ),
+            (
+                "batches",
+                self.batches.len(),
+                self.batches_seen,
+                self.batches_dropped,
             ),
             (
                 "trainer",
@@ -183,6 +202,22 @@ impl TelemetryReport {
                 ));
             }
         }
+        let mut prev = 0u64;
+        for (i, b) in self.batches.iter().enumerate() {
+            if b.t_ns < prev {
+                return Err(format!("batch record {i} goes back in time"));
+            }
+            prev = b.t_ns;
+            if b.size == 0 {
+                return Err(format!("batch record {i} is empty"));
+            }
+            if b.groups == 0 || b.groups > b.size {
+                return Err(format!(
+                    "batch record {i}: {} groups for {} decisions",
+                    b.groups, b.size
+                ));
+            }
+        }
         for (i, e) in self.trainer.iter().enumerate() {
             if e.floats().iter().any(|x| !x.is_finite()) {
                 return Err(format!("trainer event {i} carries a non-finite value"));
@@ -235,6 +270,11 @@ mod tests {
                 utilization: 0.9,
             });
         }
+        rec.record_batch(&BatchRecord {
+            t_ns: 20_000_000,
+            size: 5,
+            groups: 2,
+        });
         rec.record_trainer(&TrainerEvent::TdLoss {
             step: 10,
             critic_loss: 0.02,
@@ -257,7 +297,8 @@ mod tests {
         assert_eq!(report, back);
         assert_eq!(back.to_json(), text, "canonical round trip");
         assert_eq!(back.decisions_seen, 5);
-        assert_eq!(back.counters.len(), 6);
+        assert_eq!(back.batches_seen, 1);
+        assert_eq!(back.counters.len(), 7);
     }
 
     #[test]
@@ -275,8 +316,14 @@ mod tests {
         let mut bad = good.clone();
         bad.decisions[1].qc_sat = Some(1.5);
         assert!(bad.validate().is_err());
-        let mut bad = good;
+        let mut bad = good.clone();
         bad.links[0].utilization = f64::NAN;
         assert!(bad.validate().is_err());
+        let mut bad = good.clone();
+        bad.batches_seen = 7;
+        assert!(bad.validate().is_err(), "batch accounting must balance");
+        let mut bad = good;
+        bad.batches[0].groups = 9;
+        assert!(bad.validate().is_err(), "more groups than decisions");
     }
 }

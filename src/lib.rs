@@ -15,6 +15,8 @@
 //!   fuzzer, and the `Scheme × Scenario` matrix runner
 //! * [`search`] — adversarial scenario search: bounded family spaces,
 //!   failure objectives, seeded optimizers, counterexample shrinking
+//! * [`serve`] — fleet-scale serving: batched decision dispatch for
+//!   hundreds of flows, real-time pacing, certificate-gated model hot-swap
 //! * [`telemetry`] — the deterministic flight recorder and metrics layer
 //!   threaded through the decision loop, simulator, trainer, and search
 //!
@@ -37,5 +39,6 @@ pub use canopy_nn as nn;
 pub use canopy_rl as rl;
 pub use canopy_scenarios as scenarios;
 pub use canopy_search as search;
+pub use canopy_serve as serve;
 pub use canopy_telemetry as telemetry;
 pub use canopy_traces as traces;
