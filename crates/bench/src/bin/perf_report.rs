@@ -37,6 +37,12 @@
 //!   dumbbell fleet run flat-out for one simulated second (median wall
 //!   time, per-decision cost, p99 decision latency); the report's `serve`
 //!   block carries the non-gated decisions/sec and real-time factor.
+//! * `telemetry/recorder_overhead_{off,flight,live}` — one identical
+//!   64-flow fleet run under an inert `NoopRecorder`, the bounded
+//!   `FlightRecorder`, and the flight recorder with the full live
+//!   observability layer (windowed feeds, cadence snapshots, SLO
+//!   watchdog, hot-path spans) — the recorder's overhead ladder
+//!   (`speedups.live_observability_overhead` is the live/off ratio).
 //! * `topology/incast8_2s` and `topology/parkinglot3_2s` — 2-simulated-
 //!   second multi-hop runs (an 8-flow incast tree and a 3-hop parking
 //!   lot with per-hop competitors): the HopArrival forwarding path and
@@ -821,6 +827,61 @@ fn bench_serve(opts: &Opts, out: &mut Vec<(String, f64)>) -> Value {
     })
 }
 
+// --- Recorder overhead ------------------------------------------------------
+
+/// What telemetry costs on the serving hot path: one identical 64-flow
+/// dumbbell fleet run three ways — (a) an attached-but-inert
+/// `NoopRecorder`, (b) the bounded `FlightRecorder`, and (c) the flight
+/// recorder with the full live layer enabled (windowed registry feeds,
+/// cadence snapshots, SLO watchdog, hot-path spans). Whole-run wall-time
+/// medians; the `off → flight → live` progression is the recorder's
+/// overhead ladder.
+fn bench_recorder_overhead(opts: &Opts, out: &mut Vec<(String, f64)>) {
+    use canopy_serve::{Fleet, FleetConfig};
+    use canopy_telemetry::{
+        shared, FlightRecorder, LiveConfig, NoopRecorder, RecorderConfig, SloKind, SloSpec,
+    };
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    let samples = if opts.smoke { 3 } else { 5 };
+    let model = synthetic_model(opts.seed);
+    let config = FleetConfig::dumbbell(64, 256e6, model.k);
+    let duration = Time::from_millis(500);
+
+    let mut run = |label: &str, attach: &dyn Fn(&mut Fleet)| {
+        let mut walls = Vec::with_capacity(samples + 1);
+        for _ in 0..=samples {
+            let mut fleet = Fleet::new(&config, model.actor.clone());
+            attach(&mut fleet);
+            walls.push(fleet.run(duration).wall_ns as f64);
+        }
+        walls.remove(0); // warmup
+        walls.sort_by(f64::total_cmp);
+        out.push((
+            format!("telemetry/recorder_overhead_{label}"),
+            walls[walls.len() / 2],
+        ));
+    };
+    run("off", &|fleet| {
+        fleet.set_recorder(Some(shared(NoopRecorder)));
+    });
+    run("flight", &|fleet| {
+        fleet.set_recorder(Some(shared(FlightRecorder::default())));
+    });
+    run("live", &|fleet| {
+        fleet.attach_live(Rc::new(RefCell::new(FlightRecorder::with_live(
+            RecorderConfig::default(),
+            LiveConfig::default()
+                .with_label("bench")
+                .with_slo(SloSpec::new(
+                    "p99-latency",
+                    SloKind::MaxP99DecisionLatencyNs,
+                    5e6,
+                )),
+        ))));
+    });
+}
+
 // --- Multi-hop topologies -------------------------------------------------
 
 fn bench_topology(opts: &Opts, out: &mut Vec<(String, f64)>) {
@@ -1084,6 +1145,10 @@ fn main() {
         eprintln!("perf_report: fleet serving…");
         serve_info = bench_serve(&opts, &mut benches);
     }
+    if opts.runs("telemetry") {
+        eprintln!("perf_report: recorder overhead…");
+        bench_recorder_overhead(&opts, &mut benches);
+    }
     if opts.runs("topology") {
         eprintln!("perf_report: multi-hop topologies…");
         bench_topology(&opts, &mut benches);
@@ -1127,6 +1192,14 @@ fn main() {
             "episode_sampling_overhead",
             "episode_sampler/episode_dumbbell",
             "episode_sampler/base_env",
+        ),
+        // Also an overhead ratio: what the full live layer (windowed
+        // feeds + snapshots + watchdog + spans) costs relative to an
+        // inert recorder on the identical fleet run.
+        (
+            "live_observability_overhead",
+            "telemetry/recorder_overhead_live",
+            "telemetry/recorder_overhead_off",
         ),
     ] {
         if let (Some(n), Some(d)) = (find(&benches, num), find(&benches, den)) {

@@ -32,22 +32,27 @@
 //! matrix from re-parsed specs and fails unless the report is
 //! schema-valid and bitwise reproducible. `--trace-out PATH` additionally
 //! replays the first scheme over each family's first scenario with a
-//! flight recorder attached and writes the `canopy-telemetry/v1` report
-//! (plus a Chrome-trace twin next to it); under `--check` the trace
-//! replay is re-recorded and must also be bitwise identical.
+//! flight recorder attached and writes the `canopy-telemetry/v2` report
+//! (plus a Chrome-trace twin next to it); `--live-out DIR` runs the same
+//! replay with the recorder's live layer enabled and writes the
+//! streaming artifacts (`metrics.jsonl`, `exposition.prom`) into `DIR`;
+//! under `--check` the replay is re-recorded and every artifact must be
+//! bitwise identical.
 
 use std::cell::RefCell;
 use std::process::ExitCode;
 use std::rc::Rc;
 
-use canopy_bench::{f1, f3, header, model, row, write_trace, HarnessOpts};
+use canopy_bench::{f1, f3, header, model, row, write_live_out, write_trace, HarnessOpts};
 use canopy_core::eval::Scheme;
 use canopy_core::models::ModelKind;
 use canopy_netsim::Time;
 use canopy_scenarios::{
     fuzz_suite_seeds, run_scenario_recorded, Family, ScenarioReport, ScenarioSpec, TopologySpec,
 };
-use canopy_telemetry::{FlightRecorder, RecorderConfig, SharedRecorder, TelemetryReport};
+use canopy_telemetry::{
+    FlightRecorder, LiveConfig, RecorderConfig, SharedRecorder, TelemetryReport,
+};
 
 struct LabOpts {
     families: Vec<Family>,
@@ -57,6 +62,7 @@ struct LabOpts {
     check: bool,
     out: String,
     trace_out: Option<String>,
+    live_out: Option<String>,
 }
 
 /// Per-hop propagation delay used when `--topology parking-lot:H` does
@@ -154,6 +160,7 @@ fn parse_lab_args(args: &[String]) -> Result<LabOpts, String> {
         check: false,
         out: "SCENARIOS_report.json".to_string(),
         trace_out: None,
+        live_out: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -194,6 +201,10 @@ fn parse_lab_args(args: &[String]) -> Result<LabOpts, String> {
                 opts.trace_out = Some(args.get(i + 1).ok_or("--trace-out needs a value")?.clone());
                 i += 1;
             }
+            "--live-out" => {
+                opts.live_out = Some(args.get(i + 1).ok_or("--live-out needs a value")?.clone());
+                i += 1;
+            }
             // Consumed by HarnessOpts, skipped here.
             "--smoke" => {}
             "--seed" => i += 1,
@@ -213,8 +224,19 @@ fn record_traces(
     scheme_name: &str,
     families: &[Family],
     specs: &[ScenarioSpec],
-) -> Result<TelemetryReport, String> {
-    let recorder = Rc::new(RefCell::new(FlightRecorder::default()));
+    live: bool,
+) -> Result<(TelemetryReport, Rc<RefCell<FlightRecorder>>), String> {
+    let recorder = if live {
+        // Sim-time cadence: the streamed snapshots are as deterministic
+        // as the replay itself.
+        FlightRecorder::with_live(
+            RecorderConfig::default(),
+            LiveConfig::default().with_label("scenario_lab"),
+        )
+    } else {
+        FlightRecorder::default()
+    };
+    let recorder = Rc::new(RefCell::new(recorder));
     let handle: SharedRecorder = recorder.clone();
     let cadence = Time::from_nanos(RecorderConfig::default().link_cadence_ns);
     let mut origin = 0u64;
@@ -229,8 +251,14 @@ fn record_traces(
         run_scenario_recorded(scheme, spec, None, &handle, cadence).map_err(|e| e.to_string())?;
         origin += spec.duration.as_nanos();
     }
+    if live {
+        // Close out the live layer at the end of the merged timeline.
+        let mut rec = recorder.borrow_mut();
+        rec.set_origin(origin);
+        rec.finish(0);
+    }
     let report = TelemetryReport::from_recorder(&recorder.borrow(), "scenario_lab", scheme_name);
-    Ok(report)
+    Ok((report, recorder))
 }
 
 /// Resolves a scheme name: a classic kernel, or a trained model by name.
@@ -358,17 +386,30 @@ fn main() -> ExitCode {
     );
 
     let mut trace_report = None;
-    if let Some(path) = &lab.trace_out {
-        let report = match record_traces(&schemes[0], &lab.schemes[0], &lab.families, &specs) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("scenario_lab: trace recording failed: {e}");
+    let mut live_artifacts = None;
+    if lab.trace_out.is_some() || lab.live_out.is_some() {
+        let live = lab.live_out.is_some();
+        let (report, recorder) =
+            match record_traces(&schemes[0], &lab.schemes[0], &lab.families, &specs, live) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("scenario_lab: trace recording failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+        if let Some(path) = &lab.trace_out {
+            if let Err(e) = write_trace(path, &report) {
+                eprintln!("scenario_lab: {e}");
                 return ExitCode::FAILURE;
             }
-        };
-        if let Err(e) = write_trace(path, &report) {
-            eprintln!("scenario_lab: {e}");
-            return ExitCode::FAILURE;
+        }
+        if let Some(dir) = &lab.live_out {
+            let rec = recorder.borrow();
+            if let Err(e) = write_live_out(dir, &rec) {
+                eprintln!("scenario_lab: {e}");
+                return ExitCode::FAILURE;
+            }
+            live_artifacts = Some((rec.live_metrics_jsonl(), rec.live_exposition()));
         }
         trace_report = Some(report);
     }
@@ -397,18 +438,28 @@ fn main() -> ExitCode {
         if let Some(report) = &trace_report {
             // The recording is part of the contract: re-record the same
             // replays and require the identical telemetry bytes.
-            let again = match record_traces(&schemes[0], &lab.schemes[0], &lab.families, &specs) {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("scenario_lab: --check trace re-record failed: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
+            let live = lab.live_out.is_some();
+            let (again, rec_again) =
+                match record_traces(&schemes[0], &lab.schemes[0], &lab.families, &specs, live) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("scenario_lab: --check trace re-record failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
             if again.to_json() != report.to_json() {
                 eprintln!("scenario_lab: --check FAILED: trace re-record diverged");
                 return ExitCode::FAILURE;
             }
             println!("--check OK: trace re-record is bitwise identical");
+            if let Some((metrics, exposition)) = &live_artifacts {
+                let rec = rec_again.borrow();
+                if rec.live_metrics_jsonl() != *metrics || rec.live_exposition() != *exposition {
+                    eprintln!("scenario_lab: --check FAILED: live metrics re-record diverged");
+                    return ExitCode::FAILURE;
+                }
+                println!("--check OK: live metrics re-record is bitwise identical");
+            }
         }
     }
     ExitCode::SUCCESS
@@ -501,6 +552,14 @@ mod tests {
         assert_eq!(opts.trace_out.as_deref(), Some("TELEMETRY_report.json"));
         assert_eq!(parse_lab_args(&argv(&[])).unwrap().trace_out, None);
         assert!(parse_lab_args(&argv(&["--trace-out"])).is_err());
+    }
+
+    #[test]
+    fn live_out_parses() {
+        let opts = parse_lab_args(&argv(&["--live-out", "live"])).unwrap();
+        assert_eq!(opts.live_out.as_deref(), Some("live"));
+        assert_eq!(parse_lab_args(&argv(&[])).unwrap().live_out, None);
+        assert!(parse_lab_args(&argv(&["--live-out"])).is_err());
     }
 
     #[test]

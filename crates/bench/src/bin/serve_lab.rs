@@ -1,0 +1,332 @@
+//! The serve lab: a fleet run with the full live-observability layer
+//! attached — streaming metrics snapshots, the SLO watchdog with its
+//! alert ledger, and the certificate-gated promotion path with its
+//! breach veto.
+//!
+//! ```text
+//! cargo run -p canopy_bench --release --bin serve_lab -- \
+//!     [--flows N] [--duration-ms MS] [--seed N] [--smoke] \
+//!     [--breach] [--live-out DIR] [--check]
+//! ```
+//!
+//! The fleet is a dumbbell of `--flows` self-driving flows sharing one
+//! policy, run flat-out for `--duration-ms` of simulation time with a
+//! flight recorder whose live layer snapshots on the sim-time cadence —
+//! so every streamed artifact is bitwise deterministic. After the run,
+//! one promotion is attempted through [`Fleet::promote`].
+//!
+//! `--breach` arms a deterministic SLO drill: every driver gets a QC
+//! monitor whose threshold (2.0) can never be met, so the Cubic fallback
+//! engages on every decision, the fallback-engagement-rate SLO (max 10%)
+//! breaches on the first window, the watchdog appends to the
+//! `canopy-alerts/v1` ledger, and the promotion attempt is **vetoed**.
+//! The binary exits non-zero if any link of that chain fails to fire —
+//! this is the CI `live-obs-smoke` contract.
+//!
+//! `--live-out DIR` writes the streaming artifacts (`metrics.jsonl`,
+//! `exposition.prom`, and `alerts.json` when the watchdog ran) into
+//! `DIR`. `--check` re-runs the identical fleet and fails unless every
+//! live artifact is bitwise identical.
+
+use std::cell::RefCell;
+use std::process::ExitCode;
+use std::rc::Rc;
+
+use canopy_bench::{write_live_out, DEFAULT_SEED};
+use canopy_core::obs::StateLayout;
+use canopy_core::property::{Property, PropertyParams};
+use canopy_netsim::Time;
+use canopy_nn::{Activation, Mlp};
+use canopy_serve::{Fleet, FleetConfig, PromoteOutcome, PromotionGate, QcMonitorConfig};
+use canopy_telemetry::{FlightRecorder, LiveConfig, RecorderConfig, SloKind, SloSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct ServeLabOpts {
+    flows: usize,
+    duration_ms: u64,
+    seed: u64,
+    smoke: bool,
+    breach: bool,
+    live_out: Option<String>,
+    check: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<ServeLabOpts, String> {
+    let mut opts = ServeLabOpts {
+        flows: 64,
+        duration_ms: 1000,
+        seed: DEFAULT_SEED,
+        smoke: false,
+        breach: false,
+        live_out: None,
+        check: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--flows" => {
+                let v = args.get(i + 1).ok_or("--flows needs a value")?;
+                opts.flows = v.parse().map_err(|_| format!("bad flow count `{v}`"))?;
+                i += 1;
+            }
+            "--duration-ms" => {
+                let v = args.get(i + 1).ok_or("--duration-ms needs a value")?;
+                opts.duration_ms = v.parse().map_err(|_| format!("bad duration `{v}`"))?;
+                i += 1;
+            }
+            "--seed" => {
+                let v = args.get(i + 1).ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+                i += 1;
+            }
+            "--smoke" => opts.smoke = true,
+            "--breach" => opts.breach = true,
+            "--live-out" => {
+                opts.live_out = Some(args.get(i + 1).ok_or("--live-out needs a value")?.clone());
+                i += 1;
+            }
+            "--check" => opts.check = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    if opts.flows == 0 {
+        return Err("--flows must be at least 1".into());
+    }
+    if opts.smoke {
+        opts.duration_ms = opts.duration_ms.min(400);
+        opts.flows = opts.flows.min(32);
+    }
+    if opts.duration_ms == 0 {
+        return Err("--duration-ms must be at least 1".into());
+    }
+    Ok(opts)
+}
+
+/// The fleet's shared policy: a small seeded tanh net (k = 3). The lab
+/// measures the observability plumbing, not policy quality.
+fn lab_actor(seed: u64) -> Mlp {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Mlp::new(
+        &mut rng,
+        &[StateLayout::new(3).dim(), 16, 1],
+        Activation::Tanh,
+    )
+}
+
+/// One fleet run with the live layer attached; returns the fleet (for
+/// the promotion attempt), its report, and the recorder.
+fn run_fleet(
+    opts: &ServeLabOpts,
+) -> (
+    Fleet,
+    canopy_serve::FleetReport,
+    Rc<RefCell<FlightRecorder>>,
+) {
+    let mut config = FleetConfig::dumbbell(opts.flows, 256e6, 3);
+    if opts.breach {
+        // A QC threshold no certificate can reach: the fallback engages
+        // on every decision, deterministically, which is exactly the
+        // breach the fallback-rate SLO below is watching for.
+        let p = PropertyParams::default();
+        config = config.with_qc_monitor(QcMonitorConfig {
+            properties: vec![Property::p1(&p)],
+            threshold: 2.0,
+            n_components: 4,
+        });
+    }
+    // The one SLO is constant across modes; only the QC monitor decides
+    // whether the fleet actually trips it. The latency SLO is left out
+    // on purpose: it reads wall clocks, and the lab's artifacts are
+    // bitwise-checked.
+    let live = LiveConfig::default()
+        .with_label("serve_lab")
+        .with_slo(SloSpec::new("fallback-rate", SloKind::MaxFallbackRate, 0.1));
+    let recorder = Rc::new(RefCell::new(FlightRecorder::with_live(
+        RecorderConfig::default(),
+        live,
+    )));
+    let mut fleet = Fleet::new(&config, lab_actor(opts.seed));
+    fleet.attach_live(recorder.clone());
+    let report = fleet.run(Time::from_millis(opts.duration_ms));
+    (fleet, report, recorder)
+}
+
+/// The live artifacts whose bytes `--check` gates on.
+fn artifacts(rec: &FlightRecorder) -> (String, String, Option<String>) {
+    (
+        rec.live_metrics_jsonl(),
+        rec.live_exposition(),
+        rec.alert_ledger().map(|l| l.to_json()),
+    )
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("serve_lab: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "# Serve lab — {} flows, {} ms, seed {}{}\n",
+        opts.flows,
+        opts.duration_ms,
+        opts.seed,
+        if opts.breach {
+            ", SLO breach drill"
+        } else {
+            ""
+        }
+    );
+    let (mut fleet, report, recorder) = run_fleet(&opts);
+    println!(
+        "decisions {} | batches {} | mean batch {:.1} | realtime ×{:.1}",
+        report.decisions, report.batches, report.mean_batch, report.realtime_factor
+    );
+    println!(
+        "snapshots {} | alerts {} | breach active: {}",
+        recorder.borrow().live_snapshots().len(),
+        report.slo_alerts,
+        report.slo_breach_active
+    );
+
+    // The promotion attempt: a candidate that would certify on a healthy
+    // fleet. Under an active breach the veto must fire first.
+    let gate = PromotionGate {
+        properties: vec![Property::p1(&PropertyParams::default())],
+        threshold: 0.9,
+        n_components: 4,
+    };
+    let outcome: PromoteOutcome = fleet.promote(lab_actor(opts.seed ^ 0xa5), &gate);
+    println!(
+        "promotion: promoted={} vetoed={} min_qc={:.3} flows={}",
+        outcome.promoted, outcome.vetoed, outcome.min_qc, outcome.flows
+    );
+
+    if opts.breach {
+        // The drill's contract: breach recorded, ledger non-empty and
+        // valid, promotion vetoed.
+        let rec = recorder.borrow();
+        let ledger = match rec.alert_ledger() {
+            Some(l) => l,
+            None => {
+                eprintln!("serve_lab: breach drill produced no alert ledger");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = ledger.validate() {
+            eprintln!("serve_lab: alert ledger is invalid: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !report.slo_breach_active || report.slo_alerts == 0 {
+            eprintln!("serve_lab: breach drill did not trip the SLO watchdog");
+            return ExitCode::FAILURE;
+        }
+        if !outcome.vetoed || outcome.promoted {
+            eprintln!("serve_lab: active breach failed to veto the promotion");
+            return ExitCode::FAILURE;
+        }
+        println!("\nbreach drill OK: SLO breached, ledger valid, promotion vetoed");
+    }
+
+    if let Some(dir) = &opts.live_out {
+        if let Err(e) = write_live_out(dir, &recorder.borrow()) {
+            eprintln!("serve_lab: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if opts.check {
+        // Bitwise gate: the identical fleet re-run must stream byte-for-
+        // byte identical live artifacts (snapshots are sim-time-driven;
+        // wall clocks never reach them).
+        let first = artifacts(&recorder.borrow());
+        let (_, _, recorder2) = run_fleet(&opts);
+        if artifacts(&recorder2.borrow()) != first {
+            eprintln!("serve_lab: --check FAILED: live artifacts diverged between runs");
+            return ExitCode::FAILURE;
+        }
+        println!("--check OK: live artifacts are bitwise reproducible");
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn args_parse_with_defaults_and_overrides() {
+        let d = parse_args(&argv(&[])).unwrap();
+        assert_eq!(d.flows, 64);
+        assert_eq!(d.duration_ms, 1000);
+        assert!(!d.breach && !d.check && d.live_out.is_none());
+
+        let o = parse_args(&argv(&[
+            "--flows",
+            "8",
+            "--duration-ms",
+            "250",
+            "--breach",
+            "--check",
+            "--live-out",
+            "live",
+        ]))
+        .unwrap();
+        assert_eq!(o.flows, 8);
+        assert_eq!(o.duration_ms, 250);
+        assert!(o.breach && o.check);
+        assert_eq!(o.live_out.as_deref(), Some("live"));
+    }
+
+    #[test]
+    fn smoke_shrinks_and_bad_args_are_loud() {
+        let s = parse_args(&argv(&["--smoke"])).unwrap();
+        assert_eq!(s.duration_ms, 400);
+        assert_eq!(s.flows, 32);
+        assert!(parse_args(&argv(&["--flows", "0"])).is_err());
+        assert!(parse_args(&argv(&["--duration-ms", "0"])).is_err());
+        assert!(parse_args(&argv(&["--flows"])).is_err());
+        assert!(parse_args(&argv(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn breach_drill_trips_the_watchdog_and_vetoes_promotion() {
+        let opts =
+            parse_args(&argv(&["--flows", "8", "--duration-ms", "300", "--breach"])).unwrap();
+        let (mut fleet, report, recorder) = run_fleet(&opts);
+        assert!(report.slo_breach_active);
+        assert!(report.slo_alerts >= 1);
+        recorder
+            .borrow()
+            .alert_ledger()
+            .unwrap()
+            .validate()
+            .unwrap();
+        let gate = PromotionGate {
+            properties: vec![Property::p1(&PropertyParams::default())],
+            threshold: 0.9,
+            n_components: 4,
+        };
+        let outcome = fleet.promote(lab_actor(opts.seed ^ 0xa5), &gate);
+        assert!(outcome.vetoed && !outcome.promoted);
+    }
+
+    #[test]
+    fn live_artifacts_are_reproducible_across_runs() {
+        let opts =
+            parse_args(&argv(&["--flows", "8", "--duration-ms", "300", "--breach"])).unwrap();
+        let (_, _, a) = run_fleet(&opts);
+        let (_, _, b) = run_fleet(&opts);
+        assert_eq!(artifacts(&a.borrow()), artifacts(&b.borrow()));
+        assert!(!a.borrow().live_metrics_jsonl().is_empty());
+    }
+}

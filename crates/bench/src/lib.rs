@@ -166,6 +166,44 @@ pub fn write_trace(path: &str, report: &canopy_telemetry::TelemetryReport) -> Re
     Ok(())
 }
 
+/// Writes the live-observability artifacts of a finished run into `dir`:
+/// the JSONL metrics stream (`metrics.jsonl`, one
+/// `canopy-live-metrics/v1` snapshot per line), the latest
+/// Prometheus-style exposition (`exposition.prom`), and — when an SLO
+/// watchdog ran — the canonical alert ledger (`alerts.json`,
+/// `canopy-alerts/v1`). Every `--live-out` flag funnels here. Snapshots
+/// are validated before anything is written.
+pub fn write_live_out(dir: &str, rec: &canopy_telemetry::FlightRecorder) -> Result<(), String> {
+    for snap in rec.live_snapshots() {
+        snap.validate()
+            .map_err(|e| format!("refusing to write invalid live metrics: {e}"))?;
+    }
+    if let Some(ledger) = rec.alert_ledger() {
+        ledger
+            .validate()
+            .map_err(|e| format!("refusing to write invalid alert ledger: {e}"))?;
+    }
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let metrics = format!("{dir}/metrics.jsonl");
+    std::fs::write(&metrics, rec.live_metrics_jsonl())
+        .map_err(|e| format!("cannot write {metrics}: {e}"))?;
+    let prom = format!("{dir}/exposition.prom");
+    std::fs::write(&prom, rec.live_exposition())
+        .map_err(|e| format!("cannot write {prom}: {e}"))?;
+    let mut wrote = format!(
+        "wrote {metrics} ({} snapshots) and {prom}",
+        rec.live_snapshots().len()
+    );
+    if let Some(ledger) = rec.alert_ledger() {
+        let alerts = format!("{dir}/alerts.json");
+        std::fs::write(&alerts, ledger.to_json())
+            .map_err(|e| format!("cannot write {alerts}: {e}"))?;
+        wrote.push_str(&format!(" and {alerts} ({} alerts)", ledger.alerts.len()));
+    }
+    println!("{wrote}");
+    Ok(())
+}
+
 /// Prints a Markdown-style table row.
 pub fn row(cells: &[String]) {
     println!("| {} |", cells.join(" | "));

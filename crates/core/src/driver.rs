@@ -33,7 +33,7 @@ use rand::{Rng, SeedableRng};
 
 use canopy_netsim::{FlowId, LinkConfig, MonitorSample, Simulator, Time};
 use canopy_nn::{BatchScratch, Matrix, Mlp};
-use canopy_telemetry::{BatchRecord, DecisionRecord, SharedRecorder};
+use canopy_telemetry::{BatchRecord, DecisionRecord, SharedRecorder, SpanRecord, SpanStage};
 
 use crate::env::NoiseConfig;
 use crate::models::TrainedModel;
@@ -654,6 +654,9 @@ pub struct DriverPool {
     serial: bool,
     states: Matrix,
     scratch: BatchScratch,
+    /// Batched dispatches executed so far — the span profiler's batch
+    /// sequence number (deterministic: one per non-empty dispatch).
+    dispatches: u64,
 }
 
 impl Default for DriverPool {
@@ -672,6 +675,7 @@ impl DriverPool {
             serial: std::env::var("CANOPY_POOL_SERIAL").is_ok_and(|v| v == "1"),
             states: Matrix::zeros(0, 0),
             scratch: BatchScratch::default(),
+            dispatches: 0,
         }
     }
 
@@ -807,19 +811,40 @@ impl DriverPool {
     /// One batched dispatch: prepare all due drivers in insertion order,
     /// group by policy fingerprint, one batched actor/certification pass
     /// per group, apply in insertion order.
+    ///
+    /// When a recorder is attached, the span profiler emits one
+    /// [`SpanRecord`] per hot-path stage (a `dispatch` parent plus
+    /// `prepare`/`group`/`forward`/`certify`/`apply` children). Span
+    /// *structure* is deterministic; wall-clock durations are measured
+    /// only when the recorder asks for them (`wants_span_timing`) and
+    /// recorded as 0 otherwise, so deterministic artifacts never carry
+    /// timing bytes.
     fn dispatch_batched(&mut self, sim: &mut Simulator, due: &[usize]) -> BatchDispatch {
         let DriverPool {
             drivers,
             states,
             scratch,
+            recorder,
+            dispatches,
             ..
         } = self;
+        let timing = recorder
+            .as_ref()
+            .is_some_and(|r| r.borrow().wants_span_timing());
+        let span_ns = |a: Option<std::time::Instant>, b: Option<std::time::Instant>| -> u64 {
+            match (a, b) {
+                (Some(a), Some(b)) => b.duration_since(a).as_nanos() as u64,
+                _ => 0,
+            }
+        };
+        let t_start = timing.then(std::time::Instant::now);
         let mut items: Vec<(usize, PreparedDecision)> = Vec::with_capacity(due.len());
         for &i in due {
             if let Some(prepared) = drivers[i].prepare_decision(sim) {
                 items.push((i, prepared));
             }
         }
+        let t_prepared = timing.then(std::time::Instant::now);
         if items.is_empty() {
             return BatchDispatch {
                 at: sim.now(),
@@ -838,10 +863,15 @@ impl DriverPool {
                 None => groups.push((key, vec![pos])),
             }
         }
+        let t_grouped = timing.then(std::time::Instant::now);
         let mut actions = vec![0.0f64; items.len()];
         let mut qc_aggs: Vec<Option<f64>> = vec![None; items.len()];
         let mut fb_aggs: Vec<Option<f64>> = vec![None; items.len()];
+        let mut forward_ns = 0u64;
+        let mut certify_ns = 0u64;
+        let mut certify_items = 0u64;
         for (_, members) in &groups {
+            let g_start = timing.then(std::time::Instant::now);
             let lead = &drivers[items[members[0]].0];
             let layout = lead.layout;
             let policy = lead.policy.as_ref().expect("pooled drivers carry a policy");
@@ -858,6 +888,8 @@ impl DriverPool {
                     actions[pos] = out.get(r, 0);
                 }
             }
+            let g_forwarded = timing.then(std::time::Instant::now);
+            forward_ns += span_ns(g_start, g_forwarded);
             let ctxs_of = |members: &[usize]| -> Vec<StepContext> {
                 members
                     .iter()
@@ -870,6 +902,7 @@ impl DriverPool {
                 for (&pos, (_, agg)) in members.iter().zip(results) {
                     qc_aggs[pos] = Some(agg);
                 }
+                certify_items += members.len() as u64;
             }
             if let Some(fb) = &policy.fallback {
                 let results = fb.verifier().certify_all_many(
@@ -881,16 +914,60 @@ impl DriverPool {
                 for (&pos, (_, agg)) in members.iter().zip(results) {
                     fb_aggs[pos] = Some(agg);
                 }
+                certify_items += members.len() as u64;
             }
+            certify_ns += span_ns(g_forwarded, timing.then(std::time::Instant::now));
         }
+        let t_certified = timing.then(std::time::Instant::now);
         for (pos, (i, prepared)) in items.iter().enumerate() {
             drivers[*i].apply_decision(sim, prepared, actions[pos], qc_aggs[pos], fb_aggs[pos]);
         }
-        BatchDispatch {
+        let dispatch = BatchDispatch {
             at: sim.now(),
             decisions: items.len(),
             groups: groups.len(),
+        };
+        if let Some(rec) = recorder {
+            let t_end = timing.then(std::time::Instant::now);
+            let t_ns = dispatch.at.as_nanos();
+            let batch = *dispatches;
+            let stages: [(SpanStage, u64, u64); 6] = [
+                (
+                    SpanStage::Dispatch,
+                    items.len() as u64,
+                    span_ns(t_start, t_end),
+                ),
+                (
+                    SpanStage::Prepare,
+                    due.len() as u64,
+                    span_ns(t_start, t_prepared),
+                ),
+                (
+                    SpanStage::Group,
+                    items.len() as u64,
+                    span_ns(t_prepared, t_grouped),
+                ),
+                (SpanStage::Forward, items.len() as u64, forward_ns),
+                (SpanStage::Certify, certify_items, certify_ns),
+                (
+                    SpanStage::Apply,
+                    items.len() as u64,
+                    span_ns(t_certified, t_end),
+                ),
+            ];
+            let mut rec = rec.borrow_mut();
+            for (stage, items, dur_ns) in stages {
+                rec.record_span(&SpanRecord {
+                    t_ns,
+                    batch,
+                    stage,
+                    items,
+                    dur_ns,
+                });
+            }
         }
+        *dispatches += 1;
+        dispatch
     }
 }
 

@@ -19,10 +19,21 @@
 //! aggregate clears the gate's threshold — a rollout never replaces a
 //! policy with one that is uncertified on live state.
 //!
-//! Wall-clock readings appear **only** in the returned [`FleetReport`];
-//! the simulation itself stays bitwise deterministic (pacing changes when
-//! work happens, never what it computes).
+//! Live observability rides on the same recorder: [`Fleet::attach_live`]
+//! wires a [`FlightRecorder`] with an enabled live layer into the pool,
+//! so runs stream [`MetricsSnapshot`](canopy_telemetry::MetricsSnapshot)s
+//! on the sim-time cadence, the SLO watchdog appends to the alert ledger,
+//! and — the degradation hook — [`Fleet::promote`] is **vetoed** while
+//! any SLO breach is active: a fleet that is currently violating its
+//! objectives never hot-swaps models until the breach clears.
+//!
+//! Wall-clock readings appear **only** in the returned [`FleetReport`]
+//! and in the live layer's wall-latency SLO feed; the simulation itself
+//! stays bitwise deterministic (pacing changes when work happens, never
+//! what it computes).
 
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
@@ -31,10 +42,11 @@ use canopy_cc::Cubic;
 use canopy_core::driver::{DriverConfig, DriverPolicy, DriverPool, OrcaDriver};
 use canopy_core::obs::StateLayout;
 use canopy_core::property::Property;
+use canopy_core::runtime::FallbackController;
 use canopy_core::verifier::{StepContext, Verifier};
 use canopy_netsim::{BandwidthTrace, FlowConfig, LinkConfig, Simulator, Time, Topology};
 use canopy_nn::Mlp;
-use canopy_telemetry::{LogHistogram, SharedRecorder};
+use canopy_telemetry::{FlightRecorder, LogHistogram, SharedRecorder};
 
 /// The network the fleet runs over.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -56,6 +68,22 @@ pub enum FleetTopology {
     },
 }
 
+/// Per-flow runtime certificate monitoring: when set on a
+/// [`FleetConfig`], every pooled driver gets a
+/// [`FallbackController`] built from these parameters, so each decision
+/// carries a `QC_sat` aggregate and engages the Cubic fallback when the
+/// aggregate falls below `threshold`. A threshold above 1.0 can never be
+/// met, which makes it a deterministic breach generator for SLO drills.
+#[derive(Clone, Debug)]
+pub struct QcMonitorConfig {
+    /// Properties certified on every live decision.
+    pub properties: Vec<Property>,
+    /// Minimum acceptable `QC_sat`; below it the fallback engages.
+    pub threshold: f64,
+    /// Verifier split count.
+    pub n_components: usize,
+}
+
 /// Static configuration of a [`Fleet`].
 #[derive(Clone, Debug)]
 pub struct FleetConfig {
@@ -71,6 +99,8 @@ pub struct FleetConfig {
     /// everyone together, aligning all decision instants — the maximal
     /// batching (and maximal load) regime.
     pub stagger: Time,
+    /// Optional per-flow runtime certificate monitor (QC + fallback).
+    pub qc_monitor: Option<QcMonitorConfig>,
 }
 
 impl FleetConfig {
@@ -82,6 +112,7 @@ impl FleetConfig {
             min_rtt: Time::from_millis(20),
             k,
             stagger: Time::ZERO,
+            qc_monitor: None,
         }
     }
 
@@ -103,12 +134,19 @@ impl FleetConfig {
             min_rtt: Time::from_millis(20),
             k,
             stagger: Time::ZERO,
+            qc_monitor: None,
         }
     }
 
     /// Sets the arrival spacing.
     pub fn with_stagger(mut self, stagger: Time) -> FleetConfig {
         self.stagger = stagger;
+        self
+    }
+
+    /// Enables per-flow runtime certificate monitoring with fallback.
+    pub fn with_qc_monitor(mut self, monitor: QcMonitorConfig) -> FleetConfig {
+        self.qc_monitor = Some(monitor);
         self
     }
 }
@@ -137,6 +175,15 @@ pub struct FleetReport {
     pub p99_decision_ns: u64,
     /// Mean decisions per batched dispatch.
     pub mean_batch: f64,
+    /// Alert-ledger entries (breaches + clears) appended by the live
+    /// layer's SLO watchdog during this run; 0 when no live layer is
+    /// attached.
+    #[serde(default)]
+    pub slo_alerts: u64,
+    /// Whether any SLO breach was still active when the run finished.
+    /// While true, [`Fleet::promote`] is vetoed.
+    #[serde(default)]
+    pub slo_breach_active: bool,
 }
 
 impl FleetReport {
@@ -166,6 +213,11 @@ pub struct PromoteOutcome {
     pub min_qc: f64,
     /// How many live contexts were certified.
     pub flows: usize,
+    /// Whether the attempt was refused *before* certification because an
+    /// SLO breach was active on the attached live layer. A vetoed
+    /// outcome certifies nothing: `min_qc` is 0 and `flows` is 0.
+    #[serde(default)]
+    pub vetoed: bool,
 }
 
 /// A self-driving fleet: one simulator, one pooled driver per flow, one
@@ -176,6 +228,7 @@ pub struct Fleet {
     layout: StateLayout,
     flows: usize,
     actor: Mlp,
+    live: Option<Rc<RefCell<FlightRecorder>>>,
 }
 
 impl Fleet {
@@ -229,10 +282,15 @@ impl Fleet {
             }
             let flow = sim.add_flow(flow_cfg, Box::new(Cubic::new()));
             let driver_cfg = DriverConfig::new(config.min_rtt, config.k).starting_at(start);
-            pool.push(
-                OrcaDriver::new(&driver_cfg, &bottleneck, flow)
-                    .with_policy(DriverPolicy::new(actor.clone())),
-            );
+            let mut policy = DriverPolicy::new(actor.clone());
+            if let Some(monitor) = &config.qc_monitor {
+                policy = policy.with_fallback(FallbackController::new(
+                    monitor.properties.clone(),
+                    monitor.threshold,
+                    monitor.n_components,
+                ));
+            }
+            pool.push(OrcaDriver::new(&driver_cfg, &bottleneck, flow).with_policy(policy));
         }
         Fleet {
             sim,
@@ -240,6 +298,7 @@ impl Fleet {
             layout,
             flows: config.flows,
             actor,
+            live: None,
         }
     }
 
@@ -259,8 +318,37 @@ impl Fleet {
     }
 
     /// Attaches (or detaches) a telemetry recorder on the pool.
+    ///
+    /// Detaching also drops any live layer attached via
+    /// [`attach_live`](Self::attach_live).
     pub fn set_recorder(&mut self, recorder: Option<SharedRecorder>) {
+        if recorder.is_none() {
+            self.live = None;
+        }
         self.pool.set_recorder(recorder);
+    }
+
+    /// Attaches a [`FlightRecorder`] that the fleet keeps a handle to:
+    /// the pool records through it, runs close out its live layer
+    /// ([`FlightRecorder::finish`]) and feed the wall-latency SLO, the
+    /// returned [`FleetReport`] carries its breach state, and
+    /// [`promote`](Self::promote) is vetoed while a breach is active.
+    pub fn attach_live(&mut self, recorder: Rc<RefCell<FlightRecorder>>) {
+        self.pool
+            .set_recorder(Some(recorder.clone() as SharedRecorder));
+        self.live = Some(recorder);
+    }
+
+    /// The live recorder, when one is attached.
+    pub fn live(&self) -> Option<&Rc<RefCell<FlightRecorder>>> {
+        self.live.as_ref()
+    }
+
+    /// Whether any SLO breach is currently active on the live layer.
+    pub fn breach_active(&self) -> bool {
+        self.live
+            .as_ref()
+            .is_some_and(|rec| rec.borrow().breach_active())
     }
 
     /// Runs the fleet flat out for `duration` of simulation time,
@@ -305,9 +393,26 @@ impl Fleet {
                 latency.record(per.max(1));
                 decisions += batch.decisions as u64;
                 batches += 1;
+                if let Some(rec) = &self.live {
+                    // Wall latency feeds only the p99-latency SLO; it
+                    // never enters a snapshot, so artifacts stay bitwise.
+                    rec.borrow_mut()
+                        .record_wall_latency_ns(batch.at.as_nanos(), per.max(1));
+                }
             }
         }
         self.sim.run_until(horizon);
+        let (slo_alerts, slo_breach_active) = match &self.live {
+            Some(rec) => {
+                let mut rec = rec.borrow_mut();
+                rec.finish(self.sim.now().as_nanos());
+                (
+                    rec.alert_ledger().map_or(0, |l| l.alerts.len() as u64),
+                    rec.breach_active(),
+                )
+            }
+            None => (0, false),
+        };
         let wall_ns = (wall_start.elapsed().as_nanos() as u64).max(1);
         FleetReport {
             flows: self.flows,
@@ -324,6 +429,8 @@ impl Fleet {
             } else {
                 decisions as f64 / batches as f64
             },
+            slo_alerts,
+            slo_breach_active,
         }
     }
 
@@ -342,6 +449,17 @@ impl Fleet {
             self.layout.dim(),
             "candidate input width must match the fleet's state layout"
         );
+        // Degradation hook: while an SLO breach is active, the fleet's
+        // live state is exactly the state we do *not* want to certify a
+        // rollout against — refuse before touching the verifier.
+        if self.breach_active() {
+            return PromoteOutcome {
+                promoted: false,
+                min_qc: 0.0,
+                flows: 0,
+                vetoed: true,
+            };
+        }
         let verifier = Verifier::new(gate.n_components);
         let ctxs: Vec<StepContext> = self
             .pool
@@ -365,6 +483,7 @@ impl Fleet {
             promoted,
             min_qc,
             flows: ctxs.len(),
+            vetoed: false,
         }
     }
 }
@@ -374,6 +493,7 @@ mod tests {
     use super::*;
     use canopy_core::property::PropertyParams;
     use canopy_nn::Activation;
+    use canopy_telemetry::{LiveConfig, RecorderConfig, SloKind, SloSpec, SpanStage};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -484,5 +604,148 @@ mod tests {
         // The swapped fleet keeps running.
         let report = fleet.run(Time::from_millis(60));
         assert!(report.decisions > 0);
+    }
+
+    /// A fleet whose QC monitor can never be satisfied (threshold 2.0):
+    /// every decision engages the fallback, deterministically.
+    fn breached_fleet(flows: usize) -> Fleet {
+        let p = PropertyParams::default();
+        let config = FleetConfig::dumbbell(flows, 96e6, 3).with_qc_monitor(QcMonitorConfig {
+            properties: vec![Property::p1(&p)],
+            threshold: 2.0,
+            n_components: 4,
+        });
+        Fleet::new(&config, constant_actor(3, 0.25))
+    }
+
+    fn live_recorder(slos: Vec<SloSpec>) -> Rc<RefCell<FlightRecorder>> {
+        let mut live = LiveConfig::default()
+            .with_cadence(20_000_000, 8)
+            .with_label("serve-test");
+        for s in slos {
+            live = live.with_slo(s);
+        }
+        Rc::new(RefCell::new(FlightRecorder::with_live(
+            RecorderConfig::default(),
+            live,
+        )))
+    }
+
+    #[test]
+    fn slo_breach_reaches_the_ledger_and_the_report() {
+        let mut fleet = breached_fleet(8);
+        let rec = live_recorder(vec![SloSpec::new(
+            "fallback-rate",
+            SloKind::MaxFallbackRate,
+            0.1,
+        )]);
+        fleet.attach_live(rec.clone());
+        let report = fleet.run(Time::from_millis(200));
+        assert!(report.decisions > 0);
+        assert!(
+            report.slo_breach_active,
+            "always-on fallback must breach the 10% rate SLO"
+        );
+        assert!(report.slo_alerts >= 1);
+        assert!(fleet.breach_active());
+        let rec = rec.borrow();
+        let ledger = rec.alert_ledger().expect("live layer keeps a ledger");
+        ledger.validate().expect("ledger is schema-valid");
+        assert!(ledger.alerts.iter().any(|a| a.active));
+        assert!(!rec.live_snapshots().is_empty());
+    }
+
+    #[test]
+    fn active_breach_vetoes_promotion_until_it_clears() {
+        let mut fleet = breached_fleet(8);
+        fleet.attach_live(live_recorder(vec![SloSpec::new(
+            "fallback-rate",
+            SloKind::MaxFallbackRate,
+            0.1,
+        )]));
+        fleet.run(Time::from_millis(200));
+        assert!(fleet.breach_active());
+
+        let p = PropertyParams::default();
+        let gate = PromotionGate {
+            properties: vec![Property::p1(&p)],
+            threshold: 0.9,
+            n_components: 4,
+        };
+        let before = fleet.actor().params_flat();
+        // The candidate would certify cleanly — the veto fires first.
+        let vetoed = fleet.promote(constant_actor(3, 0.25), &gate);
+        assert!(vetoed.vetoed);
+        assert!(!vetoed.promoted);
+        assert_eq!(vetoed.flows, 0, "a vetoed attempt certifies nothing");
+        assert_eq!(fleet.actor().params_flat(), before);
+
+        // Detaching the live layer clears the degradation hook, and the
+        // same candidate promotes.
+        fleet.set_recorder(None);
+        assert!(!fleet.breach_active());
+        let outcome = fleet.promote(constant_actor(3, 0.25), &gate);
+        assert!(!outcome.vetoed);
+        assert!(outcome.promoted);
+    }
+
+    #[test]
+    fn span_table_accounts_for_the_decision_path() {
+        // With wall-clock span timing enabled, the five child stages are
+        // contiguous checkpoint intervals inside the dispatch parent, so
+        // they must account for (nearly) all measured decision-path time.
+        let config = FleetConfig::dumbbell(32, 192e6, 3);
+        let mut fleet = Fleet::new(&config, actor(3, 7));
+        let rec = Rc::new(RefCell::new(FlightRecorder::new(RecorderConfig {
+            span_timing: true,
+            ..RecorderConfig::default()
+        })));
+        fleet.attach_live(rec.clone());
+        let report = fleet.run(Time::from_millis(200));
+        assert!(report.decisions > 0);
+        let rec = rec.borrow();
+        let totals = rec.span_stage_totals();
+        assert_eq!(totals.len(), SpanStage::ALL.len());
+        let parent_ns: u64 = totals
+            .iter()
+            .filter(|(s, ..)| *s == SpanStage::Dispatch)
+            .map(|(_, _, _, d)| *d)
+            .sum();
+        let children_ns: u64 = totals
+            .iter()
+            .filter(|(s, ..)| *s != SpanStage::Dispatch)
+            .map(|(_, _, _, d)| *d)
+            .sum();
+        assert!(parent_ns > 0, "timing was enabled, durations are real");
+        let coverage = children_ns as f64 / parent_ns as f64;
+        assert!(
+            coverage >= 0.95,
+            "stage table covers {coverage:.3} of decision-path time"
+        );
+    }
+
+    #[test]
+    fn live_artifacts_are_bitwise_reproducible() {
+        let run = || {
+            let mut fleet = breached_fleet(8);
+            let rec = live_recorder(vec![SloSpec::new(
+                "fallback-rate",
+                SloKind::MaxFallbackRate,
+                0.1,
+            )]);
+            fleet.attach_live(rec.clone());
+            fleet.run(Time::from_millis(200));
+            let rec = rec.borrow();
+            (
+                rec.live_metrics_jsonl(),
+                rec.live_exposition(),
+                rec.alert_ledger().expect("ledger").to_json(),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "sim-time cadence keeps live artifacts bitwise");
+        assert!(!a.0.is_empty());
+        assert!(a.1.starts_with("# canopy-live-metrics/v1"));
     }
 }

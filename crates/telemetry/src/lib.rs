@@ -30,20 +30,39 @@
 //! ([`chrome_trace`]) so a decision timeline can be opened in
 //! `ui.perfetto.dev` or `chrome://tracing`.
 //!
+//! The [`live`] module layers streaming observability on top of the same
+//! machinery: rolling-window registry feeds, cadence-driven
+//! [`MetricsSnapshot`]s (JSONL + Prometheus-style exposition, schema
+//! [`LIVE_METRICS_SCHEMA`]), an SLO watchdog with a canonical alert
+//! ledger (schema [`ALERTS_SCHEMA`]), and wall-clock span timing for the
+//! batched hot path — gated off by default so every bitwise-checked
+//! artifact stays deterministic.
+//!
 //! This crate sits below `canopy_netsim` in the dependency order, so it
 //! speaks raw nanoseconds and integer ids rather than the simulator's
 //! `Time`/`FlowId`/`LinkId` newtypes.
 
 pub mod chrome;
 pub mod event;
+pub mod live;
 pub mod metrics;
 pub mod recorder;
 pub mod report;
 
 pub use chrome::chrome_trace;
-pub use event::{BatchRecord, DecisionRecord, LinkSample, SearchEvent, TrainerEvent};
-pub use metrics::{HistogramSummary, LogHistogram, Registry};
+pub use event::{
+    BatchRecord, DecisionRecord, LinkSample, SearchEvent, SpanRecord, SpanStage, TrainerEvent,
+};
+pub use live::{
+    metrics_jsonl, AlertLedger, AlertRecord, LiveConfig, MetricsSnapshot, SloKind, SloSpec,
+    SloWatchdog, WindowCounterEntry, WindowHistogramEntry, ALERTS_SCHEMA, LIVE_METRICS_SCHEMA,
+};
+pub use metrics::{
+    HistogramSummary, LogHistogram, Registry, WindowSpec, WindowedCounter, WindowedHistogram,
+};
 pub use recorder::{
     shared, FlightRecorder, NoopRecorder, Recorder, RecorderConfig, SharedRecorder,
 };
-pub use report::{CounterEntry, TelemetryReport, TELEMETRY_SCHEMA};
+pub use report::{
+    CounterEntry, SpanStageSummary, TelemetryReport, TELEMETRY_SCHEMA, TELEMETRY_SCHEMA_V1,
+};

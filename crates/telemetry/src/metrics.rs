@@ -161,6 +161,232 @@ impl LogHistogram {
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
     }
+
+    /// Folds `other` into `self`. Because both sides are pure functions
+    /// of their value multisets, the merge is too — merging per-bucket
+    /// histograms of a partitioned stream equals the histogram of the
+    /// whole stream, in any merge order.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Geometry of a rolling window: time is quantized into buckets of
+/// `bucket_ns`, and the window is the most recent `buckets` *completed*
+/// buckets. An event at `t_ns` belongs to absolute bucket
+/// `t_ns / bucket_ns`, so bucket membership — and therefore every
+/// windowed aggregate — is a pure function of the event multiset,
+/// independent of arrival order or thread count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowSpec {
+    /// Width of one bucket in nanoseconds (clamped to at least 1).
+    pub bucket_ns: u64,
+    /// Number of buckets the window spans (clamped to at least 1).
+    pub buckets: usize,
+}
+
+impl WindowSpec {
+    /// A window of `buckets` buckets of `bucket_ns` each.
+    pub fn new(bucket_ns: u64, buckets: usize) -> WindowSpec {
+        WindowSpec {
+            bucket_ns: bucket_ns.max(1),
+            buckets: buckets.max(1),
+        }
+    }
+
+    /// Total window width in nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.bucket_ns.saturating_mul(self.buckets as u64)
+    }
+}
+
+/// A rolling-window counter: a ring of per-bucket sums keyed by absolute
+/// bucket index. The high-water bucket only ever advances, so any event
+/// inside the final window is storable whenever it arrives, and any
+/// event below it would be below the final window too — which makes
+/// `window_sum` order-invariant.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WindowedCounter {
+    spec: WindowSpec,
+    /// Highest absolute bucket index materialized so far.
+    max_bucket: u64,
+    slots: Vec<u64>,
+    total: u64,
+}
+
+impl WindowedCounter {
+    /// An empty counter whose window initially covers buckets
+    /// `0..spec.buckets`.
+    pub fn new(spec: WindowSpec) -> WindowedCounter {
+        WindowedCounter {
+            spec,
+            max_bucket: spec.buckets as u64 - 1,
+            slots: vec![0; spec.buckets],
+            total: 0,
+        }
+    }
+
+    /// The window geometry.
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    /// Slides the window forward so it covers the bucket containing
+    /// `t_ns`, evicting buckets that fall off the back. Never moves the
+    /// window backward.
+    pub fn advance_to(&mut self, t_ns: u64) {
+        let b = t_ns / self.spec.bucket_ns;
+        let n = self.slots.len() as u64;
+        if b <= self.max_bucket {
+            return;
+        }
+        if b - self.max_bucket >= n {
+            self.slots.fill(0);
+            self.max_bucket = b;
+            return;
+        }
+        while self.max_bucket < b {
+            self.max_bucket += 1;
+            let idx = (self.max_bucket % n) as usize;
+            self.slots[idx] = 0;
+        }
+    }
+
+    /// Adds `by` at time `t_ns`. The all-time total always counts it;
+    /// the window counts it iff its bucket is inside (or ahead of) the
+    /// current window.
+    pub fn inc(&mut self, t_ns: u64, by: u64) {
+        self.total += by;
+        let b = t_ns / self.spec.bucket_ns;
+        let n = self.slots.len() as u64;
+        if b > self.max_bucket {
+            self.advance_to(t_ns);
+        }
+        if b + n > self.max_bucket {
+            let idx = (b % n) as usize;
+            self.slots[idx] += by;
+        }
+    }
+
+    /// Sum over the current window.
+    pub fn window_sum(&self) -> u64 {
+        self.slots.iter().sum()
+    }
+
+    /// All-time total (window-independent).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Inclusive start of the current window, in nanoseconds.
+    pub fn window_start_ns(&self) -> u64 {
+        let first = (self.max_bucket + 1).saturating_sub(self.slots.len() as u64);
+        first.saturating_mul(self.spec.bucket_ns)
+    }
+
+    /// Exclusive end of the current window, in nanoseconds.
+    pub fn window_end_ns(&self) -> u64 {
+        (self.max_bucket + 1).saturating_mul(self.spec.bucket_ns)
+    }
+}
+
+/// A rolling-window histogram: the same ring as [`WindowedCounter`] with
+/// a [`LogHistogram`] per bucket (merged on demand) plus an all-time
+/// histogram. Order-invariant for the same reason.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WindowedHistogram {
+    spec: WindowSpec,
+    max_bucket: u64,
+    slots: Vec<LogHistogram>,
+    all: LogHistogram,
+}
+
+impl WindowedHistogram {
+    /// An empty histogram whose window initially covers buckets
+    /// `0..spec.buckets`.
+    pub fn new(spec: WindowSpec) -> WindowedHistogram {
+        WindowedHistogram {
+            spec,
+            max_bucket: spec.buckets as u64 - 1,
+            slots: vec![LogHistogram::new(); spec.buckets],
+            all: LogHistogram::new(),
+        }
+    }
+
+    /// The window geometry.
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    /// Slides the window forward to cover the bucket containing `t_ns`.
+    pub fn advance_to(&mut self, t_ns: u64) {
+        let b = t_ns / self.spec.bucket_ns;
+        let n = self.slots.len() as u64;
+        if b <= self.max_bucket {
+            return;
+        }
+        if b - self.max_bucket >= n {
+            for s in &mut self.slots {
+                *s = LogHistogram::new();
+            }
+            self.max_bucket = b;
+            return;
+        }
+        while self.max_bucket < b {
+            self.max_bucket += 1;
+            let idx = (self.max_bucket % n) as usize;
+            self.slots[idx] = LogHistogram::new();
+        }
+    }
+
+    /// Records `v` at time `t_ns` into the all-time histogram, and into
+    /// the window iff its bucket has not been evicted.
+    pub fn observe(&mut self, t_ns: u64, v: u64) {
+        self.all.record(v);
+        let b = t_ns / self.spec.bucket_ns;
+        let n = self.slots.len() as u64;
+        if b > self.max_bucket {
+            self.advance_to(t_ns);
+        }
+        if b + n > self.max_bucket {
+            let idx = (b % n) as usize;
+            self.slots[idx].record(v);
+        }
+    }
+
+    /// The merged histogram over the current window.
+    pub fn window(&self) -> LogHistogram {
+        let mut h = LogHistogram::new();
+        for s in &self.slots {
+            h.merge(s);
+        }
+        h
+    }
+
+    /// The all-time histogram (window-independent).
+    pub fn all(&self) -> &LogHistogram {
+        &self.all
+    }
+
+    /// Inclusive start of the current window, in nanoseconds.
+    pub fn window_start_ns(&self) -> u64 {
+        let first = (self.max_bucket + 1).saturating_sub(self.slots.len() as u64);
+        first.saturating_mul(self.spec.bucket_ns)
+    }
+
+    /// Exclusive end of the current window, in nanoseconds.
+    pub fn window_end_ns(&self) -> u64 {
+        (self.max_bucket + 1).saturating_mul(self.spec.bucket_ns)
+    }
 }
 
 /// A named registry of counters and histograms, fed by the same hooks
@@ -169,6 +395,8 @@ impl LogHistogram {
 pub struct Registry {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, LogHistogram>,
+    windowed_counters: BTreeMap<String, WindowedCounter>,
+    windowed_histograms: BTreeMap<String, WindowedHistogram>,
 }
 
 impl Registry {
@@ -208,6 +436,59 @@ impl Registry {
     /// All histograms in name order.
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &LogHistogram)> {
         self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Adds `by` at time `t_ns` to the named rolling-window counter,
+    /// creating it with geometry `spec` on first use (later calls keep
+    /// the original geometry).
+    pub fn inc_windowed(&mut self, name: &str, spec: WindowSpec, t_ns: u64, by: u64) {
+        self.windowed_counters
+            .entry(name.to_string())
+            .or_insert_with(|| WindowedCounter::new(spec))
+            .inc(t_ns, by);
+    }
+
+    /// Records `v` at time `t_ns` into the named rolling-window
+    /// histogram, creating it with geometry `spec` on first use.
+    pub fn observe_windowed(&mut self, name: &str, spec: WindowSpec, t_ns: u64, v: u64) {
+        self.windowed_histograms
+            .entry(name.to_string())
+            .or_insert_with(|| WindowedHistogram::new(spec))
+            .observe(t_ns, v);
+    }
+
+    /// Slides every rolling window forward to cover the bucket
+    /// containing `t_ns` (used at snapshot boundaries so quiet metrics
+    /// still evict stale buckets).
+    pub fn advance_windows(&mut self, t_ns: u64) {
+        for c in self.windowed_counters.values_mut() {
+            c.advance_to(t_ns);
+        }
+        for h in self.windowed_histograms.values_mut() {
+            h.advance_to(t_ns);
+        }
+    }
+
+    /// The named rolling-window counter, if it exists.
+    pub fn windowed_counter(&self, name: &str) -> Option<&WindowedCounter> {
+        self.windowed_counters.get(name)
+    }
+
+    /// The named rolling-window histogram, if it exists.
+    pub fn windowed_histogram(&self, name: &str) -> Option<&WindowedHistogram> {
+        self.windowed_histograms.get(name)
+    }
+
+    /// All rolling-window counters in name order.
+    pub fn windowed_counters(&self) -> impl Iterator<Item = (&str, &WindowedCounter)> {
+        self.windowed_counters.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// All rolling-window histograms in name order.
+    pub fn windowed_histograms(&self) -> impl Iterator<Item = (&str, &WindowedHistogram)> {
+        self.windowed_histograms
+            .iter()
+            .map(|(k, v)| (k.as_str(), v))
     }
 }
 
@@ -325,6 +606,115 @@ mod tests {
             b.record(*v);
         }
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn histogram_merge_matches_single_stream() {
+        let values = [5u64, 0, 1 << 40, 77, 77, 12345, 3, u64::MAX, 9];
+        let mut whole = LogHistogram::new();
+        let mut left = LogHistogram::new();
+        let mut right = LogHistogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            whole.record(v);
+            if i % 2 == 0 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        let mut merged = left.clone();
+        merged.merge(&right);
+        assert_eq!(merged, whole);
+        let empty = LogHistogram::new();
+        merged.merge(&empty);
+        assert_eq!(merged, whole);
+        let mut from_empty = LogHistogram::new();
+        from_empty.merge(&whole);
+        assert_eq!(from_empty, whole);
+    }
+
+    #[test]
+    fn windowed_counter_slides_and_evicts() {
+        let spec = WindowSpec::new(10, 4); // buckets [0,10), [10,20), ...
+        let mut c = WindowedCounter::new(spec);
+        c.inc(5, 1); // bucket 0
+        c.inc(15, 2); // bucket 1
+        c.inc(35, 4); // bucket 3 (window now 0..=3)
+        assert_eq!(c.window_sum(), 7);
+        assert_eq!(c.total(), 7);
+        assert_eq!(c.window_start_ns(), 0);
+        assert_eq!(c.window_end_ns(), 40);
+        // Exact boundary: t=40 opens bucket 4, evicting bucket 0.
+        c.inc(40, 8);
+        assert_eq!(c.window_sum(), 2 + 4 + 8);
+        assert_eq!(c.window_start_ns(), 10);
+        // A straggler below the window counts toward the total only.
+        c.inc(5, 100);
+        assert_eq!(c.window_sum(), 14);
+        assert_eq!(c.total(), 115);
+        // A jump farther than the whole window clears everything.
+        c.inc(1_000, 3);
+        assert_eq!(c.window_sum(), 3);
+        assert_eq!(c.total(), 118);
+    }
+
+    #[test]
+    fn windowed_counter_is_order_invariant() {
+        let spec = WindowSpec::new(7, 3);
+        let events = [(3u64, 1u64), (50, 2), (10, 4), (49, 8), (21, 16), (0, 32)];
+        let mut a = WindowedCounter::new(spec);
+        let mut b = WindowedCounter::new(spec);
+        for &(t, v) in &events {
+            a.inc(t, v);
+        }
+        for &(t, v) in events.iter().rev() {
+            b.inc(t, v);
+        }
+        assert_eq!(a.window_sum(), b.window_sum());
+        assert_eq!(a.total(), b.total());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn windowed_histogram_window_matches_manual_merge() {
+        let spec = WindowSpec::new(100, 2);
+        let mut w = WindowedHistogram::new(spec);
+        w.observe(10, 1_000); // bucket 0
+        w.observe(150, 2_000); // bucket 1
+        assert_eq!(w.window().count(), 2);
+        w.observe(250, 4_000); // bucket 2: evicts bucket 0
+        let win = w.window();
+        assert_eq!(win.count(), 2);
+        assert_eq!(win.min(), 2_000);
+        assert_eq!(win.max(), 4_000);
+        assert_eq!(w.all().count(), 3);
+        assert_eq!(w.all().min(), 1_000);
+        assert_eq!(w.window_start_ns(), 100);
+        assert_eq!(w.window_end_ns(), 300);
+    }
+
+    #[test]
+    fn registry_windowed_metrics_round_through_accessors() {
+        let spec = WindowSpec::new(10, 2);
+        let mut r = Registry::new();
+        r.inc_windowed("w_decisions", spec, 5, 3);
+        r.observe_windowed("w_qdelay", spec, 5, 500);
+        assert_eq!(r.windowed_counter("w_decisions").unwrap().window_sum(), 3);
+        assert_eq!(
+            r.windowed_histogram("w_qdelay").unwrap().window().count(),
+            1
+        );
+        r.advance_windows(35);
+        assert_eq!(r.windowed_counter("w_decisions").unwrap().window_sum(), 0);
+        assert_eq!(
+            r.windowed_histogram("w_qdelay").unwrap().window().count(),
+            0
+        );
+        assert_eq!(r.windowed_counter("w_decisions").unwrap().total(), 3);
+        assert_eq!(r.windowed_histogram("w_qdelay").unwrap().all().count(), 1);
+        assert_eq!(r.windowed_counters().count(), 1);
+        assert_eq!(r.windowed_histograms().count(), 1);
+        assert_eq!(r.windowed_counter("missing"), None);
     }
 
     #[test]

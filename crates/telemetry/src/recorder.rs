@@ -1,11 +1,14 @@
 //! The recorder trait, the inert recorder, and the flight recorder.
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
-use crate::event::{BatchRecord, DecisionRecord, LinkSample, SearchEvent, TrainerEvent};
-use crate::metrics::Registry;
+use crate::event::{
+    BatchRecord, DecisionRecord, LinkSample, SearchEvent, SpanRecord, SpanStage, TrainerEvent,
+};
+use crate::live::{metrics_jsonl, AlertLedger, LiveConfig, MetricsSnapshot, SloWatchdog};
+use crate::metrics::{Registry, WindowedHistogram};
 
 /// The instrumentation sink the hot paths call into.
 ///
@@ -22,6 +25,16 @@ pub trait Recorder: std::fmt::Debug {
 
     /// One batched pool dispatch (all decisions due at one sim instant).
     fn record_batch(&mut self, _b: &BatchRecord) {}
+
+    /// One profiled stage of a batched dispatch.
+    fn record_span(&mut self, _s: &SpanRecord) {}
+
+    /// Whether the instrumented hot path should measure wall-clock span
+    /// durations. When `false` (the default, and the only deterministic
+    /// mode), spans are still recorded but carry `dur_ns = 0`.
+    fn wants_span_timing(&self) -> bool {
+        false
+    }
 
     /// One trainer-loop event.
     fn record_trainer(&mut self, _e: &TrainerEvent) {}
@@ -69,6 +82,14 @@ pub struct RecorderConfig {
     pub batch_capacity: usize,
     /// Keep every Nth batch record (1 = all).
     pub batch_every: u64,
+    /// Ring capacity for hot-path span records.
+    pub span_capacity: usize,
+    /// Keep every Nth span record (1 = all).
+    pub span_every: u64,
+    /// Measure wall-clock span durations. Off by default: durations are
+    /// nondeterministic, so every bitwise-checked artifact keeps this
+    /// off and records `dur_ns = 0`.
+    pub span_timing: bool,
     /// Ring capacity for trainer events.
     pub trainer_capacity: usize,
     /// Keep every Nth trainer event (1 = all).
@@ -89,6 +110,9 @@ impl Default for RecorderConfig {
             link_cadence_ns: 10_000_000, // 10 ms
             batch_capacity: 4096,
             batch_every: 1,
+            span_capacity: 4096,
+            span_every: 1,
+            span_timing: false,
             trainer_capacity: 2048,
             trainer_every: 1,
             search_capacity: 1024,
@@ -137,6 +161,28 @@ impl<T> Ring<T> {
     }
 }
 
+/// The streaming state a [`FlightRecorder`] carries when live
+/// observability is enabled: snapshot cadence, rolling-window feeds,
+/// the SLO watchdog, and the serving-only wall-latency window.
+#[derive(Clone, Debug)]
+struct LiveLayer {
+    config: LiveConfig,
+    /// Next sim-time snapshot boundary (multiple of the cadence).
+    next_ns: u64,
+    /// Sim-time of the most recent snapshot (guards forced snapshots).
+    last_ns: u64,
+    seq: u64,
+    snapshots: VecDeque<MetricsSnapshot>,
+    snapshots_dropped: u64,
+    watchdog: SloWatchdog,
+    /// Wall-clock decision latency window, fed by the serving host.
+    /// Deliberately outside the registry: snapshots never see it, so
+    /// the JSONL stream and exposition stay bitwise-deterministic.
+    wall_latency: WindowedHistogram,
+    /// Last cumulative drop count per link, for window drop deltas.
+    last_link_drops: BTreeMap<u64, u64>,
+}
+
 /// The bounded, deterministic event recorder behind `TELEMETRY_report.json`
 /// and the Perfetto traces.
 #[derive(Clone, Debug)]
@@ -146,9 +192,14 @@ pub struct FlightRecorder {
     decisions: Ring<DecisionRecord>,
     links: Ring<LinkSample>,
     batches: Ring<BatchRecord>,
+    spans: Ring<SpanRecord>,
+    /// Per-stage (count, items, dur_ns) totals, indexed by
+    /// [`SpanStage::index`]. Counts every offered span, kept or not.
+    span_stats: [(u64, u64, u64); SpanStage::ALL.len()],
     trainer: Ring<TrainerEvent>,
     search: Ring<SearchEvent>,
     registry: Registry,
+    live: Option<LiveLayer>,
 }
 
 impl Default for FlightRecorder {
@@ -166,10 +217,183 @@ impl FlightRecorder {
             decisions: Ring::new(config.decision_capacity, config.decision_every),
             links: Ring::new(config.link_capacity, config.link_every),
             batches: Ring::new(config.batch_capacity, config.batch_every),
+            spans: Ring::new(config.span_capacity, config.span_every),
+            span_stats: [(0, 0, 0); SpanStage::ALL.len()],
             trainer: Ring::new(config.trainer_capacity, config.trainer_every),
             search: Ring::new(config.search_capacity, config.search_every),
             registry: Registry::new(),
+            live: None,
         }
+    }
+
+    /// A recorder with the live observability layer enabled.
+    pub fn with_live(config: RecorderConfig, live: LiveConfig) -> FlightRecorder {
+        let mut rec = FlightRecorder::new(config);
+        rec.enable_live(live);
+        rec
+    }
+
+    /// Enables (or reconfigures) the live layer: windowed registry
+    /// feeds, cadence snapshots, and the SLO watchdog.
+    pub fn enable_live(&mut self, live: LiveConfig) {
+        let watchdog = SloWatchdog::new(&live.label, live.slos.clone());
+        let wall_latency = WindowedHistogram::new(live.window);
+        self.live = Some(LiveLayer {
+            next_ns: live.cadence_ns.max(1),
+            last_ns: 0,
+            seq: 0,
+            snapshots: VecDeque::new(),
+            snapshots_dropped: 0,
+            watchdog,
+            wall_latency,
+            last_link_drops: BTreeMap::new(),
+            config: live,
+        });
+    }
+
+    /// Whether the live layer is enabled.
+    pub fn live_enabled(&self) -> bool {
+        self.live.is_some()
+    }
+
+    /// The live configuration, when enabled.
+    pub fn live_config(&self) -> Option<&LiveConfig> {
+        self.live.as_ref().map(|l| &l.config)
+    }
+
+    /// Takes one snapshot at boundary `t_ns` (after shifting by the
+    /// origin): slides every rolling window up to the boundary, exports
+    /// the registry, and lets the watchdog evaluate.
+    fn snapshot_at(live: &mut LiveLayer, registry: &mut Registry, t_ns: u64) {
+        // Windows cover completed buckets only: an event at exactly the
+        // boundary belongs to the next bucket, hence `t_ns - 1`.
+        registry.advance_windows(t_ns.saturating_sub(1));
+        let LiveLayer {
+            config,
+            watchdog,
+            wall_latency,
+            snapshots,
+            snapshots_dropped,
+            seq,
+            last_ns,
+            ..
+        } = live;
+        wall_latency.advance_to(t_ns.saturating_sub(1));
+        let snap = MetricsSnapshot::from_registry(registry, &config.label, *seq, t_ns);
+        *seq += 1;
+        *last_ns = t_ns;
+        watchdog.evaluate(t_ns, registry, Some(wall_latency));
+        if snapshots.len() == config.snapshot_capacity.max(1) {
+            snapshots.pop_front();
+            *snapshots_dropped += 1;
+        }
+        snapshots.push_back(snap);
+    }
+
+    /// Emits every sim-time cadence boundary at or before `t_ns`
+    /// (already origin-shifted). No-op under wall cadence.
+    fn roll_live(live: &mut LiveLayer, registry: &mut Registry, t_ns: u64) {
+        if live.config.wall_cadence {
+            return;
+        }
+        while live.next_ns <= t_ns {
+            let boundary = live.next_ns;
+            Self::snapshot_at(live, registry, boundary);
+            live.next_ns = boundary.saturating_add(live.config.cadence_ns.max(1));
+        }
+    }
+
+    /// Flushes the live layer at end of run: emits every remaining
+    /// cadence boundary up to `t_ns`, and guarantees at least one
+    /// snapshot by taking one at `t_ns` if the run was shorter than the
+    /// cadence. `t_ns` is sim time (origin applied like any event).
+    pub fn finish(&mut self, t_ns: u64) {
+        let t = t_ns + self.origin_ns;
+        if let Some(live) = self.live.as_mut() {
+            if !live.config.wall_cadence {
+                Self::roll_live(live, &mut self.registry, t);
+            }
+            if live.seq == 0 && t > 0 {
+                Self::snapshot_at(live, &mut self.registry, t);
+            }
+        }
+    }
+
+    /// Takes one host-driven snapshot at `t_ns` (serving wall cadence;
+    /// also usable mid-run under sim cadence for an off-boundary look).
+    /// Skipped if `t_ns` does not advance past the previous snapshot.
+    pub fn force_snapshot(&mut self, t_ns: u64) {
+        let t = t_ns + self.origin_ns;
+        if let Some(live) = self.live.as_mut() {
+            if live.seq > 0 && t <= live.last_ns {
+                return;
+            }
+            Self::snapshot_at(live, &mut self.registry, t);
+        }
+    }
+
+    /// Feeds one wall-clock decision latency into the serving-only
+    /// latency window (read by the p99-latency SLO, never exported in
+    /// deterministic artifacts). `t_ns` is the sim time of the batch.
+    pub fn record_wall_latency_ns(&mut self, t_ns: u64, latency_ns: u64) {
+        let t = t_ns + self.origin_ns;
+        if let Some(live) = self.live.as_mut() {
+            live.wall_latency.observe(t, latency_ns);
+        }
+    }
+
+    /// Snapshots taken so far, oldest first.
+    pub fn live_snapshots(&self) -> Vec<MetricsSnapshot> {
+        self.live
+            .as_ref()
+            .map(|l| l.snapshots.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Snapshots lost to the retention cap.
+    pub fn live_snapshots_dropped(&self) -> u64 {
+        self.live.as_ref().map_or(0, |l| l.snapshots_dropped)
+    }
+
+    /// The retained snapshot stream as append-only JSONL.
+    pub fn live_metrics_jsonl(&self) -> String {
+        self.live
+            .as_ref()
+            .map(|l| {
+                let snaps: Vec<MetricsSnapshot> = l.snapshots.iter().cloned().collect();
+                metrics_jsonl(&snaps)
+            })
+            .unwrap_or_default()
+    }
+
+    /// Prometheus-style exposition of the most recent snapshot (empty
+    /// when the live layer is off or no snapshot has been taken).
+    pub fn live_exposition(&self) -> String {
+        self.live
+            .as_ref()
+            .and_then(|l| l.snapshots.back())
+            .map(|s| s.to_prometheus())
+            .unwrap_or_default()
+    }
+
+    /// The watchdog's alert ledger, when the live layer is enabled.
+    pub fn alert_ledger(&self) -> Option<&AlertLedger> {
+        self.live.as_ref().map(|l| l.watchdog.ledger())
+    }
+
+    /// Whether any SLO is currently in breach.
+    pub fn breach_active(&self) -> bool {
+        self.live
+            .as_ref()
+            .is_some_and(|l| l.watchdog.breach_active())
+    }
+
+    /// Names of SLOs currently in breach, in name order.
+    pub fn active_breaches(&self) -> Vec<String> {
+        self.live
+            .as_ref()
+            .map(|l| l.watchdog.active_breaches())
+            .unwrap_or_default()
     }
 
     /// The recorder's configuration (harnesses read the link cadence).
@@ -242,6 +466,33 @@ impl FlightRecorder {
         self.batches.seen - self.batches.buf.len() as u64
     }
 
+    /// Kept span records, oldest first.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.spans.items().copied().collect()
+    }
+
+    /// Total spans offered.
+    pub fn spans_seen(&self) -> u64 {
+        self.spans.seen
+    }
+
+    /// Span records lost to sampling or capacity.
+    pub fn spans_dropped(&self) -> u64 {
+        self.spans.seen - self.spans.buf.len() as u64
+    }
+
+    /// Exact per-stage `(stage, count, items, dur_ns)` totals over every
+    /// offered span (kept or not), in [`SpanStage::ALL`] order.
+    pub fn span_stage_totals(&self) -> Vec<(SpanStage, u64, u64, u64)> {
+        SpanStage::ALL
+            .iter()
+            .map(|&stage| {
+                let (count, items, dur_ns) = self.span_stats[stage.index()];
+                (stage, count, items, dur_ns)
+            })
+            .collect()
+    }
+
     /// Kept trainer events, oldest first.
     pub fn trainer_events(&self) -> Vec<TrainerEvent> {
         self.trainer.items().cloned().collect()
@@ -285,6 +536,19 @@ impl Recorder for FlightRecorder {
         self.registry.observe("decision_qdelay_ns", r.qdelay_ns);
         let mut r = r.clone();
         r.t_ns += self.origin_ns;
+        if let Some(live) = self.live.as_mut() {
+            Self::roll_live(live, &mut self.registry, r.t_ns);
+            let w = live.config.window;
+            self.registry.inc_windowed("decisions_total", w, r.t_ns, 1);
+            if r.fallback {
+                self.registry
+                    .inc_windowed("decisions_fallback_total", w, r.t_ns, 1);
+            }
+            if let Some(q) = r.qc_sat {
+                let ppm = (q.clamp(0.0, 1.0) * 1e6).round() as u64;
+                self.registry.observe_windowed("qc_sat_ppm", w, r.t_ns, ppm);
+            }
+        }
         self.decisions.push(r);
     }
 
@@ -293,6 +557,18 @@ impl Recorder for FlightRecorder {
         self.registry.observe("link_queue_bytes", s.queue_bytes);
         let mut s = *s;
         s.t_ns += self.origin_ns;
+        if let Some(live) = self.live.as_mut() {
+            Self::roll_live(live, &mut self.registry, s.t_ns);
+            let w = live.config.window;
+            // Drops arrive as per-run cumulative counts; the window
+            // wants deltas. Origin shifts splice replays, where the
+            // cumulative count restarts — hence the saturating delta.
+            let prev = live.last_link_drops.insert(s.link, s.drops).unwrap_or(0);
+            let delta = s.drops.saturating_sub(prev);
+            self.registry
+                .inc_windowed("link_samples_total", w, s.t_ns, 1);
+            self.registry.inc_windowed("link_drops", w, s.t_ns, delta);
+        }
         self.links.push(s);
     }
 
@@ -301,7 +577,28 @@ impl Recorder for FlightRecorder {
         self.registry.observe("decisions_per_batch", b.size);
         let mut b = *b;
         b.t_ns += self.origin_ns;
+        if let Some(live) = self.live.as_mut() {
+            Self::roll_live(live, &mut self.registry, b.t_ns);
+        }
         self.batches.push(b);
+    }
+
+    fn record_span(&mut self, s: &SpanRecord) {
+        self.registry.inc("spans_total", 1);
+        let mut s = *s;
+        s.t_ns += self.origin_ns;
+        if let Some(live) = self.live.as_mut() {
+            Self::roll_live(live, &mut self.registry, s.t_ns);
+        }
+        let stats = &mut self.span_stats[s.stage.index()];
+        stats.0 += 1;
+        stats.1 += s.items;
+        stats.2 += s.dur_ns;
+        self.spans.push(s);
+    }
+
+    fn wants_span_timing(&self) -> bool {
+        self.config.span_timing
     }
 
     fn record_trainer(&mut self, e: &TrainerEvent) {
@@ -413,6 +710,183 @@ mod tests {
         assert_eq!(hist.count(), 3);
         assert_eq!(hist.min(), 1);
         assert!(hist.max() >= 32);
+    }
+
+    #[test]
+    fn spans_aggregate_into_the_stage_table() {
+        let mut rec = FlightRecorder::default();
+        assert!(!rec.wants_span_timing());
+        for batch in 0..3u64 {
+            for stage in SpanStage::ALL {
+                rec.record_span(&SpanRecord {
+                    t_ns: batch * 1_000,
+                    batch,
+                    stage,
+                    items: 4,
+                    dur_ns: if stage == SpanStage::Dispatch { 60 } else { 10 },
+                });
+            }
+        }
+        assert_eq!(rec.spans_seen(), 18);
+        assert_eq!(rec.spans_dropped(), 0);
+        assert_eq!(rec.registry().counter("spans_total"), 18);
+        let totals = rec.span_stage_totals();
+        assert_eq!(totals.len(), 6);
+        let (stage, count, items, dur) = totals[0];
+        assert_eq!(stage, SpanStage::Dispatch);
+        assert_eq!((count, items, dur), (3, 12, 180));
+        let child_dur: u64 = totals[1..].iter().map(|t| t.3).sum();
+        assert_eq!(child_dur, 150);
+    }
+
+    #[test]
+    fn timing_flag_comes_from_config() {
+        let rec = FlightRecorder::new(RecorderConfig {
+            span_timing: true,
+            ..RecorderConfig::default()
+        });
+        assert!(rec.wants_span_timing());
+        let handle: SharedRecorder = shared(rec);
+        assert!(handle.borrow().wants_span_timing());
+        assert!(!NoopRecorder.wants_span_timing());
+    }
+
+    #[test]
+    fn live_layer_snapshots_on_sim_cadence() {
+        use crate::live::LiveConfig;
+        let live = LiveConfig::default()
+            .with_cadence(10_000_000, 4)
+            .with_label("unit");
+        let mut rec = FlightRecorder::with_live(RecorderConfig::default(), live);
+        assert!(rec.live_enabled());
+        // Decisions at 2ms, 12ms, 25ms: boundaries 10ms and 20ms fire
+        // as later events arrive.
+        for t in [2_000_000u64, 12_000_000, 25_000_000] {
+            rec.record_decision(&decision(t));
+        }
+        assert_eq!(rec.live_snapshots().len(), 2);
+        rec.finish(30_000_000);
+        let snaps = rec.live_snapshots();
+        assert_eq!(snaps.len(), 3);
+        assert_eq!(snaps[0].t_ns, 10_000_000);
+        assert_eq!(snaps[2].t_ns, 30_000_000);
+        assert_eq!(snaps[0].seq, 0);
+        // The first window saw exactly the first decision.
+        let wc = &snaps[0].window_counters;
+        let decisions = wc.iter().find(|w| w.name == "decisions_total").unwrap();
+        assert_eq!(decisions.window_sum, 1);
+        // JSONL: one line per snapshot, all schema-valid.
+        let jsonl = rec.live_metrics_jsonl();
+        assert_eq!(jsonl.lines().count(), 3);
+        for line in jsonl.lines() {
+            crate::live::MetricsSnapshot::from_json(line)
+                .unwrap()
+                .validate()
+                .unwrap();
+        }
+        assert!(rec.live_exposition().contains("canopy_decisions_total 3\n"));
+    }
+
+    #[test]
+    fn live_layer_runs_the_watchdog_and_flags_breaches() {
+        use crate::live::{LiveConfig, SloKind, SloSpec};
+        let live = LiveConfig::default()
+            .with_cadence(10_000_000, 4)
+            .with_label("unit")
+            .with_slo(SloSpec::new("fallback", SloKind::MaxFallbackRate, 0.1));
+        let mut rec = FlightRecorder::with_live(RecorderConfig::default(), live);
+        let mut d = decision(2_000_000);
+        d.fallback = true;
+        rec.record_decision(&d);
+        assert!(!rec.breach_active(), "no boundary crossed yet");
+        rec.finish(10_000_000);
+        assert!(rec.breach_active());
+        assert_eq!(rec.active_breaches(), vec!["fallback"]);
+        let ledger = rec.alert_ledger().unwrap();
+        ledger.validate().expect("ledger valid");
+        assert_eq!(ledger.alerts.len(), 1);
+        assert!(ledger.alerts[0].active);
+        assert_eq!(ledger.alerts[0].t_ns, 10_000_000);
+    }
+
+    #[test]
+    fn live_recording_is_identical_across_event_interleavings() {
+        use crate::live::{LiveConfig, SloKind, SloSpec};
+        let mk = || {
+            FlightRecorder::with_live(
+                RecorderConfig::default(),
+                LiveConfig::default()
+                    .with_cadence(10_000_000, 2)
+                    .with_slo(SloSpec::new("drops", SloKind::MaxLinkDropRate, 0.5)),
+            )
+        };
+        let link = |t: u64, drops: u64| LinkSample {
+            t_ns: t,
+            link: 0,
+            queue_bytes: 100,
+            drops,
+            utilization: 0.9,
+        };
+        // Same multiset of same-timestamp events, two arrival orders.
+        let mut a = mk();
+        a.record_decision(&decision(5_000_000));
+        a.record_link(&link(5_000_000, 2));
+        a.record_decision(&decision(15_000_000));
+        a.finish(20_000_000);
+        let mut b = mk();
+        b.record_link(&link(5_000_000, 2));
+        b.record_decision(&decision(5_000_000));
+        b.record_decision(&decision(15_000_000));
+        b.finish(20_000_000);
+        assert_eq!(a.live_metrics_jsonl(), b.live_metrics_jsonl());
+        assert_eq!(a.alert_ledger(), b.alert_ledger());
+        assert_eq!(a.live_exposition(), b.live_exposition());
+    }
+
+    #[test]
+    fn wall_latency_feeds_the_latency_slo_but_not_snapshots() {
+        use crate::live::{LiveConfig, SloKind, SloSpec};
+        let live = LiveConfig::default()
+            .with_cadence(10_000_000, 4)
+            .with_slo(SloSpec::new(
+                "p99",
+                SloKind::MaxP99DecisionLatencyNs,
+                1_000.0,
+            ));
+        let mut rec = FlightRecorder::with_live(RecorderConfig::default(), live);
+        rec.record_wall_latency_ns(2_000_000, 50_000);
+        rec.record_decision(&decision(2_000_000));
+        rec.finish(10_000_000);
+        assert!(rec.breach_active());
+        // The wall histogram never reaches the exported snapshot.
+        let snap = &rec.live_snapshots()[0];
+        assert!(snap
+            .window_histograms
+            .iter()
+            .all(|w| w.name != "wall_latency"));
+        assert!(!snap.to_json().contains("50000"));
+    }
+
+    #[test]
+    fn forced_snapshots_serve_wall_cadence_hosts() {
+        use crate::live::LiveConfig;
+        let live = LiveConfig::default()
+            .with_cadence(10_000_000, 4)
+            .with_wall_cadence();
+        let mut rec = FlightRecorder::with_live(RecorderConfig::default(), live);
+        rec.record_decision(&decision(2_000_000));
+        rec.record_decision(&decision(35_000_000));
+        assert!(
+            rec.live_snapshots().is_empty(),
+            "no auto-roll under wall cadence"
+        );
+        rec.force_snapshot(36_000_000);
+        rec.force_snapshot(36_000_000); // non-advancing: skipped
+        rec.force_snapshot(40_000_000);
+        let snaps = rec.live_snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].t_ns, 36_000_000);
+        assert_eq!(snaps[1].seq, 1);
     }
 
     #[test]

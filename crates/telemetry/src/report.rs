@@ -2,12 +2,18 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::event::{BatchRecord, DecisionRecord, LinkSample, SearchEvent, TrainerEvent};
+use crate::event::{
+    BatchRecord, DecisionRecord, LinkSample, SearchEvent, SpanRecord, TrainerEvent,
+};
 use crate::metrics::HistogramSummary;
 use crate::recorder::FlightRecorder;
 
 /// Schema tag of [`TelemetryReport`].
-pub const TELEMETRY_SCHEMA: &str = "canopy-telemetry/v1";
+pub const TELEMETRY_SCHEMA: &str = "canopy-telemetry/v2";
+
+/// The previous schema tag. v1 reports predate the span profiler; they
+/// parse (the span fields default to empty) and still validate.
+pub const TELEMETRY_SCHEMA_V1: &str = "canopy-telemetry/v1";
 
 /// One named counter (the registry serialized in name order).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -16,6 +22,21 @@ pub struct CounterEntry {
     pub name: String,
     /// Counter value.
     pub value: u64,
+}
+
+/// One row of the span profiler's time-attribution table: exact totals
+/// over every offered span of one hot-path stage.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpanStageSummary {
+    /// Stage name ([`crate::SpanStage::name`]).
+    pub stage: String,
+    /// Spans recorded for this stage (one per batched dispatch).
+    pub count: u64,
+    /// Total items the stage processed across all its spans.
+    pub items: u64,
+    /// Total wall-clock nanoseconds attributed to the stage (0 when
+    /// span timing was off).
+    pub dur_ns: u64,
 }
 
 /// Everything one flight recording exports: exact counters, histogram
@@ -55,6 +76,20 @@ pub struct TelemetryReport {
     /// Batch records lost to sampling or ring capacity.
     #[serde(default)]
     pub batches_dropped: u64,
+    /// Kept hot-path span records, oldest first. Absent from v1
+    /// reports, hence defaulted.
+    #[serde(default)]
+    pub spans: Vec<SpanRecord>,
+    /// Total spans offered.
+    #[serde(default)]
+    pub spans_seen: u64,
+    /// Span records lost to sampling or ring capacity.
+    #[serde(default)]
+    pub spans_dropped: u64,
+    /// Per-stage time-attribution totals over every offered span, in
+    /// hot-path order (parent `dispatch` first).
+    #[serde(default)]
+    pub span_stages: Vec<SpanStageSummary>,
     /// Kept trainer events, oldest first.
     pub trainer: Vec<TrainerEvent>,
     /// Total trainer events offered.
@@ -97,6 +132,23 @@ impl TelemetryReport {
             batches: recorder.batches(),
             batches_seen: recorder.batches_seen(),
             batches_dropped: recorder.batches_dropped(),
+            spans: recorder.spans(),
+            spans_seen: recorder.spans_seen(),
+            spans_dropped: recorder.spans_dropped(),
+            span_stages: if recorder.spans_seen() == 0 {
+                Vec::new()
+            } else {
+                recorder
+                    .span_stage_totals()
+                    .into_iter()
+                    .map(|(stage, count, items, dur_ns)| SpanStageSummary {
+                        stage: stage.name().to_string(),
+                        count,
+                        items,
+                        dur_ns,
+                    })
+                    .collect()
+            },
             trainer: recorder.trainer_events(),
             trainer_seen: recorder.trainer_seen(),
             trainer_dropped: recorder.trainer_dropped(),
@@ -120,13 +172,18 @@ impl TelemetryReport {
     /// category, nondecreasing sim-time within the decision and link
     /// streams, and finite floats everywhere.
     pub fn validate(&self) -> Result<(), String> {
-        if self.schema != TELEMETRY_SCHEMA {
+        if self.schema != TELEMETRY_SCHEMA && self.schema != TELEMETRY_SCHEMA_V1 {
             return Err(format!(
-                "schema `{}` is not `{TELEMETRY_SCHEMA}`",
+                "schema `{}` is neither `{TELEMETRY_SCHEMA}` nor `{TELEMETRY_SCHEMA_V1}`",
                 self.schema
             ));
         }
-        let streams: [(&str, usize, u64, u64); 5] = [
+        if self.schema == TELEMETRY_SCHEMA_V1
+            && (!self.spans.is_empty() || self.spans_seen != 0 || !self.span_stages.is_empty())
+        {
+            return Err("v1 report carries span data".to_string());
+        }
+        let streams: [(&str, usize, u64, u64); 6] = [
             (
                 "decisions",
                 self.decisions.len(),
@@ -146,6 +203,12 @@ impl TelemetryReport {
                 self.batches_dropped,
             ),
             (
+                "spans",
+                self.spans.len(),
+                self.spans_seen,
+                self.spans_dropped,
+            ),
+            (
                 "trainer",
                 self.trainer.len(),
                 self.trainer_seen,
@@ -159,7 +222,12 @@ impl TelemetryReport {
             ),
         ];
         for (name, kept, seen, dropped) in streams {
-            if kept as u64 + dropped != seen {
+            // Checked in two steps (not `kept + dropped != seen`, which
+            // can overflow-wrap on a forged report where kept > seen).
+            if kept as u64 > seen {
+                return Err(format!("{name}: kept {kept} exceeds seen {seen}"));
+            }
+            if seen - kept as u64 != dropped {
                 return Err(format!(
                     "{name}: kept {kept} + dropped {dropped} != seen {seen}"
                 ));
@@ -218,6 +286,24 @@ impl TelemetryReport {
                 ));
             }
         }
+        let mut prev = 0u64;
+        for (i, s) in self.spans.iter().enumerate() {
+            if s.t_ns < prev {
+                return Err(format!("span {i} goes back in time"));
+            }
+            prev = s.t_ns;
+        }
+        if !self.span_stages.is_empty() {
+            let stage_count: u64 = self.span_stages.iter().map(|s| s.count).sum();
+            if stage_count != self.spans_seen {
+                return Err(format!(
+                    "span stage table counts {stage_count} spans, {} were seen",
+                    self.spans_seen
+                ));
+            }
+        } else if self.spans_seen != 0 {
+            return Err("spans were seen but the stage table is empty".to_string());
+        }
         for (i, e) in self.trainer.iter().enumerate() {
             if e.floats().iter().any(|x| !x.is_finite()) {
                 return Err(format!("trainer event {i} carries a non-finite value"));
@@ -243,7 +329,7 @@ impl TelemetryReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::DecisionRecord;
+    use crate::event::{DecisionRecord, SpanStage};
     use crate::recorder::{Recorder, RecorderConfig};
 
     fn recorded() -> FlightRecorder {
@@ -275,6 +361,15 @@ mod tests {
             size: 5,
             groups: 2,
         });
+        for stage in SpanStage::ALL {
+            rec.record_span(&SpanRecord {
+                t_ns: 20_000_000,
+                batch: 0,
+                stage,
+                items: 5,
+                dur_ns: 0,
+            });
+        }
         rec.record_trainer(&TrainerEvent::TdLoss {
             step: 10,
             critic_loss: 0.02,
@@ -298,7 +393,23 @@ mod tests {
         assert_eq!(back.to_json(), text, "canonical round trip");
         assert_eq!(back.decisions_seen, 5);
         assert_eq!(back.batches_seen, 1);
-        assert_eq!(back.counters.len(), 7);
+        assert_eq!(back.spans_seen, 6);
+        assert_eq!(back.span_stages.len(), 6);
+        assert_eq!(back.span_stages[0].stage, "dispatch");
+        assert_eq!(back.span_stages[0].items, 5);
+        assert_eq!(back.counters.len(), 8);
+    }
+
+    #[test]
+    fn v1_reports_without_span_data_still_validate() {
+        let mut report = TelemetryReport::from_recorder(&recorded(), "unit", "cubic");
+        report.schema = TELEMETRY_SCHEMA_V1.to_string();
+        assert!(report.validate().is_err(), "v1 must not carry spans");
+        report.spans.clear();
+        report.spans_seen = 0;
+        report.spans_dropped = 0;
+        report.span_stages.clear();
+        report.validate().expect("span-free v1 report validates");
     }
 
     #[test]
@@ -322,8 +433,33 @@ mod tests {
         let mut bad = good.clone();
         bad.batches_seen = 7;
         assert!(bad.validate().is_err(), "batch accounting must balance");
-        let mut bad = good;
+        let mut bad = good.clone();
         bad.batches[0].groups = 9;
         assert!(bad.validate().is_err(), "more groups than decisions");
+        let mut bad = good.clone();
+        bad.spans[0].t_ns = u64::MAX;
+        assert!(bad.validate().is_err(), "span time went backwards");
+        let mut bad = good.clone();
+        bad.span_stages[0].count += 1;
+        assert!(bad.validate().is_err(), "stage table out of sync");
+        let mut bad = good;
+        bad.span_stages.clear();
+        assert!(bad.validate().is_err(), "spans seen but no stage table");
+    }
+
+    #[test]
+    fn ring_accounting_rejects_kept_exceeding_seen() {
+        // Forged so that `kept + dropped` wraps back to `seen` in
+        // release mode: the old single-equation check passed this.
+        let good = TelemetryReport::from_recorder(&recorded(), "unit", "cubic");
+        let mut forged = good.clone();
+        forged.decisions_seen = 2; // kept = 5 > seen
+        forged.decisions_dropped = u64::MAX - 2; // 5 + (MAX-2) wraps to 2
+        let err = forged.validate().expect_err("forged accounting");
+        assert!(err.contains("exceeds seen"), "{err}");
+        let mut forged = good;
+        forged.spans_seen = 3;
+        forged.spans_dropped = u64::MAX - 2;
+        assert!(forged.validate().is_err());
     }
 }
